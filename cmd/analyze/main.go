@@ -1,0 +1,169 @@
+// Command analyze runs the preventive structural analysis of a KG
+// application: it prints the dependency graph, the reasoning paths
+// (Definition 4.2 of the paper) and the generated explanation templates.
+//
+// Usage:
+//
+//	analyze -app company-control
+//	analyze -app stress-test -templates
+//	analyze -program rules.vada -glossary glossary.txt -dot
+//	analyze -program rules.vada -draft-glossary          # bootstrap a data dictionary
+//	analyze -app stress-simple -export-templates rev.md  # human-in-the-loop review
+//	analyze -app stress-simple -import-templates rev.md  # re-import edited texts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/enhancer"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+)
+
+func main() {
+	var (
+		appName   = flag.String("app", "", "bundled application name")
+		progPath  = flag.String("program", "", "path to a Vadalog program file")
+		glosPath  = flag.String("glossary", "", "path to a domain glossary file")
+		dot       = flag.Bool("dot", false, "print the dependency graph in Graphviz DOT syntax")
+		templates = flag.Bool("templates", false, "print the explanation templates")
+		variants  = flag.Int("variants", 2, "enhanced variants per template")
+		draft     = flag.Bool("draft-glossary", false, "print drafted glossary entries for undocumented predicates and exit")
+		exportTo  = flag.String("export-templates", "", "write the template review document to this file and exit")
+		importFr  = flag.String("import-templates", "", "import an edited template review document and report the outcome")
+	)
+	flag.Parse()
+
+	if *draft {
+		if err := draftGlossary(*appName, *progPath, *glosPath); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	pipe, err := buildPipeline(*appName, *progPath, *glosPath, *variants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analyze:", err)
+		os.Exit(1)
+	}
+
+	if *exportTo != "" {
+		if err := os.WriteFile(*exportTo, []byte(pipe.Templates().Export()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d templates to %s\n", len(pipe.Templates().All()), *exportTo)
+		return
+	}
+	if *importFr != "" {
+		doc, err := os.ReadFile(*importFr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		attached, err := pipe.Templates().ImportEnhanced(string(doc))
+		fmt.Printf("attached %d reviewed variants\n", attached)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analyze:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *dot {
+		fmt.Print(pipe.Graph().DOT())
+		return
+	}
+
+	g := pipe.Graph()
+	fmt.Printf("program: %s\n", pipe.Program().Name)
+	fmt.Printf("roots: %v\nleaf: %s\ncritical nodes: %v\ncyclic: %v\n\n",
+		g.Roots(), g.Leaf(), g.CriticalNodes(), g.Cyclic())
+	fmt.Println("dependency graph:")
+	fmt.Println(g.String())
+	fmt.Println()
+	fmt.Println(pipe.Analysis().Table())
+
+	if *templates {
+		fmt.Println("explanation templates:")
+		for _, tpl := range pipe.Templates().All() {
+			fmt.Printf("\n== %s ==\n%s\n", tpl.Path.ID, tpl.Text)
+			for i, v := range tpl.Enhanced {
+				fmt.Printf("enhanced %d: %s\n", i+1, v)
+			}
+		}
+	}
+}
+
+func buildPipeline(appName, progPath, glosPath string, variants int) (*core.Pipeline, error) {
+	cfg := core.Config{Enhancer: &enhancer.Fluent{Variants: variants, Seed: 1}}
+	switch {
+	case appName != "":
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return nil, err
+		}
+		return app.Pipeline(cfg)
+	case progPath != "" && glosPath != "":
+		prog, err := os.ReadFile(progPath)
+		if err != nil {
+			return nil, err
+		}
+		glos, err := os.ReadFile(glosPath)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewPipelineFromSource(string(prog), string(glos), cfg)
+	default:
+		return nil, fmt.Errorf("either -app, or both -program and -glossary, are required")
+	}
+}
+
+// draftGlossary prints placeholder glossary entries for every predicate the
+// (possibly empty) glossary does not describe.
+func draftGlossary(appName, progPath, glosPath string) error {
+	var prog *ast.Program
+	g := glossary.New()
+	switch {
+	case appName != "":
+		app, err := apps.ByName(appName)
+		if err != nil {
+			return err
+		}
+		prog = app.Program()
+		g = app.Glossary()
+	case progPath != "":
+		src, err := os.ReadFile(progPath)
+		if err != nil {
+			return err
+		}
+		prog, err = parser.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		if glosPath != "" {
+			gsrc, err := os.ReadFile(glosPath)
+			if err != nil {
+				return err
+			}
+			g, err = glossary.Parse(string(gsrc))
+			if err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("either -app or -program is required")
+	}
+	draft := g.Draft(prog)
+	if draft == "" {
+		fmt.Println("% every predicate is already documented")
+		return nil
+	}
+	fmt.Print(draft)
+	return nil
+}

@@ -1,0 +1,97 @@
+// Command bench regenerates the paper's tables and figures (see DESIGN.md
+// for the experiment index).
+//
+// Usage:
+//
+//	bench -fig all
+//	bench -fig fig17 -proofs 10 -seed 42
+//	bench -fig fig16 -experts 14
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	var (
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18) or 'all'")
+		seed         = flag.Int64("seed", 42, "experiment seed")
+		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
+		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
+		experts      = flag.Int("experts", 14, "expert-study raters (fig16)")
+	)
+	flag.Parse()
+
+	runners := map[string]func() (string, error){
+		"fig3": func() (string, error) { return figures.Fig3Fig9DependencyGraphs() },
+		"fig10": func() (string, error) {
+			return figures.Fig4Fig5Fig10ReasoningPaths()
+		},
+		"fig6": figures.Fig6Templates,
+		"fig7": func() (string, error) { return figures.Fig7Fig11Glossaries(), nil },
+		"fig8": figures.Fig8ChaseGraph,
+		"ex48": figures.Ex48Explanation,
+		"fig13": func() (string, error) {
+			return figures.Fig13DerivedKnowledge()
+		},
+		"fig14": func() (string, error) {
+			out, _, err := figures.Fig14Comprehension(*seed, *participants)
+			return out, err
+		},
+		"fig15": func() (string, error) { return figures.Fig15ExampleTexts(*seed) },
+		"fig16": func() (string, error) {
+			out, _, err := figures.Fig16ExpertStudy(*seed, *experts)
+			return out, err
+		},
+		"fig17": func() (string, error) {
+			out, points, err := figures.Fig17Omissions(*seed, *proofs)
+			if err != nil {
+				return "", err
+			}
+			return out + "\n" + figures.OmissionBoxplots(points, 56), nil
+		},
+		"fig18": func() (string, error) {
+			out, points, err := figures.Fig18Performance(*seed, *proofs)
+			if err != nil {
+				return "", err
+			}
+			return out + "\n" + figures.TimingBoxplots(points, 56), nil
+		},
+	}
+	// Aliases: the paper's figure numbers group several renderings.
+	for alias, target := range map[string]string{
+		"fig4": "fig10", "fig5": "fig10", "fig9": "fig3", "fig11": "fig7", "fig12": "fig13",
+	} {
+		runners[alias] = runners[target]
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"fig3", "fig10", "fig6", "fig7", "fig8", "ex48", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"}
+	}
+	for _, id := range ids {
+		run, ok := runners[id]
+		if !ok {
+			var known []string
+			for k := range runners {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			fmt.Fprintf(os.Stderr, "bench: unknown figure %q (known: %s)\n", id, strings.Join(known, ", "))
+			os.Exit(1)
+		}
+		fmt.Printf("######## %s ########\n", id)
+		out, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

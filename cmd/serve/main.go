@@ -1,0 +1,39 @@
+// Command serve runs the explanation service: a JSON-over-HTTP API exposing
+// the deployed KG applications for interactive front-ends (the paper's
+// Section 4.4 pipeline behind its reference-[10]-style graph environment).
+//
+// Usage:
+//
+//	serve -addr :8080
+//
+// Then:
+//
+//	curl localhost:8080/apps
+//	curl -X POST localhost:8080/reason -d '{"app":"stress-simple","scenario":true}'
+//	curl 'localhost:8080/explain?session=s1&query=Default("C")'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	s, err := server.New()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("explanation service listening on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, s.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
+}

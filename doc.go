@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of "Template-based
+// Explainable Inference over High-Stakes Financial Knowledge Graphs"
+// (EDBT 2025): a chase-based Vadalog-subset reasoning engine with full
+// provenance, the structural analysis deriving reasoning paths from rule
+// dependency graphs, a verbalizer and template engine producing fluent,
+// provably complete natural-language explanations, the paper's financial
+// KG applications, and the complete experimental harness regenerating every
+// table and figure of the paper's evaluation.
+//
+// See README.md for the quickstart, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmark harness lives in bench_test.go (one benchmark per table and
+// figure); the user-facing entry point is package internal/core.
+package repro

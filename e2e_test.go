@@ -1,0 +1,309 @@
+package repro
+
+// End-to-end tests: build the command-line tools and examples once and run
+// them as real processes, asserting on their observable output. These are
+// the closest thing to the paper's deployed pipeline (Section 4.4).
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles a main package into a temp binary, cached per test
+// binary run.
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, "./"+pkg)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestE2EReason(t *testing.T) {
+	bin := buildTool(t, "cmd/reason")
+
+	out, err := run(t, bin, "-app", "stress-simple")
+	if err != nil {
+		t.Fatalf("reason: %v\n%s", err, out)
+	}
+	for _, sub := range []string{"fixpoint after", "Default(A)", "Default(B)", "Default(C)"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+
+	// Chase graph dump.
+	out, err = run(t, bin, "-app", "stress-simple", "-graph")
+	if err != nil {
+		t.Fatalf("reason -graph: %v", err)
+	}
+	if !strings.Contains(out, "--beta--> Risk(C, 11)") {
+		t.Errorf("graph output missing beta step:\n%s", out)
+	}
+
+	// DOT output.
+	out, err = run(t, bin, "-app", "stress-simple", "-dot")
+	if err != nil || !strings.Contains(out, "digraph chase") {
+		t.Errorf("dot output: %v\n%s", err, out)
+	}
+
+	// Error paths.
+	if out, err := run(t, bin); err == nil {
+		t.Errorf("no flags accepted:\n%s", out)
+	}
+	if out, err := run(t, bin, "-app", "bogus"); err == nil {
+		t.Errorf("unknown app accepted:\n%s", out)
+	}
+}
+
+func TestE2EExplain(t *testing.T) {
+	bin := buildTool(t, "cmd/explain")
+
+	out, err := run(t, bin, "-app", "stress-simple", "-query", `Default("C")`, "-paths")
+	if err != nil {
+		t.Fatalf("explain: %v\n%s", err, out)
+	}
+	for _, sub := range []string{"== Default(C) ==", "[Π2 Γ1*]", "sum of 2 and 9"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+
+	// -all explains every answer.
+	out, err = run(t, bin, "-app", "stress-simple", "-all")
+	if err != nil {
+		t.Fatalf("explain -all: %v\n%s", err, out)
+	}
+	if strings.Count(out, "== Default(") != 3 {
+		t.Errorf("expected 3 explanations:\n%s", out)
+	}
+
+	// -proof appends the step-by-step verbalization.
+	out, err = run(t, bin, "-app", "stress-simple", "-query", `Default("C")`, "-proof")
+	if err != nil || !strings.Contains(out, "step-by-step proof:") {
+		t.Errorf("explain -proof: %v\n%s", err, out)
+	}
+
+	// Unknown fact.
+	if out, err := run(t, bin, "-app", "stress-simple", "-query", `Default("Z")`); err == nil {
+		t.Errorf("missing fact accepted:\n%s", out)
+	}
+}
+
+func TestE2EExplainUserFiles(t *testing.T) {
+	bin := buildTool(t, "cmd/explain")
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "rules.vada")
+	glos := filepath.Join(dir, "glossary.txt")
+	facts := filepath.Join(dir, "facts.vada")
+	writeFile(t, prog, `
+@output("Reachable").
+@label("base") Reachable(X, Y) :- Edge(X, Y).
+@label("step") Reachable(X, Z) :- Reachable(X, Y), Edge(Y, Z).
+`)
+	writeFile(t, glos, `
+Edge(a, b): there is a direct link from <a> to <b>.
+Reachable(a, b): <b> is reachable from <a>.
+`)
+	writeFile(t, facts, `
+Edge("n1", "n2").
+Edge("n2", "n3").
+`)
+	out, err := run(t, bin, "-program", prog, "-glossary", glos, "-facts", facts,
+		"-query", `Reachable("n1", "n3")`)
+	if err != nil {
+		t.Fatalf("explain user files: %v\n%s", err, out)
+	}
+	for _, sub := range []string{"n1", "n2", "n3", "reachable"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+}
+
+func TestE2EAnalyze(t *testing.T) {
+	bin := buildTool(t, "cmd/analyze")
+	out, err := run(t, bin, "-app", "company-control", "-templates")
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, out)
+	}
+	for _, sub := range []string{
+		"critical nodes: [Control]",
+		"Π5* = {s1, s2, s3}",
+		"Γ1* = {s3}",
+		"explanation templates:",
+		"<x> exercises control over",
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+	out, err = run(t, bin, "-app", "company-control", "-dot")
+	if err != nil || !strings.Contains(out, "digraph dependency") {
+		t.Errorf("analyze -dot: %v\n%s", err, out)
+	}
+}
+
+func TestE2EBenchTool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench tool run skipped in -short mode")
+	}
+	bin := buildTool(t, "cmd/bench")
+	out, err := run(t, bin, "-fig", "fig14", "-participants", "12")
+	if err != nil {
+		t.Fatalf("bench fig14: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "overall accuracy:") {
+		t.Errorf("fig14 output malformed:\n%s", out)
+	}
+	out, err = run(t, bin, "-fig", "ex48")
+	if err != nil || !strings.Contains(out, "paths: {Π2, Γ1*}") {
+		t.Errorf("bench ex48: %v\n%s", err, out)
+	}
+	if out, err := run(t, bin, "-fig", "nope"); err == nil {
+		t.Errorf("unknown figure accepted:\n%s", out)
+	}
+}
+
+func TestE2EExamples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	examples := map[string][]string{
+		"examples/quickstart":     {"reasoning paths", "why is C in default?", "completeness check: ok"},
+		"examples/companycontrol": {"Control(IrishBank, MadridCredit)", "0.57"},
+		"examples/stresstest":     {"Default(F)", "omission ratio", "complete by construction"},
+		"examples/newdomain":      {"Flagged(Collector)", "all explanations passed"},
+	}
+	for pkg, wants := range examples {
+		pkg, wants := pkg, wants
+		t.Run(filepath.Base(pkg), func(t *testing.T) {
+			bin := buildTool(t, pkg)
+			out, err := run(t, bin)
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", pkg, err, out)
+			}
+			for _, sub := range wants {
+				if !strings.Contains(out, sub) {
+					t.Errorf("%s output missing %q:\n%s", pkg, sub, out)
+				}
+			}
+		})
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestE2ECloselinkExample(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	bin := buildTool(t, "examples/closelink")
+	out, err := run(t, bin)
+	if err != nil {
+		t.Fatalf("closelink: %v\n%s", err, out)
+	}
+	for _, sub := range []string{
+		"CloseLink(AlphaHolding, GammaCredit)",
+		"pseudonymized for external use:",
+		"Entity-1",
+		"restored internally:",
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("output missing %q:\n%s", sub, out)
+		}
+	}
+	// No real entity name appears in the pseudonymized section.
+	anonStart := strings.Index(out, "pseudonymized for external use:")
+	anonEnd := strings.Index(out, "restored internally:")
+	if anonStart < 0 || anonEnd < anonStart {
+		t.Fatal("sections not found")
+	}
+	anon := out[anonStart:anonEnd]
+	for _, name := range []string{"AlphaHolding", "BetaBank", "GammaCredit"} {
+		if strings.Contains(anon, name) {
+			t.Errorf("entity %q leaked into pseudonymized text", name)
+		}
+	}
+}
+
+func TestE2EAnalyzeReviewWorkflow(t *testing.T) {
+	bin := buildTool(t, "cmd/analyze")
+	dir := t.TempDir()
+	review := filepath.Join(dir, "review.md")
+
+	out, err := run(t, bin, "-app", "stress-simple", "-export-templates", review)
+	if err != nil {
+		t.Fatalf("export: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "wrote 5 templates") {
+		t.Errorf("export output: %s", out)
+	}
+	doc, err := os.ReadFile(review)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(doc), "## Π2*") {
+		t.Errorf("review document malformed:\n%s", doc)
+	}
+
+	// Edit one template and re-import.
+	edited := string(doc) + "\n## Π1\nReviewed: <f> (capital <p1>) defaults under a shock of <s> euro.\n"
+	writeFile(t, review, edited)
+	out, err = run(t, bin, "-app", "stress-simple", "-import-templates", review)
+	if err != nil {
+		t.Fatalf("import: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "attached 1 reviewed variants") {
+		t.Errorf("import output: %s", out)
+	}
+
+	// A token-dropping edit is rejected.
+	writeFile(t, review, "## Π1\nshock hits <f>.\n")
+	if out, err := run(t, bin, "-app", "stress-simple", "-import-templates", review); err == nil {
+		t.Errorf("token-dropping review accepted:\n%s", out)
+	}
+}
+
+func TestE2EDraftGlossary(t *testing.T) {
+	bin := buildTool(t, "cmd/analyze")
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "rules.vada")
+	writeFile(t, prog, `
+@output("B").
+B(X, Y) :- A(X, Y).
+`)
+	out, err := run(t, bin, "-program", prog, "-draft-glossary")
+	if err != nil {
+		t.Fatalf("draft: %v\n%s", err, out)
+	}
+	for _, sub := range []string{"A(a1, a2):", "B(a1, a2):"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("draft missing %q:\n%s", sub, out)
+		}
+	}
+	// A fully documented app drafts nothing.
+	out, err = run(t, bin, "-app", "stress-simple", "-draft-glossary")
+	if err != nil || !strings.Contains(out, "every predicate is already documented") {
+		t.Errorf("documented app draft: %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,83 @@
+// New domain: the paper argues (its Section 6.5) that the approach carries
+// to any domain equipped with a data dictionary, since the quality of the
+// results depends on the internal glossary rather than on training data.
+// This example demonstrates that claim by building an anti-money-laundering
+// application from scratch — suspicious funds flowing through chains of
+// transfers, with per-account aggregation — and obtaining fluent, complete
+// explanations without touching any financial-domain code.
+//
+// Run with:
+//
+//	go run ./examples/newdomain
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+const program = `
+@name("aml-flows").
+@output("Flagged").
+
+% An account that receives funds from a sanctioned origin is tainted by the
+% received amount.
+@label("t1") Tainted(A, M) :- Sanctioned(O), Transfer(O, A, M).
+
+% Taint propagates along onward transfers, capped by the transferred amount
+% (the flow cannot carry more than what was moved).
+@label("t2") Tainted(B, M) :- Tainted(A, T), Transfer(A, B, M), M <= T.
+
+% An account is flagged when its total tainted inflow exceeds the reporting
+% threshold.
+@label("t3") Flagged(A) :- Tainted(A, M), Total = sum(M), Threshold(K), Total > K.
+
+Threshold(10.0).
+Sanctioned("ShellCo").
+Transfer("ShellCo", "Intermediary1", 8.0).
+Transfer("ShellCo", "Intermediary2", 7.0).
+Transfer("Intermediary1", "Collector", 6.0).
+Transfer("Intermediary2", "Collector", 5.0).
+Transfer("Collector", "Exit", 4.0).
+`
+
+const glossary = `
+Sanctioned(o): <o> is a sanctioned entity.
+Transfer(a, b, m): <a> transfers <m> thousand euros to <b>.
+Tainted(a, m): account <a> holds <m> thousand euros of tainted funds.
+Flagged(a): account <a> is flagged for investigation.
+Threshold(k): the reporting threshold is <k> thousand euros.
+`
+
+func main() {
+	pipe, err := core.NewPipelineFromSource(program, glossary, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("structural analysis of the AML application:")
+	fmt.Println(pipe.Analysis().Table())
+
+	res, err := pipe.Reason()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("flagged accounts:")
+	for _, id := range res.Answers() {
+		fmt.Printf("  %s\n", res.Store.Get(id))
+	}
+	fmt.Println()
+
+	exps, err := pipe.ExplainAll(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, e := range exps {
+		fmt.Printf("== why %s? (paths %v) ==\n%s\n\n", e.Fact, e.PathIDs(), e.Text)
+		if err := e.Verify(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("all explanations passed the completeness check")
+}

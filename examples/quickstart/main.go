@@ -1,0 +1,80 @@
+// Quickstart: define a rule-based Knowledge Graph application and a domain
+// glossary, run the reasoning task, and ask for natural-language
+// explanations of the derived facts — entirely offline, with no instance
+// data ever leaving the process.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+// The simplified stress test of the paper's Example 4.3: a financial shock
+// defaults an entity (α); defaults put creditors at risk through their
+// aggregated debt exposures (β); an exposed creditor with insufficient
+// capital defaults in turn (γ).
+const program = `
+@name("quickstart-stress").
+@output("Default").
+
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+% The artificial EDB of the paper's Figure 8.
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+// The domain glossary of the paper's Figure 7: the only domain-specific
+// input the explanation pipeline needs.
+const glossary = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+func main() {
+	// Compile the application: structural analysis + template generation
+	// happen once, before any data is touched.
+	pipe, err := core.NewPipelineFromSource(program, glossary, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reasoning paths found by the structural analysis:")
+	fmt.Println(pipe.Analysis().Table())
+
+	// Run the reasoning task (the chase) until fixpoint.
+	res, err := pipe.Reason()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("derived %d facts in %d rounds\n\n", len(res.Steps), res.Rounds)
+
+	// Ask the explanation query of the paper's Example 4.8.
+	e, err := pipe.ExplainQuery(res, `Default("C")`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("why is C in default? (composed from reasoning paths %v)\n\n%s\n\n", e.PathIDs(), e.Text)
+
+	// The explanation is provably complete: every constant used in the
+	// inference is present.
+	if err := e.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("completeness check: ok —", len(e.Proof.Constants()), "constants all present")
+}

@@ -1,0 +1,291 @@
+// Package apps ships the financial Knowledge Graph applications of the
+// paper: the simplified stress test of Example 4.3, the company control and
+// two-channel stress test programs of Section 5, and the close link
+// application the expert user study mentions. Each application bundles its
+// Vadalog program, its domain glossary (Figures 7 and 11) and a
+// representative synthetic scenario in the spirit of Figures 12-13.
+//
+// The scenarios are synthetic by design: the paper itself evaluates on
+// artificially generated data because individual shares and loan exposures
+// are confidential.
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/core"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+)
+
+// App is one bundled KG application.
+type App struct {
+	// Name is the registry key ("company-control").
+	Name string
+	// Title is the human-readable name.
+	Title string
+	// Description summarizes the business task.
+	Description string
+	// ProgramSource holds the rules (no facts) in concrete syntax.
+	ProgramSource string
+	// GlossarySource holds the domain glossary in its text format.
+	GlossarySource string
+	// ScenarioSource holds the representative scenario's extensional facts.
+	ScenarioSource string
+}
+
+// Program parses the application's rules.
+func (a *App) Program() *ast.Program {
+	return parser.MustParse(a.ProgramSource)
+}
+
+// Glossary parses the application's domain glossary.
+func (a *App) Glossary() *glossary.Glossary {
+	return glossary.MustParse(a.GlossarySource)
+}
+
+// Scenario parses the representative scenario facts.
+func (a *App) Scenario() []ast.Atom {
+	prog := parser.MustParse(a.ScenarioSource)
+	return prog.Facts
+}
+
+// Pipeline compiles the application into an explanation pipeline.
+func (a *App) Pipeline(cfg core.Config) (*core.Pipeline, error) {
+	return core.NewPipeline(a.Program(), a.Glossary(), cfg)
+}
+
+// Registry names.
+const (
+	NameStressSimple   = "stress-simple"
+	NameCompanyControl = "company-control"
+	NameStressTest     = "stress-test"
+	NameCloseLink      = "close-link"
+	NameGoldenPower    = "golden-power"
+)
+
+// StressSimple is the simplified stress test of Example 4.3: a shock
+// defaults an entity; defaults propagate to creditors through aggregated
+// debt exposures.
+func StressSimple() *App {
+	return &App{
+		Name:  NameStressSimple,
+		Title: "Simplified Stress Test (Example 4.3)",
+		Description: "Derives the Default events triggered by an exogenous shock " +
+			"propagating through aggregated debt exposures.",
+		ProgramSource: `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+`,
+		GlossarySource: `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`,
+		// The artificial EDB of Figure 8.
+		ScenarioSource: `
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`,
+	}
+}
+
+// CompanyControl is the company control program of Section 5: x controls y
+// when it directly owns more than 50% of y, or when the companies it
+// controls jointly own more than 50% of y.
+func CompanyControl() *App {
+	return &App{
+		Name:  NameCompanyControl,
+		Title: "Company Control",
+		Description: "Finds chains of control between companies under the " +
+			"one-share one-vote assumption (official Bank of Italy definition).",
+		ProgramSource: `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`,
+		GlossarySource: `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+`,
+		// A synthetic ownership graph in the spirit of Figure 12: a control
+		// chain A -> B -> C -> D, a joint control of E through D's and B's
+		// own shares, and a one-hop joint control of H through G and B's
+		// own shares (engaging the joint reasoning path Π5).
+		ScenarioSource: `
+Company("A"). Company("B"). Company("C"). Company("D").
+Company("E"). Company("F"). Company("G"). Company("H").
+Own("A", "B", 0.55).
+Own("B", "C", 0.6).
+Own("C", "D", 0.55).
+Own("D", "E", 0.3).
+Own("B", "E", 0.25).
+Own("E", "F", 0.7).
+Own("B", "G", 0.7).
+Own("G", "H", 0.3).
+Own("B", "H", 0.25).
+`,
+	}
+}
+
+// StressTest is the two-channel stress test of Section 5: default shocks
+// propagate over long-term and short-term debt exposures, and an entity
+// defaults when its total exposure to defaulted debtors exceeds its capital.
+func StressTest() *App {
+	return &App{
+		Name:  NameStressTest,
+		Title: "Stress Test (two channels)",
+		Description: "Propagates a default shock over long-term and short-term " +
+			"debt exposures, deriving cascade defaults.",
+		ProgramSource: `
+@name("stress-test").
+@output("Default").
+@label("s4") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("s5") Risk(C, EL, "long") :- Default(D), LongTermDebts(D, C, V), EL = sum(V).
+@label("s6") Risk(C, ES, "short") :- Default(D), ShortTermDebts(D, C, V), ES = sum(V).
+@label("s7") Default(C) :- Risk(C, E, T), HasCapital(C, P2), L = sum(E), L > P2.
+`,
+		GlossarySource: `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+HasCapital(f, p): <f> is a company with capital of <p> euros.
+Shock(f, s): a shock amounting to <s> euro hits <f>.
+Default(f): <f> is in default.
+LongTermDebts(d, c, v): <d> has an amount <v> of long-term debts with <c>.
+ShortTermDebts(d, c, v): <d> has an amount <v> of short-term debts with <c>.
+Risk(c, e, t): <c> is at risk of defaulting given its <t>-term loans of <e> euros of exposures to a defaulted debtor.
+`,
+		// The Section 5 representative scenario: a 14M shock to A defaults
+		// A (capital 5), B through its 7M long-term exposure (capital 4), C
+		// through B's 9M short-term debt (capital 8), and F through the
+		// joint 2M long + 9M short exposures to C and B (capital 9); D and
+		// E survive.
+		ScenarioSource: `
+Shock("A", 14.0).
+HasCapital("A", 5.0).
+HasCapital("B", 4.0).
+HasCapital("C", 8.0).
+HasCapital("D", 6.0).
+HasCapital("E", 11.0).
+HasCapital("F", 9.0).
+LongTermDebts("A", "B", 7.0).
+ShortTermDebts("B", "C", 9.0).
+LongTermDebts("C", "F", 2.0).
+ShortTermDebts("B", "F", 9.0).
+LongTermDebts("A", "D", 3.0).
+ShortTermDebts("C", "E", 5.0).
+`,
+	}
+}
+
+// CloseLink is the close link application mentioned by the paper's expert
+// user study ([2]: Atzeni et al., company ownership graphs): two parties are
+// close linked when one holds, directly or indirectly through chained
+// ownerships, at least 20% of the other. Indirect holdings multiply along
+// ownership paths and sum across paths; a 1% floor on path products bounds
+// the multiplicative recursion.
+func CloseLink() *App {
+	return &App{
+		Name:  NameCloseLink,
+		Title: "Close Links",
+		Description: "Detects close links: integrated (direct plus indirect) " +
+			"ownership of at least 20%, with path products summed across " +
+			"distinct ownership chains.",
+		ProgramSource: `
+@name("close-link").
+@output("CloseLink").
+@label("c1") MOwn(X, Y, S) :- Own(X, Y, S).
+@label("c2") MOwn(X, Y, S) :- MOwn(X, Z, S1), Own(Z, Y, S2), S = S1 * S2, S >= 0.01.
+@label("c3") CloseLink(X, Y) :- MOwn(X, Y, S), TS = sum(S), TS >= 0.2.
+`,
+		GlossarySource: `
+Own(x, y, s): <x> owns <s> shares of <y>.
+MOwn(x, y, s): <x> holds an integrated ownership of <s> in <y>.
+CloseLink(x, y): <x> and <y> are close linked.
+`,
+		ScenarioSource: `
+Own("A", "B", 0.55).
+Own("B", "C", 0.6).
+Own("A", "C", 0.1).
+Own("C", "D", 0.5).
+`,
+	}
+}
+
+// GoldenPower is the takeover-screening application in the spirit of the
+// golden-power exercises the paper's authors describe in their companion
+// works (its references [8] and [9]): the state must review any acquisition
+// of control over a strategic company by a foreign entity that holds no
+// standing exemption. The rule set layers the company control program with
+// a stratified negation.
+func GoldenPower() *App {
+	return &App{
+		Name:  NameGoldenPower,
+		Title: "Golden Power Review",
+		Description: "Flags foreign takeovers of strategic companies for " +
+			"governmental review, unless the acquirer holds an exemption.",
+		ProgramSource: `
+@name("golden-power").
+@output("Review").
+@label("g1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("g2") Control(X, X) :- Company(X).
+@label("g3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+@label("g4") Review(X, Y) :- Control(X, Y), Strategic(Y), Foreign(X), not Exempt(X).
+`,
+		GlossarySource: `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+Strategic(y): <y> operates critical national infrastructure.
+Foreign(x): <x> is a foreign investor.
+Exempt(x): <x> holds a standing golden-power exemption.
+Review(x, y): the acquisition of <y> by <x> is subject to golden power review.
+`,
+		// A foreign fund takes indirect control of a strategic grid
+		// operator through a holding chain; a second, exempted investor
+		// controls another strategic target without triggering review.
+		ScenarioSource: `
+Company("OverseasFund"). Company("HoldCo"). Company("GridCo").
+Company("TrustedPartner"). Company("PortCo").
+Own("OverseasFund", "HoldCo", 0.7).
+Own("HoldCo", "GridCo", 0.3).
+Own("OverseasFund", "GridCo", 0.25).
+Own("TrustedPartner", "PortCo", 0.8).
+Strategic("GridCo").
+Strategic("PortCo").
+Foreign("OverseasFund").
+Foreign("TrustedPartner").
+Exempt("TrustedPartner").
+`,
+	}
+}
+
+// All returns every bundled application.
+func All() []*App {
+	return []*App{StressSimple(), CompanyControl(), StressTest(), CloseLink(), GoldenPower()}
+}
+
+// ByName returns the application with the given registry name.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q (available: stress-simple, company-control, stress-test, close-link)", name)
+}

@@ -1,0 +1,249 @@
+package apps
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 5 {
+		t.Fatalf("All = %d apps", len(all))
+	}
+	for _, a := range all {
+		if a.Name == "" || a.Title == "" || a.Description == "" {
+			t.Errorf("app %q has empty metadata", a.Name)
+		}
+		got, err := ByName(a.Name)
+		if err != nil || got.Name != a.Name {
+			t.Errorf("ByName(%q) = %v, %v", a.Name, got, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+// TestAllAppsCompile: every bundled application parses, its glossary covers
+// its program, and the pipeline compiles with enhancement.
+func TestAllAppsCompile(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			prog := a.Program()
+			if len(prog.Rules) == 0 || prog.Output == "" {
+				t.Fatalf("program malformed: %d rules, output %q", len(prog.Rules), prog.Output)
+			}
+			if errs := a.Glossary().Covers(prog); len(errs) > 0 {
+				t.Fatalf("glossary gaps: %v", errs)
+			}
+			p, err := a.Pipeline(core.Config{})
+			if err != nil {
+				t.Fatalf("Pipeline: %v", err)
+			}
+			if len(p.Analysis().Simple) == 0 {
+				t.Error("no simple reasoning paths")
+			}
+			if len(a.Scenario()) == 0 {
+				t.Error("empty scenario")
+			}
+		})
+	}
+}
+
+// TestScenarioReasoningAndExplanations runs the representative scenario of
+// every application end-to-end: the chase saturates, answers are derived,
+// and every answer has a complete explanation.
+func TestScenarioReasoningAndExplanations(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) {
+			p, err := a.Pipeline(core.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := p.Reason(a.Scenario()...)
+			if err != nil {
+				t.Fatalf("Reason: %v", err)
+			}
+			answers := res.Answers()
+			if len(answers) == 0 {
+				t.Fatalf("no answers derived:\n%s", res.Store.Dump())
+			}
+			exps, err := p.ExplainAll(res)
+			if err != nil {
+				t.Fatalf("ExplainAll: %v", err)
+			}
+			for _, e := range exps {
+				if err := e.Verify(); err != nil {
+					t.Errorf("%v", err)
+				}
+			}
+		})
+	}
+}
+
+// TestFigure13ControlScenario checks the derived control edges of the
+// representative ownership scenario.
+func TestFigure13ControlScenario(t *testing.T) {
+	a := CompanyControl()
+	p, err := a.Pipeline(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(a.Scenario()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		`Control("A", "B")`,
+		`Control("B", "C")`,
+		`Control("A", "C")`,
+		`Control("C", "D")`,
+		`Control("B", "D")`,
+		`Control("A", "D")`,
+		`Control("B", "E")`, // joint: via D (0.3) and B's own shares (0.25)
+		`Control("E", "F")`,
+		`Control("B", "F")`,
+	} {
+		if _, err := p.ExplainQuery(res, q); err != nil {
+			t.Errorf("explain %s: %v", q, err)
+		}
+	}
+
+	// The Section 5 query Q = {Control(B, D)} follows reasoning path Π2.
+	e, err := p.ExplainQuery(res, `Control("B", "D")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := e.PathIDs(); len(ids) != 1 || ids[0] != "Π2" {
+		t.Errorf("Control(B,D) paths = %v, want [Π2]", ids)
+	}
+
+	// Control of E runs through the chain to D before the joint final
+	// aggregation: the spine is {σ1, σ3, σ3}, covered by Π2 plus a dashed
+	// cycle (B's own shares enter as a side contributor).
+	eChain, err := p.ExplainQuery(res, `Control("B", "E")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (B's self-control contributor is told first by the elementary ρ(s2),
+	// then the chain through D, then the final joint aggregation.)
+	if ids := eChain.PathIDs(); len(ids) != 3 || ids[0] != "ρ(s2)" || ids[1] != "Π2" || ids[2] != "Γ1*" {
+		t.Errorf("Control(B,E) paths = %v, want [ρ(s2) Π2 Γ1*]", ids)
+	}
+
+	// One-hop joint control of H (via G's shares plus B's own) engages the
+	// joint path Π5 with its aggregation variant.
+	eJoint, err := p.ExplainQuery(res, `Control("B", "H")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := eJoint.PathIDs(); len(ids) != 1 || ids[0] != "Π5*" {
+		t.Errorf("Control(B,H) paths = %v, want [Π5*]", ids)
+	}
+	for _, c := range []string{"G", "H", "0.3", "0.25", "0.55"} {
+		if !strings.Contains(eJoint.Text, c) {
+			t.Errorf("Control(B,H) explanation missing %q:\n%s", c, eJoint.Text)
+		}
+	}
+}
+
+// TestFigure13StressScenario checks the cascade of the Section 5 stress
+// scenario: A, B, C and F default; D and E survive.
+func TestFigure13StressScenario(t *testing.T) {
+	a := StressTest()
+	p, err := a.Pipeline(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(a.Scenario()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defaults := map[string]bool{}
+	for _, id := range res.Answers() {
+		defaults[res.Store.Get(id).Atom.Terms[0].StringVal()] = true
+	}
+	for _, want := range []string{"A", "B", "C", "F"} {
+		if !defaults[want] {
+			t.Errorf("%s did not default; defaults = %v", want, defaults)
+		}
+	}
+	for _, survive := range []string{"D", "E"} {
+		if defaults[survive] {
+			t.Errorf("%s defaulted; defaults = %v", survive, defaults)
+		}
+	}
+
+	// The explanation of Default(F) reports the joint 2M + 9M = 11M
+	// exposure over both channels (the Section 5 narrative).
+	e, err := p.ExplainQuery(res, `Default("F")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"F", "11", "9", "2", "long", "short"} {
+		if !strings.Contains(e.Text, c) {
+			t.Errorf("Default(F) explanation missing %q:\n%s", c, e.Text)
+		}
+	}
+}
+
+// TestCloseLinkScenario checks integrated ownership: A holds 0.55*0.6 + 0.1
+// = 0.43 of C.
+func TestCloseLinkScenario(t *testing.T) {
+	a := CloseLink()
+	p, err := a.Pipeline(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(a.Scenario()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.ExplainQuery(res, `CloseLink("A", "C")`)
+	if err != nil {
+		t.Fatalf("explain: %v\n%s", err, res.Store.Dump())
+	}
+	if err := e.Verify(); err != nil {
+		t.Error(err)
+	}
+	if !strings.Contains(e.Text, "0.43") {
+		t.Errorf("integrated ownership total missing:\n%s", e.Text)
+	}
+}
+
+// TestGoldenPowerScenario: the foreign fund's joint control of the grid
+// operator triggers review; the exempted investor's takeover does not.
+func TestGoldenPowerScenario(t *testing.T) {
+	a := GoldenPower()
+	p, err := a.Pipeline(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(a.Scenario()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.ExplainQuery(res, `Review("OverseasFund", "GridCo")`)
+	if err != nil {
+		t.Fatalf("explain: %v\n%s", err, res.Store.Dump())
+	}
+	if err := e.Verify(); err != nil {
+		t.Error(err)
+	}
+	for _, sub := range []string{
+		"critical national infrastructure",
+		"foreign investor",
+		"it is not the case that OverseasFund holds a standing golden-power exemption",
+		"0.55", // the joint 0.3 + 0.25 stake
+	} {
+		if !strings.Contains(e.Text, sub) {
+			t.Errorf("explanation missing %q:\n%s", sub, e.Text)
+		}
+	}
+	// The exempted investor is not flagged.
+	if _, err := p.ExplainQuery(res, `Review("TrustedPartner", "PortCo")`); err == nil {
+		t.Error("exempted takeover flagged for review")
+	}
+}

@@ -1,0 +1,536 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/term"
+)
+
+func atomShock() Atom { return NewAtom("Shock", term.Var("F"), term.Var("S")) }
+
+func TestAtomBasics(t *testing.T) {
+	a := atomShock()
+	if a.Arity() != 2 {
+		t.Errorf("Arity = %d, want 2", a.Arity())
+	}
+	if a.IsGround() {
+		t.Error("atom with variables reported ground")
+	}
+	g := NewAtom("Shock", term.Str("A"), term.Float(6))
+	if !g.IsGround() {
+		t.Error("ground atom reported non-ground")
+	}
+	if got := a.Variables(); len(got) != 2 || got[0] != "F" || got[1] != "S" {
+		t.Errorf("Variables = %v", got)
+	}
+	dup := NewAtom("Debts", term.Var("D"), term.Var("D"), term.Var("V"))
+	if got := dup.Variables(); len(got) != 2 {
+		t.Errorf("duplicate variables not deduped: %v", got)
+	}
+}
+
+func TestAtomApply(t *testing.T) {
+	a := atomShock()
+	s := term.Substitution{"F": term.Str("A"), "S": term.Float(6)}
+	got := a.Apply(s)
+	want := NewAtom("Shock", term.Str("A"), term.Float(6))
+	if !got.Equal(want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+	// Partial application leaves unbound variables.
+	p := a.Apply(term.Substitution{"F": term.Str("A")})
+	if p.IsGround() {
+		t.Error("partial application produced ground atom")
+	}
+}
+
+func TestAtomEqualAndKey(t *testing.T) {
+	a := NewAtom("Own", term.Str("X"), term.Str("Y"), term.Float(0.5))
+	b := NewAtom("Own", term.Str("X"), term.Str("Y"), term.Float(0.5))
+	c := NewAtom("Own", term.Str("X"), term.Str("Y"), term.Float(0.6))
+	d := NewAtom("Owns", term.Str("X"), term.Str("Y"), term.Float(0.5))
+	if !a.Equal(b) {
+		t.Error("identical atoms not Equal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("distinct atoms Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("identical atoms have different keys")
+	}
+	if a.Key() == c.Key() || a.Key() == d.Key() {
+		t.Error("distinct atoms share a key")
+	}
+	short := NewAtom("Own", term.Str("X"))
+	if a.Equal(short) {
+		t.Error("different arity atoms Equal")
+	}
+}
+
+func TestAtomStringAndDisplay(t *testing.T) {
+	a := NewAtom("Own", term.Var("X"), term.Str("ACME"), term.Float(0.5))
+	if got := a.String(); got != `Own(X, "ACME", 0.5)` {
+		t.Errorf("String = %q", got)
+	}
+	if got := a.Display(); got != "Own(X, ACME, 0.5)" {
+		t.Errorf("Display = %q", got)
+	}
+}
+
+func TestConditionHolds(t *testing.T) {
+	s := term.Substitution{"S": term.Float(6), "P": term.Float(5), "N": term.Str("A")}
+	tests := []struct {
+		name    string
+		c       Condition
+		want    bool
+		wantErr bool
+	}{
+		{"gt true", Condition{term.Var("S"), OpGt, term.Var("P")}, true, false},
+		{"gt false", Condition{term.Var("P"), OpGt, term.Var("S")}, false, false},
+		{"lt", Condition{term.Var("P"), OpLt, term.Var("S")}, true, false},
+		{"le equal", Condition{term.Var("S"), OpLe, term.Float(6)}, true, false},
+		{"ge", Condition{term.Var("S"), OpGe, term.Float(7)}, false, false},
+		{"eq numeric", Condition{term.Var("S"), OpEq, term.Int(6)}, true, false},
+		{"ne string", Condition{term.Var("N"), OpNe, term.Str("B")}, true, false},
+		{"eq string", Condition{term.Var("N"), OpEq, term.Str("A")}, true, false},
+		{"unbound", Condition{term.Var("Z"), OpGt, term.Float(1)}, false, true},
+		{"incomparable", Condition{term.Var("N"), OpGt, term.Float(1)}, false, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tt.c.Holds(s)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Holds err = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err == nil && got != tt.want {
+				t.Errorf("Holds = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompareOpWordsAndValid(t *testing.T) {
+	for _, op := range []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe} {
+		if !op.Valid() {
+			t.Errorf("%q not Valid", op)
+		}
+		if op.Words() == string(op) {
+			t.Errorf("%q has no wording", op)
+		}
+	}
+	if CompareOp("~~").Valid() {
+		t.Error("bogus operator Valid")
+	}
+}
+
+func TestAssignmentEval(t *testing.T) {
+	s := term.Substitution{"A": term.Float(6), "B": term.Float(3)}
+	tests := []struct {
+		op      ArithOp
+		want    float64
+		wantErr bool
+	}{
+		{ArithAdd, 9, false},
+		{ArithSub, 3, false},
+		{ArithMul, 18, false},
+		{ArithDiv, 2, false},
+	}
+	for _, tt := range tests {
+		as := Assignment{Target: "R", Expr: BinaryOf(term.Var("A"), tt.op, term.Var("B"))}
+		got, err := as.Eval(s)
+		if (err != nil) != tt.wantErr {
+			t.Fatalf("%s: err = %v", tt.op, err)
+		}
+		if f, _ := got.AsFloat(); f != tt.want {
+			t.Errorf("%s = %v, want %v", tt.op, f, tt.want)
+		}
+	}
+	div0 := Assignment{Target: "R", Expr: BinaryOf(term.Var("A"), ArithDiv, term.Float(0))}
+	if _, err := div0.Eval(s); err == nil {
+		t.Error("division by zero did not error")
+	}
+	bad := Assignment{Target: "R", Expr: BinaryOf(term.Str("x"), ArithAdd, term.Var("B"))}
+	if _, err := bad.Eval(s); err == nil {
+		t.Error("non-numeric operand did not error")
+	}
+}
+
+func TestAggFunc(t *testing.T) {
+	for _, f := range []AggFunc{AggSum, AggProd, AggMin, AggMax, AggCount} {
+		if !f.Valid() {
+			t.Errorf("%q not Valid", f)
+		}
+		if f.Words() == "" {
+			t.Errorf("%q has no wording", f)
+		}
+	}
+	if AggFunc("median").Valid() {
+		t.Error("unsupported aggregation Valid")
+	}
+	if AggProd.Words() != "product" {
+		t.Errorf("prod wording = %q", AggProd.Words())
+	}
+}
+
+// ruleBeta is rule β of Example 4.3:
+// Risk(C,E) :- Default(D), Debts(D,C,V), E = sum(V).
+func ruleBeta() *Rule {
+	return &Rule{
+		Label: "beta",
+		Head:  NewAtom("Risk", term.Var("C"), term.Var("E")),
+		Body: []Atom{
+			NewAtom("Default", term.Var("D")),
+			NewAtom("Debts", term.Var("D"), term.Var("C"), term.Var("V")),
+		},
+		Aggregation: &Aggregation{Target: "E", Func: AggSum, Over: "V"},
+	}
+}
+
+func TestRuleValidate(t *testing.T) {
+	if err := ruleBeta().Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func(*Rule)
+		wantSub string
+	}{
+		{"empty head", func(r *Rule) { r.Head = Atom{} }, "empty head"},
+		{"empty body", func(r *Rule) { r.Body = nil }, "empty body"},
+		{"bad agg func", func(r *Rule) { r.Aggregation.Func = "median" }, "aggregation function"},
+		{"agg over unbound", func(r *Rule) { r.Aggregation.Over = "ZZ" }, "unbound"},
+		{"agg target rebinds", func(r *Rule) { r.Aggregation.Target = "V" }, "already bound"},
+		{"condition unbound", func(r *Rule) {
+			r.Conditions = append(r.Conditions, Condition{term.Var("Q"), OpGt, term.Float(1)})
+		}, "unbound"},
+		{"bad operator", func(r *Rule) {
+			r.Conditions = append(r.Conditions, Condition{term.Var("V"), "~", term.Float(1)})
+		}, "operator"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := ruleBeta()
+			tt.mutate(r)
+			err := r.Validate()
+			if err == nil {
+				t.Fatal("invalid rule accepted")
+			}
+			if !strings.Contains(err.Error(), tt.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tt.wantSub)
+			}
+		})
+	}
+}
+
+func TestRuleValidateAssignments(t *testing.T) {
+	r := &Rule{
+		Label: "mul",
+		Head:  NewAtom("MOwn", term.Var("X"), term.Var("Y"), term.Var("S")),
+		Body: []Atom{
+			NewAtom("MOwn", term.Var("X"), term.Var("Z"), term.Var("S1")),
+			NewAtom("Own", term.Var("Z"), term.Var("Y"), term.Var("S2")),
+		},
+		Assignments: []Assignment{{Target: "S", Expr: BinaryOf(term.Var("S1"), ArithMul, term.Var("S2"))}},
+	}
+	if err := r.Validate(); err != nil {
+		t.Errorf("valid rule rejected: %v", err)
+	}
+	r.Assignments[0].Target = "S1"
+	if err := r.Validate(); err == nil {
+		t.Error("rebinding assignment accepted")
+	}
+}
+
+func TestRuleVariablesOrder(t *testing.T) {
+	r := ruleBeta()
+	got := r.Variables()
+	want := []string{"D", "C", "V", "E"}
+	if len(got) != len(want) {
+		t.Fatalf("Variables = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Variables[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRuleBodyPredicates(t *testing.T) {
+	r := ruleBeta()
+	got := r.BodyPredicates()
+	if len(got) != 2 || got[0] != "Default" || got[1] != "Debts" {
+		t.Errorf("BodyPredicates = %v", got)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := ruleBeta()
+	s := r.String()
+	for _, sub := range []string{"Risk(C, E)", ":-", "Default(D)", "E = sum(V)", `@label("beta")`} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("rule string %q missing %q", s, sub)
+		}
+	}
+}
+
+func stressProgram() *Program {
+	alpha := &Rule{
+		Label: "alpha",
+		Head:  NewAtom("Default", term.Var("F")),
+		Body: []Atom{
+			NewAtom("Shock", term.Var("F"), term.Var("S")),
+			NewAtom("HasCapital", term.Var("F"), term.Var("P1")),
+		},
+		Conditions: []Condition{{term.Var("S"), OpGt, term.Var("P1")}},
+	}
+	gamma := &Rule{
+		Label: "gamma",
+		Head:  NewAtom("Default", term.Var("C")),
+		Body: []Atom{
+			NewAtom("HasCapital", term.Var("C"), term.Var("P2")),
+			NewAtom("Risk", term.Var("C"), term.Var("E")),
+		},
+		Conditions: []Condition{{term.Var("P2"), OpLt, term.Var("E")}},
+	}
+	return &Program{
+		Name:   "stress-simple",
+		Rules:  []*Rule{alpha, ruleBeta(), gamma},
+		Output: "Default",
+		Facts: []Atom{
+			NewAtom("Shock", term.Str("A"), term.Float(6)),
+			NewAtom("HasCapital", term.Str("A"), term.Float(5)),
+		},
+	}
+}
+
+func TestProgramPredicateClassification(t *testing.T) {
+	p := stressProgram()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	idb := p.IDBPredicates()
+	if len(idb) != 2 || idb[0] != "Default" || idb[1] != "Risk" {
+		t.Errorf("IDB = %v", idb)
+	}
+	edb := p.EDBPredicates()
+	if len(edb) != 3 || edb[0] != "Debts" || edb[1] != "HasCapital" || edb[2] != "Shock" {
+		t.Errorf("EDB = %v", edb)
+	}
+	all := p.Predicates()
+	if len(all) != 5 {
+		t.Errorf("Predicates = %v", all)
+	}
+	if !p.IsIntensional("Default") || p.IsIntensional("Shock") {
+		t.Error("IsIntensional misclassifies")
+	}
+}
+
+func TestProgramRuleByLabel(t *testing.T) {
+	p := stressProgram()
+	if r := p.RuleByLabel("beta"); r == nil || r.Label != "beta" {
+		t.Errorf("RuleByLabel(beta) = %v", r)
+	}
+	if r := p.RuleByLabel("nope"); r != nil {
+		t.Errorf("RuleByLabel(nope) = %v, want nil", r)
+	}
+}
+
+func TestProgramValidateErrors(t *testing.T) {
+	p := stressProgram()
+	p.Output = "Shock"
+	if err := p.Validate(); err == nil {
+		t.Error("extensional output accepted")
+	}
+	p = stressProgram()
+	p.Rules[1].Label = "alpha"
+	if err := p.Validate(); err == nil {
+		t.Error("duplicate labels accepted")
+	}
+	p = stressProgram()
+	p.Facts = append(p.Facts, NewAtom("Shock", term.Var("X"), term.Float(1)))
+	if err := p.Validate(); err == nil {
+		t.Error("non-ground fact accepted")
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	s := stressProgram().String()
+	for _, sub := range []string{`@name("stress-simple")`, `@output("Default")`, "Default(F) :-", `Shock("A", 6).`} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("program text missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func TestArithOpWords(t *testing.T) {
+	for op, want := range map[ArithOp]string{
+		ArithAdd: "plus", ArithSub: "minus", ArithMul: "multiplied by",
+		ArithDiv: "divided by", ArithOp("%"): "%",
+	} {
+		if got := op.Words(); got != want {
+			t.Errorf("Words(%q) = %q, want %q", op, got, want)
+		}
+	}
+	if CompareOp("~").Words() != "~" {
+		t.Error("unknown compare op wording")
+	}
+	if AggFunc("weird").Words() != "weird" {
+		t.Error("unknown agg func wording")
+	}
+}
+
+func TestExprEvalErrors(t *testing.T) {
+	s := term.Substitution{"A": term.Float(2)}
+	// Unbound leaf.
+	if _, err := (TermExpr{term.Var("Z")}).Eval(s); err == nil {
+		t.Error("unbound leaf evaluated")
+	}
+	// Error in the left branch propagates.
+	bad := BinaryExpr{Op: ArithAdd, L: TermExpr{term.Var("Z")}, R: TermExpr{term.Var("A")}}
+	if _, err := bad.Eval(s); err == nil {
+		t.Error("left error not propagated")
+	}
+	// Error in the right branch propagates.
+	bad = BinaryExpr{Op: ArithAdd, L: TermExpr{term.Var("A")}, R: TermExpr{term.Var("Z")}}
+	if _, err := bad.Eval(s); err == nil {
+		t.Error("right error not propagated")
+	}
+	// Unknown operator.
+	odd := BinaryExpr{Op: "%", L: TermExpr{term.Var("A")}, R: TermExpr{term.Var("A")}}
+	if _, err := odd.Eval(s); err == nil {
+		t.Error("unknown operator evaluated")
+	}
+}
+
+func TestExprVariablesAndString(t *testing.T) {
+	e := BinaryExpr{
+		Op: ArithMul,
+		L:  BinaryExpr{Op: ArithAdd, L: TermExpr{term.Var("A")}, R: TermExpr{term.Var("B")}},
+		R:  TermExpr{term.Var("A")},
+	}
+	vars := e.Variables()
+	if len(vars) != 2 || vars[0] != "A" || vars[1] != "B" {
+		t.Errorf("Variables = %v", vars)
+	}
+	if got := e.String(); got != "(A + B) * A" {
+		t.Errorf("String = %q", got)
+	}
+	leaf := TermExpr{term.Float(2)}
+	if leaf.Variables() != nil {
+		t.Errorf("constant leaf variables = %v", leaf.Variables())
+	}
+}
+
+func TestRuleHasAggregation(t *testing.T) {
+	if !ruleBeta().HasAggregation() {
+		t.Error("beta has no aggregation?")
+	}
+	plain := &Rule{Head: NewAtom("P", term.Var("X")), Body: []Atom{NewAtom("Q", term.Var("X"))}}
+	if plain.HasAggregation() {
+		t.Error("plain rule aggregates?")
+	}
+}
+
+func TestConstraintValidateAndString(t *testing.T) {
+	c := &Constraint{
+		Label:      "nc",
+		Body:       []Atom{NewAtom("Control", term.Var("X"), term.Var("Y"))},
+		Negated:    []Atom{NewAtom("Waived", term.Var("Y"))},
+		Conditions: []Condition{{term.Var("X"), OpNe, term.Var("Y")}},
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("valid constraint rejected: %v", err)
+	}
+	s := c.String()
+	for _, sub := range []string{":- Control(X, Y)", "not Waived(Y)", "X != Y"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("constraint string %q missing %q", s, sub)
+		}
+	}
+	// Violations.
+	if err := (&Constraint{}).Validate(); err == nil {
+		t.Error("empty constraint accepted")
+	}
+	unsafe := &Constraint{Body: c.Body, Negated: []Atom{NewAtom("W", term.Var("Z"))}}
+	if err := unsafe.Validate(); err == nil {
+		t.Error("unsafe negation accepted")
+	}
+	badOp := &Constraint{Body: c.Body, Conditions: []Condition{{term.Var("X"), "~", term.Var("Y")}}}
+	if err := badOp.Validate(); err == nil {
+		t.Error("bad operator accepted")
+	}
+	unboundCond := &Constraint{Body: c.Body, Conditions: []Condition{{term.Var("Q"), OpEq, term.Var("X")}}}
+	if err := unboundCond.Validate(); err == nil {
+		t.Error("unbound condition accepted")
+	}
+}
+
+func TestRuleStringWithNegation(t *testing.T) {
+	r := &Rule{
+		Label:   "el",
+		Head:    NewAtom("Eligible", term.Var("X")),
+		Body:    []Atom{NewAtom("Company", term.Var("X"))},
+		Negated: []Atom{NewAtom("Default", term.Var("X"))},
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatalf("valid rule rejected: %v", err)
+	}
+	if !strings.Contains(r.String(), "not Default(X)") {
+		t.Errorf("rule string = %q", r.String())
+	}
+	// Unsafe negated variable rejected.
+	r.Negated = append(r.Negated, NewAtom("Other", term.Var("Q")))
+	if err := r.Validate(); err == nil {
+		t.Error("unsafe negation accepted")
+	}
+}
+
+func TestProgramStringWithConstraints(t *testing.T) {
+	p := stressProgram()
+	p.Constraints = append(p.Constraints, &Constraint{
+		Body: []Atom{NewAtom("Default", term.Var("X")), NewAtom("Protected", term.Var("X"))},
+	})
+	s := p.String()
+	if !strings.Contains(s, ":- Default(X), Protected(X).") {
+		t.Errorf("program text missing constraint:\n%s", s)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("program with constraint rejected: %v", err)
+	}
+	// Predicates includes constraint-only predicates.
+	found := false
+	for _, pr := range p.Predicates() {
+		if pr == "Protected" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Predicates = %v, missing Protected", p.Predicates())
+	}
+}
+
+func TestEDBPredicatesIncludeNegated(t *testing.T) {
+	p := stressProgram()
+	p.Rules[0].Negated = []Atom{NewAtom("Frozen", term.Var("F"))}
+	found := false
+	for _, pr := range p.EDBPredicates() {
+		if pr == "Frozen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("EDB = %v, missing Frozen", p.EDBPredicates())
+	}
+}
+
+func TestAssignmentMissingExpr(t *testing.T) {
+	r := ruleBeta()
+	r.Aggregation = nil
+	r.Head = NewAtom("Risk", term.Var("C"), term.Var("E"))
+	r.Assignments = []Assignment{{Target: "E"}}
+	if err := r.Validate(); err == nil {
+		t.Error("assignment without expression accepted")
+	}
+}

@@ -1,0 +1,517 @@
+package chase
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// stressSimpleSrc is Example 4.3 with the artificial EDB of Figure 8.
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+func runSrc(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res, err := Run(prog, opts)
+	if err != nil {
+		t.Fatalf("chase: %v", err)
+	}
+	return res
+}
+
+func mustLookup(t *testing.T, r *Result, pattern string) database.FactID {
+	t.Helper()
+	a, err := parser.ParseAtom(pattern)
+	if err != nil {
+		t.Fatalf("pattern %q: %v", pattern, err)
+	}
+	id, err := r.LookupDerived(a)
+	if err != nil {
+		t.Fatalf("lookup %q: %v", pattern, err)
+	}
+	return id
+}
+
+// TestExample43 replays the chase of Example 4.7: τ = {α, β, γ, β, γ}.
+func TestExample43(t *testing.T) {
+	res := runSrc(t, stressSimpleSrc, Options{})
+
+	wantDerived := []string{"Default(A)", "Risk(B, 7)", "Default(B)", "Risk(C, 11)", "Default(C)"}
+	if len(res.Steps) != len(wantDerived) {
+		t.Fatalf("chase steps = %d, want %d\n%s", len(res.Steps), len(wantDerived), res.Graph())
+	}
+	for i, d := range res.Steps {
+		if got := res.Store.Get(d.Fact).String(); got != wantDerived[i] {
+			t.Errorf("step %d derived %s, want %s", i, got, wantDerived[i])
+		}
+	}
+
+	answers := res.Answers()
+	if len(answers) != 3 {
+		t.Errorf("Default answers = %d, want 3", len(answers))
+	}
+
+	// Risk(C, 11) is an aggregation with two contributors (the 2M and 9M
+	// debts); Risk(B, 7) has a single contributor.
+	riskC := res.CanonicalDerivation(mustLookup(t, res, `Risk("C", 11.0)`))
+	if !riskC.IsAggregation() || !riskC.MultiContributor() {
+		t.Errorf("Risk(C,11): aggregation=%v multi=%v", riskC.IsAggregation(), riskC.MultiContributor())
+	}
+	if len(riskC.Contributors) != 2 {
+		t.Errorf("Risk(C,11) contributors = %d", len(riskC.Contributors))
+	}
+	riskB := res.CanonicalDerivation(mustLookup(t, res, `Risk("B", 7.0)`))
+	if !riskB.IsAggregation() || riskB.MultiContributor() {
+		t.Errorf("Risk(B,7): aggregation=%v multi=%v", riskB.IsAggregation(), riskB.MultiContributor())
+	}
+}
+
+// TestExample47Proof extracts the proof of Default(C) and checks the spine
+// rule sequence of Example 4.7.
+func TestExample47Proof(t *testing.T) {
+	res := runSrc(t, stressSimpleSrc, Options{})
+	target := mustLookup(t, res, `Default("C")`)
+	proof, err := res.ExtractProof(target)
+	if err != nil {
+		t.Fatalf("ExtractProof: %v", err)
+	}
+	if proof.Size() != 5 {
+		t.Errorf("proof size = %d, want 5", proof.Size())
+	}
+	got := proof.RuleSequence()
+	want := []string{"alpha", "beta", "gamma", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("spine = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spine[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Leaves are extensional facts only.
+	for _, id := range proof.Leaves {
+		if !res.Store.Get(id).Extensional {
+			t.Errorf("leaf %v is not extensional", res.Store.Get(id))
+		}
+	}
+	if len(proof.Leaves) != 7 {
+		t.Errorf("leaves = %d, want 7", len(proof.Leaves))
+	}
+
+	// All EDB constants involved in the inference appear in Constants().
+	consts := strings.Join(proof.Constants(), " ")
+	for _, c := range []string{"A", "B", "C", "6", "5", "2", "10", "7", "9", "11"} {
+		if !strings.Contains(" "+consts+" ", " "+c+" ") {
+			t.Errorf("proof constants %v missing %q", proof.Constants(), c)
+		}
+	}
+}
+
+// TestCompanyControlIrishBank replays the Figure 15 scenario: Irish Bank
+// controls Madrid Credit through joint ownership of 21% + 36% = 57%.
+const irishBankSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+
+Company("IrishBank").
+Company("FondoItaliano").
+Company("FrenchPLC").
+Company("MadridCredit").
+Own("IrishBank", "FondoItaliano", 0.83).
+Own("IrishBank", "FrenchPLC", 0.54).
+Own("FrenchPLC", "MadridCredit", 0.21).
+Own("FondoItaliano", "MadridCredit", 0.36).
+`
+
+func TestCompanyControlIrishBank(t *testing.T) {
+	res := runSrc(t, irishBankSrc, Options{})
+	for _, want := range []string{
+		`Control("IrishBank", "FondoItaliano")`,
+		`Control("IrishBank", "FrenchPLC")`,
+		`Control("IrishBank", "MadridCredit")`,
+	} {
+		mustLookup(t, res, want)
+	}
+	// Madrid Credit is controlled via the aggregation over two owners.
+	d := res.CanonicalDerivation(mustLookup(t, res, `Control("IrishBank", "MadridCredit")`))
+	if d.Rule.Label != "s3" {
+		t.Errorf("derived by %s, want s3", d.Rule.Label)
+	}
+	if len(d.Contributors) != 2 {
+		t.Fatalf("contributors = %d, want 2", len(d.Contributors))
+	}
+	total := 0.0
+	for _, c := range d.Contributors {
+		v, _ := c.Value.AsFloat()
+		total += v
+	}
+	if total < 0.569 || total > 0.571 {
+		t.Errorf("aggregate total = %v, want 0.57", total)
+	}
+	// No spurious control: FrenchPLC alone does not control MadridCredit.
+	a, _ := parser.ParseAtom(`Control("FrenchPLC", "MadridCredit")`)
+	if res.Store.Contains(a) {
+		t.Error("FrenchPLC controls MadridCredit with 21%")
+	}
+}
+
+// TestControlChainRecursion checks control through a chain of majority
+// ownerships (recursion through the reasoning cycle).
+func TestControlChainRecursion(t *testing.T) {
+	src := `
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+Company("A"). Company("B"). Company("C"). Company("D").
+Own("A", "B", 0.6).
+Own("B", "C", 0.7).
+Own("C", "D", 0.9).
+`
+	res := runSrc(t, src, Options{})
+	for _, want := range []string{`Control("A", "B")`, `Control("A", "C")`, `Control("A", "D")`, `Control("B", "C")`, `Control("B", "D")`, `Control("C", "D")`} {
+		mustLookup(t, res, want)
+	}
+	// Proof of Control(A,D) recurses: spine has at least three steps.
+	proof, err := res.ExtractProof(mustLookup(t, res, `Control("A", "D")`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.SpineLength() < 3 {
+		t.Errorf("spine length = %d, want >= 3", proof.SpineLength())
+	}
+}
+
+// twoChannelSrc is the σ4–σ7 stress test of Section 5 with a scenario where
+// one creditor's long-term channel total is updated as a second debtor
+// defaults, exercising monotonic-aggregate supersession.
+const twoChannelSrc = `
+@name("stress-test").
+@output("Default").
+@label("s4") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("s5") Risk(C, EL, "long") :- Default(D), LongTermDebts(D, C, V), EL = sum(V).
+@label("s6") Risk(C, ES, "short") :- Default(D), ShortTermDebts(D, C, V), ES = sum(V).
+@label("s7") Default(C) :- Risk(C, E, T), HasCapital(C, P2), L = sum(E), L > P2.
+
+Shock("A", 14.0).
+HasCapital("A", 5.0).
+HasCapital("B", 4.0).
+HasCapital("D", 100.0).
+LongTermDebts("A", "B", 7.0).
+LongTermDebts("A", "D", 7.0).
+LongTermDebts("B", "D", 4.0).
+`
+
+func TestTwoChannelSupersession(t *testing.T) {
+	res := runSrc(t, twoChannelSrc, Options{})
+	// A defaults by shock; B defaults through its 7M long exposure to A.
+	mustLookup(t, res, `Default("A")`)
+	mustLookup(t, res, `Default("B")`)
+
+	// D's long-channel risk is first 7 (A only), then 11 (A and B); the
+	// 7-valued fact must be superseded and the 11-valued fact current.
+	a7, _ := parser.ParseAtom(`Risk("D", 7.0, "long")`)
+	a11, _ := parser.ParseAtom(`Risk("D", 11.0, "long")`)
+	f7 := res.Store.Lookup(a7)
+	f11 := res.Store.Lookup(a11)
+	if f7 == nil || f11 == nil {
+		t.Fatalf("missing Risk facts:\n%s", res.Store.Dump())
+	}
+	if !res.Superseded(f7.ID) {
+		t.Error("stale Risk(D,7,long) not superseded")
+	}
+	if res.Superseded(f11.ID) {
+		t.Error("current Risk(D,11,long) superseded")
+	}
+	// Derived must exclude the superseded fact.
+	for _, id := range res.Derived("Risk") {
+		if id == f7.ID {
+			t.Error("Derived includes superseded fact")
+		}
+	}
+	// D must NOT default: current exposure 11 < capital 100 (and the stale
+	// 7 must not be double counted to 18 — which would still be < 100, so
+	// additionally check the recorded aggregate premises).
+	aD, _ := parser.ParseAtom(`Default("D")`)
+	if res.Store.Contains(aD) {
+		t.Error("D defaulted")
+	}
+}
+
+func TestTwoChannelBothChannels(t *testing.T) {
+	src := twoChannelSrc + `
+HasCapital("F", 9.0).
+HasCapital("C", 8.0).
+ShortTermDebts("B", "C", 9.0).
+LongTermDebts("C", "F", 2.0).
+ShortTermDebts("B", "F", 9.0).
+`
+	res := runSrc(t, src, Options{})
+	// C defaults via the short channel (9 > 8).
+	mustLookup(t, res, `Default("C")`)
+	// F is exposed on both channels: 2 long (from C) + 9 short (from B) =
+	// 11 > 9, so F defaults; σ7 sums across the channels.
+	fID := mustLookup(t, res, `Default("F")`)
+	d := res.CanonicalDerivation(fID)
+	if d.Rule.Label != "s7" {
+		t.Errorf("Default(F) by %s", d.Rule.Label)
+	}
+	if len(d.Contributors) != 2 {
+		t.Errorf("Default(F) contributors = %d, want 2 (both channels)", len(d.Contributors))
+	}
+}
+
+func TestCloseLinkMultiplicativeRecursion(t *testing.T) {
+	src := `
+@name("close-link").
+@output("CloseLink").
+@label("c1") MOwn(X, Y, S) :- Own(X, Y, S).
+@label("c2") MOwn(X, Y, S) :- MOwn(X, Z, S1), Own(Z, Y, S2), S = S1 * S2, S >= 0.01.
+@label("c3") CloseLink(X, Y) :- MOwn(X, Y, S), TS = sum(S), TS >= 0.2.
+
+Own("A", "B", 0.5).
+Own("B", "C", 0.5).
+Own("A", "C", 0.1).
+`
+	res := runSrc(t, src, Options{})
+	// A holds 0.5*0.5 + 0.1 = 0.35 of C: a close link.
+	mustLookup(t, res, `CloseLink("A", "C")`)
+	mustLookup(t, res, `CloseLink("A", "B")`)
+	mustLookup(t, res, `CloseLink("B", "C")`)
+	d := res.CanonicalDerivation(mustLookup(t, res, `CloseLink("A", "C")`))
+	if len(d.Contributors) != 2 {
+		t.Errorf("CloseLink(A,C) contributors = %d, want 2 (direct + indirect)", len(d.Contributors))
+	}
+}
+
+func TestAggregationFunctions(t *testing.T) {
+	tests := []struct {
+		fn   string
+		want float64
+	}{
+		{"sum", 9}, {"prod", 24}, {"min", 2}, {"max", 4}, {"count", 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.fn, func(t *testing.T) {
+			src := `
+@output("Agg").
+Agg(G, R) :- Val(G, V), R = ` + tt.fn + `(V).
+Val("g", 2.0). Val("g", 3.0). Val("g", 4.0).
+`
+			res := runSrc(t, src, Options{})
+			ids := res.Derived("Agg")
+			if len(ids) != 1 {
+				t.Fatalf("derived = %d facts:\n%s", len(ids), res.Store.Dump())
+			}
+			got, _ := res.Store.Get(ids[0]).Atom.Terms[1].AsFloat()
+			if got != tt.want {
+				t.Errorf("%s = %v, want %v", tt.fn, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExistentialNulls(t *testing.T) {
+	src := `
+@output("HasAccount").
+HasAccount(X, A) :- Company(X).
+Company("ACME").
+`
+	res := runSrc(t, src, Options{})
+	ids := res.Derived("HasAccount")
+	if len(ids) != 1 {
+		t.Fatalf("derived = %d", len(ids))
+	}
+	f := res.Store.Get(ids[0])
+	if !f.Atom.Terms[1].IsNull() {
+		t.Errorf("existential position = %v, want labelled null", f.Atom.Terms[1])
+	}
+}
+
+func TestNonTerminatingProgramBounded(t *testing.T) {
+	src := `
+@output("N").
+N(Y) :- N(X), Y = X + 1.
+N(0).
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Options{MaxRounds: 50}); err == nil {
+		t.Error("non-terminating program did not error")
+	} else if !strings.Contains(err.Error(), "fixpoint") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestMaxFactsBound(t *testing.T) {
+	src := `
+@output("P").
+P(Y) :- P(X), Edge(X, Y).
+P("a").
+Edge("a", "b"). Edge("b", "c"). Edge("c", "d").
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(prog, Options{MaxFacts: 5}); err == nil {
+		t.Error("fact bound not enforced")
+	}
+}
+
+func TestExtraFacts(t *testing.T) {
+	src := `
+@output("P").
+P(X) :- Q(X).
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra, _ := parser.ParseAtom(`Q("z")`)
+	res, err := Run(prog, Options{ExtraFacts: []ast.Atom{extra}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Derived("P")) != 1 {
+		t.Error("extra fact not used")
+	}
+	bad := ast.NewAtom("Q", term.Var("X"))
+	if _, err := Run(prog, Options{ExtraFacts: []ast.Atom{bad}}); err == nil {
+		t.Error("non-ground extra fact accepted")
+	}
+}
+
+func TestLookupDerivedErrors(t *testing.T) {
+	res := runSrc(t, stressSimpleSrc, Options{})
+	missing, _ := parser.ParseAtom(`Default("Z")`)
+	if _, err := res.LookupDerived(missing); err == nil {
+		t.Error("missing fact found")
+	}
+	open, _ := parser.ParseAtom(`Default(X)`)
+	if _, err := res.LookupDerived(open); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous lookup err = %v", err)
+	}
+}
+
+func TestGraphAndDOT(t *testing.T) {
+	res := runSrc(t, stressSimpleSrc, Options{})
+	g := res.Graph()
+	for _, sub := range []string{"--alpha-->", "--beta-->", "--gamma-->", "Risk(C, 11)"} {
+		if !strings.Contains(g, sub) {
+			t.Errorf("Graph missing %q:\n%s", sub, g)
+		}
+	}
+	dot := res.DOT()
+	for _, sub := range []string{"digraph chase", "shape=box", "shape=ellipse", `label="beta"`} {
+		if !strings.Contains(dot, sub) {
+			t.Errorf("DOT missing %q", sub)
+		}
+	}
+}
+
+func TestProofOfExtensionalFact(t *testing.T) {
+	res := runSrc(t, stressSimpleSrc, Options{})
+	shock, _ := parser.ParseAtom(`Shock("A", 6.0)`)
+	f := res.Store.Lookup(shock)
+	proof, err := res.ExtractProof(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.Size() != 0 || proof.SpineLength() != 0 {
+		t.Errorf("extensional proof size = %d/%d, want 0/0", proof.Size(), proof.SpineLength())
+	}
+	if len(proof.Leaves) != 1 {
+		t.Errorf("leaves = %v", proof.Leaves)
+	}
+	if _, err := res.ExtractProof(database.FactID(9999)); err == nil {
+		t.Error("unknown fact id accepted")
+	}
+}
+
+// TestDeterminism: two runs of the same program produce identical chase step
+// sequences (required for reproducible explanations and benchmarks).
+func TestDeterminism(t *testing.T) {
+	r1 := runSrc(t, twoChannelSrc, Options{})
+	r2 := runSrc(t, twoChannelSrc, Options{})
+	if len(r1.Steps) != len(r2.Steps) {
+		t.Fatalf("step counts differ: %d vs %d", len(r1.Steps), len(r2.Steps))
+	}
+	for i := range r1.Steps {
+		f1 := r1.Store.Get(r1.Steps[i].Fact).String()
+		f2 := r2.Store.Get(r2.Steps[i].Fact).String()
+		if f1 != f2 {
+			t.Errorf("step %d differs: %s vs %s", i, f1, f2)
+		}
+	}
+}
+
+func TestSelfJoinRule(t *testing.T) {
+	// A rule joining a predicate with itself.
+	src := `
+@output("Sibling").
+Sibling(X, Y) :- Parent(P, X), Parent(P, Y), X != Y.
+Parent("p", "a"). Parent("p", "b").
+`
+	res := runSrc(t, src, Options{})
+	if got := len(res.Derived("Sibling")); got != 2 {
+		t.Errorf("siblings = %d, want 2 (both orders)", got)
+	}
+}
+
+func TestConditionConstantSides(t *testing.T) {
+	src := `
+@output("Big").
+Big(X) :- Val(X, V), V >= 10.
+Val("a", 10.0). Val("b", 9.0).
+`
+	res := runSrc(t, src, Options{})
+	if len(res.Derived("Big")) != 1 {
+		t.Errorf("derived = %v", res.Store.Dump())
+	}
+}
+
+// TestComplexExpressionEvaluation runs a rule with a parenthesized,
+// precedence-sensitive expression through the chase.
+func TestComplexExpressionEvaluation(t *testing.T) {
+	src := `
+@output("Weighted").
+Weighted(X, W) :- Exposure(X, L, S), Cap(X, C), W = (L + S) / C.
+Exposure("a", 6.0, 4.0).
+Cap("a", 5.0).
+`
+	res := runSrc(t, src, Options{})
+	ids := res.Derived("Weighted")
+	if len(ids) != 1 {
+		t.Fatalf("derived = %v", res.Store.Dump())
+	}
+	if w, _ := res.Store.Get(ids[0]).Atom.Terms[1].AsFloat(); w != 2 {
+		t.Errorf("weighted = %v, want (6+4)/5 = 2", w)
+	}
+}

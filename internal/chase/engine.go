@@ -1,0 +1,793 @@
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/depgraph"
+	"repro/internal/term"
+)
+
+// Options configure a chase run.
+type Options struct {
+	// MaxRounds bounds the number of evaluation rounds; 0 means the
+	// default (10_000). The bound exists as a safety net for programs
+	// whose termination is not otherwise guaranteed (e.g. multiplicative
+	// recursion over cyclic ownership without a threshold condition).
+	MaxRounds int
+	// MaxFacts bounds the total number of facts; 0 means the default
+	// (10_000_000).
+	MaxFacts int
+	// ExtraFacts are added to the program's embedded facts before running.
+	ExtraFacts []ast.Atom
+	// Naive disables semi-naive evaluation: every round re-joins every
+	// rule against the whole store instead of requiring at least one fact
+	// derived since the rule's previous evaluation. Exposed for the
+	// ablation benchmark; results are identical either way.
+	Naive bool
+}
+
+const (
+	defaultMaxRounds = 10_000
+	defaultMaxFacts  = 10_000_000
+)
+
+// Run executes the chase for the program until fixpoint and returns the
+// result with full provenance.
+func Run(p *ast.Program, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("chase: invalid program: %w", err)
+	}
+	maxRounds := opts.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = defaultMaxRounds
+	}
+	maxFacts := opts.MaxFacts
+	if maxFacts <= 0 {
+		maxFacts = defaultMaxFacts
+	}
+
+	e := &engine{
+		prog:       p,
+		store:      database.NewStore(),
+		derivs:     map[database.FactID][]*Derivation{},
+		superseded: map[database.FactID]bool{},
+		aggState:   map[string]aggEmission{},
+		lastSeen:   map[*ast.Rule]int{},
+		aggGroups:  map[*ast.Rule]map[string]*aggGroup{},
+		aggOrder:   map[*ast.Rule][]string{},
+		lastSuper:  map[*ast.Rule]int{},
+		maxFacts:   maxFacts,
+		naive:      opts.Naive,
+	}
+	for _, f := range p.Facts {
+		if _, _, err := e.store.Add(f, true); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range opts.ExtraFacts {
+		if !f.IsGround() {
+			return nil, fmt.Errorf("chase: extra fact %v is not ground", f)
+		}
+		if _, _, err := e.store.Add(f, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stratify: rules are evaluated stratum by stratum so that negated
+	// predicates are fully saturated before any rule reads them.
+	strata, err := depgraph.New(p).Stratify()
+	if err != nil {
+		return nil, fmt.Errorf("chase: %w", err)
+	}
+	maxStratum := 0
+	for _, s := range strata {
+		if s > maxStratum {
+			maxStratum = s
+		}
+	}
+
+	rounds := 0
+	for stratum := 0; stratum <= maxStratum; stratum++ {
+		var rules []*ast.Rule
+		for _, r := range p.Rules {
+			if strata[r.Head.Predicate] == stratum {
+				rules = append(rules, r)
+			}
+		}
+		if len(rules) == 0 {
+			continue
+		}
+		for {
+			rounds++
+			if rounds > maxRounds {
+				return nil, fmt.Errorf("chase: no fixpoint after %d rounds (non-terminating program?)", maxRounds)
+			}
+			changed, err := e.round(rules)
+			if err != nil {
+				return nil, err
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	if rounds == 0 {
+		rounds = 1 // a program without rules still "converges" in one pass
+	}
+
+	if err := e.checkConstraints(); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Program:    p,
+		Store:      e.store,
+		Steps:      e.steps,
+		derivs:     e.derivs,
+		superseded: e.superseded,
+		Rounds:     rounds,
+	}, nil
+}
+
+// MustRun is Run for statically-valid programs; it panics on error.
+func MustRun(p *ast.Program, opts Options) *Result {
+	r, err := Run(p, opts)
+	if err != nil {
+		panic(fmt.Sprintf("chase.MustRun: %v", err))
+	}
+	return r
+}
+
+type engine struct {
+	prog       *ast.Program
+	store      *database.Store
+	steps      []*Derivation
+	derivs     map[database.FactID][]*Derivation
+	superseded map[database.FactID]bool
+	// aggState tracks, per aggregation rule and group, the last emitted
+	// fact so that an updated total supersedes it.
+	aggState map[string]aggEmission
+	// lastSeen records, per rule, the store size at the start of the
+	// rule's previous evaluation; facts with id >= lastSeen are "new" for
+	// semi-naive evaluation.
+	lastSeen map[*ast.Rule]int
+	// aggGroups accumulates aggregation contributors incrementally per
+	// rule and group across rounds (semi-naive mode); aggOrder keeps the
+	// deterministic group discovery order.
+	aggGroups map[*ast.Rule]map[string]*aggGroup
+	aggOrder  map[*ast.Rule][]string
+	// supersessions counts supersession events; a rule whose groups may
+	// reference superseded contributors recomputes all its totals when
+	// the count moved since its previous evaluation.
+	supersessions int
+	lastSuper     map[*ast.Rule]int
+	nullSeq       int
+	maxFacts      int
+	naive         bool
+}
+
+// aggGroup is the accumulated state of one aggregation group.
+type aggGroup struct {
+	key     string
+	sub     term.Substitution // bindings of the group variables
+	contrib []Contribution
+	seen    map[string]bool // contributor identity (premise fact ids)
+}
+
+type aggEmission struct {
+	fact  database.FactID
+	value term.Term
+}
+
+// round applies each given rule once over the current store. It reports
+// whether any new fact was derived.
+func (e *engine) round(rules []*ast.Rule) (bool, error) {
+	changed := false
+	for _, r := range rules {
+		var c bool
+		var err error
+		if r.HasAggregation() {
+			c, err = e.applyAggRule(r)
+		} else {
+			c, err = e.applyPlainRule(r)
+		}
+		if err != nil {
+			return false, fmt.Errorf("chase: rule %s: %w", r.Label, err)
+		}
+		changed = changed || c
+	}
+	return changed, nil
+}
+
+// binding is one body homomorphism: the substitution plus the matched facts
+// in body-atom order.
+type binding struct {
+	sub   term.Substitution
+	facts []database.FactID
+}
+
+// atomFilter restricts which facts an atom position may match during
+// semi-naive evaluation; nil admits every fact.
+type atomFilter func(atomIdx int, id database.FactID) bool
+
+// joinBody enumerates all homomorphisms from the rule body into the current
+// store, skipping superseded facts. Assignments are evaluated inline and
+// conditions that are fully bound are checked; conditions mentioning the
+// aggregation target are deferred (returned separately).
+func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
+	pending, err := e.joinAtoms(r, nil, nil)
+	if err != nil || pending == nil {
+		return nil, err
+	}
+	return e.finishBindings(r, pending)
+}
+
+// joinBodySemiNaive enumerates only the homomorphisms that use at least one
+// fact with id >= boundary (a fact derived since the rule's previous
+// evaluation), via the standard pivot decomposition: for pivot i, atoms
+// before i match old facts, atom i matches new facts, atoms after i match
+// anything. The decomposition is disjoint, so no duplicates arise.
+func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]binding, error) {
+	var all []binding
+	for pivot := range r.Body {
+		p := pivot
+		filter := func(atomIdx int, id database.FactID) bool {
+			switch {
+			case atomIdx < p:
+				return id < boundary
+			case atomIdx == p:
+				return id >= boundary
+			default:
+				return true
+			}
+		}
+		// Start the join at the pivot atom: it is restricted to the (few)
+		// new facts, so the enumeration is cut down immediately instead of
+		// first scanning the full extent of the earlier atoms.
+		order := make([]int, 0, len(r.Body))
+		order = append(order, p)
+		for i := range r.Body {
+			if i != p {
+				order = append(order, i)
+			}
+		}
+		pending, err := e.joinAtoms(r, order, filter)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, pending...)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return e.finishBindings(r, all)
+}
+
+// joinAtoms performs the relational join of the body atoms in the given
+// evaluation order (nil means body order) under an optional per-atom fact
+// filter. The premise facts of each binding are reported in body-atom
+// order regardless of the evaluation order.
+func (e *engine) joinAtoms(r *ast.Rule, order []int, allow atomFilter) ([]binding, error) {
+	n := len(r.Body)
+	if order == nil {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	}
+	first := make([]database.FactID, n)
+	pending := []binding{{sub: term.Substitution{}, facts: first}}
+	for _, atomIdx := range order {
+		pattern := r.Body[atomIdx]
+		var next []binding
+		for _, b := range pending {
+			for _, m := range e.store.MatchBind(pattern, b.sub) {
+				if e.superseded[m.Fact.ID] {
+					continue
+				}
+				if allow != nil && !allow(atomIdx, m.Fact.ID) {
+					continue
+				}
+				facts := make([]database.FactID, n)
+				copy(facts, b.facts)
+				facts[atomIdx] = m.Fact.ID
+				next = append(next, binding{sub: m.Sub, facts: facts})
+			}
+		}
+		pending = next
+		if len(pending) == 0 {
+			return nil, nil
+		}
+	}
+	return pending, nil
+}
+
+// finishBindings evaluates assignments and the non-deferred conditions over
+// the joined bindings.
+func (e *engine) finishBindings(r *ast.Rule, pending []binding) ([]binding, error) {
+	// Evaluate assignments, extending each binding.
+	for _, as := range r.Assignments {
+		for i := range pending {
+			v, err := as.Eval(pending[i].sub)
+			if err != nil {
+				return nil, err
+			}
+			if !pending[i].sub.Bind(as.Target, v) {
+				return nil, fmt.Errorf("assignment %s: target already bound", as)
+			}
+		}
+	}
+	// Apply the conditions that are evaluable now (i.e. that do not
+	// mention a not-yet-bound aggregation target).
+	deferTarget := ""
+	if r.Aggregation != nil {
+		deferTarget = r.Aggregation.Target
+	}
+	var out []binding
+	for _, b := range pending {
+		ok := true
+		for _, c := range r.Conditions {
+			if deferTarget != "" && mentions(c, deferTarget) {
+				continue
+			}
+			holds, err := c.Holds(b.sub)
+			if err != nil {
+				return nil, err
+			}
+			if !holds {
+				ok = false
+				break
+			}
+		}
+		// Stratified negation: the binding is rejected when a negated atom
+		// matches some current (non-superseded) fact. Negated predicates
+		// live in strictly lower strata, so their extension is final here.
+		for _, na := range r.Negated {
+			if !ok {
+				break
+			}
+			grounded := na.Apply(b.sub)
+			for _, id := range e.store.Match(grounded) {
+				if !e.superseded[id] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// checkConstraints verifies every negative constraint against the saturated
+// store, reporting the first violating homomorphism.
+func (e *engine) checkConstraints() error {
+	for _, c := range e.prog.Constraints {
+		pseudo := &ast.Rule{
+			Label:      c.Label,
+			Head:       ast.NewAtom("⊥"),
+			Body:       c.Body,
+			Negated:    c.Negated,
+			Conditions: c.Conditions,
+		}
+		bindings, err := e.joinBody(pseudo)
+		if err != nil {
+			return fmt.Errorf("chase: constraint %s: %w", c.Label, err)
+		}
+		if len(bindings) > 0 {
+			witness := make([]string, len(bindings[0].facts))
+			for i, id := range bindings[0].facts {
+				witness[i] = e.store.Get(id).String()
+			}
+			return fmt.Errorf("chase: constraint %s violated by %s", constraintName(c), strings.Join(witness, ", "))
+		}
+	}
+	return nil
+}
+
+func constraintName(c *ast.Constraint) string {
+	if c.Label != "" {
+		return c.Label
+	}
+	return c.String()
+}
+
+func mentions(c ast.Condition, v string) bool {
+	return (c.Left.IsVariable() && c.Left.Name() == v) ||
+		(c.Right.IsVariable() && c.Right.Name() == v)
+}
+
+// applyPlainRule fires a non-aggregation rule on every body homomorphism.
+// After its first evaluation, semi-naive mode only considers homomorphisms
+// involving at least one fact derived since the rule's previous evaluation.
+func (e *engine) applyPlainRule(r *ast.Rule) (bool, error) {
+	prev, seen := e.lastSeen[r]
+	e.lastSeen[r] = e.store.Len()
+	var bindings []binding
+	var err error
+	switch {
+	case e.naive || !seen || prev == 0:
+		bindings, err = e.joinBody(r)
+	case e.store.Len() == prev:
+		return false, nil // no new facts since the previous evaluation
+	default:
+		bindings, err = e.joinBodySemiNaive(r, database.FactID(prev))
+	}
+	if err != nil {
+		return false, err
+	}
+	changed := false
+	for _, b := range bindings {
+		// Restricted chase: when the head has existential variables, the
+		// step is pre-empted if some existing fact already satisfies the
+		// head pattern under the current bindings (existential positions
+		// act as wildcards). Without this check the rule would invent a
+		// fresh null every round and never reach a fixpoint.
+		if hasExistential(r, b.sub) {
+			pattern := r.Head.Apply(b.sub)
+			if len(e.store.Match(pattern)) > 0 {
+				continue
+			}
+		}
+		head, sub, err := e.instantiateHead(r, b.sub)
+		if err != nil {
+			return false, err
+		}
+		added, err := e.emit(r, head, b.facts, nil, sub)
+		if err != nil {
+			return false, err
+		}
+		changed = changed || added
+	}
+	return changed, nil
+}
+
+// applyAggRule evaluates an aggregation rule with group-by semantics: body
+// homomorphisms are grouped by the variables visible outside the aggregate
+// (head variables plus deferred-condition variables, minus the target), the
+// aggregate is computed per group over all contributors, deferred conditions
+// are checked, and a changed total supersedes the rule's previous emission
+// for that group.
+func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
+	// Aggregation groups accumulate contributors incrementally: after the
+	// first (full) join, semi-naive mode only joins homomorphisms that use
+	// a fact derived since the rule's previous evaluation and merges them
+	// into the stored groups. A group's total is recomputed when it gains
+	// contributors, or for every group when a supersession happened since
+	// the previous evaluation (a stored contributor may have gone stale).
+	prev, seen := e.lastSeen[r]
+	e.lastSeen[r] = e.store.Len()
+	full := e.naive || !seen || prev == 0
+	superMoved := e.lastSuper[r] != e.supersessions
+	e.lastSuper[r] = e.supersessions
+	if !full && e.store.Len() == prev && !superMoved {
+		return false, nil
+	}
+
+	var bindings []binding
+	var err error
+	if full {
+		e.aggGroups[r] = map[string]*aggGroup{}
+		e.aggOrder[r] = nil
+		bindings, err = e.joinBody(r)
+	} else if e.store.Len() > prev {
+		bindings, err = e.joinBodySemiNaive(r, database.FactID(prev))
+	}
+	if err != nil {
+		return false, err
+	}
+
+	g := r.Aggregation
+	groupVars := aggGroupVars(r)
+	groups := e.aggGroups[r]
+	if groups == nil {
+		groups = map[string]*aggGroup{}
+		e.aggGroups[r] = groups
+	}
+	touched := map[string]bool{}
+	for _, b := range bindings {
+		key := groupKey(groupVars, b.sub)
+		gr, ok := groups[key]
+		if !ok {
+			sub := term.Substitution{}
+			for _, v := range groupVars {
+				if t, bound := b.sub[v]; bound {
+					sub[v] = t
+				}
+			}
+			gr = &aggGroup{key: key, sub: sub, seen: map[string]bool{}}
+			groups[key] = gr
+			e.aggOrder[r] = append(e.aggOrder[r], key)
+		}
+		// Contributor identity: the tuple of premise facts. Distinct
+		// facts are distinct contributors (two loans between the same
+		// entities both count); re-derivations of the identical premise
+		// tuple are not double counted.
+		ident := factTupleKey(b.facts)
+		if gr.seen[ident] {
+			continue
+		}
+		gr.seen[ident] = true
+		val, bound := b.sub[g.Over]
+		if !bound {
+			return false, fmt.Errorf("aggregation %s: variable %s unbound", g, g.Over)
+		}
+		gr.contrib = append(gr.contrib, Contribution{Premises: b.facts, Value: val, Sub: b.sub})
+		touched[key] = true
+	}
+
+	recomputeAll := full || superMoved
+	changed := false
+	for _, key := range e.aggOrder[r] {
+		if !recomputeAll && !touched[key] {
+			continue
+		}
+		gr := groups[key]
+		live := e.liveContributions(gr.contrib)
+		if len(live) == 0 {
+			continue
+		}
+		total, err := aggregate(g.Func, live)
+		if err != nil {
+			return false, err
+		}
+		sub := gr.sub.Clone()
+		if !sub.Bind(g.Target, total) {
+			return false, fmt.Errorf("aggregation %s: target already bound", g)
+		}
+		// Deferred conditions (those mentioning the target).
+		ok := true
+		for _, c := range r.Conditions {
+			if !mentions(c, g.Target) {
+				continue
+			}
+			holds, err := c.Holds(sub)
+			if err != nil {
+				return false, err
+			}
+			if !holds {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		head, sub, err := e.instantiateHead(r, sub)
+		if err != nil {
+			return false, err
+		}
+		premises := dedupFacts(live)
+		added, err := e.emitAgg(r, key, head, premises, live, sub, total)
+		if err != nil {
+			return false, err
+		}
+		changed = changed || added
+	}
+	return changed, nil
+}
+
+// liveContributions filters out contributors whose premises have been
+// superseded by a more complete aggregate emission.
+func (e *engine) liveContributions(contrib []Contribution) []Contribution {
+	live := contrib
+	for i, c := range contrib {
+		stale := false
+		for _, id := range c.Premises {
+			if e.superseded[id] {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			// Copy-on-write: most groups have no stale contributors.
+			if len(live) == len(contrib) {
+				live = append([]Contribution{}, contrib[:i]...)
+			}
+			continue
+		}
+		if len(live) != len(contrib) {
+			live = append(live, c)
+		}
+	}
+	return live
+}
+
+// aggGroupVars returns the grouping variables of an aggregation rule: the
+// head variables plus the variables of target-mentioning conditions, minus
+// the target itself.
+func aggGroupVars(r *ast.Rule) []string {
+	g := r.Aggregation
+	seen := map[string]bool{g.Target: true}
+	var out []string
+	add := func(names []string) {
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	add(r.Head.Variables())
+	for _, c := range r.Conditions {
+		if mentions(c, g.Target) {
+			add(c.Variables())
+		}
+	}
+	return out
+}
+
+func groupKey(vars []string, sub term.Substitution) string {
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		if t, ok := sub[v]; ok {
+			parts[i] = t.Key()
+		}
+	}
+	return strings.Join(parts, "\x00")
+}
+
+func factTupleKey(ids []database.FactID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = strconv.Itoa(int(id))
+	}
+	return strings.Join(parts, ",")
+}
+
+func dedupFacts(contrib []Contribution) []database.FactID {
+	var out []database.FactID
+	seen := map[database.FactID]bool{}
+	for _, c := range contrib {
+		for _, id := range c.Premises {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// aggregate folds contributor values with the aggregation function.
+func aggregate(fn ast.AggFunc, contrib []Contribution) (term.Term, error) {
+	if fn == ast.AggCount {
+		return term.Int(int64(len(contrib))), nil
+	}
+	if len(contrib) == 0 {
+		return term.Term{}, fmt.Errorf("aggregate %s over empty group", fn)
+	}
+	acc, ok := contrib[0].Value.AsFloat()
+	if !ok {
+		return term.Term{}, fmt.Errorf("aggregate %s over non-numeric value %v", fn, contrib[0].Value)
+	}
+	for _, c := range contrib[1:] {
+		v, ok := c.Value.AsFloat()
+		if !ok {
+			return term.Term{}, fmt.Errorf("aggregate %s over non-numeric value %v", fn, c.Value)
+		}
+		switch fn {
+		case ast.AggSum:
+			acc += v
+		case ast.AggProd:
+			acc *= v
+		case ast.AggMin:
+			if v < acc {
+				acc = v
+			}
+		case ast.AggMax:
+			if v > acc {
+				acc = v
+			}
+		default:
+			return term.Term{}, fmt.Errorf("unsupported aggregation %q", fn)
+		}
+	}
+	return term.Float(acc), nil
+}
+
+// hasExistential reports whether the rule head contains variables unbound
+// under sub (i.e. existentially quantified head variables).
+func hasExistential(r *ast.Rule, sub term.Substitution) bool {
+	for _, v := range r.Head.Variables() {
+		if _, ok := sub[v]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// instantiateHead grounds the head under the substitution, inventing
+// labelled nulls for existential variables.
+func (e *engine) instantiateHead(r *ast.Rule, sub term.Substitution) (ast.Atom, term.Substitution, error) {
+	out := sub
+	extended := false
+	for _, v := range r.Head.Variables() {
+		if _, ok := out[v]; !ok {
+			if !extended {
+				out = out.Clone()
+				extended = true
+			}
+			e.nullSeq++
+			out[v] = term.Null("z" + strconv.Itoa(e.nullSeq))
+		}
+	}
+	head := r.Head.Apply(out)
+	if !head.IsGround() {
+		return ast.Atom{}, nil, fmt.Errorf("head %v not ground after instantiation", head)
+	}
+	return head, out, nil
+}
+
+// emit adds a derived fact with its derivation. Chase steps whose conclusion
+// already exists are pre-empted (no new fact, no new step); the derivation
+// is still recorded as an alternative proof if it is the fact's first.
+func (e *engine) emit(r *ast.Rule, head ast.Atom, premises []database.FactID, contrib []Contribution, sub term.Substitution) (bool, error) {
+	if e.store.Len() >= e.maxFacts {
+		return false, fmt.Errorf("fact limit %d exceeded", e.maxFacts)
+	}
+	f, added, err := e.store.Add(head, false)
+	if err != nil {
+		return false, err
+	}
+	if !added {
+		return false, nil
+	}
+	d := &Derivation{
+		Step:         len(e.steps),
+		Rule:         r,
+		Fact:         f.ID,
+		Premises:     premises,
+		Contributors: contrib,
+		Sub:          sub,
+	}
+	e.steps = append(e.steps, d)
+	e.derivs[f.ID] = append(e.derivs[f.ID], d)
+	return true, nil
+}
+
+// emitAgg emits an aggregation result and supersedes the rule's previous
+// emission for the same group when the total changed.
+func (e *engine) emitAgg(r *ast.Rule, groupKey string, head ast.Atom, premises []database.FactID, contrib []Contribution, sub term.Substitution, total term.Term) (bool, error) {
+	stateKey := r.Label + "\x00" + groupKey
+	if prev, ok := e.aggState[stateKey]; ok && prev.value.Equal(total) {
+		return false, nil
+	}
+	existing := e.store.Lookup(head)
+	added, err := e.emit(r, head, premises, contrib, sub)
+	if err != nil {
+		return false, err
+	}
+	if !added && existing != nil && !existing.Extensional {
+		// The identical total was already derived (possibly by another
+		// rule); record the group state so we do not loop.
+		e.aggState[stateKey] = aggEmission{fact: existing.ID, value: total}
+		return false, nil
+	}
+	if !added {
+		return false, nil
+	}
+	f := e.store.Lookup(head)
+	if prev, ok := e.aggState[stateKey]; ok && prev.fact != f.ID {
+		e.superseded[prev.fact] = true
+		e.supersessions++
+	}
+	e.aggState[stateKey] = aggEmission{fact: f.ID, value: total}
+	return true, nil
+}
+
+// SortedFactIDs returns ids sorted ascending; a convenience for
+// deterministic reporting.
+func SortedFactIDs(ids []database.FactID) []database.FactID {
+	out := make([]database.FactID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

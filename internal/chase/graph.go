@@ -1,0 +1,180 @@
+package chase
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/database"
+)
+
+// Proof is the portion of the chase graph that derives one fact of interest:
+// the set of chase steps reachable backwards from the fact, plus its
+// linearization.
+//
+// The proof is a DAG in general (aggregations join several branches); the
+// Spine is its root-to-leaf linearization along intensional premises — the
+// materialized path τ of paper Section 4.3 that the template mapper
+// consumes. Aggregation contributors hang off the spine as side inputs.
+type Proof struct {
+	// Target is the fact being explained.
+	Target database.FactID
+	// Steps are all derivations in the proof, in chronological (and hence
+	// topological) order.
+	Steps []*Derivation
+	// Spine is the root-to-target sequence of derivations followed along
+	// intensional premises.
+	Spine []*Derivation
+	// Leaves are the extensional facts the proof rests on.
+	Leaves []database.FactID
+
+	result *Result
+}
+
+// Size returns the proof length measured in chase steps (the number of rule
+// activations in the proof), the x-axis of the paper's Figures 17 and 18.
+func (p *Proof) Size() int { return len(p.Steps) }
+
+// SpineLength returns the length of the linearized derivation path.
+func (p *Proof) SpineLength() int { return len(p.Spine) }
+
+// RuleSequence returns the labels of the rules activated along the spine,
+// e.g. {α, β, γ, β, γ} for Example 4.7.
+func (p *Proof) RuleSequence() []string {
+	out := make([]string, len(p.Spine))
+	for i, d := range p.Spine {
+		out[i] = d.Rule.Label
+	}
+	return out
+}
+
+// Result returns the chase result the proof was extracted from.
+func (p *Proof) Result() *Result { return p.result }
+
+// Constants returns the distinct constant display strings appearing in the
+// proof's facts (premises and conclusions). The completeness metric of the
+// paper's Section 6.3 checks these against the generated text.
+func (p *Proof) Constants() []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(id database.FactID) {
+		for _, t := range p.result.Store.Get(id).Atom.Terms {
+			d := t.Display()
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	for _, d := range p.Steps {
+		for _, prem := range d.Premises {
+			add(prem)
+		}
+		add(d.Fact)
+	}
+	return out
+}
+
+// ExtractProof computes the proof of a fact from the chase result, following
+// each fact's canonical (earliest) derivation.
+func (r *Result) ExtractProof(target database.FactID) (*Proof, error) {
+	if int(target) >= r.Store.Len() {
+		return nil, fmt.Errorf("chase: unknown fact id %d", target)
+	}
+	p := &Proof{Target: target, result: r}
+
+	// Collect the proof DAG by walking premises backwards.
+	visited := map[database.FactID]bool{}
+	var stepSet []*Derivation
+	leafSet := map[database.FactID]bool{}
+	var visit func(id database.FactID)
+	visit = func(id database.FactID) {
+		if visited[id] {
+			return
+		}
+		visited[id] = true
+		d := r.CanonicalDerivation(id)
+		if d == nil {
+			leafSet[id] = true
+			return
+		}
+		for _, prem := range d.Premises {
+			visit(prem)
+		}
+		stepSet = append(stepSet, d)
+	}
+	visit(target)
+
+	sort.Slice(stepSet, func(i, j int) bool { return stepSet[i].Step < stepSet[j].Step })
+	p.Steps = stepSet
+	for id := range leafSet {
+		p.Leaves = append(p.Leaves, id)
+	}
+	p.Leaves = SortedFactIDs(p.Leaves)
+
+	// Spine: from the target walk the most recent intensional premise.
+	isIDB := r.Program.IsIntensional
+	var spineRev []*Derivation
+	cur := target
+	for {
+		d := r.CanonicalDerivation(cur)
+		if d == nil {
+			break
+		}
+		spineRev = append(spineRev, d)
+		next := database.FactID(-1)
+		for _, prem := range d.Premises {
+			if isIDB(r.Store.Get(prem).Atom.Predicate) && prem > next {
+				next = prem
+			}
+		}
+		if next < 0 {
+			break
+		}
+		cur = next
+	}
+	p.Spine = make([]*Derivation, len(spineRev))
+	for i, d := range spineRev {
+		p.Spine[len(spineRev)-1-i] = d
+	}
+	return p, nil
+}
+
+// Graph renders the full chase graph in the style of the paper's Figure 8:
+// one line per chase step, premises => conclusion, labelled with the rule.
+func (r *Result) Graph() string {
+	var sb strings.Builder
+	for _, d := range r.Steps {
+		prems := make([]string, len(d.Premises))
+		for i, id := range d.Premises {
+			prems[i] = r.Store.Get(id).String()
+		}
+		fmt.Fprintf(&sb, "%s --%s--> %s\n", strings.Join(prems, " + "), d.Rule.Label, r.Store.Get(d.Fact).String())
+	}
+	return sb.String()
+}
+
+// DOT renders the chase graph in Graphviz DOT syntax: fact nodes and
+// rule-labelled edges from each premise to the conclusion.
+func (r *Result) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph chase {\n  rankdir=TB;\n")
+	for _, f := range r.Store.Facts() {
+		shape := "ellipse"
+		if f.Extensional {
+			shape = "box"
+		}
+		style := ""
+		if r.superseded[f.ID] {
+			style = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  f%d [label=%q, shape=%s%s];\n", f.ID, f.String(), shape, style)
+	}
+	for _, d := range r.Steps {
+		for _, prem := range d.Premises {
+			fmt.Fprintf(&sb, "  f%d -> f%d [label=%q];\n", prem, d.Fact, d.Rule.Label)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,104 @@
+package chase
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/database"
+	"repro/internal/parser"
+)
+
+// checkProvenanceInvariants asserts the structural well-formedness every
+// chase result must satisfy:
+//
+//  1. premises precede conclusions (fact ids strictly smaller);
+//  2. step numbers are dense and chronological;
+//  3. every aggregation derivation's premises are exactly the union of its
+//     contributors' premises;
+//  4. the proof spine is connected: each spine step's fact is a premise of
+//     the next spine step.
+func checkProvenanceInvariants(t *testing.T, res *Result) {
+	t.Helper()
+	for i, d := range res.Steps {
+		if d.Step != i {
+			t.Fatalf("step %d recorded as %d", i, d.Step)
+		}
+		for _, prem := range d.Premises {
+			if prem >= d.Fact {
+				t.Errorf("step %d: premise #%d not earlier than conclusion #%d", i, prem, d.Fact)
+			}
+		}
+		if d.IsAggregation() {
+			want := map[database.FactID]bool{}
+			for _, c := range d.Contributors {
+				for _, id := range c.Premises {
+					want[id] = true
+				}
+			}
+			if len(want) != len(d.Premises) {
+				t.Errorf("step %d: premises %v do not match contributor union (%d ids)",
+					i, d.Premises, len(want))
+			}
+			for _, id := range d.Premises {
+				if !want[id] {
+					t.Errorf("step %d: premise #%d not contributed", i, id)
+				}
+			}
+		}
+	}
+	for _, f := range res.Store.Facts() {
+		if f.Extensional {
+			continue
+		}
+		proof, err := res.ExtractProof(f.ID)
+		if err != nil {
+			t.Fatalf("proof of %v: %v", f, err)
+		}
+		for i := 0; i < len(proof.Spine)-1; i++ {
+			fact := proof.Spine[i].Fact
+			found := false
+			for _, prem := range proof.Spine[i+1].Premises {
+				if prem == fact {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("proof of %v: spine step %d not a premise of step %d", f, i, i+1)
+			}
+		}
+		if last := proof.Spine[len(proof.Spine)-1]; last.Fact != f.ID {
+			t.Errorf("proof of %v: spine does not end at the target", f)
+		}
+	}
+}
+
+func TestProvenanceInvariantsFixed(t *testing.T) {
+	for _, src := range []string{stressSimpleSrc, irishBankSrc, twoChannelSrc, eligibleSrc} {
+		res := runSrc(t, src, Options{})
+		checkProvenanceInvariants(t, res)
+	}
+}
+
+// TestProvenanceInvariantsProperty: the invariants hold over random
+// ownership graphs.
+func TestProvenanceInvariantsProperty(t *testing.T) {
+	prog := parser.MustParse(`
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`)
+	f := func(seed int64) bool {
+		res, err := Run(prog, Options{ExtraFacts: randomOwnership(seed)})
+		if err != nil {
+			return false
+		}
+		sub := &testing.T{}
+		checkProvenanceInvariants(sub, res)
+		return !sub.Failed()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

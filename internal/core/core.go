@@ -1,0 +1,234 @@
+// Package core ties the paper's components into the automated pipeline of
+// its Section 4.4: given a rule-based Knowledge Graph application (a Vadalog
+// program) and a domain glossary, it runs the preventive structural
+// analysis, generates and enhances the explanation templates once, and then
+// answers explanation queries for any fact derived by the chase — producing
+// fluent, complete natural-language explanations without ever sharing
+// instance data with an external service.
+//
+// This is the package downstream users import; everything below it
+// (parser, chase, depgraph, paths, template, enhancer, mapping) is
+// replaceable behind this façade.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/database"
+	"repro/internal/depgraph"
+	"repro/internal/enhancer"
+	"repro/internal/glossary"
+	"repro/internal/mapping"
+	"repro/internal/parser"
+	"repro/internal/paths"
+	"repro/internal/template"
+	"repro/internal/verbalizer"
+)
+
+// Config tunes pipeline construction.
+type Config struct {
+	// Enhancer rewrites deterministic templates into fluent variants; nil
+	// selects the built-in deterministic rewriter. Plug an LLM-backed
+	// implementation here if data-confidentiality constraints allow it —
+	// note that only rules, never instance data, flow through it.
+	Enhancer enhancer.Enhancer
+	// SkipEnhancement leaves templates deterministic.
+	SkipEnhancement bool
+	// Chase options used by Reason.
+	Chase chase.Options
+}
+
+// Pipeline is a compiled KG application: program, glossary, structural
+// analysis and (enhanced) explanation templates. A Pipeline is immutable
+// after construction and safe for concurrent explanation queries over
+// distinct chase results.
+type Pipeline struct {
+	prog      *ast.Program
+	glossary  *glossary.Glossary
+	graph     *depgraph.Graph
+	analysis  *paths.Analysis
+	templates *template.Store
+	cfg       Config
+}
+
+// NewPipeline compiles a program and its glossary into a pipeline: it
+// validates glossary coverage, builds the dependency graph, runs the
+// structural analysis, verbalizes every reasoning path into its
+// deterministic template and attaches enhanced variants.
+func NewPipeline(prog *ast.Program, g *glossary.Glossary, cfg Config) (*Pipeline, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid program: %w", err)
+	}
+	if errs := g.Covers(prog); len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("core: glossary does not cover program: %s", strings.Join(msgs, "; "))
+	}
+	graph := depgraph.New(prog)
+	analysis := paths.Analyze(graph)
+	store, err := template.Generate(analysis, g)
+	if err != nil {
+		return nil, fmt.Errorf("core: template generation: %w", err)
+	}
+	if !cfg.SkipEnhancement {
+		e := cfg.Enhancer
+		if e == nil {
+			e = &enhancer.Fluent{Variants: 2, Seed: 1}
+		}
+		if _, err := enhancer.EnhanceStore(store, e); err != nil {
+			return nil, fmt.Errorf("core: template enhancement: %w", err)
+		}
+	}
+	return &Pipeline{
+		prog:      prog,
+		glossary:  g,
+		graph:     graph,
+		analysis:  analysis,
+		templates: store,
+		cfg:       cfg,
+	}, nil
+}
+
+// NewPipelineFromSource parses the program and glossary texts and compiles
+// them.
+func NewPipelineFromSource(progSrc, glossarySrc string, cfg Config) (*Pipeline, error) {
+	prog, err := parser.Parse(progSrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: program: %w", err)
+	}
+	g, err := glossary.Parse(glossarySrc)
+	if err != nil {
+		return nil, fmt.Errorf("core: glossary: %w", err)
+	}
+	return NewPipeline(prog, g, cfg)
+}
+
+// Program returns the compiled program.
+func (p *Pipeline) Program() *ast.Program { return p.prog }
+
+// Glossary returns the domain glossary.
+func (p *Pipeline) Glossary() *glossary.Glossary { return p.glossary }
+
+// Graph returns the dependency graph.
+func (p *Pipeline) Graph() *depgraph.Graph { return p.graph }
+
+// Analysis returns the structural analysis (reasoning paths).
+func (p *Pipeline) Analysis() *paths.Analysis { return p.analysis }
+
+// Templates returns the explanation template store.
+func (p *Pipeline) Templates() *template.Store { return p.templates }
+
+// Reason runs the chase over the program's facts plus the given extra
+// extensional facts, returning the saturated result with full provenance.
+func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
+	opts := p.cfg.Chase
+	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
+	return chase.Run(p.prog, opts)
+}
+
+// Explanation is the answer to one explanation query.
+type Explanation struct {
+	// Fact is the derived fact being explained.
+	Fact *database.Fact
+	// Proof is the portion of the chase graph deriving the fact.
+	Proof *chase.Proof
+	// Mapping is the template composition (the reasoning graph).
+	Mapping *mapping.Mapping
+	// Text is the final explanation (enhanced templates when available).
+	Text string
+	// Deterministic is the explanation produced from the unenhanced
+	// templates.
+	Deterministic string
+}
+
+// PathIDs returns the reasoning paths composed for this explanation, e.g.
+// [Π2, Γ1*].
+func (e *Explanation) PathIDs() []string { return e.Mapping.PathIDs() }
+
+// Verify re-checks completeness: every constant of the proof must occur (as
+// a whole token) in both the enhanced and the deterministic text. It
+// returns the missing constants as an error, and nil when the explanation
+// is complete.
+func (e *Explanation) Verify() error {
+	constants := e.Proof.Constants()
+	missing := verbalizer.MissingConstants(e.Text, constants)
+	missing = append(missing, verbalizer.MissingConstants(e.Deterministic, constants)...)
+	if len(missing) > 0 {
+		return fmt.Errorf("core: explanation of %v omits constants %s", e.Fact, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// Explain answers the explanation query Q_e = {pattern}: it locates the
+// (unique) derived fact matching the pattern, extracts its proof, maps the
+// chase steps to templates and instantiates them.
+func (p *Pipeline) Explain(res *chase.Result, pattern ast.Atom) (*Explanation, error) {
+	id, err := res.LookupDerived(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return p.ExplainFact(res, id)
+}
+
+// ExplainQuery is Explain with the pattern given in concrete syntax, e.g.
+// `Default("C")` or `Control("B", D)`.
+func (p *Pipeline) ExplainQuery(res *chase.Result, query string) (*Explanation, error) {
+	pattern, err := parser.ParseAtom(query)
+	if err != nil {
+		return nil, fmt.Errorf("core: explanation query: %w", err)
+	}
+	return p.Explain(res, pattern)
+}
+
+// ExplainFact explains a fact by id.
+func (p *Pipeline) ExplainFact(res *chase.Result, id database.FactID) (*Explanation, error) {
+	proof, err := res.ExtractProof(id)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapping.Map(proof, p.templates)
+	if err != nil {
+		return nil, err
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		return nil, err
+	}
+	det, err := m.DeterministicExplanation()
+	if err != nil {
+		return nil, err
+	}
+	return &Explanation{
+		Fact:          res.Store.Get(id),
+		Proof:         proof,
+		Mapping:       m,
+		Text:          text,
+		Deterministic: det,
+	}, nil
+}
+
+// ExplainAll explains every answer of the reasoning task (every
+// non-superseded fact of the output predicate).
+func (p *Pipeline) ExplainAll(res *chase.Result) ([]*Explanation, error) {
+	var out []*Explanation
+	for _, id := range res.Answers() {
+		e, err := p.ExplainFact(res, id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// VerbalizeProof produces the fully deterministic step-by-step instance
+// explanation of a fact's proof — the text the paper feeds to the LLM
+// baseline in its Sections 6.2 and 6.3.
+func (p *Pipeline) VerbalizeProof(proof *chase.Proof) (string, error) {
+	return verbalizer.VerbalizeProof(proof, p.glossary)
+}

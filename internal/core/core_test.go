@@ -1,0 +1,281 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+const figure7Src = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+func pipeline(t *testing.T, cfg Config) *Pipeline {
+	t.Helper()
+	p, err := NewPipelineFromSource(stressSimpleSrc, figure7Src, cfg)
+	if err != nil {
+		t.Fatalf("NewPipelineFromSource: %v", err)
+	}
+	return p
+}
+
+func TestPipelineConstruction(t *testing.T) {
+	p := pipeline(t, Config{})
+	if p.Program().Name != "stress-simple" {
+		t.Errorf("program name = %q", p.Program().Name)
+	}
+	if len(p.Analysis().Simple) != 3 { // Π1, Π2, Π2*
+		t.Errorf("simple paths = %d", len(p.Analysis().Simple))
+	}
+	if p.Graph().Leaf() != "Default" {
+		t.Errorf("leaf = %q", p.Graph().Leaf())
+	}
+	if p.Glossary() == nil || p.Templates() == nil {
+		t.Error("accessors nil")
+	}
+	// Default config enhances every template.
+	for _, tpl := range p.Templates().All() {
+		if len(tpl.Enhanced) == 0 {
+			t.Errorf("template %s has no enhanced variant", tpl.Path.ID)
+		}
+	}
+}
+
+func TestSkipEnhancement(t *testing.T) {
+	p := pipeline(t, Config{SkipEnhancement: true})
+	for _, tpl := range p.Templates().All() {
+		if len(tpl.Enhanced) != 0 {
+			t.Errorf("template %s unexpectedly enhanced", tpl.Path.ID)
+		}
+	}
+}
+
+func TestConstructionErrors(t *testing.T) {
+	// Bad program source.
+	if _, err := NewPipelineFromSource(`P(X`, figure7Src, Config{}); err == nil {
+		t.Error("bad program accepted")
+	}
+	// Bad glossary source.
+	if _, err := NewPipelineFromSource(stressSimpleSrc, `garbage`, Config{}); err == nil {
+		t.Error("bad glossary accepted")
+	}
+	// Glossary gap.
+	gap := `Default(f): <f> is in default.`
+	if _, err := NewPipelineFromSource(stressSimpleSrc, gap, Config{}); err == nil {
+		t.Error("glossary gap accepted")
+	} else if !strings.Contains(err.Error(), "Shock") {
+		t.Errorf("gap error = %v", err)
+	}
+}
+
+// TestEndToEndExample48 is the full pipeline run of the paper's running
+// example: reason, query Default(C), get a complete fluent explanation.
+func TestEndToEndExample48(t *testing.T) {
+	p := pipeline(t, Config{})
+	res, err := p.Reason()
+	if err != nil {
+		t.Fatalf("Reason: %v", err)
+	}
+	e, err := p.ExplainQuery(res, `Default("C")`)
+	if err != nil {
+		t.Fatalf("ExplainQuery: %v", err)
+	}
+	if err := e.Verify(); err != nil {
+		t.Error(err)
+	}
+	if ids := e.PathIDs(); len(ids) != 2 || ids[0] != "Π2" || ids[1] != "Γ1*" {
+		t.Errorf("PathIDs = %v", ids)
+	}
+	if e.Text == e.Deterministic {
+		t.Error("enhanced text equals deterministic text")
+	}
+	if e.Fact.Atom.Display() != "Default(C)" {
+		t.Errorf("fact = %v", e.Fact)
+	}
+	if e.Proof.Size() != 5 {
+		t.Errorf("proof size = %d", e.Proof.Size())
+	}
+}
+
+func TestExplainQueryErrors(t *testing.T) {
+	p := pipeline(t, Config{})
+	res, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ExplainQuery(res, `Default("Z")`); err == nil {
+		t.Error("missing fact explained")
+	}
+	if _, err := p.ExplainQuery(res, `Default(X)`); err == nil {
+		t.Error("ambiguous query explained")
+	}
+	if _, err := p.ExplainQuery(res, `not an atom`); err == nil {
+		t.Error("unparsable query accepted")
+	}
+	if _, err := p.ExplainQuery(res, `Shock("A", 6.0)`); err == nil {
+		t.Error("extensional fact explained")
+	}
+}
+
+func TestExplainAllVerified(t *testing.T) {
+	p := pipeline(t, Config{})
+	res, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	exps, err := p.ExplainAll(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exps) != 3 {
+		t.Fatalf("explanations = %d, want 3", len(exps))
+	}
+	for _, e := range exps {
+		if err := e.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestReasonWithExtraFacts(t *testing.T) {
+	p := pipeline(t, Config{})
+	extra, err := parser.ParseAtom(`Shock("C", 20.0)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Now C also defaults directly.
+	e, err := p.ExplainQuery(res, `Default("C")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("no explanation")
+	}
+}
+
+func TestVerbalizeProof(t *testing.T) {
+	p := pipeline(t, Config{})
+	res, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.ExplainQuery(res, `Default("C")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := p.VerbalizeProof(e.Proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(text, "Since "); got != 5 {
+		t.Errorf("deterministic proof verbalization has %d sentences, want 5", got)
+	}
+}
+
+// TestVerifyDetectsOmission: Verify flags a doctored explanation.
+func TestVerifyDetectsOmission(t *testing.T) {
+	p := pipeline(t, Config{})
+	res, _ := p.Reason()
+	e, err := p.ExplainQuery(res, `Default("C")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Text = strings.ReplaceAll(e.Text, "11", "??")
+	if err := e.Verify(); err == nil {
+		t.Error("omission not detected")
+	} else if !strings.Contains(err.Error(), "11") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+// TestNegationEndToEnd: the pipeline explains facts derived by rules with
+// stratified negation, rendering the negated premise.
+func TestNegationEndToEnd(t *testing.T) {
+	prog := `
+@name("eligibility").
+@output("Eligible").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("el")    Eligible(X) :- HasCapital(X, P), not Default(X).
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("D", 4.0).
+`
+	glos := `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Eligible(x): <x> is an eligible counterparty.
+`
+	p, err := NewPipelineFromSource(prog, glos, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.ExplainQuery(res, `Eligible("D")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Text, "it is not the case that D is in default") {
+		t.Errorf("negated premise not verbalized:\n%s", e.Text)
+	}
+	if err := e.Verify(); err != nil {
+		t.Error(err)
+	}
+	if _, err := p.ExplainQuery(res, `Eligible("A")`); err == nil {
+		t.Error("defaulted entity explained as eligible")
+	}
+}
+
+// TestConstraintSurfacesThroughPipeline: a violated negative constraint
+// aborts Reason with a witness.
+func TestConstraintSurfacesThroughPipeline(t *testing.T) {
+	prog := `
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+:- Control(X, Y), Sanctioned(Y).
+
+Own("A", "B", 0.6).
+Sanctioned("B").
+`
+	glos := `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Sanctioned(y): <y> is a sanctioned entity.
+`
+	p, err := NewPipelineFromSource(prog, glos, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Reason(); err == nil {
+		t.Error("violated constraint did not abort reasoning")
+	}
+}

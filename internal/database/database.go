@@ -1,0 +1,229 @@
+// Package database implements the extensional/intensional fact store the
+// chase engine runs over: interned ground atoms (facts) with stable integer
+// ids, per-predicate relations, and hash indexes on (predicate, position,
+// value) for efficient join evaluation.
+//
+// Facts are append-only — the chase only ever adds facts — so fact ids are
+// also the insertion order, which the explanation pipeline uses to linearize
+// proofs deterministically.
+package database
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// FactID identifies an interned fact. Ids are dense and start at 0 in
+// insertion order.
+type FactID int
+
+// Fact is an interned ground atom together with its id and whether it was
+// part of the original extensional database.
+type Fact struct {
+	ID   FactID
+	Atom ast.Atom
+	// Extensional reports whether the fact belongs to the input database D
+	// (true) or was derived by a chase step (false).
+	Extensional bool
+}
+
+// String renders the fact as predicate(args) with unquoted constants.
+func (f *Fact) String() string { return f.Atom.Display() }
+
+// Store is an append-only fact store with join indexes.
+type Store struct {
+	facts  []*Fact
+	byKey  map[string]FactID
+	byPred map[string][]FactID
+	// index maps predicate/position/term-key to the facts with that value
+	// at that position.
+	index map[indexKey][]FactID
+}
+
+type indexKey struct {
+	pred string
+	pos  int
+	key  string
+}
+
+// NewStore returns an empty fact store.
+func NewStore() *Store {
+	return &Store{
+		byKey:  make(map[string]FactID),
+		byPred: make(map[string][]FactID),
+		index:  make(map[indexKey][]FactID),
+	}
+}
+
+// Len returns the number of interned facts.
+func (s *Store) Len() int { return len(s.facts) }
+
+// Add interns a ground atom. It returns the fact and whether it was newly
+// inserted; adding an atom that is already present returns the existing fact
+// with added=false. Non-ground atoms are rejected with an error.
+func (s *Store) Add(a ast.Atom, extensional bool) (*Fact, bool, error) {
+	if !a.IsGround() {
+		return nil, false, fmt.Errorf("database: cannot intern non-ground atom %v", a)
+	}
+	key := a.Key()
+	if id, ok := s.byKey[key]; ok {
+		return s.facts[id], false, nil
+	}
+	f := &Fact{ID: FactID(len(s.facts)), Atom: a, Extensional: extensional}
+	s.facts = append(s.facts, f)
+	s.byKey[key] = f.ID
+	s.byPred[a.Predicate] = append(s.byPred[a.Predicate], f.ID)
+	for pos, t := range a.Terms {
+		k := indexKey{a.Predicate, pos, t.Key()}
+		s.index[k] = append(s.index[k], f.ID)
+	}
+	return f, true, nil
+}
+
+// MustAdd is Add for callers with statically ground atoms; it panics on a
+// non-ground atom.
+func (s *Store) MustAdd(a ast.Atom, extensional bool) (*Fact, bool) {
+	f, added, err := s.Add(a, extensional)
+	if err != nil {
+		panic(err)
+	}
+	return f, added
+}
+
+// Contains reports whether the ground atom is already interned.
+func (s *Store) Contains(a ast.Atom) bool {
+	_, ok := s.byKey[a.Key()]
+	return ok
+}
+
+// Lookup returns the fact for a ground atom, or nil when absent.
+func (s *Store) Lookup(a ast.Atom) *Fact {
+	if id, ok := s.byKey[a.Key()]; ok {
+		return s.facts[id]
+	}
+	return nil
+}
+
+// Get returns the fact with the given id. It panics on an out-of-range id,
+// which always indicates a bug in the caller.
+func (s *Store) Get(id FactID) *Fact {
+	return s.facts[id]
+}
+
+// ByPredicate returns the ids of all facts with the given predicate, in
+// insertion order. The returned slice is shared; callers must not mutate it.
+func (s *Store) ByPredicate(pred string) []FactID {
+	return s.byPred[pred]
+}
+
+// Match returns the ids of facts unifying with the (possibly non-ground)
+// atom pattern: facts of the same predicate and arity whose constants agree
+// with the pattern's constant positions. It uses the most selective
+// available index.
+func (s *Store) Match(pattern ast.Atom) []FactID {
+	candidates := s.candidateIDs(pattern)
+	var out []FactID
+	for _, id := range candidates {
+		if s.matches(s.facts[id].Atom, pattern) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// MatchBind returns, for each fact unifying with pattern under the given
+// base substitution, the extended substitution binding the pattern's
+// variables. Facts that disagree with already-bound variables are skipped.
+func (s *Store) MatchBind(pattern ast.Atom, base term.Substitution) []Binding {
+	grounded := pattern.Apply(base)
+	candidates := s.candidateIDs(grounded)
+	var out []Binding
+	for _, id := range candidates {
+		f := s.facts[id]
+		sub := base.Clone()
+		if bindAtom(grounded, f.Atom, sub) {
+			out = append(out, Binding{Fact: f, Sub: sub})
+		}
+	}
+	return out
+}
+
+// Binding pairs a matched fact with the substitution extension it induces.
+type Binding struct {
+	Fact *Fact
+	Sub  term.Substitution
+}
+
+// candidateIDs picks the smallest index bucket applicable to the pattern.
+func (s *Store) candidateIDs(pattern ast.Atom) []FactID {
+	best := s.byPred[pattern.Predicate]
+	for pos, t := range pattern.Terms {
+		if t.IsVariable() {
+			continue
+		}
+		bucket := s.index[indexKey{pattern.Predicate, pos, t.Key()}]
+		if len(bucket) < len(best) {
+			best = bucket
+		}
+	}
+	return best
+}
+
+func (s *Store) matches(fact, pattern ast.Atom) bool {
+	if fact.Predicate != pattern.Predicate || len(fact.Terms) != len(pattern.Terms) {
+		return false
+	}
+	sub := term.Substitution{}
+	return bindAtom(pattern, fact, sub)
+}
+
+// bindAtom extends sub so that pattern maps onto fact, or returns false.
+func bindAtom(pattern, fact ast.Atom, sub term.Substitution) bool {
+	if pattern.Predicate != fact.Predicate || len(pattern.Terms) != len(fact.Terms) {
+		return false
+	}
+	for i, pt := range pattern.Terms {
+		ft := fact.Terms[i]
+		if pt.IsVariable() {
+			if !sub.Bind(pt.Name(), ft) {
+				return false
+			}
+			continue
+		}
+		if !pt.Equal(ft) {
+			return false
+		}
+	}
+	return true
+}
+
+// Facts returns all facts in insertion order. The returned slice is shared;
+// callers must not mutate it.
+func (s *Store) Facts() []*Fact { return s.facts }
+
+// Predicates returns the distinct predicates present, sorted.
+func (s *Store) Predicates() []string {
+	out := make([]string, 0, len(s.byPred))
+	for p := range s.byPred {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dump renders the store contents grouped by predicate, for debugging and
+// golden tests.
+func (s *Store) Dump() string {
+	var sb strings.Builder
+	for _, p := range s.Predicates() {
+		for _, id := range s.byPred[p] {
+			sb.WriteString(s.facts[id].String())
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,328 @@
+// Package depgraph builds and analyses the dependency graph D(Σ) of a
+// Vadalog program (paper Section 3): vertices are the predicates of Σ and
+// there is a rule-labelled edge from a' to a iff Σ contains a rule with a'
+// in the body and a in the head.
+//
+// On top of D(Σ) the package computes the notions the structural analysis of
+// Section 4.1 needs: roots (predicates not depending on intensional ones),
+// the leaf (the program's goal), critical nodes (Definition 4.1), cyclicity
+// and reachability.
+package depgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Edge is one rule-labelled dependency: Rule has From in its body and To as
+// its head predicate. Aggregated marks edges where From is the predicate
+// carrying the aggregated variable of an aggregation rule; such edges spawn
+// the "dashed" reasoning-path variants of Section 4.1.
+type Edge struct {
+	From string
+	To   string
+	Rule *ast.Rule
+	// Aggregated reports whether the rule aggregates over a variable bound
+	// by the From atom.
+	Aggregated bool
+	// Negative marks an edge arising from a negated body atom; negative
+	// edges participate in stratification but not in reasoning-path
+	// enumeration (a negated premise contributes no derivation).
+	Negative bool
+}
+
+// String renders the edge as From --rule--> To.
+func (e Edge) String() string {
+	marker := ""
+	if e.Aggregated {
+		marker = "*"
+	}
+	if e.Negative {
+		marker += "¬"
+	}
+	return fmt.Sprintf("%s --%s%s--> %s", e.From, e.Rule.Label, marker, e.To)
+}
+
+// Graph is the dependency graph of one program.
+type Graph struct {
+	prog *ast.Program
+	// nodes in sorted order.
+	nodes []string
+	// edges in rule declaration order, then body-atom order.
+	edges []Edge
+	// out and in adjacency by predicate.
+	out map[string][]int
+	in  map[string][]int
+	// intensional predicates.
+	idb map[string]bool
+}
+
+// New builds the dependency graph of a program.
+func New(p *ast.Program) *Graph {
+	g := &Graph{
+		prog: p,
+		out:  map[string][]int{},
+		in:   map[string][]int{},
+		idb:  map[string]bool{},
+	}
+	for _, pred := range p.IDBPredicates() {
+		g.idb[pred] = true
+	}
+	g.nodes = p.Predicates()
+	for _, r := range p.Rules {
+		aggVar := ""
+		if r.Aggregation != nil {
+			aggVar = r.Aggregation.Over
+		}
+		seen := map[string]bool{}
+		for _, a := range r.Body {
+			if seen[a.Predicate] {
+				continue
+			}
+			seen[a.Predicate] = true
+			agg := aggVar != "" && bindsVar(a, aggVar)
+			idx := len(g.edges)
+			g.edges = append(g.edges, Edge{From: a.Predicate, To: r.Head.Predicate, Rule: r, Aggregated: agg})
+			g.out[a.Predicate] = append(g.out[a.Predicate], idx)
+			g.in[r.Head.Predicate] = append(g.in[r.Head.Predicate], idx)
+		}
+		for _, a := range r.Negated {
+			if seen["¬"+a.Predicate] {
+				continue
+			}
+			seen["¬"+a.Predicate] = true
+			idx := len(g.edges)
+			g.edges = append(g.edges, Edge{From: a.Predicate, To: r.Head.Predicate, Rule: r, Negative: true})
+			g.out[a.Predicate] = append(g.out[a.Predicate], idx)
+			g.in[r.Head.Predicate] = append(g.in[r.Head.Predicate], idx)
+		}
+	}
+	return g
+}
+
+// Stratify assigns each predicate a stratum such that every positive
+// dependency stays within or below its consumer's stratum and every
+// negative dependency lies strictly below. It errors when a negated
+// predicate participates in a recursion through the negation (the program
+// is not stratified).
+func (g *Graph) Stratify() (map[string]int, error) {
+	strata := map[string]int{}
+	for _, n := range g.nodes {
+		strata[n] = 0
+	}
+	limit := len(g.nodes)
+	for changed, iter := true, 0; changed; iter++ {
+		if iter > limit*limit+1 {
+			return nil, fmt.Errorf("depgraph: program is not stratified (recursion through negation)")
+		}
+		changed = false
+		for _, e := range g.edges {
+			min := strata[e.From]
+			if e.Negative {
+				min++
+			}
+			if strata[e.To] < min {
+				if min > limit {
+					return nil, fmt.Errorf("depgraph: program is not stratified (recursion through negation involving %s)", e.From)
+				}
+				strata[e.To] = min
+				changed = true
+			}
+		}
+	}
+	return strata, nil
+}
+
+func bindsVar(a ast.Atom, v string) bool {
+	if v == "" {
+		return false
+	}
+	for _, t := range a.Terms {
+		if t.IsVariable() && t.Name() == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Program returns the underlying program.
+func (g *Graph) Program() *ast.Program { return g.prog }
+
+// Nodes returns all predicates, sorted.
+func (g *Graph) Nodes() []string { return g.nodes }
+
+// Edges returns all rule-labelled edges in declaration order.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// OutEdges returns the edges leaving pred.
+func (g *Graph) OutEdges(pred string) []Edge { return g.pick(g.out[pred]) }
+
+// InEdges returns the edges entering pred.
+func (g *Graph) InEdges(pred string) []Edge { return g.pick(g.in[pred]) }
+
+func (g *Graph) pick(idx []int) []Edge {
+	out := make([]Edge, len(idx))
+	for i, j := range idx {
+		out[i] = g.edges[j]
+	}
+	return out
+}
+
+// IsIntensional reports whether pred occurs in some rule head.
+func (g *Graph) IsIntensional(pred string) bool { return g.idb[pred] }
+
+// Roots returns the extensional predicates: nodes that do not depend on
+// other nodes. They appear in rules whose bodies contain them and are never
+// derived (paper Section 4.1: "Roots in the dependency graph are nodes that
+// do not depend on other nodes").
+func (g *Graph) Roots() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if !g.idb[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Leaf returns the goal predicate of the program (the intensional of
+// interest). It falls back to the single head predicate with no outgoing
+// edges to other intensionals when the program has no declared output.
+func (g *Graph) Leaf() string {
+	if g.prog.Output != "" {
+		return g.prog.Output
+	}
+	for _, n := range g.nodes {
+		if g.idb[n] && len(g.out[n]) == 0 {
+			return n
+		}
+	}
+	return ""
+}
+
+// InRuleDegree returns the number of distinct rules deriving pred.
+func (g *Graph) InRuleDegree(pred string) int {
+	seen := map[*ast.Rule]bool{}
+	for _, i := range g.in[pred] {
+		seen[g.edges[i].Rule] = true
+	}
+	return len(seen)
+}
+
+// Critical reports whether pred is a critical node per Definition 4.1: it is
+// not extensional and either it is derived by more than one rule or it is
+// the leaf node.
+func (g *Graph) Critical(pred string) bool {
+	if !g.idb[pred] {
+		return false
+	}
+	return g.InRuleDegree(pred) > 1 || pred == g.Leaf()
+}
+
+// CriticalNodes returns all critical nodes, sorted.
+func (g *Graph) CriticalNodes() []string {
+	var out []string
+	for _, n := range g.nodes {
+		if g.Critical(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Cyclic reports whether D(Σ) contains a directed cycle, i.e. whether the
+// program is recursive.
+func (g *Graph) Cyclic() bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = grey
+		for _, i := range g.out[n] {
+			m := g.edges[i].To
+			switch color[m] {
+			case grey:
+				return true
+			case white:
+				if dfs(m) {
+					return true
+				}
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range g.nodes {
+		if color[n] == white && dfs(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// DependsOn reports whether 'to' depends on 'from': there is a directed path
+// from 'from' to 'to' of length >= 1.
+func (g *Graph) DependsOn(to, from string) bool {
+	seen := map[string]bool{}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, i := range g.out[n] {
+			m := g.edges[i].To
+			if m == to {
+				return true
+			}
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+// String renders the graph as a sorted edge list.
+func (g *Graph) String() string {
+	lines := make([]string, len(g.edges))
+	for i, e := range g.edges {
+		lines[i] = e.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// DOT renders the dependency graph in Graphviz syntax, in the style of the
+// paper's Figures 3 and 9: extensional nodes are boxes, intensional nodes
+// ellipses, critical nodes are doubled, aggregated edges dashed.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	sb.WriteString("digraph dependency {\n  rankdir=LR;\n")
+	for _, n := range g.nodes {
+		shape := "box"
+		if g.idb[n] {
+			shape = "ellipse"
+		}
+		peripheries := 1
+		if g.Critical(n) {
+			peripheries = 2
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s, peripheries=%d];\n", n, shape, peripheries)
+	}
+	for _, e := range g.edges {
+		style := "solid"
+		if e.Aggregated {
+			style = "dashed"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q [label=%q, style=%s];\n", e.From, e.To, e.Rule.Label, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,299 @@
+package depgraph
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// Example 4.3 (simplified stress test).
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+`
+
+// Section 5 company control.
+const controlSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`
+
+// Section 5 two-channel stress test.
+const stressSrc = `
+@name("stress-test").
+@output("Default").
+@label("s4") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("s5") Risk(C, EL, "long") :- Default(D), LongTermDebts(D, C, V), EL = sum(V).
+@label("s6") Risk(C, ES, "short") :- Default(D), ShortTermDebts(D, C, V), ES = sum(V).
+@label("s7") Default(C) :- Risk(C, E, T), HasCapital(C, P2), L = sum(E), L > P2.
+`
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return New(prog)
+}
+
+// TestFigure3 checks the dependency graph of Example 4.3: roots Shock and
+// HasCapital, leaf Default, Default is the only critical node, the graph is
+// cyclic.
+func TestFigure3(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+
+	roots := g.Roots()
+	sort.Strings(roots)
+	if want := []string{"Debts", "HasCapital", "Shock"}; !equal(roots, want) {
+		t.Errorf("roots = %v, want %v", roots, want)
+	}
+	if g.Leaf() != "Default" {
+		t.Errorf("leaf = %q", g.Leaf())
+	}
+	if got := g.CriticalNodes(); !equal(got, []string{"Default"}) {
+		t.Errorf("critical = %v, want [Default]", got)
+	}
+	if !g.Cyclic() {
+		t.Error("Figure 3 graph not cyclic")
+	}
+
+	// Edge inventory: alpha contributes Shock->Default, HasCapital->Default;
+	// beta: Default->Risk, Debts->Risk; gamma: HasCapital->Default,
+	// Risk->Default. Six edges total.
+	if len(g.Edges()) != 6 {
+		t.Errorf("edges = %d, want 6\n%s", len(g.Edges()), g)
+	}
+	// Default is derived by two rules (alpha and gamma).
+	if got := g.InRuleDegree("Default"); got != 2 {
+		t.Errorf("InRuleDegree(Default) = %d, want 2", got)
+	}
+	if got := g.InRuleDegree("Risk"); got != 1 {
+		t.Errorf("InRuleDegree(Risk) = %d, want 1", got)
+	}
+}
+
+// TestAggregatedEdges checks that the Debts->Risk edge (binding the
+// aggregated variable V) is marked aggregated, while Default->Risk is not.
+func TestAggregatedEdges(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	for _, e := range g.Edges() {
+		wantAgg := e.From == "Debts" && e.To == "Risk"
+		if e.Aggregated != wantAgg {
+			t.Errorf("edge %v aggregated = %v, want %v", e, e.Aggregated, wantAgg)
+		}
+	}
+}
+
+// TestFigure9CompanyControl checks the company control dependency graph:
+// roots Own and Company, leaf/critical Control, cycle via s3.
+func TestFigure9CompanyControl(t *testing.T) {
+	g := build(t, controlSrc)
+	roots := g.Roots()
+	if want := []string{"Company", "Own"}; !equal(roots, want) {
+		t.Errorf("roots = %v, want %v", roots, want)
+	}
+	if g.Leaf() != "Control" {
+		t.Errorf("leaf = %q", g.Leaf())
+	}
+	if got := g.CriticalNodes(); !equal(got, []string{"Control"}) {
+		t.Errorf("critical = %v", got)
+	}
+	if !g.Cyclic() {
+		t.Error("not cyclic")
+	}
+	if got := g.InRuleDegree("Control"); got != 3 {
+		t.Errorf("InRuleDegree(Control) = %d, want 3", got)
+	}
+	// The Own->Control edge of s3 is aggregated (sum over S).
+	var s3Agg bool
+	for _, e := range g.Edges() {
+		if e.Rule.Label == "s3" && e.From == "Own" {
+			s3Agg = e.Aggregated
+		}
+	}
+	if !s3Agg {
+		t.Error("s3 Own->Control edge not aggregated")
+	}
+}
+
+// TestFigure9StressTest checks the two-channel stress test graph: Risk is
+// critical (derived by s5 and s6) alongside leaf Default.
+func TestFigure9StressTest(t *testing.T) {
+	g := build(t, stressSrc)
+	if want := []string{"HasCapital", "LongTermDebts", "Shock", "ShortTermDebts"}; !equal(g.Roots(), want) {
+		t.Errorf("roots = %v, want %v", g.Roots(), want)
+	}
+	if got := g.CriticalNodes(); !equal(got, []string{"Default", "Risk"}) {
+		t.Errorf("critical = %v, want [Default Risk]", got)
+	}
+	if !g.Cyclic() {
+		t.Error("not cyclic")
+	}
+}
+
+func TestAcyclicProgram(t *testing.T) {
+	g := build(t, `
+@output("B").
+B(X) :- A(X).
+`)
+	if g.Cyclic() {
+		t.Error("acyclic program reported cyclic")
+	}
+	if g.Leaf() != "B" {
+		t.Errorf("leaf = %q", g.Leaf())
+	}
+	if len(g.CriticalNodes()) != 1 {
+		t.Errorf("critical = %v, want leaf only", g.CriticalNodes())
+	}
+}
+
+func TestLeafFallbackWithoutOutput(t *testing.T) {
+	g := build(t, `
+B(X) :- A(X).
+C(X) :- B(X).
+`)
+	if g.Leaf() != "C" {
+		t.Errorf("fallback leaf = %q, want C", g.Leaf())
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	tests := []struct {
+		to, from string
+		want     bool
+	}{
+		{"Default", "Shock", true},
+		{"Default", "Debts", true},
+		{"Risk", "Shock", true},      // Shock -> Default -> Risk
+		{"Default", "Default", true}, // via the cycle
+		{"Shock", "Default", false},
+		{"Debts", "Shock", false},
+	}
+	for _, tt := range tests {
+		if got := g.DependsOn(tt.to, tt.from); got != tt.want {
+			t.Errorf("DependsOn(%s, %s) = %v, want %v", tt.to, tt.from, got, tt.want)
+		}
+	}
+}
+
+func TestOutInEdges(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	out := g.OutEdges("HasCapital")
+	if len(out) != 2 {
+		t.Errorf("OutEdges(HasCapital) = %v", out)
+	}
+	in := g.InEdges("Risk")
+	if len(in) != 2 {
+		t.Errorf("InEdges(Risk) = %v", in)
+	}
+	if len(g.OutEdges("Default")) != 1 {
+		t.Errorf("OutEdges(Default) = %v", g.OutEdges("Default"))
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	dot := g.DOT()
+	for _, sub := range []string{"digraph dependency", `"Shock" [shape=box`, `"Default" [shape=ellipse, peripheries=2]`, "style=dashed"} {
+		if !strings.Contains(dot, sub) {
+			t.Errorf("DOT missing %q:\n%s", sub, dot)
+		}
+	}
+}
+
+func TestStringEdgeList(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	s := g.String()
+	for _, sub := range []string{"Shock --alpha--> Default", "Debts --beta*--> Risk", "Risk --gamma--> Default"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("String missing %q:\n%s", sub, s)
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestStratify(t *testing.T) {
+	g := build(t, `
+@output("Eligible").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("el")    Eligible(X) :- HasCapital(X, P), not Default(X).
+`)
+	strata, err := g.Stratify()
+	if err != nil {
+		t.Fatalf("Stratify: %v", err)
+	}
+	if strata["Default"] >= strata["Eligible"] {
+		t.Errorf("strata: Default=%d Eligible=%d, want Default strictly lower",
+			strata["Default"], strata["Eligible"])
+	}
+	if strata["Shock"] != 0 || strata["HasCapital"] != 0 {
+		t.Errorf("EDB strata nonzero: %v", strata)
+	}
+}
+
+func TestStratifyPositiveRecursionOK(t *testing.T) {
+	g := build(t, stressSimpleSrc)
+	strata, err := g.Stratify()
+	if err != nil {
+		t.Fatalf("positive recursion rejected: %v", err)
+	}
+	if strata["Default"] != strata["Risk"] && strata["Default"] != 0 {
+		// Positive recursion keeps Default and Risk in the same stratum.
+		t.Errorf("strata = %v", strata)
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	g := build(t, `
+@output("P").
+P(X) :- Base(X), not Q(X).
+Q(X) :- Base(X), not P(X).
+`)
+	if _, err := g.Stratify(); err == nil {
+		t.Error("negative cycle accepted")
+	}
+}
+
+func TestNegativeEdges(t *testing.T) {
+	g := build(t, `
+@output("Eligible").
+Default(F) :- Shock(F, S).
+Eligible(X) :- HasCapital(X, P), not Default(X).
+`)
+	found := false
+	for _, e := range g.Edges() {
+		if e.Negative {
+			found = true
+			if e.From != "Default" || e.To != "Eligible" {
+				t.Errorf("negative edge = %v", e)
+			}
+			if !strings.Contains(e.String(), "¬") {
+				t.Errorf("negative edge rendering = %q", e.String())
+			}
+		}
+	}
+	if !found {
+		t.Error("no negative edge recorded")
+	}
+}

@@ -1,0 +1,221 @@
+// Package enhancer produces the "enhanced templates" of Section 4.2 of the
+// paper: fluent rewritings of the deterministic explanation templates that
+// remove repetition and improve readability while provably preserving every
+// token.
+//
+// The paper performs this step with an LLM ("Rephrase the following text:")
+// followed by an automatic token-presence check and an optional
+// human-in-the-loop review. This package substitutes the LLM with a
+// deterministic fluency rewriter behind the same interface: because
+// enhancement operates only on rules — never on instance data — any
+// rewriter that passes the token check is admissible, and ours passes it by
+// construction. A real LLM can be plugged in by implementing Enhancer.
+package enhancer
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/glossary"
+	"repro/internal/template"
+	"repro/internal/verbalizer"
+)
+
+// Enhancer rewrites a deterministic template into fluent variants. Variants
+// that fail the template's token check are discarded by EnhanceStore.
+type Enhancer interface {
+	// Enhance returns candidate fluent texts for the template.
+	Enhance(t *template.Template, g *glossary.Glossary) ([]string, error)
+}
+
+// Fluent is the built-in deterministic rewriter. It regenerates each
+// sentence from the reasoning path's rules with varied sentence patterns and
+// connectives, and drops body clauses that merely repeat the previous rule's
+// conclusion (the main source of redundancy in deterministic templates).
+type Fluent struct {
+	// Variants is the number of interchangeable rewritings to produce per
+	// template (the paper repeats the enhancement step "to increase the
+	// textual richness of final explanations"). Default 1.
+	Variants int
+	// Seed makes variant selection reproducible.
+	Seed int64
+}
+
+// connectives introduce follow-up sentences after the first.
+var connectives = []string{"As a result", "Consequently", "Therefore", "Thus", "In turn"}
+
+// patterns assemble one sentence from body and head clauses.
+var patterns = []func(body, head string) string{
+	func(body, head string) string { return "Since " + body + ", " + head + "." },
+	func(body, head string) string { return "Given that " + body + ", " + head + "." },
+	func(body, head string) string { return upperFirst(head) + ", since " + body + "." },
+	func(body, head string) string { return "Because " + body + ", " + head + "." },
+}
+
+// Enhance implements Enhancer.
+func (f *Fluent) Enhance(t *template.Template, g *glossary.Glossary) ([]string, error) {
+	n := f.Variants
+	if n <= 0 {
+		n = 1
+	}
+	rng := rand.New(rand.NewSource(f.Seed))
+	var out []string
+	for v := 0; v < n; v++ {
+		text, err := f.rewrite(t, g, rng, true)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.CheckText(text); err != nil {
+			// A dropped clause lost a token; rebuild keeping every clause.
+			text, err = f.rewrite(t, g, rng, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, text)
+	}
+	return out, nil
+}
+
+// rewrite builds one fluent variant. When dropConsumed is set, body atoms
+// that repeat the conclusion of an earlier rule in the path are replaced by
+// a connective.
+func (f *Fluent) rewrite(t *template.Template, g *glossary.Glossary, rng *rand.Rand, dropConsumed bool) (string, error) {
+	p := t.Path
+	derivedEarlier := map[string]bool{}
+	var sentences []string
+	for i, r := range p.Rules {
+		render := verbalizer.TokenRenderer(t.StepTokens[i])
+		var body []string
+		dropped := false
+		for _, a := range r.Body {
+			if dropConsumed && derivedEarlier[a.Predicate] && tokensCovered(a, r, t.StepTokens[i]) {
+				dropped = true
+				continue
+			}
+			text, err := verbalizer.AtomText(a, g, render)
+			if err != nil {
+				return "", fmt.Errorf("enhancer: %w", err)
+			}
+			body = append(body, trimPeriod(text))
+		}
+		for _, a := range r.Negated {
+			text, err := verbalizer.AtomText(a, g, render)
+			if err != nil {
+				return "", fmt.Errorf("enhancer: %w", err)
+			}
+			body = append(body, "it is not the case that "+trimPeriod(text))
+		}
+		for _, as := range r.Assignments {
+			body = append(body, verbalizer.AssignmentText(as, render))
+		}
+		for _, c := range r.Conditions {
+			body = append(body, verbalizer.ConditionText(c, render))
+		}
+		head, err := verbalizer.AtomText(r.Head, g, render)
+		if err != nil {
+			return "", fmt.Errorf("enhancer: %w", err)
+		}
+		headClause := trimPeriod(head)
+		if r.Aggregation != nil && p.Dashed {
+			headClause += ", " + verbalizer.AggregationText(*r.Aggregation, render, nil)
+		}
+
+		var sentence string
+		if len(body) == 0 {
+			sentence = upperFirst(headClause) + "."
+		} else {
+			pattern := patterns[rng.Intn(len(patterns))]
+			sentence = pattern(joinClauses(body), headClause)
+		}
+		if i > 0 && dropped {
+			sentence = connectives[rng.Intn(len(connectives))] + ", " + lowerFirst(sentence)
+		}
+		sentences = append(sentences, sentence)
+		derivedEarlier[r.Head.Predicate] = true
+	}
+	return strings.Join(sentences, " "), nil
+}
+
+// tokensCovered reports whether every token of the candidate-to-drop atom
+// also occurs elsewhere in the rule (so dropping the clause cannot lose a
+// token from the sentence).
+func tokensCovered(drop ast.Atom, r *ast.Rule, tokens map[string]string) bool {
+	elsewhere := map[string]bool{}
+	collect := func(vars []string) {
+		for _, v := range vars {
+			elsewhere[tokens[v]] = true
+		}
+	}
+	for _, a := range r.Body {
+		if a.Equal(drop) {
+			continue
+		}
+		collect(a.Variables())
+	}
+	collect(r.Head.Variables())
+	for _, c := range r.Conditions {
+		collect(c.Variables())
+	}
+	for _, as := range r.Assignments {
+		collect([]string{as.Target})
+		collect(as.Variables())
+	}
+	if r.Aggregation != nil {
+		collect([]string{r.Aggregation.Target, r.Aggregation.Over})
+	}
+	for _, v := range drop.Variables() {
+		if !elsewhere[tokens[v]] {
+			return false
+		}
+	}
+	return true
+}
+
+func joinClauses(parts []string) string {
+	switch len(parts) {
+	case 1:
+		return parts[0]
+	default:
+		return strings.Join(parts[:len(parts)-1], ", ") + " and " + parts[len(parts)-1]
+	}
+}
+
+func trimPeriod(s string) string {
+	return strings.TrimSuffix(strings.TrimSpace(s), ".")
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+func lowerFirst(s string) string {
+	if s == "" || strings.HasPrefix(s, "<") {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+// EnhanceStore runs the enhancer over every template of a store, attaching
+// the variants that pass the omission check. It returns the number of
+// variants attached and the first hard error encountered.
+func EnhanceStore(s *template.Store, e Enhancer) (int, error) {
+	attached := 0
+	for _, t := range s.All() {
+		variants, err := e.Enhance(t, s.Glossary())
+		if err != nil {
+			return attached, err
+		}
+		for _, v := range variants {
+			if err := t.AddEnhanced(v); err == nil {
+				attached++
+			}
+		}
+	}
+	return attached, nil
+}

@@ -1,0 +1,262 @@
+package enhancer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/depgraph"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+	"repro/internal/paths"
+	"repro/internal/template"
+)
+
+const figure7Src = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+func stressStore(t *testing.T) *template.Store {
+	t.Helper()
+	prog := parser.MustParse(stressSimpleSrc)
+	a := paths.Analyze(depgraph.New(prog))
+	s, err := template.Generate(a, glossary.MustParse(figure7Src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestEnhancePreservesTokens: every enhanced variant passes the omission
+// check for every template of the application.
+func TestEnhancePreservesTokens(t *testing.T) {
+	s := stressStore(t)
+	f := &Fluent{Variants: 3, Seed: 42}
+	attached, err := EnhanceStore(s, f)
+	if err != nil {
+		t.Fatalf("EnhanceStore: %v", err)
+	}
+	if want := 3 * len(s.All()); attached != want {
+		t.Errorf("attached = %d, want %d (no variant may fail the token check)", attached, want)
+	}
+	for _, tpl := range s.All() {
+		for _, v := range tpl.Enhanced {
+			if err := tpl.CheckText(v); err != nil {
+				t.Errorf("variant fails check: %v", err)
+			}
+		}
+	}
+}
+
+// TestEnhanceRemovesRepetition: the enhanced Π2 no longer repeats the
+// "is in default" clause verbatim as both conclusion and premise.
+func TestEnhanceRemovesRepetition(t *testing.T) {
+	s := stressStore(t)
+	if _, err := EnhanceStore(s, &Fluent{Variants: 1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.ByPath("Π2")
+	enhanced := tpl.Enhanced[0]
+
+	// Deterministic text repeats the Default clause (as γ's premise) and
+	// the Risk clause; the enhanced text drops the repeated premises.
+	detRepeats := strings.Count(tpl.Text, "is in default")
+	enhRepeats := strings.Count(enhanced, "is in default")
+	if enhRepeats >= detRepeats {
+		t.Errorf("repetition not reduced: %d -> %d\ndeterministic: %s\nenhanced: %s",
+			detRepeats, enhRepeats, tpl.Text, enhanced)
+	}
+	// A connective marks the dropped premise.
+	found := false
+	for _, c := range connectives {
+		if strings.Contains(enhanced, c+",") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no connective in enhanced text:\n%s", enhanced)
+	}
+	// The enhanced text is shorter than the deterministic one.
+	if len(enhanced) >= len(tpl.Text) {
+		t.Errorf("enhanced (%d chars) not shorter than deterministic (%d)", len(enhanced), len(tpl.Text))
+	}
+}
+
+// TestVariantsDiffer: with several variants requested, at least two differ
+// (interchangeable enriched versions of the same template).
+func TestVariantsDiffer(t *testing.T) {
+	s := stressStore(t)
+	if _, err := EnhanceStore(s, &Fluent{Variants: 4, Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.ByPath("Π2")
+	distinct := map[string]bool{}
+	for _, v := range tpl.Enhanced {
+		distinct[v] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d variants identical", len(tpl.Enhanced))
+	}
+}
+
+// TestEnhanceDeterministicWithSeed: the same seed produces the same
+// variants.
+func TestEnhanceDeterministicWithSeed(t *testing.T) {
+	s1 := stressStore(t)
+	s2 := stressStore(t)
+	if _, err := EnhanceStore(s1, &Fluent{Variants: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnhanceStore(s2, &Fluent{Variants: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	a := s1.ByPath("Γ1").Enhanced
+	b := s2.ByPath("Γ1").Enhanced
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("variant %d differs across runs:\n%s\nvs\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEnhancedDashedKeepsAggregation: the dashed variant keeps the
+// aggregator verbalization with its contributor token.
+func TestEnhancedDashedKeepsAggregation(t *testing.T) {
+	s := stressStore(t)
+	if _, err := EnhanceStore(s, &Fluent{Variants: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.ByPath("Γ1*")
+	if !strings.Contains(tpl.Enhanced[0], "sum of <v>") {
+		t.Errorf("dashed enhancement lost aggregator:\n%s", tpl.Enhanced[0])
+	}
+}
+
+// TestEnhancedInstantiation: an enhanced template instantiates end-to-end
+// on real chase steps with all constants present.
+func TestEnhancedInstantiation(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	res := chase.MustRun(prog, chase.Options{})
+	s := stressStore(t)
+	if _, err := EnhanceStore(s, &Fluent{Variants: 1, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.ByPath("Π2")
+	text, err := tpl.Instantiate(res.Steps[:3])
+	if err != nil {
+		t.Fatalf("Instantiate enhanced: %v", err)
+	}
+	for _, c := range []string{"A", "6", "5", "7", "B", "2"} {
+		if !strings.Contains(text, c) {
+			t.Errorf("instance missing %q:\n%s", c, text)
+		}
+	}
+}
+
+func TestDefaultVariantCount(t *testing.T) {
+	s := stressStore(t)
+	f := &Fluent{} // zero Variants means 1
+	variants, err := f.Enhance(s.ByPath("Π1"), s.Glossary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(variants) != 1 {
+		t.Errorf("variants = %d, want 1", len(variants))
+	}
+}
+
+func TestEnhanceMissingGlossary(t *testing.T) {
+	s := stressStore(t)
+	f := &Fluent{}
+	if _, err := f.Enhance(s.ByPath("Π1"), glossary.New()); err == nil {
+		t.Error("missing glossary accepted")
+	}
+}
+
+// TestEnhanceBodylessSentence: when every premise of a rule was already
+// derived in the path and its tokens are covered, the rewritten sentence
+// degenerates to the head clause alone.
+func TestEnhanceBodylessSentence(t *testing.T) {
+	prog := parser.MustParse(`
+@output("C").
+@label("r1") B(X) :- A(X).
+@label("r2") C(X) :- B(X).
+`)
+	g := glossary.MustParse(`
+A(x): <x> is an input.
+B(x): <x> is intermediate.
+C(x): <x> is the goal.
+`)
+	a := paths.Analyze(depgraph.New(prog))
+	s, err := template.Generate(a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnhanceStore(s, &Fluent{Variants: 1, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	tpl := s.ByPath("Π1")
+	enhanced := tpl.Enhanced[0]
+	// The second sentence has no remaining premise clause: it reads as a
+	// bare conclusion introduced by a connective.
+	if !strings.Contains(enhanced, "<x> is the goal.") {
+		t.Errorf("bodyless conclusion missing:\n%s", enhanced)
+	}
+	if strings.Count(enhanced, "is intermediate") != 1 {
+		t.Errorf("premise repetition not removed:\n%s", enhanced)
+	}
+}
+
+// TestEnhanceNegatedRule: the negated premise survives enhancement.
+func TestEnhanceNegatedRule(t *testing.T) {
+	prog := parser.MustParse(`
+@output("Eligible").
+@label("d") Default(F) :- Shock(F, S), HasCapital(F, P), S > P.
+@label("e") Eligible(X) :- HasCapital(X, P), not Default(X).
+`)
+	g := glossary.MustParse(`
+Shock(f, s): a shock of <s> hits <f>.
+HasCapital(f, p): <f> has capital <p>.
+Default(f): <f> is in default.
+Eligible(x): <x> is eligible.
+`)
+	a := paths.Analyze(depgraph.New(prog))
+	s, err := template.Generate(a, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EnhanceStore(s, &Fluent{Variants: 2, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tpl := range s.All() {
+		for _, v := range tpl.Enhanced {
+			if strings.Contains(v, "it is not the case that") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("negated premise lost in every enhanced variant")
+	}
+}

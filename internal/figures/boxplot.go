@@ -1,0 +1,160 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// BoxplotRow is one labelled distribution of a boxplot chart.
+type BoxplotRow struct {
+	Label   string
+	Summary stats.FiveNum
+}
+
+// BoxplotChart renders labelled five-number summaries as horizontal ASCII
+// boxplots on a shared axis, in the spirit of the paper's Figures 17-18:
+//
+//	3 ├ ──[▒▒│▒▒]───              ┤
+//	6 ├     ───[▒▒▒│▒▒]──         ┤
+//
+// '──' spans min..max (the whiskers), '[▒…▒]' spans Q1..Q3 and '│' marks
+// the median. The axis runs from lo to hi; width is the plot width in
+// characters.
+func BoxplotChart(title, unit string, rows []BoxplotRow, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	lo, hi := axisBounds(rows)
+	scale := func(v float64) int {
+		if hi == lo {
+			return 0
+		}
+		pos := int(float64(width-1) * (v - lo) / (hi - lo))
+		if pos < 0 {
+			pos = 0
+		}
+		if pos > width-1 {
+			pos = width - 1
+		}
+		return pos
+	}
+
+	labelWidth := 0
+	for _, r := range rows {
+		if len(r.Label) > labelWidth {
+			labelWidth = len(r.Label)
+		}
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, r := range rows {
+		line := make([]rune, width)
+		for i := range line {
+			line[i] = ' '
+		}
+		s := r.Summary
+		for i := scale(s.Min); i <= scale(s.Max); i++ {
+			line[i] = '─'
+		}
+		for i := scale(s.Q1); i <= scale(s.Q3); i++ {
+			line[i] = '▒'
+		}
+		line[scale(s.Q1)] = '['
+		line[scale(s.Q3)] = ']'
+		line[scale(s.Median)] = '│'
+		fmt.Fprintf(&sb, "%*s ├%s┤\n", labelWidth, r.Label, string(line))
+	}
+	fmt.Fprintf(&sb, "%*s  %s\n", labelWidth, "", axisLine(lo, hi, width, unit))
+	return sb.String()
+}
+
+func axisBounds(rows []BoxplotRow) (lo, hi float64) {
+	first := true
+	for _, r := range rows {
+		if first {
+			lo, hi = r.Summary.Min, r.Summary.Max
+			first = false
+			continue
+		}
+		if r.Summary.Min < lo {
+			lo = r.Summary.Min
+		}
+		if r.Summary.Max > hi {
+			hi = r.Summary.Max
+		}
+	}
+	if first {
+		return 0, 1
+	}
+	if lo > 0 && lo < (hi-lo) {
+		lo = 0 // anchor at zero when the data starts near it
+	}
+	return lo, hi
+}
+
+func axisLine(lo, hi float64, width int, unit string) string {
+	left := fmt.Sprintf("%.3g", lo)
+	right := fmt.Sprintf("%.3g", hi)
+	if unit != "" {
+		right += " " + unit
+	}
+	gap := width - len(left) - len(right)
+	if gap < 1 {
+		gap = 1
+	}
+	return left + strings.Repeat(" ", gap) + right
+}
+
+// OmissionBoxplots renders the Figure 17 data as boxplot charts, one chart
+// per (application, prompt).
+func OmissionBoxplots(points []OmissionPoint, width int) string {
+	type key struct {
+		app  string
+		mode string
+	}
+	grouped := map[key][]BoxplotRow{}
+	var order []key
+	for _, p := range points {
+		k := key{p.App, p.Mode.String()}
+		if _, ok := grouped[k]; !ok {
+			order = append(order, k)
+		}
+		grouped[k] = append(grouped[k], BoxplotRow{
+			Label:   fmt.Sprintf("%d steps", p.Steps),
+			Summary: p.Summary,
+		})
+	}
+	var sb strings.Builder
+	for _, k := range order {
+		sb.WriteString(BoxplotChart(fmt.Sprintf("%s — %s (omission ratio)", k.app, k.mode), "", grouped[k], width))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TimingBoxplots renders the Figure 18 data as boxplot charts, one chart
+// per application.
+func TimingBoxplots(points []TimingPoint, width int) string {
+	grouped := map[string][]BoxplotRow{}
+	var order []string
+	for _, p := range points {
+		if _, ok := grouped[p.App]; !ok {
+			order = append(order, p.App)
+		}
+		grouped[p.App] = append(grouped[p.App], BoxplotRow{
+			Label:   fmt.Sprintf("%d steps", p.Steps),
+			Summary: p.Summary,
+		})
+	}
+	var sb strings.Builder
+	for _, app := range order {
+		sb.WriteString(BoxplotChart(fmt.Sprintf("%s (running time)", app), "ms", grouped[app], width))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,70 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBoxplotChart(t *testing.T) {
+	rows := []BoxplotRow{
+		{Label: "3 steps", Summary: stats.FiveNum{Min: 0, Q1: 0.1, Median: 0.15, Q3: 0.2, Max: 0.4}},
+		{Label: "21 steps", Summary: stats.FiveNum{Min: 0.3, Q1: 0.45, Median: 0.5, Q3: 0.55, Max: 0.6}},
+	}
+	out := BoxplotChart("demo", "ratio", rows, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // title + 2 rows + axis
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Errorf("title = %q", lines[0])
+	}
+	for _, want := range []string{"[", "]", "│", "─", "3 steps", "21 steps", "0.6 ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The 21-step box must sit to the right of the 3-step box.
+	left3 := strings.Index(lines[1], "[")
+	left21 := strings.Index(lines[2], "[")
+	if left21 <= left3 {
+		t.Errorf("boxes not ordered along the axis:\n%s", out)
+	}
+}
+
+func TestBoxplotDegenerate(t *testing.T) {
+	// A single point distribution still renders.
+	rows := []BoxplotRow{{Label: "x", Summary: stats.FiveNum{Min: 1, Q1: 1, Median: 1, Q3: 1, Max: 1}}}
+	out := BoxplotChart("", "", rows, 10)
+	if !strings.Contains(out, "│") {
+		t.Errorf("degenerate chart missing median:\n%s", out)
+	}
+	if BoxplotChart("t", "", nil, 0) == "" {
+		t.Error("empty chart should still render the axis")
+	}
+}
+
+func TestOmissionAndTimingBoxplots(t *testing.T) {
+	_, points, err := Fig17Omissions(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := OmissionBoxplots(points, 50)
+	for _, sub := range []string{"paraphrasis (omission ratio)", "summary (omission ratio)", "21 steps"} {
+		if !strings.Contains(chart, sub) {
+			t.Errorf("omission chart missing %q", sub)
+		}
+	}
+
+	_, tpoints, err := Fig18Performance(42, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tchart := TimingBoxplots(tpoints, 50)
+	for _, sub := range []string{"(running time)", "ms", "22 steps"} {
+		if !strings.Contains(tchart, sub) {
+			t.Errorf("timing chart missing %q", sub)
+		}
+	}
+}

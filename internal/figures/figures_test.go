@@ -1,0 +1,222 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/llm"
+	"repro/internal/stats"
+)
+
+func TestFig3Fig9(t *testing.T) {
+	out, err := Fig3Fig9DependencyGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{
+		"== Company Control ==",
+		"roots: Company, Own",
+		"critical: Control",
+		"cyclic: true",
+		"== Stress Test (two channels) ==",
+		"critical: Default, Risk",
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q in:\n%s", sub, out)
+		}
+	}
+}
+
+func TestFig4Fig5Fig10(t *testing.T) {
+	out, err := Fig4Fig5Fig10ReasoningPaths()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{
+		"Π2* = {alpha, beta, gamma}", // Figure 4/5
+		"Π5* = {s1, s2, s3}",         // Figure 10 company control
+		"Γ3* = {s5, s6, s7}",         // Figure 10 stress test
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q in:\n%s", sub, out)
+		}
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out, err := Fig6Templates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Deterministic: Since a shock amounting to <s> euro affects <f>") {
+		t.Errorf("Π1 deterministic template missing:\n%s", out)
+	}
+	if !strings.Contains(out, "Enhanced 1:") {
+		t.Error("enhanced variants missing")
+	}
+	if !strings.Contains(out, "with <e> given by the sum of <v>") {
+		t.Error("dashed template missing")
+	}
+}
+
+func TestFig7Fig11(t *testing.T) {
+	out := Fig7Fig11Glossaries()
+	for _, sub := range []string{"Shock(f, s):", "LongTermDebts(d, c, v):", "CloseLink(x, y):"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q", sub)
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	out, err := Fig8ChaseGraph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"Risk(C, 11)", "τ = {alpha, beta, gamma, beta, gamma}"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q in:\n%s", sub, out)
+		}
+	}
+}
+
+func TestEx48(t *testing.T) {
+	out, err := Ex48Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"paths: {Π2, Γ1*}", "sum of 2 and 9"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q in:\n%s", sub, out)
+		}
+	}
+}
+
+func TestFig13(t *testing.T) {
+	out, err := Fig13DerivedKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"Control(A, B)", "Control(B, D)", "Default(F)"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q in:\n%s", sub, out)
+		}
+	}
+	if strings.Contains(out, "Control(A, A)") {
+		t.Error("auto-control edge not omitted")
+	}
+	if strings.Contains(out, "Default(D)") || strings.Contains(out, "Default(E)") {
+		t.Error("surviving entity reported as defaulted")
+	}
+}
+
+func TestFig14(t *testing.T) {
+	out, rs, err := Fig14Comprehension(42, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("cases = %d", len(rs))
+	}
+	if !strings.Contains(out, "overall accuracy:") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+}
+
+func TestFig15(t *testing.T) {
+	out, err := Fig15ExampleTexts(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{
+		"== Deterministic Explanation ==",
+		"== GPT Paraphrasis of Deterministic Explanation ==",
+		"== GPT Summary of Deterministic Explanation ==",
+		"== Template-based Approach ==",
+		"IrishBank",
+	} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q", sub)
+		}
+	}
+	// The template section must mention the joint shares; the summary
+	// section is allowed to omit them.
+	tmpl := out[strings.Index(out, "Template-based"):]
+	for _, c := range []string{"0.83", "0.54", "0.21", "0.36", "0.57"} {
+		if !strings.Contains(tmpl, c) {
+			t.Errorf("template text missing %q:\n%s", c, tmpl)
+		}
+	}
+}
+
+func TestFig16(t *testing.T) {
+	out, r, err := Fig16ExpertStudy(42, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant() {
+		t.Errorf("significant difference: %+v", r)
+	}
+	for _, sub := range []string{"Mean", "Std. Dev.", "Wilcoxon vs templates"} {
+		if !strings.Contains(out, sub) {
+			t.Errorf("missing %q", sub)
+		}
+	}
+}
+
+// TestFig17Trends asserts the paper's Figure 17 shape on a reduced sweep:
+// omission grows with proof length, summaries lose more than paraphrases,
+// and the template approach never omits.
+func TestFig17Trends(t *testing.T) {
+	out, points, err := Fig17Omissions(42, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "templates") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+	meanAt := func(app string, mode llm.Mode, steps int) float64 {
+		for _, p := range points {
+			if p.App == app && p.Mode == mode && p.Steps == steps {
+				return stats.Mean(p.Ratios)
+			}
+		}
+		t.Fatalf("point %s/%v/%d missing", app, mode, steps)
+		return 0
+	}
+	cc := apps.NameCompanyControl
+	if meanAt(cc, llm.Summarize, 21) <= meanAt(cc, llm.Summarize, 3) {
+		t.Error("company control summary omission does not grow")
+	}
+	if meanAt(cc, llm.Paraphrase, 21) <= meanAt(cc, llm.Paraphrase, 3) {
+		t.Error("company control paraphrase omission does not grow")
+	}
+	if meanAt(cc, llm.Summarize, 21) <= meanAt(cc, llm.Paraphrase, 21) {
+		t.Error("summary does not omit more than paraphrase")
+	}
+	st := apps.NameStressTest
+	if meanAt(st, llm.Summarize, 9) <= meanAt(st, llm.Summarize, 1) {
+		t.Error("stress test summary omission does not grow")
+	}
+}
+
+// TestFig18Shape asserts the Figure 18 shape on a reduced sweep: times stay
+// small (well under the paper's ~3s ceiling) and the table renders.
+func TestFig18Shape(t *testing.T) {
+	out, points, err := Fig18Performance(42, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "avg ms") {
+		t.Errorf("table malformed:\n%s", out)
+	}
+	for _, p := range points {
+		if p.Summary.Max > 3000 {
+			t.Errorf("%s steps=%d took %.1fms (> paper's 3s ceiling)", p.App, p.Steps, p.Summary.Max)
+		}
+		if len(p.Millis) != 3 {
+			t.Errorf("%s steps=%d: %d samples", p.App, p.Steps, len(p.Millis))
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Package glossary implements the domain glossary of Section 4.2 of the
+// paper: a data dictionary for Datalog-based contexts mapping every
+// predicate of the domain schema to its natural-language description, with
+// positional <token> placeholders for the predicate's arguments.
+//
+// Example (the paper's Figure 7):
+//
+//	HasCapital(f, p): <f> is a financial institution with capital of <p>.
+//	Shock(f, s): a shock amounting to <s> euro affects <f>.
+//
+// The glossary is the only domain-specific input the template pipeline
+// needs; in an industrial context it is extracted from the corporate data
+// dictionary.
+package glossary
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Entry describes one predicate: its formal parameters and the description
+// text containing a <param> token for each parameter.
+type Entry struct {
+	// Predicate is the relation symbol described.
+	Predicate string
+	// Params are the formal parameter names, one per argument position.
+	Params []string
+	// Text is the description with <param> tokens.
+	Text string
+}
+
+// Arity returns the number of parameters.
+func (e Entry) Arity() int { return len(e.Params) }
+
+var tokenRe = regexp.MustCompile(`<([A-Za-z_][A-Za-z0-9_]*)>`)
+
+// Validate checks that every token in the text names a parameter and every
+// parameter occurs in the text (so no argument can be silently dropped from
+// explanations).
+func (e Entry) Validate() error {
+	if e.Predicate == "" {
+		return fmt.Errorf("glossary: entry with empty predicate")
+	}
+	if strings.TrimSpace(e.Text) == "" {
+		return fmt.Errorf("glossary: entry %s has empty text", e.Predicate)
+	}
+	params := map[string]bool{}
+	for _, p := range e.Params {
+		if params[p] {
+			return fmt.Errorf("glossary: entry %s repeats parameter %q", e.Predicate, p)
+		}
+		params[p] = true
+	}
+	used := map[string]bool{}
+	for _, m := range tokenRe.FindAllStringSubmatch(e.Text, -1) {
+		if !params[m[1]] {
+			return fmt.Errorf("glossary: entry %s uses unknown token <%s>", e.Predicate, m[1])
+		}
+		used[m[1]] = true
+	}
+	for _, p := range e.Params {
+		if !used[p] {
+			return fmt.Errorf("glossary: entry %s never uses parameter <%s>", e.Predicate, p)
+		}
+	}
+	return nil
+}
+
+// Render substitutes each <param> token using the provided function, which
+// receives the parameter's position and name.
+func (e Entry) Render(render func(pos int, param string) string) string {
+	posOf := map[string]int{}
+	for i, p := range e.Params {
+		posOf[p] = i
+	}
+	return tokenRe.ReplaceAllStringFunc(e.Text, func(tok string) string {
+		name := tok[1 : len(tok)-1]
+		return render(posOf[name], name)
+	})
+}
+
+// Glossary is a set of entries keyed by predicate.
+type Glossary struct {
+	entries map[string]Entry
+}
+
+// New returns an empty glossary.
+func New() *Glossary {
+	return &Glossary{entries: map[string]Entry{}}
+}
+
+// Add inserts an entry after validation. Adding a second entry for the same
+// predicate is an error.
+func (g *Glossary) Add(e Entry) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if _, ok := g.entries[e.Predicate]; ok {
+		return fmt.Errorf("glossary: duplicate entry for %s", e.Predicate)
+	}
+	g.entries[e.Predicate] = e
+	return nil
+}
+
+// MustAdd is Add for compile-time constant entries; it panics on error.
+func (g *Glossary) MustAdd(pred string, params []string, text string) {
+	if err := g.Add(Entry{Predicate: pred, Params: params, Text: text}); err != nil {
+		panic(err)
+	}
+}
+
+// Entry returns the entry for a predicate.
+func (g *Glossary) Entry(pred string) (Entry, bool) {
+	e, ok := g.entries[pred]
+	return e, ok
+}
+
+// Predicates returns the described predicates, sorted.
+func (g *Glossary) Predicates() []string {
+	out := make([]string, 0, len(g.entries))
+	for p := range g.entries {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Covers checks that the glossary has a compatible entry for every
+// predicate of the program, returning the list of problems (missing entries
+// or arity mismatches).
+func (g *Glossary) Covers(p *ast.Program) []error {
+	var errs []error
+	arity := map[string]int{}
+	record := func(a ast.Atom) {
+		if prev, ok := arity[a.Predicate]; ok && prev != a.Arity() {
+			errs = append(errs, fmt.Errorf("glossary: predicate %s used with arities %d and %d", a.Predicate, prev, a.Arity()))
+			return
+		}
+		arity[a.Predicate] = a.Arity()
+	}
+	for _, r := range p.Rules {
+		record(r.Head)
+		for _, a := range r.Body {
+			record(a)
+		}
+	}
+	for _, f := range p.Facts {
+		record(f)
+	}
+	preds := make([]string, 0, len(arity))
+	for pred := range arity {
+		preds = append(preds, pred)
+	}
+	sort.Strings(preds)
+	for _, pred := range preds {
+		e, ok := g.entries[pred]
+		if !ok {
+			errs = append(errs, fmt.Errorf("glossary: no entry for predicate %s", pred))
+			continue
+		}
+		if e.Arity() != arity[pred] {
+			errs = append(errs, fmt.Errorf("glossary: entry %s has arity %d, program uses %d", pred, e.Arity(), arity[pred]))
+		}
+	}
+	return errs
+}
+
+// String renders the glossary in its parsable text format.
+func (g *Glossary) String() string {
+	var sb strings.Builder
+	for _, pred := range g.Predicates() {
+		e := g.entries[pred]
+		fmt.Fprintf(&sb, "%s(%s): %s\n", pred, strings.Join(e.Params, ", "), e.Text)
+	}
+	return sb.String()
+}
+
+var lineRe = regexp.MustCompile(`^\s*([A-Za-z_][A-Za-z0-9_]*)\s*\(([^)]*)\)\s*:\s*(.+?)\s*$`)
+
+// Parse reads a glossary from its text format: one entry per line of the
+// form "Pred(p1, p2): description with <p1> and <p2>." Blank lines and lines
+// starting with % or # are skipped.
+func Parse(src string) (*Glossary, error) {
+	g := New()
+	for i, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "%") || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("glossary: line %d: cannot parse %q", i+1, trimmed)
+		}
+		var params []string
+		if strings.TrimSpace(m[2]) != "" {
+			for _, p := range strings.Split(m[2], ",") {
+				params = append(params, strings.TrimSpace(p))
+			}
+		}
+		if err := g.Add(Entry{Predicate: m[1], Params: params, Text: m[3]}); err != nil {
+			return nil, fmt.Errorf("glossary: line %d: %w", i+1, err)
+		}
+	}
+	return g, nil
+}
+
+// MustParse is Parse for compile-time constant glossaries.
+func MustParse(src string) *Glossary {
+	g, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Draft generates placeholder entries for every program predicate the
+// glossary does not describe yet, returning the drafted text in the
+// parsable format. Drafts read mechanically ("Own holds for <a1>, <a2> and
+// <a3>.") and are meant as a starting point for the domain expert editing
+// the data dictionary of a new application — every argument position is
+// already tokenized, so a drafted glossary passes Covers and yields
+// complete (if clunky) explanations immediately.
+func (g *Glossary) Draft(p *ast.Program) string {
+	arity := map[string]int{}
+	record := func(a ast.Atom) { arity[a.Predicate] = a.Arity() }
+	for _, r := range p.Rules {
+		record(r.Head)
+		for _, a := range r.Body {
+			record(a)
+		}
+		for _, a := range r.Negated {
+			record(a)
+		}
+	}
+	for _, f := range p.Facts {
+		record(f)
+	}
+	preds := make([]string, 0, len(arity))
+	for pred := range arity {
+		if _, ok := g.entries[pred]; !ok {
+			preds = append(preds, pred)
+		}
+	}
+	sort.Strings(preds)
+	var sb strings.Builder
+	for _, pred := range preds {
+		n := arity[pred]
+		params := make([]string, n)
+		tokens := make([]string, n)
+		for i := 0; i < n; i++ {
+			params[i] = fmt.Sprintf("a%d", i+1)
+			tokens[i] = "<" + params[i] + ">"
+		}
+		text := pred + " holds."
+		if n > 0 {
+			text = fmt.Sprintf("%s holds for %s.", pred, joinDraft(tokens))
+		}
+		fmt.Fprintf(&sb, "%s(%s): %s\n", pred, strings.Join(params, ", "), text)
+	}
+	return sb.String()
+}
+
+func joinDraft(items []string) string {
+	switch len(items) {
+	case 1:
+		return items[0]
+	default:
+		return strings.Join(items[:len(items)-1], ", ") + " and " + items[len(items)-1]
+	}
+}

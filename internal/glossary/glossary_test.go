@@ -1,0 +1,237 @@
+package glossary
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+)
+
+// figure7Src is the domain glossary of the paper's Figure 7.
+const figure7Src = `
+% Domain glossary for the simplified stress test (Figure 7)
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+func TestParseFigure7(t *testing.T) {
+	g, err := Parse(figure7Src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	preds := g.Predicates()
+	want := []string{"Debts", "Default", "HasCapital", "Risk", "Shock"}
+	if len(preds) != len(want) {
+		t.Fatalf("predicates = %v", preds)
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Errorf("predicates[%d] = %s, want %s", i, preds[i], want[i])
+		}
+	}
+	e, ok := g.Entry("Debts")
+	if !ok {
+		t.Fatal("Debts missing")
+	}
+	if e.Arity() != 3 || e.Params[0] != "d" || e.Params[2] != "v" {
+		t.Errorf("Debts entry = %+v", e)
+	}
+}
+
+func TestEntryValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		e    Entry
+		ok   bool
+	}{
+		{"valid", Entry{"P", []string{"a"}, "<a> holds."}, true},
+		{"zero arity", Entry{"P", nil, "something happened."}, true},
+		{"empty predicate", Entry{"", []string{"a"}, "<a>."}, false},
+		{"empty text", Entry{"P", []string{"a"}, "  "}, false},
+		{"unknown token", Entry{"P", []string{"a"}, "<a> and <b>."}, false},
+		{"unused param", Entry{"P", []string{"a", "b"}, "<a> only."}, false},
+		{"repeated param", Entry{"P", []string{"a", "a"}, "<a>."}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.e.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate = %v, ok %v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestEntryRender(t *testing.T) {
+	e := Entry{"Debts", []string{"d", "c", "v"}, "<d> has an amount <v> of debts with <c>."}
+	got := e.Render(func(pos int, param string) string {
+		return map[int]string{0: "A", 1: "B", 2: "7"}[pos]
+	})
+	if got != "A has an amount 7 of debts with B." {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestAddDuplicate(t *testing.T) {
+	g := New()
+	g.MustAdd("P", []string{"a"}, "<a>.")
+	if err := g.Add(Entry{"P", []string{"a"}, "<a>!"}); err == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic")
+		}
+	}()
+	New().MustAdd("P", []string{"a"}, "<b>.")
+}
+
+func TestCovers(t *testing.T) {
+	prog, err := parser.Parse(`
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := MustParse(figure7Src)
+	if errs := g.Covers(prog); len(errs) != 0 {
+		t.Errorf("Covers = %v, want none", errs)
+	}
+
+	// Missing entry.
+	g2 := New()
+	g2.MustAdd("Default", []string{"f"}, "<f> is in default.")
+	errs := g2.Covers(prog)
+	if len(errs) == 0 {
+		t.Fatal("missing entries not reported")
+	}
+	joined := ""
+	for _, e := range errs {
+		joined += e.Error() + "\n"
+	}
+	for _, pred := range []string{"Shock", "HasCapital", "Debts", "Risk"} {
+		if !strings.Contains(joined, pred) {
+			t.Errorf("Covers errors missing %s: %s", pred, joined)
+		}
+	}
+
+	// Arity mismatch.
+	g3 := MustParse(figure7Src)
+	prog2, _ := parser.Parse(`
+@output("Default").
+Default(F, Z) :- Shock(F, S), HasCapital(F, P1), S > P1.
+`)
+	errs3 := g3.Covers(prog2)
+	found := false
+	for _, e := range errs3 {
+		if strings.Contains(e.Error(), "arity") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("arity mismatch not reported: %v", errs3)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"garbage line", "not a glossary line"},
+		{"missing colon", "P(a) <a>."},
+		{"invalid entry", "P(a): <zzz>."},
+		{"duplicate", "P(a): <a>.\nP(a): <a>!"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.src); err == nil {
+				t.Error("invalid glossary accepted")
+			}
+		})
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	g := MustParse(figure7Src)
+	again, err := Parse(g.String())
+	if err != nil {
+		t.Fatalf("re-Parse: %v", err)
+	}
+	if again.String() != g.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", g.String(), again.String())
+	}
+}
+
+func TestZeroArityEntry(t *testing.T) {
+	g, err := Parse("Triggered(): the alarm was triggered.")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	e, ok := g.Entry("Triggered")
+	if !ok || e.Arity() != 0 {
+		t.Errorf("entry = %+v", e)
+	}
+	if got := e.Render(func(int, string) string { return "X" }); got != "the alarm was triggered." {
+		t.Errorf("Render = %q", got)
+	}
+}
+
+func TestDraft(t *testing.T) {
+	prog, err := parser.Parse(`
+@output("Eligible").
+Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+Eligible(X) :- HasCapital(X, P), not Default(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New()
+	g.MustAdd("Shock", []string{"f", "s"}, "a shock of <s> hits <f>.")
+	draft := g.Draft(prog)
+	// Existing entries are not re-drafted.
+	if strings.Contains(draft, "Shock(") {
+		t.Errorf("existing entry drafted:\n%s", draft)
+	}
+	for _, sub := range []string{
+		"Default(a1): Default holds for <a1>.",
+		"HasCapital(a1, a2): HasCapital holds for <a1> and <a2>.",
+		"Eligible(a1): Eligible holds for <a1>.",
+	} {
+		if !strings.Contains(draft, sub) {
+			t.Errorf("draft missing %q:\n%s", sub, draft)
+		}
+	}
+	// A drafted glossary parses and covers the program.
+	full, err := Parse(g.String() + draft)
+	if err != nil {
+		t.Fatalf("draft does not parse: %v\n%s", err, draft)
+	}
+	if errs := full.Covers(prog); len(errs) != 0 {
+		t.Errorf("drafted glossary has gaps: %v", errs)
+	}
+}
+
+func TestDraftZeroArity(t *testing.T) {
+	prog, err := parser.Parse(`
+@output("Alarm").
+Alarm() :- Event(X).
+Event("e").
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draft := New().Draft(prog)
+	if !strings.Contains(draft, "Alarm(): Alarm holds.") {
+		t.Errorf("draft = %q", draft)
+	}
+}

@@ -1,0 +1,272 @@
+// Package llm provides the LLM baseline of the paper's evaluation
+// (Sections 6.2-6.3) as a local simulation. The paper prompts ChatGPT with
+// the deterministic verbalization of a proof and asks for a paraphrase or a
+// summary; it then measures how much information the output omits, finding
+// that omissions grow with proof length and that summarization omits more
+// than paraphrasis.
+//
+// Network access to a real LLM is neither available nor desirable here (the
+// whole point of the paper is avoiding it), so this package substitutes a
+// text-to-text simulator whose omission behaviour is mechanistic rather
+// than hard-coded: paraphrasing rewrites every sentence and loses each
+// constant with a small attention-dilution probability that grows with text
+// length; summarization additionally compresses the middle of the text into
+// an aggregate sentence whose numeric details are gone — exactly the
+// failure mode the paper reports ("omissions refer, in most cases, to
+// ownership share amounts"). The measurement code (OmissionRatio) is the
+// paper's metric and runs unchanged against any Generator, so a real LLM
+// client can be swapped in.
+package llm
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+
+	"repro/internal/verbalizer"
+)
+
+// Mode selects the prompt of the paper's Section 6.2.
+type Mode int
+
+const (
+	// Paraphrase corresponds to "Generate a paraphrased version of the
+	// following text: ...".
+	Paraphrase Mode = iota
+	// Summarize corresponds to "Generate a summarized version of the
+	// following text: ...".
+	Summarize
+)
+
+// String implements fmt.Stringer for Mode.
+func (m Mode) String() string {
+	if m == Summarize {
+		return "summary"
+	}
+	return "paraphrasis"
+}
+
+// Generator turns a deterministic proof explanation into a fluent text. A
+// production implementation would call an external LLM; Simulated is the
+// offline stand-in.
+type Generator interface {
+	Generate(text string) string
+}
+
+// Simulated is the offline LLM simulator. The zero value paraphrases with
+// seed 0.
+type Simulated struct {
+	// Mode selects paraphrasing or summarization.
+	Mode Mode
+	// Seed drives the stochastic omissions; runs with the same seed are
+	// reproducible ("different in each run" is the paper's experience with
+	// sampled LLMs, reproduced here by varying the seed).
+	Seed int64
+}
+
+// sentence splitting on the ". " produced by the verbalizer.
+func splitSentences(text string) []string {
+	parts := strings.Split(text, ". ")
+	var out []string
+	for i, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if i < len(parts)-1 {
+			p += "."
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+var (
+	numberRe = regexp.MustCompile(`\b\d+(?:\.\d+)?\b`)
+	// entities as produced by our generators and scenarios: identifier-like
+	// words containing a digit or underscore, or CamelCase words.
+	entityRe = regexp.MustCompile(`\b[A-Z][A-Za-z0-9_]*\b`)
+)
+
+// Generate implements Generator.
+func (s *Simulated) Generate(text string) string {
+	rng := rand.New(rand.NewSource(s.Seed))
+	sentences := splitSentences(text)
+	n := len(sentences)
+	if n == 0 {
+		return ""
+	}
+
+	switch s.Mode {
+	case Summarize:
+		return s.summarize(sentences, rng)
+	default:
+		return s.paraphrase(sentences, rng, n)
+	}
+}
+
+// dropProb returns the per-constant omission probability for a text of n
+// sentences: a small floor plus an attention-dilution term growing with
+// length. Entities are dropped three times less often than numbers (the
+// paper observes omissions concentrate on amounts).
+func dropProb(mode Mode, n int, isNumber bool) float64 {
+	var p float64
+	switch mode {
+	case Summarize:
+		p = 0.06 + 0.022*float64(n)
+		if p > 0.65 {
+			p = 0.65
+		}
+	default:
+		p = 0.01 + 0.02*float64(n)
+		if p > 0.45 {
+			p = 0.45
+		}
+	}
+	if !isNumber {
+		p /= 3
+	}
+	return p
+}
+
+// paraphrase rewrites each sentence, dropping constants with the
+// length-dependent probability.
+func (s *Simulated) paraphrase(sentences []string, rng *rand.Rand, n int) string {
+	out := make([]string, 0, len(sentences))
+	for _, sent := range sentences {
+		sent = rewriteSentence(sent, rng)
+		sent = s.dropConstants(sent, rng, n)
+		out = append(out, sent)
+	}
+	return strings.Join(out, " ")
+}
+
+// summarize keeps the opening and closing sentences (rewritten) and fuses
+// the middle into a single aggregate sentence that keeps entity names but
+// loses their amounts; residual constants are further dropped with the
+// higher summary probability.
+func (s *Simulated) summarize(sentences []string, rng *rand.Rand) string {
+	n := len(sentences)
+	var out []string
+	switch {
+	case n <= 2:
+		for _, sent := range sentences {
+			out = append(out, rewriteSentence(sent, rng))
+		}
+	default:
+		out = append(out, rewriteSentence(sentences[0], rng))
+		middle := sentences[1 : n-1]
+		if len(middle) > 0 {
+			ents := entitiesOf(strings.Join(middle, " "))
+			switch len(ents) {
+			case 0:
+				out = append(out, "The effect propagates through the network.")
+			default:
+				out = append(out, "In cascade, "+verbalizer.JoinList(ents)+" are involved as the effect propagates.")
+			}
+		}
+		out = append(out, rewriteSentence(sentences[n-1], rng))
+	}
+	joined := strings.Join(out, " ")
+	return s.dropConstants(joined, rng, n)
+}
+
+// entitiesOf extracts the distinct entity-like tokens of a text, skipping
+// sentence-leading keywords.
+func entitiesOf(text string) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, m := range entityRe.FindAllString(text, -1) {
+		switch m {
+		case "Since", "Given", "Because", "Then", "As", "In", "The", "Thus", "Therefore", "Consequently":
+			continue
+		}
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// vague replacements used when a constant is omitted.
+var (
+	vagueNumbers  = []string{"a substantial amount", "a significant sum", "a relevant amount", "a considerable figure"}
+	vagueEntities = []string{"another institution", "a further party", "another company"}
+)
+
+// dropConstants removes each distinct constant with its omission
+// probability, replacing every occurrence with a vague phrase.
+func (s *Simulated) dropConstants(text string, rng *rand.Rand, n int) string {
+	for _, num := range dedup(numberRe.FindAllString(text, -1)) {
+		if rng.Float64() < dropProb(s.Mode, n, true) {
+			text = replaceToken(text, num, vagueNumbers[rng.Intn(len(vagueNumbers))])
+		}
+	}
+	for _, ent := range dedup(entitiesOf(text)) {
+		if rng.Float64() < dropProb(s.Mode, n, false) {
+			text = replaceToken(text, ent, vagueEntities[rng.Intn(len(vagueEntities))])
+		}
+	}
+	return text
+}
+
+func dedup(xs []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// replaceToken replaces whole-token occurrences of tok.
+func replaceToken(text, tok, with string) string {
+	re := regexp.MustCompile(`(^|[^\w.])` + regexp.QuoteMeta(tok) + `($|[^\w.])`)
+	for {
+		next := re.ReplaceAllString(text, "${1}"+with+"${2}")
+		if next == text {
+			return next
+		}
+		text = next
+	}
+}
+
+// sentence-level rewrite patterns: swap the Since/then clause order or vary
+// the connective, preserving content words.
+func rewriteSentence(sent string, rng *rand.Rand) string {
+	trimmed := strings.TrimSuffix(sent, ".")
+	if body, rest, ok := strings.Cut(trimmed, ", then "); ok && strings.HasPrefix(body, "Since ") {
+		cond := strings.TrimPrefix(body, "Since ")
+		switch rng.Intn(3) {
+		case 0:
+			return upperFirst(rest) + ", given that " + cond + "."
+		case 1:
+			return "Because " + cond + ", " + rest + "."
+		default:
+			return "As " + cond + ", it follows that " + rest + "."
+		}
+	}
+	return sent
+}
+
+func upperFirst(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// OmissionRatio is the metric of the paper's Section 6.3: the fraction of
+// the proof's constants that the generated text fails to mention as whole
+// tokens.
+func OmissionRatio(text string, constants []string) float64 {
+	if len(constants) == 0 {
+		return 0
+	}
+	missing := verbalizer.MissingConstants(text, constants)
+	return float64(len(missing)) / float64(len(constants))
+}

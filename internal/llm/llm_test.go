@@ -1,0 +1,226 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/stats"
+	"repro/internal/synth"
+)
+
+// proofText builds the deterministic proof explanation for a synthetic
+// scenario — the prompt content the paper sends to the LLM.
+func proofText(t *testing.T, s synth.Scenario) (string, []string) {
+	t.Helper()
+	app, err := apps.ByName(s.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Pipeline(core.Config{SkipEnhancement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(s.Facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern, err := parser.ParseAtom(s.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := res.LookupDerived(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := res.ExtractProof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := p.VerbalizeProof(proof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return text, proof.Constants()
+}
+
+func TestOmissionRatio(t *testing.T) {
+	consts := []string{"A", "B", "7", "0.21"}
+	if r := OmissionRatio("A owes 7 to B given 0.21", consts); r != 0 {
+		t.Errorf("full text ratio = %v", r)
+	}
+	if r := OmissionRatio("A owes something to B", consts); r != 0.5 {
+		t.Errorf("half text ratio = %v", r)
+	}
+	if r := OmissionRatio("", consts); r != 1 {
+		t.Errorf("empty text ratio = %v", r)
+	}
+	if r := OmissionRatio("anything", nil); r != 0 {
+		t.Errorf("no constants ratio = %v", r)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Paraphrase.String() != "paraphrasis" || Summarize.String() != "summary" {
+		t.Error("mode strings wrong")
+	}
+}
+
+// TestParaphraseShortProofNearComplete: on very short proofs the paraphrase
+// keeps almost everything (the left edge of Figure 17).
+func TestParaphraseShortProofNearComplete(t *testing.T) {
+	text, consts := proofText(t, synth.ControlChain(3, 1))
+	var ratios []float64
+	for seed := int64(0); seed < 10; seed++ {
+		g := &Simulated{Mode: Paraphrase, Seed: seed}
+		ratios = append(ratios, OmissionRatio(g.Generate(text), consts))
+	}
+	if m := stats.Mean(ratios); m > 0.15 {
+		t.Errorf("short-proof paraphrase omission = %v, want <= 0.15", m)
+	}
+}
+
+// TestOmissionGrowsWithProofLength reproduces the central trend of Figure
+// 17: average omission grows with the number of chase steps, for both
+// prompts, on the company control application.
+func TestOmissionGrowsWithProofLength(t *testing.T) {
+	for _, mode := range []Mode{Paraphrase, Summarize} {
+		mean := func(steps int) float64 {
+			var ratios []float64
+			for seed := int64(0); seed < 10; seed++ {
+				sc := synth.ControlChain(steps, seed)
+				text, consts := proofText(t, sc)
+				g := &Simulated{Mode: mode, Seed: seed}
+				ratios = append(ratios, OmissionRatio(g.Generate(text), consts))
+			}
+			return stats.Mean(ratios)
+		}
+		short := mean(3)
+		long := mean(21)
+		if long <= short {
+			t.Errorf("%v: omission does not grow: %v (3 steps) vs %v (21 steps)", mode, short, long)
+		}
+	}
+}
+
+// TestSummaryOmitsMoreThanParaphrase: the second trend of Figure 17.
+func TestSummaryOmitsMoreThanParaphrase(t *testing.T) {
+	meanFor := func(mode Mode) float64 {
+		var ratios []float64
+		for seed := int64(0); seed < 10; seed++ {
+			sc := synth.ControlChain(15, seed)
+			text, consts := proofText(t, sc)
+			g := &Simulated{Mode: mode, Seed: seed}
+			ratios = append(ratios, OmissionRatio(g.Generate(text), consts))
+		}
+		return stats.Mean(ratios)
+	}
+	para := meanFor(Paraphrase)
+	summ := meanFor(Summarize)
+	if summ <= para {
+		t.Errorf("summary omission (%v) not higher than paraphrase (%v)", summ, para)
+	}
+}
+
+// TestTemplateApproachZeroOmissions: the contrast the paper draws — the
+// template-based explanation never omits, at any proof length.
+func TestTemplateApproachZeroOmissions(t *testing.T) {
+	for _, steps := range []int{3, 9, 15, 21} {
+		sc := synth.ControlChain(steps, int64(steps))
+		app, _ := apps.ByName(sc.App)
+		p, err := app.Pipeline(core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := p.Reason(sc.Facts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pattern, _ := parser.ParseAtom(sc.Query)
+		id, err := res.LookupDerived(pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := p.ExplainFact(res, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := OmissionRatio(e.Text, e.Proof.Constants()); r != 0 {
+			t.Errorf("steps=%d: template omission = %v, want 0", steps, r)
+		}
+	}
+}
+
+// TestSummarizeCompresses: summaries of long texts are materially shorter.
+func TestSummarizeCompresses(t *testing.T) {
+	text, _ := proofText(t, synth.ControlChain(15, 2))
+	g := &Simulated{Mode: Summarize, Seed: 1}
+	out := g.Generate(text)
+	if len(out) >= len(text)*2/3 {
+		t.Errorf("summary length %d not < 2/3 of input %d", len(out), len(text))
+	}
+}
+
+// TestParaphraseDoesNotCompress: paraphrasing rewrites sentence by sentence
+// (it does not shorten the way summarization does), so the output stays
+// close to the input length.
+func TestParaphraseDoesNotCompress(t *testing.T) {
+	text, _ := proofText(t, synth.ControlChain(8, 3))
+	g := &Simulated{Mode: Paraphrase, Seed: 1}
+	out := g.Generate(text)
+	if len(out) < len(text)*3/4 {
+		t.Errorf("paraphrase compressed: %d -> %d chars", len(text), len(out))
+	}
+	// Every inference step's sentence survives: one clause connective per
+	// input sentence.
+	connectives := 0
+	for _, marker := range []string{"Since ", "Because ", "given that ", "it follows that "} {
+		connectives += strings.Count(out, marker)
+	}
+	if connectives < 8 {
+		t.Errorf("connectives = %d, want >= 8 (one per step)", connectives)
+	}
+}
+
+// TestSeededReproducibility: the same seed gives the same output; different
+// seeds differ (the run-to-run variability the paper observed, made
+// controllable).
+func TestSeededReproducibility(t *testing.T) {
+	text, _ := proofText(t, synth.ControlChain(10, 4))
+	a := (&Simulated{Mode: Summarize, Seed: 7}).Generate(text)
+	b := (&Simulated{Mode: Summarize, Seed: 7}).Generate(text)
+	if a != b {
+		t.Error("same seed produced different outputs")
+	}
+	c := (&Simulated{Mode: Summarize, Seed: 8}).Generate(text)
+	if a == c {
+		t.Error("different seeds produced identical outputs")
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	g := &Simulated{}
+	if out := g.Generate(""); out != "" {
+		t.Errorf("empty input output = %q", out)
+	}
+}
+
+// TestStressProofOmissions: the stress test application shows the same
+// trends (Figure 17b).
+func TestStressProofOmissions(t *testing.T) {
+	mean := func(mode Mode, steps int) float64 {
+		var ratios []float64
+		for seed := int64(0); seed < 10; seed++ {
+			sc := synth.StressCascade(steps, seed)
+			text, consts := proofText(t, sc)
+			g := &Simulated{Mode: mode, Seed: seed}
+			ratios = append(ratios, OmissionRatio(g.Generate(text), consts))
+		}
+		return stats.Mean(ratios)
+	}
+	if s, l := mean(Summarize, 1), mean(Summarize, 9); l <= s {
+		t.Errorf("stress summary omission does not grow: %v vs %v", s, l)
+	}
+}

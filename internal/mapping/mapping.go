@@ -1,0 +1,407 @@
+// Package mapping implements Section 4.3 of the paper: mapping the
+// materialized chase steps of a proof to a composition of explanation
+// templates.
+//
+// Given the proof of a fact, its spine τ (the ordered rule activations of
+// the materialized source-to-leaf path) is covered greedily:
+//
+//	(i)  choose the simple reasoning path that instantiates the highest
+//	     number of the first chase steps, then
+//	(ii) repeatedly choose the reasoning cycle that instantiates the highest
+//	     number of the following steps, until every step is covered.
+//
+// A path's rules may match non-adjacent spine positions: the skipped steps
+// are recursion through a critical node below the leaf rule (e.g. the
+// integrated-ownership recursion of the close link application) and are
+// covered by reasoning cycles in later iterations. Joint paths additionally
+// align their extra rules with the side derivations feeding the covered
+// steps' aggregations.
+//
+// At each choice the aggregation ("dashed") variant of the selected path is
+// used exactly when some covered aggregation step has multiple contributors
+// (Example 4.7: Γ1* is selected over Γ1 because Risk(C,11) sums two debts).
+package mapping
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/database"
+	"repro/internal/paths"
+	"repro/internal/template"
+)
+
+// Segment is one chosen template with its aligned chase derivations (one
+// per template rule, in path order).
+type Segment struct {
+	// Template is the selected explanation template (possibly the dashed
+	// variant).
+	Template *template.Template
+	// Derivs align 1:1 with Template.Path.Rules.
+	Derivs []*chase.Derivation
+	// Positions are the spine indices covered by this segment, increasing.
+	Positions []int
+	// SpineUsed is the number of spine steps this segment covers.
+	SpineUsed int
+}
+
+// PathID returns the reasoning path name of the segment.
+func (s *Segment) PathID() string { return s.Template.Path.ID }
+
+// Mapping is the template composition explaining one proof: the reasoning
+// graph of the paper.
+type Mapping struct {
+	// Proof is the proof being explained.
+	Proof *chase.Proof
+	// Segments are the chosen templates, ordered by their concluding
+	// chase step (premises before the conclusions consuming them).
+	Segments []*Segment
+}
+
+// PathIDs returns the reasoning path names of the composition, e.g.
+// [Π2, Γ1*].
+func (m *Mapping) PathIDs() []string {
+	out := make([]string, len(m.Segments))
+	for i, s := range m.Segments {
+		out[i] = s.PathID()
+	}
+	return out
+}
+
+// Explanation instantiates each segment's best (enhanced when available)
+// template text and joins the fragments into the final natural-language
+// explanation.
+func (m *Mapping) Explanation() (string, error) {
+	return m.explain(func(s *Segment) string { return s.Template.BestText() })
+}
+
+// DeterministicExplanation instantiates the deterministic template texts,
+// bypassing enhanced variants.
+func (m *Mapping) DeterministicExplanation() (string, error) {
+	return m.explain(func(s *Segment) string { return s.Template.Text })
+}
+
+func (m *Mapping) explain(pick func(*Segment) string) (string, error) {
+	var parts []string
+	for _, s := range m.Segments {
+		text, err := s.Template.InstantiateText(pick(s), s.Derivs)
+		if err != nil {
+			return "", err
+		}
+		parts = append(parts, text)
+	}
+	return strings.Join(parts, " "), nil
+}
+
+// Map computes the template composition for a proof using the templates of
+// the store. The proof must derive an intensional fact.
+func Map(proof *chase.Proof, store *template.Store) (*Mapping, error) {
+	if len(proof.Spine) == 0 {
+		return nil, fmt.Errorf("mapping: fact %v is extensional; nothing to explain",
+			proof.Result().Store.Get(proof.Target))
+	}
+	c := &coverer{
+		proof:   proof,
+		store:   store,
+		spine:   proof.Spine,
+		covered: make([]bool, len(proof.Spine)),
+	}
+	m := &Mapping{Proof: proof}
+	first := true
+	for {
+		pos := c.firstUncovered()
+		if pos < 0 {
+			break
+		}
+		seg := c.choose(pos, first)
+		if seg == nil {
+			// No enumerated reasoning path instantiates this step: the
+			// derivation follows a critical-to-critical bridge outside the
+			// root-to-leaf enumeration (Definition 4.2's "or with another
+			// critical node" case). Fall back to the elementary template
+			// of the single activated rule, which is always instantiable.
+			var err error
+			seg, err = c.elementary(pos)
+			if err != nil {
+				return nil, fmt.Errorf("mapping: chase step %d (rule %s): %w",
+					pos, c.spine[pos].Rule.Label, err)
+			}
+		}
+		for _, p := range seg.Positions {
+			c.covered[p] = true
+		}
+		m.Segments = append(m.Segments, seg)
+		first = false
+	}
+
+	// Cover the side branches of the proof DAG: chase steps that support
+	// the spine (e.g. the default of a second debtor contributing to an
+	// aggregation, or the second σ1 activation in the paper's Figure 15
+	// scenario) but were not aligned by any segment. Each gets its
+	// elementary template, preserving the completeness guarantee for the
+	// whole proof.
+	used := map[*chase.Derivation]bool{}
+	for _, s := range m.Segments {
+		for _, d := range s.Derivs {
+			if d != nil {
+				used[d] = true
+			}
+		}
+	}
+	for _, d := range proof.Steps {
+		if used[d] {
+			continue
+		}
+		seg, err := c.elementaryFor(d)
+		if err != nil {
+			return nil, fmt.Errorf("mapping: side step %d (rule %s): %w", d.Step, d.Rule.Label, err)
+		}
+		m.Segments = append(m.Segments, seg)
+	}
+
+	// Order the composition by each segment's concluding chase step, so
+	// that premises are told before the conclusions consuming them and the
+	// goal's segment comes last.
+	sort.SliceStable(m.Segments, func(i, j int) bool {
+		return m.Segments[i].lastStep() < m.Segments[j].lastStep()
+	})
+	return m, nil
+}
+
+// lastStep returns the latest chase step number the segment instantiates
+// (its concluding derivation).
+func (s *Segment) lastStep() int {
+	last := -1
+	for _, d := range s.Derivs {
+		if d != nil && d.Step > last {
+			last = d.Step
+		}
+	}
+	return last
+}
+
+type coverer struct {
+	proof   *chase.Proof
+	store   *template.Store
+	spine   []*chase.Derivation
+	covered []bool
+}
+
+func (c *coverer) firstUncovered() int {
+	for i, done := range c.covered {
+		if !done {
+			return i
+		}
+	}
+	return -1
+}
+
+// choose aligns every candidate path of the stage (simple paths for the
+// first segment, cycles afterwards) against the uncovered spine starting at
+// pos and returns the best alignment: longest contiguous prefix from pos,
+// then highest total aligned chase steps.
+func (c *coverer) choose(pos int, first bool) *Segment {
+	var best *Segment
+	bestPrefix, bestTotal := -1, -1
+	for _, p := range c.store.Analysis().All() {
+		if p.Dashed {
+			continue // variants are selected after alignment
+		}
+		if first != (p.Kind == paths.SimplePath) {
+			continue
+		}
+		derivs, positions, ok := c.align(p, pos)
+		if !ok {
+			continue
+		}
+		prefix := contiguousPrefix(positions, pos, c.covered)
+		total := 0
+		for _, d := range derivs {
+			if d != nil {
+				total++
+			}
+		}
+		if prefix > bestPrefix || (prefix == bestPrefix && total > bestTotal) {
+			tpl := c.selectVariant(p, derivs)
+			if tpl == nil {
+				continue
+			}
+			// Trial instantiation: reject alignments whose token classes
+			// bind inconsistently (the aligned steps are not actually
+			// connected by the path's homomorphisms, e.g. when recursion
+			// happens below the leaf rule).
+			if _, err := tpl.InstantiateText(tpl.Text, derivs); err != nil {
+				continue
+			}
+			best = &Segment{Template: tpl, Derivs: derivs, Positions: positions, SpineUsed: len(positions)}
+			bestPrefix, bestTotal = prefix, total
+		}
+	}
+	return best
+}
+
+// elementary builds a one-rule segment for a spine step no enumerated path
+// covers: the step's rule is verbalized on its own, with the dashed
+// rendering when the aggregation has several contributors.
+func (c *coverer) elementary(pos int) (*Segment, error) {
+	seg, err := c.elementaryFor(c.spine[pos])
+	if err != nil {
+		return nil, err
+	}
+	seg.Positions = []int{pos}
+	seg.SpineUsed = 1
+	return seg, nil
+}
+
+// elementaryFor builds the one-rule segment of an arbitrary chase step.
+func (c *coverer) elementaryFor(d *chase.Derivation) (*Segment, error) {
+	p := &paths.Path{
+		ID:     "ρ(" + d.Rule.Label + ")",
+		Kind:   paths.Cycle,
+		Rules:  []*ast.Rule{d.Rule},
+		Dashed: d.MultiContributor(),
+	}
+	if p.Dashed {
+		p.ID += "*"
+	}
+	tpl, err := template.ForPath(p, c.store.Glossary())
+	if err != nil {
+		return nil, err
+	}
+	derivs := []*chase.Derivation{d}
+	if _, err := tpl.InstantiateText(tpl.Text, derivs); err != nil {
+		return nil, err
+	}
+	return &Segment{Template: tpl, Derivs: derivs}, nil
+}
+
+// contiguousPrefix counts how many leading matches sit at consecutive
+// not-previously-covered spine positions starting exactly at pos. The
+// paper's greedy criterion ("the highest number of the first j chase
+// steps") prefers this over total coverage.
+func contiguousPrefix(positions []int, pos int, covered []bool) int {
+	n := 0
+	want := pos
+	for _, p := range positions {
+		if p != want {
+			break
+		}
+		n++
+		want++
+		for want < len(covered) && covered[want] {
+			want++
+		}
+	}
+	return n
+}
+
+// selectVariant picks the dashed twin when any aligned aggregation step has
+// multiple contributors.
+func (c *coverer) selectVariant(p *paths.Path, derivs []*chase.Derivation) *template.Template {
+	for _, d := range derivs {
+		if d != nil && d.MultiContributor() {
+			if t := c.store.ByPath(p.ID + "*"); t != nil {
+				return t
+			}
+			break
+		}
+	}
+	return c.store.ByPath(p.ID)
+}
+
+// align matches the path's rule chain against the uncovered spine from pos:
+// rules match in order at increasing uncovered positions (skipped spine
+// steps remain for later cycle coverage); rules with no spine occurrence are
+// filled from side derivations. The first match must land exactly at pos.
+func (c *coverer) align(p *paths.Path, pos int) ([]*chase.Derivation, []int, bool) {
+	derivs := make([]*chase.Derivation, len(p.Rules))
+	var positions []int
+	cur := pos
+	for i, r := range p.Rules {
+		idx := -1
+		for j := cur; j < len(c.spine); j++ {
+			if !c.covered[j] && c.spine[j].Rule == r {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			continue // side-filled below
+		}
+		derivs[i] = c.spine[idx]
+		positions = append(positions, idx)
+		cur = idx + 1
+	}
+	if len(positions) == 0 || positions[0] != pos {
+		return nil, nil, false
+	}
+	if !c.fillSides(p, derivs) {
+		return nil, nil, false
+	}
+	return derivs, positions, true
+}
+
+// fillSides aligns path rules without a spine match to non-spine
+// derivations that feed the already-aligned steps (directly or through
+// their premises).
+func (c *coverer) fillSides(p *paths.Path, derivs []*chase.Derivation) bool {
+	res := c.proof.Result()
+	onSpine := map[*chase.Derivation]bool{}
+	for _, d := range c.spine {
+		onSpine[d] = true
+	}
+	used := map[*chase.Derivation]bool{}
+	for _, d := range derivs {
+		if d != nil {
+			used[d] = true
+		}
+	}
+	var pool []*chase.Derivation
+	seen := map[database.FactID]bool{}
+	var visit func(id database.FactID)
+	visit = func(id database.FactID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		d := res.CanonicalDerivation(id)
+		if d == nil {
+			return
+		}
+		if !onSpine[d] && !used[d] {
+			pool = append(pool, d)
+		}
+		for _, prem := range d.Premises {
+			visit(prem)
+		}
+	}
+	for _, d := range derivs {
+		if d == nil {
+			continue
+		}
+		for _, prem := range d.Premises {
+			visit(prem)
+		}
+	}
+	for i, r := range p.Rules {
+		if derivs[i] != nil {
+			continue
+		}
+		found := false
+		for j, d := range pool {
+			if d != nil && d.Rule == r {
+				derivs[i] = d
+				pool[j] = nil
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,412 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/depgraph"
+	"repro/internal/enhancer"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+	"repro/internal/paths"
+	"repro/internal/template"
+)
+
+const figure7Src = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+const controlSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`
+
+const controlGlossarySrc = `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+`
+
+func setup(t *testing.T, progSrc, glosSrc, extraFacts string) (*chase.Result, *template.Store) {
+	t.Helper()
+	prog := parser.MustParse(progSrc + "\n" + extraFacts)
+	res := chase.MustRun(prog, chase.Options{})
+	a := paths.Analyze(depgraph.New(prog))
+	store, err := template.Generate(a, glossary.MustParse(glosSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, store
+}
+
+func proofOf(t *testing.T, res *chase.Result, pattern string) *chase.Proof {
+	t.Helper()
+	a, err := parser.ParseAtom(pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := res.LookupDerived(a)
+	if err != nil {
+		t.Fatalf("lookup %s: %v\n%s", pattern, err, res.Store.Dump())
+	}
+	p, err := res.ExtractProof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestExample47Mapping reproduces the central example of the paper: the
+// chase path τ = {α, β, γ, β, γ} deriving Default(C) is explained by the
+// composition {Π2, Γ1*} — the simple path covering the first three steps and
+// the dashed cycle (multiple aggregation inputs) covering the last two.
+func TestExample47Mapping(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	proof := proofOf(t, res, `Default("C")`)
+
+	m, err := Map(proof, store)
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	got := m.PathIDs()
+	want := []string{"Π2", "Γ1*"}
+	if len(got) != len(want) {
+		t.Fatalf("PathIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PathIDs[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	if m.Segments[0].SpineUsed != 3 || m.Segments[1].SpineUsed != 2 {
+		t.Errorf("spine coverage = %d,%d, want 3,2", m.Segments[0].SpineUsed, m.Segments[1].SpineUsed)
+	}
+}
+
+// TestExample48Explanation instantiates the mapping of Example 4.7 into the
+// final explanation of Example 4.8 and checks completeness: every constant
+// of the proof appears.
+func TestExample48Explanation(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	proof := proofOf(t, res, `Default("C")`)
+	m, err := Map(proof, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		t.Fatalf("Explanation: %v", err)
+	}
+	for _, c := range proof.Constants() {
+		if !strings.Contains(text, c) {
+			t.Errorf("explanation missing constant %q:\n%s", c, text)
+		}
+	}
+	if !strings.Contains(text, "the sum of 2 and 9") {
+		t.Errorf("aggregation contributors not expanded:\n%s", text)
+	}
+	if strings.Contains(text, "<") {
+		t.Errorf("unresolved token:\n%s", text)
+	}
+
+	det, err := m.DeterministicExplanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det != text {
+		t.Error("without enhanced variants, Explanation should equal DeterministicExplanation")
+	}
+}
+
+// TestDirectDefaultUsesPi1: the proof of Default(A) (shock only) maps to the
+// single-rule path Π1.
+func TestDirectDefaultUsesPi1(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	m, err := Map(proofOf(t, res, `Default("A")`), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.PathIDs(); len(ids) != 1 || ids[0] != "Π1" {
+		t.Errorf("PathIDs = %v, want [Π1]", ids)
+	}
+}
+
+// TestSingleContributorUsesNonDashed: Default(B)'s risk has one contributor,
+// so the non-dashed Π2 is selected.
+func TestSingleContributorUsesNonDashed(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	m, err := Map(proofOf(t, res, `Default("B")`), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ids := m.PathIDs(); len(ids) != 1 || ids[0] != "Π2" {
+		t.Errorf("PathIDs = %v, want [Π2]", ids)
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "sum") {
+		t.Errorf("single-contributor explanation verbalizes the aggregator:\n%s", text)
+	}
+}
+
+// TestIrishBankScenario reproduces the Figure 15 inference: Irish Bank
+// controls Madrid Credit through joint 21% + 36% ownership — a
+// multi-contributor aggregation explained by the dashed Π2*.
+func TestIrishBankScenario(t *testing.T) {
+	facts := `
+Company("IrishBank").
+Company("FondoItaliano").
+Company("FrenchPLC").
+Company("MadridCredit").
+Own("IrishBank", "FondoItaliano", 0.83).
+Own("IrishBank", "FrenchPLC", 0.54).
+Own("FrenchPLC", "MadridCredit", 0.21).
+Own("FondoItaliano", "MadridCredit", 0.36).
+`
+	res, store := setup(t, controlSrc, controlGlossarySrc, facts)
+	proof := proofOf(t, res, `Control("IrishBank", "MadridCredit")`)
+	m, err := Map(proof, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The composition mirrors the Figure 15 narrative: the second σ1
+	// activation (Irish Bank's 83% of Fondo Italiano) is told first, then
+	// the dashed Π2* covers the spine through FrenchPLC and the joint
+	// aggregation.
+	if ids := m.PathIDs(); len(ids) != 2 || ids[0] != "ρ(s1)" || ids[1] != "Π2*" {
+		t.Errorf("PathIDs = %v, want [ρ(s1) Π2*]", ids)
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"IrishBank", "MadridCredit", "FrenchPLC", "FondoItaliano", "0.83", "0.54", "0.21", "0.36", "0.57"} {
+		if !strings.Contains(text, c) {
+			t.Errorf("explanation missing %q:\n%s", c, text)
+		}
+	}
+}
+
+// TestControlChainUsesCycle: a three-hop majority chain maps to Π2 followed
+// by the reasoning cycle Γ1 for each extra hop.
+func TestControlChainUsesCycle(t *testing.T) {
+	facts := `
+Company("A"). Company("B"). Company("C"). Company("D").
+Own("A", "B", 0.6).
+Own("B", "C", 0.7).
+Own("C", "D", 0.9).
+`
+	res, store := setup(t, controlSrc, controlGlossarySrc, facts)
+	m, err := Map(proofOf(t, res, `Control("A", "D")`), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := m.PathIDs()
+	if len(ids) != 2 || ids[0] != "Π2" || ids[1] != "Γ1" {
+		t.Errorf("PathIDs = %v, want [Π2 Γ1]", ids)
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{"A", "B", "C", "D", "0.6", "0.7", "0.9"} {
+		if !strings.Contains(text, c) {
+			t.Errorf("explanation missing %q:\n%s", c, text)
+		}
+	}
+}
+
+// TestLongChainRepeatsCycle: each additional layer adds one Γ1 segment.
+func TestLongChainRepeatsCycle(t *testing.T) {
+	facts := `
+Own("N0", "N1", 0.6).
+Own("N1", "N2", 0.6).
+Own("N2", "N3", 0.6).
+Own("N3", "N4", 0.6).
+Own("N4", "N5", 0.6).
+`
+	res, store := setup(t, controlSrc, controlGlossarySrc, facts)
+	m, err := Map(proofOf(t, res, `Control("N0", "N5")`), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spine is {σ1, σ3, σ3, σ3, σ3}: Π2 covers the first two steps, each
+	// further layer adds one Γ1 cycle.
+	ids := m.PathIDs()
+	if len(ids) != 4 || ids[0] != "Π2" {
+		t.Errorf("PathIDs = %v, want Π2 followed by three cycles", ids)
+	}
+	for _, id := range ids[1:] {
+		if id != "Γ1" {
+			t.Errorf("segment %s, want Γ1", id)
+		}
+	}
+}
+
+// TestEnhancedExplanation: after enhancement, Explanation uses the fluent
+// variant while remaining complete.
+func TestEnhancedExplanation(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	if _, err := enhancer.EnhanceStore(store, &enhancer.Fluent{Variants: 1, Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	proof := proofOf(t, res, `Default("C")`)
+	m, err := Map(proof, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enhanced, err := m.Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := m.DeterministicExplanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enhanced == det {
+		t.Error("enhanced explanation identical to deterministic")
+	}
+	for _, c := range proof.Constants() {
+		if !strings.Contains(enhanced, c) {
+			t.Errorf("enhanced explanation missing %q:\n%s", c, enhanced)
+		}
+	}
+}
+
+// TestMapExtensionalFact rejects proofs of extensional facts.
+func TestMapExtensionalFact(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	a, _ := parser.ParseAtom(`Shock("A", 6.0)`)
+	f := res.Store.Lookup(a)
+	proof, err := res.ExtractProof(f.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Map(proof, store); err == nil {
+		t.Error("extensional fact mapped")
+	}
+}
+
+// TestCompletenessAcrossAllAnswers: every derived answer of the program has
+// a complete explanation (the paper's completeness guarantee, Section 6.3).
+func TestCompletenessAcrossAllAnswers(t *testing.T) {
+	res, store := setup(t, stressSimpleSrc, figure7Src, "")
+	for _, id := range res.Answers() {
+		proof, err := res.ExtractProof(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Map(proof, store)
+		if err != nil {
+			t.Fatalf("Map(%v): %v", res.Store.Get(id), err)
+		}
+		text, err := m.Explanation()
+		if err != nil {
+			t.Fatalf("Explanation(%v): %v", res.Store.Get(id), err)
+		}
+		for _, c := range proof.Constants() {
+			if !strings.Contains(text, c) {
+				t.Errorf("%v: explanation missing %q", res.Store.Get(id), c)
+			}
+		}
+	}
+}
+
+const closeLinkSrc = `
+@name("close-link").
+@output("CloseLink").
+@label("c1") MOwn(X, Y, S) :- Own(X, Y, S).
+@label("c2") MOwn(X, Y, S) :- MOwn(X, Z, S1), Own(Z, Y, S2), S = S1 * S2, S >= 0.01.
+@label("c3") CloseLink(X, Y) :- MOwn(X, Y, S), TS = sum(S), TS >= 0.2.
+`
+
+const closeLinkGlossarySrc = `
+Own(x, y, s): <x> owns <s> shares of <y>.
+MOwn(x, y, s): <x> holds an integrated ownership of <s> in <y>.
+CloseLink(x, y): <x> and <y> are close linked.
+`
+
+// TestDeepRecursionBelowLeaf: the close-link spine {c1, c2, c2, c3} has
+// recursion below the leaf rule; no enumerated simple path instantiates its
+// first step consistently, so elementary segments cover the spine.
+func TestDeepRecursionBelowLeaf(t *testing.T) {
+	facts := `
+Own("A", "B", 0.55).
+Own("B", "C", 0.6).
+Own("A", "C", 0.1).
+Own("C", "D", 0.5).
+`
+	res, store := setup(t, closeLinkSrc, closeLinkGlossarySrc, facts)
+	proof := proofOf(t, res, `CloseLink("A", "D")`)
+	if got := proof.RuleSequence(); len(got) != 4 {
+		t.Fatalf("spine = %v", got)
+	}
+	m, err := Map(proof, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := m.PathIDs()
+	// Elementary ρ-segments and the Γ1 cycle cover the recursion; the
+	// final aggregation is dashed (two integrated-ownership paths).
+	if len(ids) < 3 {
+		t.Fatalf("PathIDs = %v", ids)
+	}
+	sawElementary := false
+	for _, id := range ids {
+		if strings.HasPrefix(id, "ρ(") {
+			sawElementary = true
+		}
+	}
+	if !sawElementary {
+		t.Errorf("no elementary segment in %v", ids)
+	}
+	text, err := m.Explanation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range proof.Constants() {
+		if !strings.Contains(text, c) {
+			t.Errorf("explanation missing %q:\n%s", c, text)
+		}
+	}
+}
+
+// TestContiguousPrefixSkipsCovered: previously covered positions do not
+// break the contiguity of a later match.
+func TestContiguousPrefixSkipsCovered(t *testing.T) {
+	covered := []bool{false, true, false, false}
+	// Matches at 0, 2, 3 with position 1 already covered: prefix 3.
+	if got := contiguousPrefix([]int{0, 2, 3}, 0, covered); got != 3 {
+		t.Errorf("contiguousPrefix = %d, want 3", got)
+	}
+	// A gap at an uncovered position breaks the prefix.
+	if got := contiguousPrefix([]int{0, 3}, 0, []bool{false, false, false, false}); got != 1 {
+		t.Errorf("contiguousPrefix with gap = %d, want 1", got)
+	}
+}

@@ -1,0 +1,66 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics, and that successfully parsed
+// programs round-trip through their String rendering to an equivalent
+// program (same rendering on the second pass).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`P("a").`,
+		`@name("x"). @output("P"). P(X) :- Q(X).`,
+		`@label("r") Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).`,
+		`Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.`,
+		`MOwn(X, Y, S) :- MOwn(X, Z, S1), Own(Z, Y, S2), S = S1 * S2, S >= 0.01.`,
+		`Eligible(X) :- HasCapital(X, P), not Default(X).`,
+		`:- Control(X, Y), Sanctioned(Y).`,
+		`W(X, V) :- P(X, A, B, C), V = (A + B) * (C - 2.5).`,
+		`P(X) :- Q(X), X != "a", X == true.`,
+		"% comment\nP(\"x\"). # another",
+		`P("\n\t\"esc").`,
+		`@bogus("v").`,
+		`P(X`,
+		`:-`,
+		`...`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil || prog == nil {
+			return // rejected input is fine; panics are not
+		}
+		rendered := prog.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed to parse:\ninput: %q\nrendered: %q\nerr: %v", src, rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip not stable:\nfirst:  %q\nsecond: %q", rendered, again.String())
+		}
+	})
+}
+
+// FuzzParseAtom asserts atom parsing never panics and agrees with the atom
+// renderer.
+func FuzzParseAtom(f *testing.F) {
+	for _, s := range []string{`P("a", 1, 2.5, true, X)`, `Own("A","B",0.5)`, `Zero()`, `P(`, `)(`} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAtom(src)
+		if err != nil {
+			return
+		}
+		if strings.TrimSpace(a.Predicate) == "" {
+			t.Fatalf("parsed atom with empty predicate from %q", src)
+		}
+		if _, err := ParseAtom(a.String()); err != nil {
+			t.Fatalf("atom round trip failed: %q -> %q: %v", src, a.String(), err)
+		}
+	})
+}

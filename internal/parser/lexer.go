@@ -1,0 +1,351 @@
+// Package parser implements the concrete syntax of the Vadalog subset used
+// throughout the repository. The grammar covers everything the paper's rule
+// sets need:
+//
+//	program     = { annotation | clause } .
+//	annotation  = "@name(" string ")." | "@output(" string ")."
+//	clause      = fact | rule .
+//	fact        = atom "." .
+//	rule        = [ "@label(" string ")" ] atom ":-" bodyItem { "," bodyItem } "." .
+//	bodyItem    = atom | condition | assignment | aggregation .
+//	condition   = operand compareOp operand .
+//	assignment  = ident "=" operand arithOp operand .
+//	aggregation = ident "=" aggFunc "(" ident ")" .
+//	atom        = predicate "(" [ operand { "," operand } ] ")" .
+//	operand     = ident | number | string | boolean .
+//
+// Identifiers beginning with a lowercase letter inside atom arguments are
+// variables too (Vadalog style is flexible); we adopt the convention that an
+// identifier is a variable unless it is a quoted string, a number, or one of
+// the boolean literals. Percent (%) and '#' start line comments.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokImplies // :-
+	tokOp      // comparison or arithmetic operator, '='
+	tokAt      // @
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokImplies:
+		return "':-'"
+	case tokOp:
+		return "operator"
+	case tokAt:
+		return "'@'"
+	default:
+		return fmt.Sprintf("tokenKind(%d)", int(k))
+	}
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// lexer scans program text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Error is a parse error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func (l *lexer) errorf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '%' || c == '#':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case c == '(':
+		l.advance()
+		return token{tokLParen, "(", line, col}, nil
+	case c == ')':
+		l.advance()
+		return token{tokRParen, ")", line, col}, nil
+	case c == ',':
+		l.advance()
+		return token{tokComma, ",", line, col}, nil
+	case c == '.':
+		// Distinguish the clause terminator from a decimal point: a dot
+		// followed by a digit only occurs inside numbers, which are lexed
+		// below starting from a digit, so a bare dot here terminates.
+		l.advance()
+		return token{tokDot, ".", line, col}, nil
+	case c == '@':
+		l.advance()
+		return token{tokAt, "@", line, col}, nil
+	case c == ':':
+		l.advance()
+		if l.peekByte() != '-' {
+			return token{}, l.errorf(line, col, "expected ':-', found ':%c'", l.peekByte())
+		}
+		l.advance()
+		return token{tokImplies, ":-", line, col}, nil
+	case c == '"':
+		return l.lexString(line, col)
+	case c == '-' || unicode.IsDigit(rune(c)):
+		return l.lexNumber(line, col)
+	case isOpByte(c):
+		return l.lexOperator(line, col)
+	case isIdentStart(rune(c)):
+		return l.lexIdent(line, col)
+	default:
+		return token{}, l.errorf(line, col, "unexpected character %q", string(c))
+	}
+}
+
+func isOpByte(c byte) bool {
+	switch c {
+	case '=', '<', '>', '!', '+', '*', '/':
+		return true
+	}
+	return false
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexString(line, col int) (token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{}, l.errorf(line, col, "unterminated string")
+		}
+		c := l.advance()
+		if c == '"' {
+			return token{tokString, sb.String(), line, col}, nil
+		}
+		if c == '\\' && l.pos < len(l.src) {
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case 'a':
+				sb.WriteByte('\a')
+			case 'b':
+				sb.WriteByte('\b')
+			case 'f':
+				sb.WriteByte('\f')
+			case 'v':
+				sb.WriteByte('\v')
+			case '"', '\\', '\'':
+				sb.WriteByte(esc)
+			case 'x', 'u', 'U':
+				// Hex escapes as produced by strconv.Quote: \xHH, \uXXXX,
+				// \UXXXXXXXX.
+				n := map[byte]int{'x': 2, 'u': 4, 'U': 8}[esc]
+				v := rune(0)
+				for i := 0; i < n; i++ {
+					if l.pos >= len(l.src) {
+						return token{}, l.errorf(line, col, "truncated \\%c escape", esc)
+					}
+					d := hexVal(l.advance())
+					if d < 0 {
+						return token{}, l.errorf(line, col, "invalid \\%c escape", esc)
+					}
+					v = v<<4 | rune(d)
+				}
+				if esc == 'x' {
+					sb.WriteByte(byte(v))
+				} else {
+					sb.WriteRune(v)
+				}
+			default:
+				return token{}, l.errorf(line, col, "unknown escape \\%c", esc)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+}
+
+// hexVal returns the value of a hex digit, or -1.
+func hexVal(b byte) int {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0')
+	case b >= 'a' && b <= 'f':
+		return int(b-'a') + 10
+	case b >= 'A' && b <= 'F':
+		return int(b-'A') + 10
+	}
+	return -1
+}
+
+func (l *lexer) lexNumber(line, col int) (token, error) {
+	var sb strings.Builder
+	if l.peekByte() == '-' {
+		sb.WriteByte(l.advance())
+		if !unicode.IsDigit(rune(l.peekByte())) {
+			// A lone '-' is the arithmetic operator.
+			return token{tokOp, "-", line, col}, nil
+		}
+	}
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if unicode.IsDigit(rune(c)) {
+			sb.WriteByte(l.advance())
+			continue
+		}
+		if c == '.' && !seenDot && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			seenDot = true
+			sb.WriteByte(l.advance())
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			// scientific notation: e[+-]?digits
+			save := l.pos
+			tmp := sb.String()
+			sb.WriteByte(l.advance())
+			if l.peekByte() == '+' || l.peekByte() == '-' {
+				sb.WriteByte(l.advance())
+			}
+			if !unicode.IsDigit(rune(l.peekByte())) {
+				l.pos = save
+				sb.Reset()
+				sb.WriteString(tmp)
+				break
+			}
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.peekByte())) {
+				sb.WriteByte(l.advance())
+			}
+		}
+		break
+	}
+	return token{tokNumber, sb.String(), line, col}, nil
+}
+
+func (l *lexer) lexOperator(line, col int) (token, error) {
+	c := l.advance()
+	text := string(c)
+	switch c {
+	case '<', '>':
+		if l.peekByte() == '=' {
+			text += string(l.advance())
+		}
+	case '=':
+		if l.peekByte() == '=' {
+			text += string(l.advance())
+		}
+	case '!':
+		if l.peekByte() != '=' {
+			return token{}, l.errorf(line, col, "expected '!=', found '!%c'", l.peekByte())
+		}
+		text += string(l.advance())
+	}
+	return token{tokOp, text, line, col}, nil
+}
+
+func (l *lexer) lexIdent(line, col int) (token, error) {
+	var sb strings.Builder
+	for l.pos < len(l.src) && isIdentPart(rune(l.peekByte())) {
+		sb.WriteByte(l.advance())
+	}
+	return token{tokIdent, sb.String(), line, col}, nil
+}

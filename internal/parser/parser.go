@@ -1,0 +1,525 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Parse parses a complete Vadalog program from source text.
+func Parse(src string) (*ast.Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseProgram()
+}
+
+// ParseRule parses a single rule clause (with optional @label prefix).
+func ParseRule(src string) (*ast.Rule, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(prog.Rules) != 1 {
+		return nil, fmt.Errorf("expected exactly one rule, found %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+// ParseAtom parses a single ground or non-ground atom, without trailing dot.
+func ParseAtom(src string) (ast.Atom, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return ast.Atom{}, err
+	}
+	a, err := p.parseAtom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if p.tok.kind != tokEOF {
+		return ast.Atom{}, p.errorf("trailing input after atom")
+	}
+	return a, nil
+}
+
+// MustParse parses a program and panics on error. It is intended for
+// embedding the built-in KG applications whose sources are compile-time
+// constants.
+func MustParse(src string) *ast.Program {
+	prog, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse: %v", err))
+	}
+	return prog
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &Error{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %v, found %v %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) parseProgram() (*ast.Program, error) {
+	prog := &ast.Program{}
+	var pendingLabel string
+	for p.tok.kind != tokEOF {
+		if p.tok.kind == tokAt {
+			name, value, err := p.parseAnnotation()
+			if err != nil {
+				return nil, err
+			}
+			switch name {
+			case "name":
+				prog.Name = value
+			case "output":
+				prog.Output = value
+			case "label":
+				pendingLabel = value
+				continue // label attaches to the next rule; no dot follows
+			default:
+				return nil, p.errorf("unknown annotation @%s", name)
+			}
+			continue
+		}
+		clause, err := p.parseClause(pendingLabel)
+		if err != nil {
+			return nil, err
+		}
+		pendingLabel = ""
+		switch {
+		case clause.rule != nil:
+			prog.Rules = append(prog.Rules, clause.rule)
+		case clause.constraint != nil:
+			prog.Constraints = append(prog.Constraints, clause.constraint)
+		default:
+			prog.Facts = append(prog.Facts, clause.fact)
+		}
+	}
+	if pendingLabel != "" {
+		return nil, fmt.Errorf("@label(%q) not followed by a rule", pendingLabel)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// parseAnnotation parses @ident("value") with an optional trailing dot
+// (mandatory for @name/@output, absent for @label which prefixes a rule).
+func (p *parser) parseAnnotation() (name, value string, err error) {
+	if _, err = p.expect(tokAt); err != nil {
+		return
+	}
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return
+	}
+	if _, err = p.expect(tokLParen); err != nil {
+		return
+	}
+	val, err := p.expect(tokString)
+	if err != nil {
+		return
+	}
+	if _, err = p.expect(tokRParen); err != nil {
+		return
+	}
+	if id.text != "label" {
+		if _, err = p.expect(tokDot); err != nil {
+			return
+		}
+	}
+	return id.text, val.text, nil
+}
+
+type clause struct {
+	rule       *ast.Rule
+	constraint *ast.Constraint
+	fact       ast.Atom
+}
+
+func (p *parser) parseClause(label string) (clause, error) {
+	// A clause starting with ':-' is a negative constraint (body → ⊥).
+	if p.tok.kind == tokImplies {
+		if err := p.advance(); err != nil {
+			return clause{}, err
+		}
+		r := &ast.Rule{Label: label, Head: ast.NewAtom("⊥")}
+		if err := p.parseConjuncts(r); err != nil {
+			return clause{}, err
+		}
+		if _, err := p.expect(tokDot); err != nil {
+			return clause{}, err
+		}
+		return clause{constraint: &ast.Constraint{
+			Label:      label,
+			Body:       r.Body,
+			Negated:    r.Negated,
+			Conditions: r.Conditions,
+		}}, nil
+	}
+	head, err := p.parseAtom()
+	if err != nil {
+		return clause{}, err
+	}
+	switch p.tok.kind {
+	case tokDot:
+		if err := p.advance(); err != nil {
+			return clause{}, err
+		}
+		if !head.IsGround() {
+			return clause{}, fmt.Errorf("fact %v is not ground", head)
+		}
+		if label != "" {
+			return clause{}, fmt.Errorf("@label on fact %v", head)
+		}
+		return clause{fact: head}, nil
+	case tokImplies:
+		if err := p.advance(); err != nil {
+			return clause{}, err
+		}
+		r, err := p.parseRuleBody(label, head)
+		if err != nil {
+			return clause{}, err
+		}
+		return clause{rule: r}, nil
+	default:
+		return clause{}, p.errorf("expected '.' or ':-' after atom, found %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseRuleBody(label string, head ast.Atom) (*ast.Rule, error) {
+	r := &ast.Rule{Label: label, Head: head}
+	if err := p.parseConjuncts(r); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokDot); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parseConjuncts parses a comma-separated conjunction of body items into r.
+func (p *parser) parseConjuncts(r *ast.Rule) error {
+	for {
+		if err := p.parseBodyItem(r); err != nil {
+			return err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			continue
+		}
+		return nil
+	}
+}
+
+// parseBodyItem parses one conjunct: an atom, a condition, an assignment or
+// an aggregation.
+func (p *parser) parseBodyItem(r *ast.Rule) error {
+	// An item starting with a non-identifier operand must be a condition
+	// with a constant left side, e.g. 0.5 < S.
+	if p.tok.kind == tokNumber || p.tok.kind == tokString {
+		left, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		return p.parseConditionRest(r, left)
+	}
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	// `not Atom` is a (stratified) negated literal. The keyword form only
+	// triggers when followed by an identifier, so `not` can still appear
+	// as a variable name in other positions.
+	if id.text == "not" && p.tok.kind == tokIdent {
+		atom, err := p.parseAtom()
+		if err != nil {
+			return err
+		}
+		r.Negated = append(r.Negated, atom)
+		return nil
+	}
+	switch p.tok.kind {
+	case tokLParen:
+		// Relational atom.
+		atom, err := p.parseAtomArgs(id.text)
+		if err != nil {
+			return err
+		}
+		r.Body = append(r.Body, atom)
+		return nil
+	case tokOp:
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if op == "=" {
+			return p.parseBindingRest(r, id.text)
+		}
+		cmpOp := normalizeCompareOp(op)
+		if !cmpOp.Valid() {
+			return p.errorf("expected comparison operator, found %q", op)
+		}
+		right, err := p.parseOperand()
+		if err != nil {
+			return err
+		}
+		r.Conditions = append(r.Conditions, ast.Condition{Left: term.Var(id.text), Op: cmpOp, Right: right})
+		return nil
+	default:
+		return p.errorf("expected '(' or operator after identifier %q", id.text)
+	}
+}
+
+// parseConditionRest parses `op operand` after a constant left operand.
+func (p *parser) parseConditionRest(r *ast.Rule, left term.Term) error {
+	opTok, err := p.expect(tokOp)
+	if err != nil {
+		return err
+	}
+	op := normalizeCompareOp(opTok.text)
+	if !op.Valid() {
+		return p.errorf("expected comparison operator, found %q", opTok.text)
+	}
+	right, err := p.parseOperand()
+	if err != nil {
+		return err
+	}
+	r.Conditions = append(r.Conditions, ast.Condition{Left: left, Op: op, Right: right})
+	return nil
+}
+
+// parseBindingRest parses what follows `target =`: either an aggregation
+// `sum(v)`, or an arithmetic expression `a op b`, or an equality condition
+// when the right side is a single operand (treated as target == operand).
+func (p *parser) parseBindingRest(r *ast.Rule, target string) error {
+	if p.tok.kind == tokIdent && ast.AggFunc(p.tok.text).Valid() {
+		fn := ast.AggFunc(p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind == tokLParen {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			over, err := p.expect(tokIdent)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return err
+			}
+			if r.Aggregation != nil {
+				return p.errorf("rule has multiple aggregations")
+			}
+			r.Aggregation = &ast.Aggregation{Target: target, Func: fn, Over: over.text}
+			return nil
+		}
+		// The identifier happened to be named like an aggregation function
+		// but is a plain operand; treat it as a variable leaf.
+		return p.parseBindingTail(r, target, ast.TermExpr{T: term.Var(string(fn))})
+	}
+	left, err := p.parseExprOperand()
+	if err != nil {
+		return err
+	}
+	return p.parseBindingTail(r, target, left)
+}
+
+func (p *parser) parseBindingTail(r *ast.Rule, target string, left ast.Expr) error {
+	expr, err := p.parseExprRest(left, 0)
+	if err != nil {
+		return err
+	}
+	if leaf, ok := expr.(ast.TermExpr); ok {
+		// target = operand with no arithmetic: an equality condition.
+		r.Conditions = append(r.Conditions, ast.Condition{Left: term.Var(target), Op: ast.OpEq, Right: leaf.T})
+		return nil
+	}
+	r.Assignments = append(r.Assignments, ast.Assignment{Target: target, Expr: expr})
+	return nil
+}
+
+// Operator precedence for expression parsing.
+func arithPrecedence(op ast.ArithOp) int {
+	switch op {
+	case ast.ArithMul, ast.ArithDiv:
+		return 2
+	case ast.ArithAdd, ast.ArithSub:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// parseExprRest continues a precedence-climbing expression parse with the
+// given left operand: it consumes operators of precedence >= minPrec.
+func (p *parser) parseExprRest(left ast.Expr, minPrec int) (ast.Expr, error) {
+	for p.tok.kind == tokOp {
+		op := ast.ArithOp(p.tok.text)
+		prec := arithPrecedence(op)
+		if prec == 0 || prec < minPrec {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExprOperand()
+		if err != nil {
+			return nil, err
+		}
+		// Bind tighter operators to the right operand first.
+		right, err = p.parseExprRest(right, prec+1)
+		if err != nil {
+			return nil, err
+		}
+		left = ast.BinaryExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseExprOperand parses a primary expression: a term or a parenthesized
+// sub-expression.
+func (p *parser) parseExprOperand() (ast.Expr, error) {
+	if p.tok.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseExprOperand()
+		if err != nil {
+			return nil, err
+		}
+		expr, err := p.parseExprRest(inner, 0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return expr, nil
+	}
+	t, err := p.parseOperand()
+	if err != nil {
+		return nil, err
+	}
+	return ast.TermExpr{T: t}, nil
+}
+
+func normalizeCompareOp(op string) ast.CompareOp {
+	if op == "=" {
+		return ast.OpEq
+	}
+	return ast.CompareOp(op)
+}
+
+func (p *parser) parseAtom() (ast.Atom, error) {
+	id, err := p.expect(tokIdent)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	return p.parseAtomArgs(id.text)
+}
+
+func (p *parser) parseAtomArgs(pred string) (ast.Atom, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return ast.Atom{}, err
+	}
+	atom := ast.Atom{Predicate: pred}
+	if p.tok.kind == tokRParen {
+		if err := p.advance(); err != nil {
+			return ast.Atom{}, err
+		}
+		return atom, nil
+	}
+	for {
+		t, err := p.parseOperand()
+		if err != nil {
+			return ast.Atom{}, err
+		}
+		atom.Terms = append(atom.Terms, t)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return ast.Atom{}, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return ast.Atom{}, err
+	}
+	return atom, nil
+}
+
+// parseOperand parses a term: identifier (variable or boolean literal),
+// number or quoted string.
+func (p *parser) parseOperand() (term.Term, error) {
+	switch p.tok.kind {
+	case tokIdent:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return term.Term{}, err
+		}
+		switch text {
+		case "true":
+			return term.Bool(true), nil
+		case "false":
+			return term.Bool(false), nil
+		}
+		return term.Var(text), nil
+	case tokNumber:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return term.Term{}, err
+		}
+		if !strings.ContainsAny(text, ".eE") {
+			i, err := strconv.ParseInt(text, 10, 64)
+			if err == nil {
+				return term.Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return term.Term{}, fmt.Errorf("invalid number %q: %v", text, err)
+		}
+		return term.Float(f), nil
+	case tokString:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return term.Term{}, err
+		}
+		return term.Str(text), nil
+	default:
+		return term.Term{}, p.errorf("expected term, found %v %q", p.tok.kind, p.tok.text)
+	}
+}

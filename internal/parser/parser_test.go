@@ -1,0 +1,462 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// stressSrc is the simplified stress test of Example 4.3 in concrete syntax.
+const stressSrc = `
+@name("stress-simple").
+@output("Default").
+
+% rule alpha: an exogenous shock larger than capital defaults the entity
+@label("alpha")
+Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+
+@label("beta")
+Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+
+@label("gamma")
+Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+func TestParseStressProgram(t *testing.T) {
+	prog, err := Parse(stressSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Name != "stress-simple" {
+		t.Errorf("Name = %q", prog.Name)
+	}
+	if prog.Output != "Default" {
+		t.Errorf("Output = %q", prog.Output)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("rules = %d, want 3", len(prog.Rules))
+	}
+	if len(prog.Facts) != 7 {
+		t.Fatalf("facts = %d, want 7", len(prog.Facts))
+	}
+
+	alpha := prog.RuleByLabel("alpha")
+	if alpha == nil {
+		t.Fatal("rule alpha missing")
+	}
+	if alpha.Head.Predicate != "Default" || alpha.Head.Arity() != 1 {
+		t.Errorf("alpha head = %v", alpha.Head)
+	}
+	if len(alpha.Body) != 2 || len(alpha.Conditions) != 1 {
+		t.Errorf("alpha body/conditions = %d/%d", len(alpha.Body), len(alpha.Conditions))
+	}
+	if alpha.Conditions[0].Op != ast.OpGt {
+		t.Errorf("alpha condition op = %v", alpha.Conditions[0].Op)
+	}
+
+	beta := prog.RuleByLabel("beta")
+	if beta == nil || beta.Aggregation == nil {
+		t.Fatal("rule beta or its aggregation missing")
+	}
+	if beta.Aggregation.Func != ast.AggSum || beta.Aggregation.Target != "E" || beta.Aggregation.Over != "V" {
+		t.Errorf("beta aggregation = %v", beta.Aggregation)
+	}
+
+	// Fact values: Debts("B","C",9.0) parsed with float constant.
+	last := prog.Facts[6]
+	if last.Predicate != "Debts" {
+		t.Errorf("last fact = %v", last)
+	}
+	if f, ok := last.Terms[2].AsFloat(); !ok || f != 9 {
+		t.Errorf("last fact value = %v", last.Terms[2])
+	}
+}
+
+func TestParseCompanyControl(t *testing.T) {
+	src := `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+Company("A").
+Own("A", "B", 0.6).
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s3 := prog.RuleByLabel("s3")
+	if s3.Aggregation == nil || s3.Aggregation.Target != "TS" {
+		t.Errorf("s3 aggregation = %v", s3.Aggregation)
+	}
+	if len(s3.Conditions) != 1 || s3.Conditions[0].Left.Name() != "TS" {
+		t.Errorf("s3 conditions = %v", s3.Conditions)
+	}
+	if got := prog.IDBPredicates(); len(got) != 1 || got[0] != "Control" {
+		t.Errorf("IDB = %v", got)
+	}
+}
+
+func TestParseArithmeticAssignment(t *testing.T) {
+	r, err := ParseRule(`MOwn(X, Y, S) :- MOwn(X, Z, S1), Own(Z, Y, S2), S = S1 * S2.`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Assignments) != 1 {
+		t.Fatalf("assignments = %v", r.Assignments)
+	}
+	as := r.Assignments[0]
+	be, ok := as.Expr.(ast.BinaryExpr)
+	if !ok {
+		t.Fatalf("expr = %T", as.Expr)
+	}
+	if as.Target != "S" || be.Op != ast.ArithMul || be.String() != "S1 * S2" {
+		t.Errorf("assignment = %v", as)
+	}
+}
+
+func TestParseAllArithOps(t *testing.T) {
+	for _, op := range []string{"+", "-", "*", "/"} {
+		src := `R(X, V) :- P(X, A), Q(X, B), V = A ` + op + ` B.`
+		r, err := ParseRule(src)
+		if err != nil {
+			t.Fatalf("op %s: %v", op, err)
+		}
+		if len(r.Assignments) != 1 {
+			t.Fatalf("op %s parsed as %v", op, r.Assignments)
+		}
+		be, ok := r.Assignments[0].Expr.(ast.BinaryExpr)
+		if !ok || string(be.Op) != op {
+			t.Errorf("op %s parsed as %v", op, r.Assignments[0].Expr)
+		}
+	}
+}
+
+func TestParseAllCompareOps(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want ast.CompareOp
+	}{
+		{"A > B", ast.OpGt}, {"A >= B", ast.OpGe}, {"A < B", ast.OpLt},
+		{"A <= B", ast.OpLe}, {"A == B", ast.OpEq}, {"A != B", ast.OpNe},
+	} {
+		r, err := ParseRule(`R(A) :- P(A, B), ` + tc.src + `.`)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if len(r.Conditions) != 1 || r.Conditions[0].Op != tc.want {
+			t.Errorf("%s parsed as %v", tc.src, r.Conditions)
+		}
+	}
+}
+
+func TestParseEqualityBindingAsCondition(t *testing.T) {
+	// T = "long" with no arithmetic becomes an equality condition.
+	r, err := ParseRule(`R(C) :- Risk(C, E, T), T = "long".`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Conditions) != 1 || r.Conditions[0].Op != ast.OpEq {
+		t.Fatalf("conditions = %v", r.Conditions)
+	}
+	if r.Conditions[0].Right.StringVal() != "long" {
+		t.Errorf("right = %v", r.Conditions[0].Right)
+	}
+}
+
+func TestParseConstantLeftCondition(t *testing.T) {
+	r, err := ParseRule(`R(A) :- P(A, B), 0.5 < B.`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Conditions) != 1 {
+		t.Fatalf("conditions = %v", r.Conditions)
+	}
+	if f, ok := r.Conditions[0].Left.AsFloat(); !ok || f != 0.5 {
+		t.Errorf("left = %v", r.Conditions[0].Left)
+	}
+}
+
+func TestParseAtomFunc(t *testing.T) {
+	a, err := ParseAtom(`Own("A", "B", 0.53)`)
+	if err != nil {
+		t.Fatalf("ParseAtom: %v", err)
+	}
+	if a.Predicate != "Own" || a.Arity() != 3 || !a.IsGround() {
+		t.Errorf("atom = %v", a)
+	}
+	if _, err := ParseAtom(`Own("A") extra`); err == nil {
+		t.Error("trailing input accepted")
+	}
+	if _, err := ParseAtom(`123`); err == nil {
+		t.Error("non-atom accepted")
+	}
+}
+
+func TestParseNumbers(t *testing.T) {
+	tests := []struct {
+		src   string
+		isInt bool
+		wantF float64
+		wantI int64
+	}{
+		{"P(3)", true, 0, 3},
+		{"P(-4)", true, 0, -4},
+		{"P(0.5)", false, 0.5, 0},
+		{"P(-2.25)", false, -2.25, 0},
+		{"P(1e3)", false, 1000, 0},
+		{"P(2.5e-1)", false, 0.25, 0},
+		{"P(15000000)", true, 0, 15000000},
+	}
+	for _, tt := range tests {
+		a, err := ParseAtom(tt.src)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.src, err)
+		}
+		got := a.Terms[0]
+		if tt.isInt {
+			if got.ConstType() != term.ConstInt || got.IntVal() != tt.wantI {
+				t.Errorf("%s = %v, want int %d", tt.src, got, tt.wantI)
+			}
+		} else {
+			if f, ok := got.AsFloat(); !ok || f != tt.wantF {
+				t.Errorf("%s = %v, want float %v", tt.src, got, tt.wantF)
+			}
+		}
+	}
+}
+
+func TestParseBooleansAndStrings(t *testing.T) {
+	a, err := ParseAtom(`Flag("x", true, false, "hello\nworld")`)
+	if err != nil {
+		t.Fatalf("ParseAtom: %v", err)
+	}
+	if !a.Terms[1].BoolVal() || a.Terms[2].BoolVal() {
+		t.Errorf("booleans = %v %v", a.Terms[1], a.Terms[2])
+	}
+	if a.Terms[3].StringVal() != "hello\nworld" {
+		t.Errorf("escaped string = %q", a.Terms[3].StringVal())
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := `
+% a percent comment
+# a hash comment
+P("x"). % trailing comment
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Facts) != 1 {
+		t.Errorf("facts = %v", prog.Facts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		sub  string
+	}{
+		{"unterminated string", `P("abc`, "unterminated"},
+		{"missing dot", `P("a")`, "expected"},
+		{"non-ground fact", `P(X).`, "not ground"},
+		{"bad annotation", `@bogus("v").`, "unknown annotation"},
+		{"label on fact", `@label("l") P("a").`, "label"},
+		{"dangling label", `@label("l")`, "not followed"},
+		{"bad implication", `P(X) : Q(X).`, "':-'"},
+		{"bang alone", `P(X) :- Q(X), X ! 3.`, "'!='"},
+		{"unexpected char", `P(X) :- Q(X) & R(X).`, "unexpected character"},
+		{"duplicate agg", `P(X,S,T) :- Q(X,A), S = sum(A), T = sum(A).`, "multiple aggregations"},
+		{"agg unbound", `P(X,S) :- Q(X,A), S = sum(B).`, "unbound"},
+		{"duplicate labels", `@label("a") P(X) :- Q(X). @label("a") R(X) :- Q(X).`, "duplicate rule label"},
+		{"extensional output", `@output("Q"). P(X) :- Q(X).`, "not intensional"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := Parse(tt.src)
+			if err == nil {
+				t.Fatal("invalid source accepted")
+			}
+			if !strings.Contains(err.Error(), tt.sub) {
+				t.Errorf("error %q does not mention %q", err, tt.sub)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("P(\"a\").\nQ(X.")
+	if err == nil {
+		t.Fatal("invalid source accepted")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T, want *Error", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+}
+
+// Round-trip property: parsing the String() rendering of a parsed program
+// yields the same structure.
+func TestRoundTrip(t *testing.T) {
+	prog, err := Parse(stressSrc)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("re-Parse of %q: %v", prog.String(), err)
+	}
+	if again.String() != prog.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", prog.String(), again.String())
+	}
+	if len(again.Rules) != len(prog.Rules) || len(again.Facts) != len(prog.Facts) {
+		t.Error("round trip changed clause counts")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on invalid input")
+		}
+	}()
+	MustParse(`P(X`)
+}
+
+func TestZeroArityAtom(t *testing.T) {
+	prog, err := Parse(`Triggered() :- Event(X).` + "\n" + `Event("e").`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if prog.Rules[0].Head.Arity() != 0 {
+		t.Errorf("arity = %d", prog.Rules[0].Head.Arity())
+	}
+}
+
+func TestParseNegation(t *testing.T) {
+	r, err := ParseRule(`Eligible(X) :- HasCapital(X, P), not Default(X).`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Body) != 1 || len(r.Negated) != 1 {
+		t.Fatalf("body/negated = %d/%d", len(r.Body), len(r.Negated))
+	}
+	if r.Negated[0].Predicate != "Default" {
+		t.Errorf("negated = %v", r.Negated[0])
+	}
+	// Round trip through String().
+	again, err := ParseRule(r.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", r.String(), err)
+	}
+	if len(again.Negated) != 1 {
+		t.Error("negation lost in round trip")
+	}
+}
+
+func TestParseNegationSafety(t *testing.T) {
+	if _, err := ParseRule(`P(X) :- Q(X), not R(Y).`); err == nil {
+		t.Error("unsafe negation accepted")
+	}
+}
+
+func TestParseConstraint(t *testing.T) {
+	prog, err := Parse(`
+@output("Control").
+Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("nc") :- Control(X, Y), Sanctioned(Y), not Waived(Y).
+Own("A", "B", 0.6).
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(prog.Constraints) != 1 {
+		t.Fatalf("constraints = %d", len(prog.Constraints))
+	}
+	c := prog.Constraints[0]
+	if c.Label != "nc" || len(c.Body) != 2 || len(c.Negated) != 1 {
+		t.Errorf("constraint = %+v", c)
+	}
+	// Round trip.
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("re-parse:\n%s\n%v", prog.String(), err)
+	}
+	if len(again.Constraints) != 1 {
+		t.Error("constraint lost in round trip")
+	}
+}
+
+func TestParseConstraintEmptyBody(t *testing.T) {
+	if _, err := Parse(`:- .`); err == nil {
+		t.Error("empty constraint accepted")
+	}
+}
+
+func TestParseComplexExpressions(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string // expression rendering
+	}{
+		{`V = A + B * C`, "A + (B * C)"},
+		{`V = A * B + C`, "(A * B) + C"},
+		{`V = (A + B) * C`, "(A + B) * C"},
+		{`V = A + B + C`, "(A + B) + C"},
+		{`V = A - B - C`, "(A - B) - C"},
+		{`V = A / (B + C)`, "A / (B + C)"},
+		{`V = (A + B) * (C - 2)`, "(A + B) * (C - 2)"},
+	}
+	for _, tt := range tests {
+		r, err := ParseRule(`R(V) :- P(A, B, C), ` + tt.src + `.`)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.src, err)
+		}
+		if len(r.Assignments) != 1 {
+			t.Fatalf("%s: assignments = %v", tt.src, r.Assignments)
+		}
+		if got := r.Assignments[0].Expr.String(); got != tt.want {
+			t.Errorf("%s parsed as %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestParenthesizedOperandDegeneratesToCondition(t *testing.T) {
+	// A fully parenthesized single operand is an equality condition, not an
+	// assignment.
+	r, err := ParseRule(`R(A) :- P(A, B, C), B = ((A)).`)
+	if err != nil {
+		t.Fatalf("ParseRule: %v", err)
+	}
+	if len(r.Assignments) != 0 || len(r.Conditions) != 1 || r.Conditions[0].Op != ast.OpEq {
+		t.Errorf("parsed as %v / %v", r.Assignments, r.Conditions)
+	}
+}
+
+func TestParseExpressionErrors(t *testing.T) {
+	for _, src := range []string{
+		`R(V) :- P(A), V = (A + .`,
+		`R(V) :- P(A), V = (A + B.`,
+		`R(V) :- P(A), V = A + .`,
+	} {
+		if _, err := ParseRule(src); err == nil {
+			t.Errorf("%s accepted", src)
+		}
+	}
+}

@@ -1,0 +1,494 @@
+// Package paths implements the structural analysis of Section 4.1 of the
+// paper: it derives the finite set of reasoning paths — simple reasoning
+// paths and reasoning cycles (Definition 4.2) — from the dependency graph of
+// a Vadalog program, including the "dashed" aggregation variants introduced
+// by the Analysis of Aggregations.
+//
+// A reasoning path is represented compactly as a sequence of rules
+// Π = {σ1,...,σn} in derivation order (supports first). Enumeration visits
+// every edge at most once, so the set of reasoning paths is finite by
+// construction.
+package paths
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/depgraph"
+)
+
+// Kind distinguishes simple reasoning paths from reasoning cycles.
+type Kind int
+
+const (
+	// SimplePath is a reasoning path from root predicates to the leaf.
+	SimplePath Kind = iota
+	// Cycle is a reasoning cycle connecting a critical node with itself.
+	Cycle
+)
+
+// String implements fmt.Stringer for Kind.
+func (k Kind) String() string {
+	if k == Cycle {
+		return "cycle"
+	}
+	return "simple path"
+}
+
+// Path is one reasoning path: a simple reasoning path Π or a reasoning
+// cycle Γ, in the compact rule-sequence notation of the paper.
+type Path struct {
+	// ID is the display name: Π1, Π2, Γ1; dashed variants append *, as in
+	// Π2*.
+	ID string
+	// Kind is SimplePath or Cycle.
+	Kind Kind
+	// Rules is the rule sequence in derivation order (supports before
+	// consumers).
+	Rules []*ast.Rule
+	// Dashed marks the aggregation variant capturing multi-contributor
+	// aggregations (rendered with dashed edges in the paper's figures).
+	Dashed bool
+	// Joint marks paths merged from several basic paths sharing their
+	// final rule (e.g. Π5 = {σ1, σ2, σ3} in the company control program).
+	Joint bool
+	// Anchor is the critical node a cycle starts and ends at; empty for
+	// simple paths.
+	Anchor string
+}
+
+// RuleLabels returns the labels of the path's rules in order.
+func (p *Path) RuleLabels() []string {
+	out := make([]string, len(p.Rules))
+	for i, r := range p.Rules {
+		out[i] = r.Label
+	}
+	return out
+}
+
+// HasAggregation reports whether any rule of the path aggregates.
+func (p *Path) HasAggregation() bool {
+	for _, r := range p.Rules {
+		if r.HasAggregation() {
+			return true
+		}
+	}
+	return false
+}
+
+// SetKey returns a canonical key of the path's rule set plus variant flag,
+// used for deduplication.
+func (p *Path) SetKey() string {
+	labels := p.RuleLabels()
+	sort.Strings(labels)
+	key := strings.Join(labels, ",")
+	if p.Dashed {
+		key += "*"
+	}
+	if p.Kind == Cycle {
+		key = "cycle:" + key
+	}
+	return key
+}
+
+// String renders the path in the paper's compact notation, e.g.
+// "Π2 = {σ1, σ3}".
+func (p *Path) String() string {
+	return fmt.Sprintf("%s = {%s}", p.ID, strings.Join(p.RuleLabels(), ", "))
+}
+
+// Analysis is the result of the structural analysis of one program.
+type Analysis struct {
+	// Graph is the dependency graph analysed.
+	Graph *depgraph.Graph
+	// Simple holds the simple reasoning paths: basic paths first (in
+	// lexicographic rule order), then joint paths, each followed by its
+	// dashed variant when aggregations are present.
+	Simple []*Path
+	// Cycles holds the reasoning cycles in the same arrangement.
+	Cycles []*Path
+}
+
+// All returns every reasoning path: simple paths then cycles.
+func (a *Analysis) All() []*Path {
+	out := make([]*Path, 0, len(a.Simple)+len(a.Cycles))
+	out = append(out, a.Simple...)
+	out = append(out, a.Cycles...)
+	return out
+}
+
+// ByID returns the path with the given display name, or nil.
+func (a *Analysis) ByID(id string) *Path {
+	for _, p := range a.All() {
+		if p.ID == id {
+			return p
+		}
+	}
+	return nil
+}
+
+// Table renders the analysis as the two-column table of the paper's
+// Figure 10.
+func (a *Analysis) Table() string {
+	var sb strings.Builder
+	sb.WriteString("Simple Reasoning Paths:\n")
+	for _, p := range a.Simple {
+		if p.Dashed {
+			continue // the table marks availability with *, as the paper does
+		}
+		star := ""
+		if a.hasDashedTwin(p) {
+			star = "*"
+		}
+		fmt.Fprintf(&sb, "  %s%s = {%s}\n", p.ID, star, strings.Join(p.RuleLabels(), ", "))
+	}
+	sb.WriteString("Reasoning Cycles:\n")
+	for _, p := range a.Cycles {
+		if p.Dashed {
+			continue
+		}
+		star := ""
+		if a.hasDashedTwin(p) {
+			star = "*"
+		}
+		fmt.Fprintf(&sb, "  %s%s = {%s}\n", p.ID, star, strings.Join(p.RuleLabels(), ", "))
+	}
+	return sb.String()
+}
+
+func (a *Analysis) hasDashedTwin(p *Path) bool {
+	return a.ByID(p.ID+"*") != nil
+}
+
+// Adjacent reports whether b can follow a in a reasoning graph: there is a
+// (predicate-level) homomorphism from the head of a's last rule to a body
+// atom of b's first consuming rule (paper Section 4.1).
+func Adjacent(a, b *Path) bool {
+	if len(a.Rules) == 0 || len(b.Rules) == 0 {
+		return false
+	}
+	headPred := a.Rules[len(a.Rules)-1].Head.Predicate
+	for _, r := range b.Rules {
+		for _, atom := range r.Body {
+			if atom.Predicate == headPred {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Analyze performs the structural analysis of a program's dependency graph.
+func Analyze(g *depgraph.Graph) *Analysis {
+	a := &analyzer{g: g, prog: g.Program()}
+	ruleIdx := map[*ast.Rule]int{}
+	for i, r := range a.prog.Rules {
+		ruleIdx[r] = i
+	}
+	a.ruleIdx = ruleIdx
+
+	simple := a.simplePaths()
+	cycles := a.cycles()
+
+	res := &Analysis{Graph: g}
+	res.Simple = nameAndExpand(simple, "Π")
+	res.Cycles = nameAndExpand(cycles, "Γ")
+	return res
+}
+
+type analyzer struct {
+	g       *depgraph.Graph
+	prog    *ast.Program
+	ruleIdx map[*ast.Rule]int
+}
+
+// rulesDeriving returns the rules with the given head predicate, in
+// declaration order.
+func (a *analyzer) rulesDeriving(pred string) []*ast.Rule {
+	var out []*ast.Rule
+	for _, r := range a.prog.Rules {
+		if r.Head.Predicate == pred {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// intensionalBodyPreds returns the distinct intensional body predicates of a
+// rule, in body order.
+func (a *analyzer) intensionalBodyPreds(r *ast.Rule) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, atom := range r.Body {
+		if a.prog.IsIntensional(atom.Predicate) && !seen[atom.Predicate] {
+			seen[atom.Predicate] = true
+			out = append(out, atom.Predicate)
+		}
+	}
+	return out
+}
+
+// chains enumerates the basic derivation chains for pred: rule sequences in
+// derivation order whose last rule derives pred and whose intensional body
+// predicates are recursively supported, never reusing a rule (one visit per
+// edge).
+func (a *analyzer) chains(pred string, used map[*ast.Rule]bool) [][]*ast.Rule {
+	var out [][]*ast.Rule
+	for _, r := range a.rulesDeriving(pred) {
+		if used[r] {
+			continue
+		}
+		idb := a.intensionalBodyPreds(r)
+		if len(idb) == 0 {
+			out = append(out, []*ast.Rule{r})
+			continue
+		}
+		used[r] = true
+		// Enumerate supports per intensional body predicate, then take the
+		// cartesian product across predicates.
+		supportsPerPred := make([][][]*ast.Rule, len(idb))
+		feasible := true
+		for i, bp := range idb {
+			supportsPerPred[i] = a.chains(bp, used)
+			if len(supportsPerPred[i]) == 0 {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			for _, combo := range cartesian(supportsPerPred) {
+				chain := mergeChains(combo)
+				chain = append(chain, r)
+				out = append(out, chain)
+			}
+		}
+		delete(used, r)
+	}
+	return out
+}
+
+func cartesian(sets [][][]*ast.Rule) [][][]*ast.Rule {
+	result := [][][]*ast.Rule{{}}
+	for _, set := range sets {
+		var next [][][]*ast.Rule
+		for _, partial := range result {
+			for _, choice := range set {
+				combo := make([][]*ast.Rule, len(partial), len(partial)+1)
+				copy(combo, partial)
+				combo = append(combo, choice)
+				next = append(next, combo)
+			}
+		}
+		result = next
+	}
+	return result
+}
+
+// mergeChains concatenates support chains, deduplicating rules while
+// preserving first-occurrence order.
+func mergeChains(chains [][]*ast.Rule) []*ast.Rule {
+	var out []*ast.Rule
+	seen := map[*ast.Rule]bool{}
+	for _, c := range chains {
+		for _, r := range c {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// simplePaths enumerates the simple reasoning paths: basic chains to the
+// leaf plus joint merges of chains sharing their final rule.
+func (a *analyzer) simplePaths() []*Path {
+	leaf := a.g.Leaf()
+	basics := a.chains(leaf, map[*ast.Rule]bool{})
+	sortChains(basics, a.ruleIdx)
+	var out []*Path
+	for _, c := range basics {
+		out = append(out, &Path{Kind: SimplePath, Rules: c})
+	}
+	out = append(out, a.jointMerges(basics, SimplePath, "")...)
+	return dedupPaths(out)
+}
+
+// jointMerges merges groups of chains that share their final (consuming)
+// rule into joint paths: these capture aggregations fed by several distinct
+// reasoning stories, such as Π5 = {σ1, σ2, σ3}.
+func (a *analyzer) jointMerges(chains [][]*ast.Rule, kind Kind, anchor string) []*Path {
+	groups := map[*ast.Rule][][]*ast.Rule{}
+	var order []*ast.Rule
+	for _, c := range chains {
+		final := c[len(c)-1]
+		if _, ok := groups[final]; !ok {
+			order = append(order, final)
+		}
+		groups[final] = append(groups[final], c)
+	}
+	var out []*Path
+	for _, final := range order {
+		group := groups[final]
+		if len(group) < 2 {
+			continue
+		}
+		for _, subset := range subsets(len(group)) {
+			if len(subset) < 2 {
+				continue
+			}
+			var chosen [][]*ast.Rule
+			for _, i := range subset {
+				// Strip the shared final rule before merging; re-append once.
+				c := group[i]
+				chosen = append(chosen, c[:len(c)-1])
+			}
+			merged := mergeChains(chosen)
+			merged = append(merged, final)
+			sortRulesByIndex(merged[:len(merged)-1], a.ruleIdx)
+			out = append(out, &Path{Kind: kind, Rules: merged, Joint: true, Anchor: anchor})
+		}
+	}
+	return out
+}
+
+// subsets enumerates index subsets of {0..n-1} in size-then-lexicographic
+// order.
+func subsets(n int) [][]int {
+	var out [][]int
+	for size := 2; size <= n; size++ {
+		idx := make([]int, size)
+		var rec func(start, k int)
+		rec = func(start, k int) {
+			if k == size {
+				cp := make([]int, size)
+				copy(cp, idx)
+				out = append(out, cp)
+				return
+			}
+			for i := start; i < n; i++ {
+				idx[k] = i
+				rec(i+1, k+1)
+			}
+		}
+		rec(0, 0)
+	}
+	return out
+}
+
+// cycles enumerates the reasoning cycles: directed rule cycles through each
+// critical node, plus joint merges.
+func (a *analyzer) cycles() []*Path {
+	var all []*Path
+	seen := map[string]bool{}
+	for _, c := range a.g.CriticalNodes() {
+		basics := a.cyclesFrom(c)
+		sortChains(basics, a.ruleIdx)
+		var paths []*Path
+		for _, chain := range basics {
+			paths = append(paths, &Path{Kind: Cycle, Rules: chain, Anchor: c})
+		}
+		paths = append(paths, a.jointMerges(basics, Cycle, c)...)
+		for _, p := range paths {
+			key := p.SetKey()
+			if !seen[key] {
+				seen[key] = true
+				all = append(all, p)
+			}
+		}
+	}
+	return all
+}
+
+// cyclesFrom enumerates rule chains that leave the critical node c and
+// return to it: body of the first rule contains c, consecutive rules chain
+// head-to-body, the last rule's head is c, and no rule repeats.
+func (a *analyzer) cyclesFrom(c string) [][]*ast.Rule {
+	var out [][]*ast.Rule
+	var chain []*ast.Rule
+	used := map[*ast.Rule]bool{}
+	var dfs func(pred string)
+	dfs = func(pred string) {
+		for _, r := range a.prog.Rules {
+			if used[r] || !bodyContains(r, pred) {
+				continue
+			}
+			used[r] = true
+			chain = append(chain, r)
+			if r.Head.Predicate == c {
+				cp := make([]*ast.Rule, len(chain))
+				copy(cp, chain)
+				out = append(out, cp)
+			} else if a.prog.IsIntensional(r.Head.Predicate) {
+				dfs(r.Head.Predicate)
+			}
+			chain = chain[:len(chain)-1]
+			delete(used, r)
+		}
+	}
+	dfs(c)
+	return out
+}
+
+func bodyContains(r *ast.Rule, pred string) bool {
+	for _, a := range r.Body {
+		if a.Predicate == pred {
+			return true
+		}
+	}
+	return false
+}
+
+func sortRulesByIndex(rules []*ast.Rule, idx map[*ast.Rule]int) {
+	sort.Slice(rules, func(i, j int) bool { return idx[rules[i]] < idx[rules[j]] })
+}
+
+// sortChains orders chains lexicographically by rule declaration index.
+func sortChains(chains [][]*ast.Rule, idx map[*ast.Rule]int) {
+	sort.Slice(chains, func(i, j int) bool {
+		a, b := chains[i], chains[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if idx[a[k]] != idx[b[k]] {
+				return idx[a[k]] < idx[b[k]]
+			}
+		}
+		return len(a) < len(b)
+	})
+}
+
+// nameAndExpand assigns display names and appends the dashed aggregation
+// variant after every path containing an aggregation rule.
+func nameAndExpand(paths []*Path, prefix string) []*Path {
+	var out []*Path
+	for i, p := range paths {
+		p.ID = fmt.Sprintf("%s%d", prefix, i+1)
+		out = append(out, p)
+		if p.HasAggregation() {
+			dashed := &Path{
+				ID:     p.ID + "*",
+				Kind:   p.Kind,
+				Rules:  p.Rules,
+				Dashed: true,
+				Joint:  p.Joint,
+				Anchor: p.Anchor,
+			}
+			out = append(out, dashed)
+		}
+	}
+	return out
+}
+
+func dedupPaths(paths []*Path) []*Path {
+	seen := map[string]bool{}
+	var out []*Path
+	for _, p := range paths {
+		key := p.SetKey()
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

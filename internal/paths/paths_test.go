@@ -1,0 +1,287 @@
+package paths
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/depgraph"
+	"repro/internal/parser"
+)
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+`
+
+const controlSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`
+
+const stressSrc = `
+@name("stress-test").
+@output("Default").
+@label("s4") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("s5") Risk(C, EL, "long") :- Default(D), LongTermDebts(D, C, V), EL = sum(V).
+@label("s6") Risk(C, ES, "short") :- Default(D), ShortTermDebts(D, C, V), ES = sum(V).
+@label("s7") Default(C) :- Risk(C, E, T), HasCapital(C, P2), L = sum(E), L > P2.
+`
+
+func analyze(t *testing.T, src string) *Analysis {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Analyze(depgraph.New(prog))
+}
+
+func labels(p *Path) string { return strings.Join(p.RuleLabels(), ",") }
+
+// pathSet maps path id -> rule labels for compact comparison.
+func pathSet(ps []*Path) map[string]string {
+	out := map[string]string{}
+	for _, p := range ps {
+		out[p.ID] = labels(p)
+	}
+	return out
+}
+
+// TestFigure4And5 reproduces the reasoning paths of Example 4.3/4.4: the
+// simple reasoning paths Π1 = {α}, Π2 = {α,β,γ} with aggregation variant
+// (the paper's Π3), and the reasoning cycle Γ1 = {β,γ} with its variant.
+func TestFigure4And5(t *testing.T) {
+	a := analyze(t, stressSimpleSrc)
+
+	simple := pathSet(a.Simple)
+	want := map[string]string{
+		"Π1":  "alpha",
+		"Π2":  "alpha,beta,gamma",
+		"Π2*": "alpha,beta,gamma",
+	}
+	if len(simple) != len(want) {
+		t.Fatalf("simple paths = %v, want %v", simple, want)
+	}
+	for id, rules := range want {
+		if simple[id] != rules {
+			t.Errorf("%s = %q, want %q", id, simple[id], rules)
+		}
+	}
+
+	cycles := pathSet(a.Cycles)
+	wantC := map[string]string{"Γ1": "beta,gamma", "Γ1*": "beta,gamma"}
+	if len(cycles) != len(wantC) {
+		t.Fatalf("cycles = %v, want %v", cycles, wantC)
+	}
+	for id, rules := range wantC {
+		if cycles[id] != rules {
+			t.Errorf("%s = %q, want %q", id, cycles[id], rules)
+		}
+	}
+
+	// The dashed variants are marked Dashed, anchored cycles carry their
+	// critical node.
+	if p := a.ByID("Π2*"); p == nil || !p.Dashed {
+		t.Error("Π2* not dashed")
+	}
+	if p := a.ByID("Γ1"); p == nil || p.Anchor != "Default" {
+		t.Errorf("Γ1 anchor = %v", p)
+	}
+	if p := a.ByID("Π1"); p.Dashed || p.HasAggregation() {
+		t.Error("Π1 should have no aggregation")
+	}
+}
+
+// TestFigure10CompanyControl reproduces the company control column of
+// Figure 10: Π1={σ1}, Π2={σ1,σ3}, Π3={σ2}, Π4={σ2,σ3}, Π5={σ1,σ2,σ3} and
+// Γ1={σ3}, with aggregation variants wherever σ3 occurs.
+func TestFigure10CompanyControl(t *testing.T) {
+	a := analyze(t, controlSrc)
+
+	want := map[string]string{
+		"Π1":  "s1",
+		"Π2":  "s1,s3",
+		"Π2*": "s1,s3",
+		"Π3":  "s2",
+		"Π4":  "s2,s3",
+		"Π4*": "s2,s3",
+		"Π5":  "s1,s2,s3",
+		"Π5*": "s1,s2,s3",
+	}
+	got := pathSet(a.Simple)
+	if len(got) != len(want) {
+		t.Fatalf("simple paths:\ngot  %v\nwant %v", got, want)
+	}
+	for id, rules := range want {
+		if got[id] != rules {
+			t.Errorf("%s = %q, want %q", id, got[id], rules)
+		}
+	}
+	if p := a.ByID("Π5"); p == nil || !p.Joint {
+		t.Error("Π5 not marked joint")
+	}
+
+	wantC := map[string]string{"Γ1": "s3", "Γ1*": "s3"}
+	gotC := pathSet(a.Cycles)
+	if len(gotC) != len(wantC) {
+		t.Fatalf("cycles = %v, want %v", gotC, wantC)
+	}
+	for id, rules := range wantC {
+		if gotC[id] != rules {
+			t.Errorf("%s = %q, want %q", id, gotC[id], rules)
+		}
+	}
+}
+
+// TestFigure10StressTest reproduces the stress test column of Figure 10
+// (per-application numbering; the paper numbers across applications):
+// Π1={σ4}, Π2={σ4,σ5,σ7}, Π3={σ4,σ6,σ7}, Π4={σ4,σ5,σ6,σ7} and
+// Γ1={σ5,σ7}, Γ2={σ6,σ7}, Γ3={σ5,σ6,σ7}.
+func TestFigure10StressTest(t *testing.T) {
+	a := analyze(t, stressSrc)
+
+	want := map[string]string{
+		"Π1":  "s4",
+		"Π2":  "s4,s5,s7",
+		"Π2*": "s4,s5,s7",
+		"Π3":  "s4,s6,s7",
+		"Π3*": "s4,s6,s7",
+		"Π4":  "s4,s5,s6,s7",
+		"Π4*": "s4,s5,s6,s7",
+	}
+	got := pathSet(a.Simple)
+	if len(got) != len(want) {
+		t.Fatalf("simple paths:\ngot  %v\nwant %v", got, want)
+	}
+	for id, rules := range want {
+		if got[id] != rules {
+			t.Errorf("%s = %q, want %q", id, got[id], rules)
+		}
+	}
+
+	wantC := map[string]string{
+		"Γ1":  "s5,s7",
+		"Γ1*": "s5,s7",
+		"Γ2":  "s6,s7",
+		"Γ2*": "s6,s7",
+		"Γ3":  "s5,s6,s7",
+		"Γ3*": "s5,s6,s7",
+	}
+	gotC := pathSet(a.Cycles)
+	if len(gotC) != len(wantC) {
+		t.Fatalf("cycles:\ngot  %v\nwant %v", gotC, wantC)
+	}
+	for id, rules := range wantC {
+		if gotC[id] != rules {
+			t.Errorf("%s = %q, want %q", id, gotC[id], rules)
+		}
+	}
+	if p := a.ByID("Γ3"); p == nil || !p.Joint {
+		t.Error("Γ3 not marked joint")
+	}
+}
+
+// TestFinitenessNonRecursive: an acyclic program has simple paths only.
+func TestFinitenessNonRecursive(t *testing.T) {
+	a := analyze(t, `
+@output("C").
+@label("r1") B(X) :- A(X).
+@label("r2") C(X) :- B(X).
+`)
+	if len(a.Cycles) != 0 {
+		t.Errorf("cycles = %v, want none", pathSet(a.Cycles))
+	}
+	if len(a.Simple) != 1 || labels(a.Simple[0]) != "r1,r2" {
+		t.Errorf("simple = %v", pathSet(a.Simple))
+	}
+}
+
+// TestTwoIntensionalBodyPredicates: a rule joining two intensional
+// predicates takes the cartesian product of supports.
+func TestTwoIntensionalBodyPredicates(t *testing.T) {
+	a := analyze(t, `
+@output("Goal").
+@label("r1") P(X) :- A(X).
+@label("r2") Q(X) :- B(X).
+@label("r3") Goal(X) :- P(X), Q(X).
+`)
+	if len(a.Simple) != 1 {
+		t.Fatalf("simple = %v", pathSet(a.Simple))
+	}
+	if got := labels(a.Simple[0]); got != "r1,r2,r3" {
+		t.Errorf("path = %q, want r1,r2,r3", got)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	a := analyze(t, stressSimpleSrc)
+	pi2 := a.ByID("Π2")
+	gamma1 := a.ByID("Γ1")
+	// The cycle consumes Default, which Π2 derives: adjacent.
+	if !Adjacent(pi2, gamma1) {
+		t.Error("Γ1 not adjacent to Π2")
+	}
+	// A cycle is adjacent to itself (Default -> ... -> Default).
+	if !Adjacent(gamma1, gamma1) {
+		t.Error("Γ1 not self-adjacent")
+	}
+	pi1 := a.ByID("Π1")
+	if !Adjacent(pi1, gamma1) {
+		t.Error("Γ1 not adjacent to Π1")
+	}
+	empty := &Path{}
+	if Adjacent(empty, pi1) || Adjacent(pi1, empty) {
+		t.Error("empty path adjacent")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	a := analyze(t, controlSrc)
+	table := a.Table()
+	for _, sub := range []string{
+		"Simple Reasoning Paths:",
+		"Π2* = {s1, s3}",
+		"Π5* = {s1, s2, s3}",
+		"Reasoning Cycles:",
+		"Γ1* = {s3}",
+		"Π1 = {s1}",
+	} {
+		if !strings.Contains(table, sub) {
+			t.Errorf("table missing %q:\n%s", sub, table)
+		}
+	}
+	// Paths without aggregation have no star: "Π1 = {s1}" but not "Π1*".
+	if strings.Contains(table, "Π1*") || strings.Contains(table, "Π3*") {
+		t.Errorf("non-aggregation path starred:\n%s", table)
+	}
+}
+
+func TestByIDAndAll(t *testing.T) {
+	a := analyze(t, stressSimpleSrc)
+	if got := len(a.All()); got != 5 {
+		t.Errorf("All = %d, want 5", got)
+	}
+	if a.ByID("Π1") == nil || a.ByID("nope") != nil {
+		t.Error("ByID wrong")
+	}
+}
+
+func TestPathStringAndKind(t *testing.T) {
+	a := analyze(t, stressSimpleSrc)
+	p := a.ByID("Π2")
+	if got := p.String(); got != "Π2 = {alpha, beta, gamma}" {
+		t.Errorf("String = %q", got)
+	}
+	if p.Kind.String() != "simple path" || Cycle.String() != "cycle" {
+		t.Error("Kind strings wrong")
+	}
+	if a.ByID("Γ1").Kind != Cycle {
+		t.Error("Γ1 kind not cycle")
+	}
+}

@@ -1,0 +1,162 @@
+// Package privacy implements reversible pseudonymization of explanation
+// texts. The paper's central constraint is that instance data must never
+// reach third parties; its Section 1 discusses anonymization as the
+// conventional (and, for unstructured text, unsolved) alternative. This
+// package provides the practical middle ground for the cases where an
+// explanation must leave the trust boundary anyway — e.g. to obtain a
+// one-off fluency rewrite of an *instance* text: entity constants are
+// replaced by stable, meaningless pseudonyms before the text leaves, and
+// the mapping (kept inside) restores them afterwards.
+//
+// Only whole-token occurrences are replaced, using the same token matching
+// as the completeness checks, so pseudonymization can never corrupt
+// unrelated words or embedded numbers.
+package privacy
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/verbalizer"
+)
+
+// Pseudonymizer maintains a stable bidirectional mapping between entity
+// constants and pseudonyms. The zero value is not usable; call New.
+type Pseudonymizer struct {
+	entityPrefix string
+	amountPrefix string
+	forward      map[string]string
+	reverse      map[string]string
+	seq          int
+	amountSeq    int
+	// Numbers also pseudonymizes numeric constants (amounts); entity
+	// names are always pseudonymized.
+	Numbers bool
+}
+
+// New returns a Pseudonymizer issuing pseudonyms "Entity-1", "Entity-2",
+// ... (and "Amount-1", ... when Numbers is enabled).
+func New() *Pseudonymizer {
+	return &Pseudonymizer{
+		entityPrefix: "Entity-",
+		amountPrefix: "Amount-",
+		forward:      map[string]string{},
+		reverse:      map[string]string{},
+	}
+}
+
+var numberLike = regexp.MustCompile(`^-?\d+(\.\d+)?$`)
+
+// pseudonymFor returns (and fixes) the pseudonym of a constant; numeric
+// constants are passed through unless Numbers is set.
+func (p *Pseudonymizer) pseudonymFor(c string) (string, bool) {
+	if ps, ok := p.forward[c]; ok {
+		return ps, true
+	}
+	var ps string
+	if numberLike.MatchString(c) {
+		if !p.Numbers {
+			return "", false
+		}
+		p.amountSeq++
+		ps = p.amountPrefix + strconv.Itoa(p.amountSeq)
+	} else {
+		p.seq++
+		ps = p.entityPrefix + strconv.Itoa(p.seq)
+	}
+	p.forward[c] = ps
+	p.reverse[ps] = c
+	return ps, true
+}
+
+// Anonymize replaces every whole-token occurrence of the given constants in
+// the text with their pseudonyms. Constants are processed longest-first so
+// a constant that is a prefix of another cannot clobber it.
+func (p *Pseudonymizer) Anonymize(text string, constants []string) string {
+	ordered := append([]string{}, constants...)
+	sort.Slice(ordered, func(i, j int) bool {
+		if len(ordered[i]) != len(ordered[j]) {
+			return len(ordered[i]) > len(ordered[j])
+		}
+		return ordered[i] < ordered[j]
+	})
+	for _, c := range ordered {
+		if c == "" {
+			continue
+		}
+		ps, ok := p.pseudonymFor(c)
+		if !ok {
+			continue
+		}
+		text = replaceToken(text, c, ps)
+	}
+	return text
+}
+
+// Deanonymize restores the original constants in a text containing
+// pseudonyms issued by this Pseudonymizer.
+func (p *Pseudonymizer) Deanonymize(text string) string {
+	pseudos := make([]string, 0, len(p.reverse))
+	for ps := range p.reverse {
+		pseudos = append(pseudos, ps)
+	}
+	sort.Slice(pseudos, func(i, j int) bool {
+		if len(pseudos[i]) != len(pseudos[j]) {
+			return len(pseudos[i]) > len(pseudos[j])
+		}
+		return pseudos[i] < pseudos[j]
+	})
+	for _, ps := range pseudos {
+		text = replaceToken(text, ps, p.reverse[ps])
+	}
+	return text
+}
+
+// Mapping returns a copy of the constant → pseudonym mapping issued so far.
+func (p *Pseudonymizer) Mapping() map[string]string {
+	out := make(map[string]string, len(p.forward))
+	for k, v := range p.forward {
+		out[k] = v
+	}
+	return out
+}
+
+// replaceToken replaces whole-token occurrences of tok with repl, using the
+// same token-boundary rules as the completeness checks.
+func replaceToken(text, tok, repl string) string {
+	var sb strings.Builder
+	for {
+		i := verbalizer.IndexConstant(text, tok)
+		if i < 0 {
+			sb.WriteString(text)
+			return sb.String()
+		}
+		sb.WriteString(text[:i])
+		sb.WriteString(repl)
+		text = text[i+len(tok):]
+	}
+}
+
+// AnonymizeExplanation pseudonymizes an explanation's text using the entity
+// constants of its proof, and verifies that the anonymized text is still
+// complete *under the mapping* (every proof constant appears as its
+// pseudonym or, for pass-through numbers, as itself).
+func AnonymizeExplanation(e *core.Explanation, p *Pseudonymizer) (string, error) {
+	constants := e.Proof.Constants()
+	out := p.Anonymize(e.Text, constants)
+	mapping := p.Mapping()
+	for _, c := range constants {
+		want := c
+		if ps, ok := mapping[c]; ok {
+			want = ps
+		}
+		if !verbalizer.ContainsConstant(out, want) {
+			return "", fmt.Errorf("privacy: anonymized explanation lost %q (as %q)", c, want)
+		}
+	}
+	return out, nil
+}

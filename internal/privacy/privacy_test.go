@@ -1,0 +1,159 @@
+package privacy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestAnonymizeBasics(t *testing.T) {
+	p := New()
+	text := "IrishBank exercises control over MadridCredit. IrishBank owns 0.57 of it."
+	out := p.Anonymize(text, []string{"IrishBank", "MadridCredit", "0.57"})
+	if strings.Contains(out, "IrishBank") || strings.Contains(out, "MadridCredit") {
+		t.Errorf("entities not replaced: %q", out)
+	}
+	if !strings.Contains(out, "0.57") {
+		t.Errorf("amount replaced without Numbers: %q", out)
+	}
+	if !strings.Contains(out, "Entity-1") || !strings.Contains(out, "Entity-2") {
+		t.Errorf("pseudonyms missing: %q", out)
+	}
+	// Stability: the same constant maps to the same pseudonym again.
+	out2 := p.Anonymize("IrishBank again", []string{"IrishBank"})
+	first := p.Mapping()["IrishBank"]
+	if !strings.Contains(out2, first) {
+		t.Errorf("mapping not stable: %q vs %q", out2, first)
+	}
+}
+
+func TestAnonymizeNumbers(t *testing.T) {
+	p := New()
+	p.Numbers = true
+	out := p.Anonymize("A owes 7 to B", []string{"A", "B", "7"})
+	if strings.Contains(out, "7") {
+		t.Errorf("number not replaced: %q", out)
+	}
+	if !strings.Contains(out, "Amount-1") {
+		t.Errorf("amount pseudonym missing: %q", out)
+	}
+}
+
+func TestDeanonymizeRoundTrip(t *testing.T) {
+	p := New()
+	p.Numbers = true
+	text := "IrishBank controls MadridCredit with 0.57 shares; IrishBank also owns FrenchPLC."
+	consts := []string{"IrishBank", "MadridCredit", "FrenchPLC", "0.57"}
+	anon := p.Anonymize(text, consts)
+	back := p.Deanonymize(anon)
+	if back != text {
+		t.Errorf("round trip failed:\n%q\n%q", text, back)
+	}
+}
+
+func TestWholeTokenReplacement(t *testing.T) {
+	p := New()
+	// Constant "A" must not touch "CASCADE" or "N2_A"-like identifiers.
+	out := p.Anonymize("A triggers CASCADE at N2_A", []string{"A"})
+	if !strings.Contains(out, "CASCADE") || !strings.Contains(out, "N2_A") {
+		t.Errorf("embedded occurrences corrupted: %q", out)
+	}
+	if strings.HasPrefix(out, "A ") {
+		t.Errorf("standalone occurrence kept: %q", out)
+	}
+}
+
+func TestPrefixConstants(t *testing.T) {
+	p := New()
+	// "Bank" is a prefix of "BankOfX": longest-first ordering keeps both.
+	out := p.Anonymize("Bank and BankOfX differ", []string{"Bank", "BankOfX"})
+	if strings.Contains(out, "Bank") {
+		t.Errorf("replacement incomplete: %q", out)
+	}
+	if p.Mapping()["Bank"] == p.Mapping()["BankOfX"] {
+		t.Error("distinct constants share a pseudonym")
+	}
+}
+
+func TestAnonymizeExplanation(t *testing.T) {
+	progSrc := `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+Shock("AlphaBank", 6.0).
+HasCapital("AlphaBank", 5.0).
+HasCapital("BetaFund", 2.0).
+Debts("AlphaBank", "BetaFund", 7.0).
+`
+	glosSrc := `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+	pipe, err := core.NewPipelineFromSource(progSrc, glosSrc, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipe.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := pipe.ExplainQuery(res, `Default("BetaFund")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New()
+	anon, err := AnonymizeExplanation(e, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(anon, "AlphaBank") || strings.Contains(anon, "BetaFund") {
+		t.Errorf("entity leaked: %q", anon)
+	}
+	// Amounts survive (Numbers off) so analysts can still follow the math.
+	for _, amount := range []string{"6", "5", "7", "2"} {
+		if !strings.Contains(anon, amount) {
+			t.Errorf("amount %q lost: %q", amount, anon)
+		}
+	}
+	// Round trip restores the original explanation.
+	if back := p.Deanonymize(anon); back != e.Text {
+		t.Errorf("deanonymize mismatch:\n%q\n%q", back, e.Text)
+	}
+}
+
+// Property: anonymize/deanonymize is the identity on texts built from the
+// constants it knows about.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		p := New()
+		p.Numbers = true
+		names := []string{"Aldgate", "Borduria", "Carthage", "42", "0.5"}
+		var parts []string
+		for i := 0; i < int(seed%7)+1; i++ {
+			parts = append(parts, names[(int(seed)+i)%len(names)])
+		}
+		text := strings.Join(parts, " pays ")
+		anon := p.Anonymize(text, names)
+		return p.Deanonymize(anon) == text
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMappingIsCopy(t *testing.T) {
+	p := New()
+	p.Anonymize("X", []string{"X"})
+	m := p.Mapping()
+	m["X"] = "tampered"
+	if p.Mapping()["X"] == "tampered" {
+		t.Error("Mapping exposes internal state")
+	}
+}

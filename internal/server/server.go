@@ -1,0 +1,250 @@
+// Package server exposes the explanation pipeline as a small JSON-over-HTTP
+// service, mirroring the paper's deployment context: analysts interact with
+// the Knowledge Graph through a front-end (its reference [10], KG-Roar, is
+// an interactive graph environment) and request explanations for derived
+// facts on demand. The service holds compiled applications; reasoning
+// results are kept per session so repeated explanation queries do not rerun
+// the chase.
+//
+// Endpoints (all JSON):
+//
+//	GET  /apps                        list the deployed applications
+//	POST /reason                      {"app": ..., "facts": "...", "scenario": bool} -> {"session": id, answers}
+//	GET  /explain?session=S&query=Q   explanation of one derived fact
+//	GET  /paths?app=A                 the reasoning paths of an application
+//
+// Everything stays inside the process: no data leaves, matching the paper's
+// confidentiality requirement.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"repro/internal/apps"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// Server is the HTTP handler set. Create with New.
+type Server struct {
+	mu       sync.Mutex
+	pipes    map[string]*core.Pipeline
+	sessions map[string]*session
+	nextID   int
+}
+
+type session struct {
+	app    string
+	result *chase.Result
+}
+
+// New compiles every bundled application into a server.
+func New() (*Server, error) {
+	s := &Server{
+		pipes:    map[string]*core.Pipeline{},
+		sessions: map[string]*session{},
+	}
+	for _, a := range apps.All() {
+		p, err := a.Pipeline(core.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("server: compiling %s: %w", a.Name, err)
+		}
+		s.pipes[a.Name] = p
+	}
+	return s, nil
+}
+
+// Handler returns the route multiplexer.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /apps", s.handleApps)
+	mux.HandleFunc("POST /reason", s.handleReason)
+	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("GET /paths", s.handlePaths)
+	return mux
+}
+
+// appInfo is one row of the /apps listing.
+type appInfo struct {
+	Name        string `json:"name"`
+	Title       string `json:"title"`
+	Description string `json:"description"`
+}
+
+func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
+	var out []appInfo
+	for _, a := range apps.All() {
+		out = append(out, appInfo{Name: a.Name, Title: a.Title, Description: a.Description})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// reasonRequest is the /reason payload.
+type reasonRequest struct {
+	// App is the application registry name.
+	App string `json:"app"`
+	// Facts holds extensional facts in concrete syntax (optional).
+	Facts string `json:"facts,omitempty"`
+	// Scenario loads the application's bundled scenario facts.
+	Scenario bool `json:"scenario,omitempty"`
+}
+
+// reasonResponse reports the derived knowledge and the session id for
+// follow-up explanation queries.
+type reasonResponse struct {
+	Session string   `json:"session"`
+	Rounds  int      `json:"rounds"`
+	Facts   int      `json:"facts"`
+	Answers []string `json:"answers"`
+}
+
+func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
+	var req reasonRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	app, err := apps.ByName(req.App)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	pipe := s.pipe(req.App)
+	extra := app.Scenario()
+	if !req.Scenario {
+		extra = nil
+	}
+	if req.Facts != "" {
+		factProg, err := parser.Parse(req.Facts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("facts: %w", err))
+			return
+		}
+		extra = append(extra, factProg.Facts...)
+	}
+	res, err := pipe.Reason(extra...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := "s" + strconv.Itoa(s.nextID)
+	s.sessions[id] = &session{app: req.App, result: res}
+	s.mu.Unlock()
+
+	resp := reasonResponse{Session: id, Rounds: res.Rounds, Facts: res.Store.Len()}
+	for _, fid := range res.Answers() {
+		resp.Answers = append(resp.Answers, res.Store.Get(fid).String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// explainResponse is the JSON form of one explanation, including the proof
+// provenance for graph front-ends.
+type explainResponse struct {
+	Fact           string      `json:"fact"`
+	Text           string      `json:"text"`
+	Deterministic  string      `json:"deterministic"`
+	ReasoningPaths []string    `json:"reasoningPaths"`
+	ProofSteps     []proofStep `json:"proofSteps"`
+	Constants      []string    `json:"constants"`
+	Complete       bool        `json:"complete"`
+}
+
+// proofStep is one chase step of the proof.
+type proofStep struct {
+	Rule     string   `json:"rule"`
+	Premises []string `json:"premises"`
+	Derived  string   `json:"derived"`
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(r.URL.Query().Get("session"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+		return
+	}
+	query := r.URL.Query().Get("query")
+	if query == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
+		return
+	}
+	pipe := s.pipe(sess.app)
+	e, err := pipe.ExplainQuery(sess.result, query)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	resp := explainResponse{
+		Fact:           e.Fact.String(),
+		Text:           e.Text,
+		Deterministic:  e.Deterministic,
+		ReasoningPaths: e.PathIDs(),
+		Constants:      e.Proof.Constants(),
+		Complete:       e.Verify() == nil,
+	}
+	for _, d := range e.Proof.Steps {
+		step := proofStep{Rule: d.Rule.Label, Derived: sess.result.Store.Get(d.Fact).String()}
+		for _, p := range d.Premises {
+			step.Premises = append(step.Premises, sess.result.Store.Get(p).String())
+		}
+		resp.ProofSteps = append(resp.ProofSteps, step)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// pathInfo is one reasoning path of /paths.
+type pathInfo struct {
+	ID     string   `json:"id"`
+	Kind   string   `json:"kind"`
+	Rules  []string `json:"rules"`
+	Dashed bool     `json:"dashed"`
+}
+
+func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("app")
+	pipe := s.pipe(name)
+	if pipe == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown application %q", name))
+		return
+	}
+	var out []pathInfo
+	for _, p := range pipe.Analysis().All() {
+		out = append(out, pathInfo{
+			ID:     p.ID,
+			Kind:   p.Kind.String(),
+			Rules:  p.RuleLabels(),
+			Dashed: p.Dashed,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) pipe(name string) *core.Pipeline {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipes[name]
+}
+
+func (s *Server) session(id string) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func postJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestAppsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out []appInfo
+	resp := getJSON(t, ts.URL+"/apps", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if len(out) != 5 {
+		t.Fatalf("apps = %d", len(out))
+	}
+	names := map[string]bool{}
+	for _, a := range out {
+		names[a.Name] = true
+	}
+	if !names["company-control"] || !names["stress-test"] {
+		t.Errorf("apps = %v", names)
+	}
+}
+
+func TestReasonAndExplainFlow(t *testing.T) {
+	ts := newTestServer(t)
+
+	var rr reasonResponse
+	resp := postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &rr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reason status = %d", resp.StatusCode)
+	}
+	if rr.Session == "" || len(rr.Answers) != 3 {
+		t.Fatalf("reason response = %+v", rr)
+	}
+
+	var er explainResponse
+	resp = getJSON(t, ts.URL+`/explain?session=`+rr.Session+`&query=Default(%22C%22)`, &er)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain status = %d", resp.StatusCode)
+	}
+	if er.Fact != "Default(C)" {
+		t.Errorf("fact = %q", er.Fact)
+	}
+	if !er.Complete {
+		t.Error("explanation not complete")
+	}
+	if len(er.ReasoningPaths) != 2 || er.ReasoningPaths[0] != "Π2" || er.ReasoningPaths[1] != "Γ1*" {
+		t.Errorf("paths = %v", er.ReasoningPaths)
+	}
+	if len(er.ProofSteps) != 5 {
+		t.Errorf("proof steps = %d", len(er.ProofSteps))
+	}
+	if !strings.Contains(er.Text, "sum of 2 and 9") {
+		t.Errorf("text = %q", er.Text)
+	}
+}
+
+func TestReasonWithUserFacts(t *testing.T) {
+	ts := newTestServer(t)
+	var rr reasonResponse
+	body := `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6).\nOwn(\"Y\",\"Z\",0.7)."}`
+	resp := postJSON(t, ts.URL+"/reason", body, &rr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %+v", resp.StatusCode, rr)
+	}
+	found := false
+	for _, a := range rr.Answers {
+		if a == `Control(X, Z)` {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Control(X,Z) not derived: %v", rr.Answers)
+	}
+}
+
+func TestPathsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var out []pathInfo
+	resp := getJSON(t, ts.URL+"/paths?app=company-control", &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	ids := map[string]pathInfo{}
+	for _, p := range out {
+		ids[p.ID] = p
+	}
+	if p, ok := ids["Π5*"]; !ok || !p.Dashed || p.Kind != "simple path" {
+		t.Errorf("Π5* = %+v", ids["Π5*"])
+	}
+	if p, ok := ids["Γ1"]; !ok || p.Kind != "cycle" {
+		t.Errorf("Γ1 = %+v", ids["Γ1"])
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts := newTestServer(t)
+
+	if resp := postJSON(t, ts.URL+"/reason", `{"app":"bogus"}`, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown app status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/reason", `not json`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/explain?session=nope&query=X()", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/paths?app=bogus", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown app paths status = %d", resp.StatusCode)
+	}
+
+	// Missing query and unexplainable facts.
+	var rr reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &rr)
+	if resp := getJSON(t, ts.URL+"/explain?session="+rr.Session, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing query status = %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/explain?session="+rr.Session+`&query=Default(%22Z%22)`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("missing fact status = %d", resp.StatusCode)
+	}
+}
+
+func TestSessionsIsolated(t *testing.T) {
+	ts := newTestServer(t)
+	var r1, r2 reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"P\",\"Q\",0.9)."}`, &r1)
+	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"R\",\"S\",0.9)."}`, &r2)
+	if r1.Session == r2.Session {
+		t.Fatal("sessions collide")
+	}
+	// Session 2 does not know session 1's facts.
+	if resp := getJSON(t, ts.URL+"/explain?session="+r2.Session+`&query=Control(%22P%22,%22Q%22)`, nil); resp.StatusCode == http.StatusOK {
+		t.Error("session leakage")
+	}
+}

@@ -1,0 +1,196 @@
+// Package stats implements the statistical machinery of the paper's expert
+// user study (Section 6.2): descriptive statistics, five-number summaries
+// for boxplots, and the two-sided Wilcoxon signed-rank test used to compare
+// Likert scores of paired explanation methods.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; it is 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator); it is 0
+// for fewer than two values.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Median returns the median of xs; it is 0 for an empty slice.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// FiveNum is the five-number summary drawn as a boxplot.
+type FiveNum struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// Summary computes the five-number summary of xs using linear quartile
+// interpolation.
+func Summary(xs []float64) FiveNum {
+	if len(xs) == 0 {
+		return FiveNum{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return FiveNum{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// quantile interpolates the q-quantile of sorted data.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// WilcoxonResult is the outcome of a two-sided Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	// N is the number of non-zero paired differences used.
+	N int
+	// WPlus and WMinus are the rank sums of positive and negative
+	// differences.
+	WPlus, WMinus float64
+	// Z is the normal-approximation statistic (with continuity and tie
+	// correction).
+	Z float64
+	// P is the two-sided p-value.
+	P float64
+}
+
+// Significant reports whether the difference is significant at the given
+// level (e.g. 0.05).
+func (r WilcoxonResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WilcoxonSignedRank runs the paired two-sided Wilcoxon signed-rank test on
+// equal-length samples x and y, using the normal approximation with
+// mid-ranks for ties, a tie-corrected variance and a 0.5 continuity
+// correction. Zero differences are dropped, following the standard Wilcoxon
+// procedure. It errors on mismatched lengths or when every pair is tied.
+func WilcoxonSignedRank(x, y []float64) (WilcoxonResult, error) {
+	if len(x) != len(y) {
+		return WilcoxonResult{}, fmt.Errorf("stats: sample sizes differ: %d vs %d", len(x), len(y))
+	}
+	type diff struct {
+		abs  float64
+		sign int
+	}
+	var ds []diff
+	for i := range x {
+		d := x[i] - y[i]
+		if d == 0 {
+			continue
+		}
+		s := 1
+		if d < 0 {
+			s = -1
+		}
+		ds = append(ds, diff{math.Abs(d), s})
+	}
+	n := len(ds)
+	if n == 0 {
+		return WilcoxonResult{}, fmt.Errorf("stats: all paired differences are zero")
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].abs < ds[j].abs })
+
+	// Mid-ranks with tie groups.
+	ranks := make([]float64, n)
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && ds[j].abs == ds[i].abs {
+			j++
+		}
+		// positions i..j-1 share the mid-rank.
+		mid := float64(i+j+1) / 2 // ranks are 1-based: (i+1 + j) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+
+	wPlus, wMinus := 0.0, 0.0
+	for i, d := range ds {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+
+	nf := float64(n)
+	mu := nf * (nf + 1) / 4
+	variance := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
+	if variance <= 0 {
+		return WilcoxonResult{}, fmt.Errorf("stats: degenerate variance (all differences tied)")
+	}
+	sigma := math.Sqrt(variance)
+	// Continuity correction towards the mean.
+	d := wPlus - mu
+	switch {
+	case d > 0.5:
+		d -= 0.5
+	case d < -0.5:
+		d += 0.5
+	default:
+		d = 0
+	}
+	z := d / sigma
+	p := 2 * normalSF(math.Abs(z))
+	if p > 1 {
+		p = 1
+	}
+	return WilcoxonResult{N: n, WPlus: wPlus, WMinus: wMinus, Z: z, P: p}, nil
+}
+
+// normalSF is the standard normal survival function 1 - Φ(z).
+func normalSF(z float64) float64 {
+	return 0.5 * math.Erfc(z/math.Sqrt2)
+}

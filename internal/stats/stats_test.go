@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanStdDevMedian(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %v", m)
+	}
+	if s := StdDev(xs); !almost(s, 2.13809, 1e-4) { // sample stddev
+		t.Errorf("StdDev = %v", s)
+	}
+	if m := Median(xs); !almost(m, 4.5, 1e-12) {
+		t.Errorf("Median = %v", m)
+	}
+	if m := Median([]float64{3, 1, 2}); !almost(m, 2, 1e-12) {
+		t.Errorf("odd Median = %v", m)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs not zero")
+	}
+	if StdDev([]float64{5}) != 0 {
+		t.Error("single-value stddev not zero")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := Summary([]float64{1, 2, 3, 4, 5})
+	if s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	one := Summary([]float64{7})
+	if one.Min != 7 || one.Q1 != 7 || one.Median != 7 || one.Q3 != 7 || one.Max != 7 {
+		t.Errorf("singleton Summary = %+v", one)
+	}
+	if (Summary(nil) != FiveNum{}) {
+		t.Error("empty Summary not zero")
+	}
+}
+
+// TestWilcoxonKnownExample: classic textbook example (Wilcoxon 1945 style).
+// x and y differ systematically; the test must reject at 5%.
+func TestWilcoxonSystematicDifference(t *testing.T) {
+	var x, y []float64
+	for i := 0; i < 30; i++ {
+		x = append(x, float64(i%5)+2) // 2..6
+		y = append(y, float64(i%5))   // 0..4, always 2 lower
+	}
+	r, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.05) {
+		t.Errorf("systematic difference not significant: %+v", r)
+	}
+	if r.WMinus != 0 {
+		t.Errorf("WMinus = %v, want 0", r.WMinus)
+	}
+}
+
+// TestWilcoxonNoDifference: symmetric noise around zero difference must not
+// be significant.
+func TestWilcoxonNoDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var x, y []float64
+	for i := 0; i < 56; i++ { // the paper's per-method sample size
+		base := float64(1 + rng.Intn(5))
+		x = append(x, base+float64(rng.Intn(3))-1)
+		y = append(y, base+float64(rng.Intn(3))-1)
+	}
+	r, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.05) {
+		t.Errorf("pure noise significant: %+v", r)
+	}
+	if r.P < 0 || r.P > 1 {
+		t.Errorf("p out of range: %v", r.P)
+	}
+}
+
+func TestWilcoxonHandCheckedSmall(t *testing.T) {
+	// Differences: +1, +2, +3, -4, +5 => |d| ranks 1..5.
+	// W+ = 1+2+3+5 = 11, W- = 4.
+	x := []float64{2, 3, 4, 1, 6}
+	y := []float64{1, 1, 1, 5, 1}
+	r, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WPlus != 11 || r.WMinus != 4 {
+		t.Errorf("W+ = %v, W- = %v; want 11, 4", r.WPlus, r.WMinus)
+	}
+	if r.N != 5 {
+		t.Errorf("N = %d", r.N)
+	}
+	if r.Significant(0.05) {
+		t.Errorf("n=5 mild difference significant: p=%v", r.P)
+	}
+}
+
+func TestWilcoxonDropsZeros(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 2, 5}
+	r, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 2 {
+		t.Errorf("N = %d, want 2 (zeros dropped)", r.N)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := WilcoxonSignedRank([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("all-zero differences accepted")
+	}
+}
+
+func TestWilcoxonTies(t *testing.T) {
+	// Many tied |d| values exercise mid-ranks and tie correction.
+	x := []float64{2, 2, 2, 2, 1, 1, 1, 1, 3, 3}
+	y := []float64{1, 1, 1, 1, 2, 2, 2, 2, 1, 1}
+	r, err := WilcoxonSignedRank(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 differences of |1| (4 up, 4 down) and 2 of |2| (up): W+ and W-
+	// must sum to n(n+1)/2 = 55.
+	if !almost(r.WPlus+r.WMinus, 55, 1e-9) {
+		t.Errorf("rank sum = %v, want 55", r.WPlus+r.WMinus)
+	}
+}
+
+// Property: W+ + W- always equals n(n+1)/2, and p in [0,1].
+func TestWilcoxonRankSumProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(5) + 1)
+			y[i] = float64(rng.Intn(5) + 1)
+		}
+		r, err := WilcoxonSignedRank(x, y)
+		if err != nil {
+			return true // all-zero differences: acceptable
+		}
+		nf := float64(r.N)
+		return almost(r.WPlus+r.WMinus, nf*(nf+1)/2, 1e-9) && r.P >= 0 && r.P <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the test is symmetric: swapping x and y swaps W+ and W- and
+// preserves p.
+func TestWilcoxonSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(20)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(6))
+			y[i] = float64(rng.Intn(6))
+		}
+		a, errA := WilcoxonSignedRank(x, y)
+		b, errB := WilcoxonSignedRank(y, x)
+		if errA != nil || errB != nil {
+			return (errA == nil) == (errB == nil)
+		}
+		return almost(a.WPlus, b.WMinus, 1e-9) && almost(a.P, b.P, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package study
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// Case is one comprehension-study case: a scenario, the explained fact and
+// the artifacts shown to participants.
+type Case struct {
+	// Name matches the paper's five case descriptions.
+	Name string
+	// Scenario is the synthetic workload.
+	Scenario synth.Scenario
+	// Explanation is the template-based text participants read.
+	Explanation string
+	// Truth is the correct visualization.
+	Truth Viz
+	// Candidates are the three visualizations shown (correct + two
+	// distorted), in shuffled order.
+	Candidates []Viz
+	// CorrectIdx is the index of the correct candidate.
+	CorrectIdx int
+}
+
+// ComprehensionCases builds the paper's five cases (Section 6.1): control
+// through aggregation (1), a simple stress test (2), control via recursion
+// (3), a complex stress test with recursion and aggregation (4), and
+// control combining recursion and aggregation (5). Distractor archetypes
+// rotate deterministically from the seed.
+func ComprehensionCases(seed int64) ([]*Case, error) {
+	rng := rand.New(rand.NewSource(seed))
+	specs := []struct {
+		name     string
+		scenario synth.Scenario
+	}{
+		{"control with aggregation", synth.ControlJoint(3, seed)},
+		{"simple stress test", synth.StressCascade(3, seed+1)},
+		{"control via recursion", synth.ControlChain(4, seed+2)},
+		{"stress test with recursion and aggregation", synth.StressCascade(6, seed+3)},
+		{"control with recursion and aggregation", synth.ControlChainJoint(2, 2, seed+4)},
+	}
+	archetypes := []Archetype{WrongEdge, WrongValue, WrongAggregation, WrongChain}
+	var out []*Case
+	for i, spec := range specs {
+		c, err := buildCase(spec.name, spec.scenario, rng,
+			archetypes[i%len(archetypes)], archetypes[(i+1)%len(archetypes)])
+		if err != nil {
+			return nil, fmt.Errorf("study: case %q: %w", spec.name, err)
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func buildCase(name string, sc synth.Scenario, rng *rand.Rand, a1, a2 Archetype) (*Case, error) {
+	app, err := apps.ByName(sc.App)
+	if err != nil {
+		return nil, err
+	}
+	p, err := app.Pipeline(core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Reason(sc.Facts...)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := parser.ParseAtom(sc.Query)
+	if err != nil {
+		return nil, err
+	}
+	id, err := res.LookupDerived(pattern)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.ExplainFact(res, id)
+	if err != nil {
+		return nil, err
+	}
+	truth := VizFromProof(e.Proof)
+	candidates := []Viz{truth, Inject(truth, a1, rng), Inject(truth, a2, rng)}
+	// Shuffle presentation order.
+	order := rng.Perm(len(candidates))
+	shuffled := make([]Viz, len(candidates))
+	correct := 0
+	for to, from := range order {
+		shuffled[to] = candidates[from]
+		if from == 0 {
+			correct = to
+		}
+	}
+	return &Case{
+		Name:        name,
+		Scenario:    sc,
+		Explanation: e.Text,
+		Truth:       truth,
+		Candidates:  shuffled,
+		CorrectIdx:  correct,
+	}, nil
+}
+
+// ComprehensionResult is the Figure 14 row of one case.
+type ComprehensionResult struct {
+	Case string
+	// Total is the number of participants; Correct how many picked the
+	// correct visualization.
+	Total, Correct int
+	// ErrorsBy counts wrong answers by the archetype of the chosen
+	// distractor.
+	ErrorsBy map[Archetype]int
+}
+
+// Accuracy returns the fraction of correct answers.
+func (r ComprehensionResult) Accuracy() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+// RunComprehension simulates the comprehension study: `participants`
+// respondents answer all five cases. The paper recruited 24 participants
+// (120 answers) and measured 96% overall accuracy.
+func RunComprehension(seed int64, participants int) ([]ComprehensionResult, error) {
+	cases, err := ComprehensionCases(seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1000))
+	respondent := Respondent{Attention: 0.8}
+	var out []ComprehensionResult
+	for _, c := range cases {
+		r := ComprehensionResult{Case: c.Name, ErrorsBy: map[Archetype]int{}}
+		for p := 0; p < participants; p++ {
+			pick := respondent.Pick(rng, c.Truth, c.Candidates)
+			r.Total++
+			if pick == c.CorrectIdx {
+				r.Correct++
+			} else {
+				r.ErrorsBy[c.Candidates[pick].Injected]++
+			}
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// OverallAccuracy aggregates results across cases.
+func OverallAccuracy(rs []ComprehensionResult) float64 {
+	total, correct := 0, 0
+	for _, r := range rs {
+		total += r.Total
+		correct += r.Correct
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

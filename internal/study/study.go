@@ -1,0 +1,357 @@
+// Package study reproduces the two user studies of the paper's Section 6
+// with simulated participants over really generated artifacts.
+//
+// Comprehension study (Section 6.1, Figure 14): five cases sampled from the
+// financial applications; for each case the respondent reads the
+// template-based explanation and must pick the correct KG visualization out
+// of three, where the two distractors contain an injected error of one of
+// the paper's four archetypes (false edge, wrong value, wrong aggregation
+// order, wrong recursion chain). The respondent model reconstructs the
+// graph from the (complete) explanation and compares candidates under
+// attention noise: each discrepancy is noticed with a fixed probability.
+// Accuracy is therefore an emergent property of explanation completeness,
+// not a hard-coded number.
+//
+// Expert study (Section 6.2, Figure 16): simulated experts grade, on a
+// 5-point Likert scale, three texts per scenario — GPT paraphrase, GPT
+// summary (both from the simulated LLM baseline) and the template-based
+// explanation. The grade derives from measured properties of the actual
+// texts (information loss against the proof, n-gram redundancy, length)
+// plus rater noise, and the Wilcoxon signed-rank test of package stats
+// decides significance.
+package study
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/chase"
+	"repro/internal/database"
+)
+
+// Archetype is one of the paper's four error archetypes (Section 6.1).
+type Archetype int
+
+// The error archetypes of the comprehension study. None marks the correct
+// visualization.
+const (
+	None Archetype = iota
+	WrongEdge
+	WrongValue
+	WrongAggregation
+	WrongChain
+)
+
+// String implements fmt.Stringer for Archetype.
+func (a Archetype) String() string {
+	switch a {
+	case WrongEdge:
+		return "wrong edge"
+	case WrongValue:
+		return "wrong value"
+	case WrongAggregation:
+		return "incorrect aggregation"
+	case WrongChain:
+		return "incorrect chain"
+	default:
+		return "none"
+	}
+}
+
+// Element is one item of a KG visualization: a node marker (Default(A)), a
+// node property (HasCapital(A, 5)) or a valued edge (Own(A, B, 0.6)).
+type Element struct {
+	Kind     string
+	A, B     string
+	Value    float64
+	HasValue bool
+}
+
+// key gives a canonical identity for set comparison.
+func (e Element) key() string {
+	v := ""
+	if e.HasValue {
+		v = fmt.Sprintf("|%.6g", e.Value)
+	}
+	return e.Kind + "|" + e.A + "|" + e.B + v
+}
+
+// Viz is a KG visualization: the graph a study participant sees, in the
+// style of the paper's Figures 12-13.
+type Viz struct {
+	Elements []Element
+	// Injected is the archetype of the injected error (None for the
+	// correct visualization).
+	Injected Archetype
+}
+
+// clone copies the visualization for error injection.
+func (v Viz) clone() Viz {
+	els := make([]Element, len(v.Elements))
+	copy(els, v.Elements)
+	return Viz{Elements: els, Injected: v.Injected}
+}
+
+// DOT renders the visualization in Graphviz syntax, in the style of the
+// paper's Figures 12-13: valued edges carry their amount as a label, node
+// properties (e.g. capitals) annotate the node label, and unary markers
+// (e.g. defaults) fill the node.
+func (v Viz) DOT() string {
+	type nodeInfo struct {
+		props   []string
+		marked  bool
+		markers []string
+	}
+	nodes := map[string]*nodeInfo{}
+	var order []string
+	node := func(name string) *nodeInfo {
+		if n, ok := nodes[name]; ok {
+			return n
+		}
+		n := &nodeInfo{}
+		nodes[name] = n
+		order = append(order, name)
+		return n
+	}
+	var edges []string
+	for _, e := range v.Elements {
+		switch {
+		case e.B != "":
+			label := e.Kind
+			if e.HasValue {
+				label = fmt.Sprintf("%s %.4g", e.Kind, e.Value)
+			}
+			node(e.A)
+			node(e.B)
+			edges = append(edges, fmt.Sprintf("  %q -> %q [label=%q];", e.A, e.B, label))
+		case e.HasValue:
+			node(e.A).props = append(nodes[e.A].props, fmt.Sprintf("%s %.4g", e.Kind, e.Value))
+		case e.A != "":
+			n := node(e.A)
+			n.marked = true
+			n.markers = append(n.markers, e.Kind)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph viz {\n")
+	for _, name := range order {
+		n := nodes[name]
+		label := name
+		for _, p := range n.props {
+			label += "\\n" + p
+		}
+		for _, m := range n.markers {
+			label += "\\n[" + m + "]"
+		}
+		style := ""
+		if n.marked {
+			style = ", style=filled"
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", name, label, style)
+	}
+	for _, e := range edges {
+		sb.WriteString(e)
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// VizFromProof reconstructs the visualization of a proof: its extensional
+// facts plus the derived conclusion.
+func VizFromProof(proof *chase.Proof) Viz {
+	res := proof.Result()
+	var els []Element
+	for _, id := range proof.Leaves {
+		els = append(els, elementOf(res, id))
+	}
+	els = append(els, elementOf(res, proof.Target))
+	return Viz{Elements: els}
+}
+
+// elementOf maps a fact to a visualization element using its shape: unary
+// facts are node markers, binary facts with a numeric second argument are
+// node properties, ternary facts with a numeric third argument are valued
+// edges; everything else is a plain edge.
+func elementOf(res *chase.Result, id database.FactID) Element {
+	a := res.Store.Get(id).Atom
+	e := Element{Kind: a.Predicate}
+	switch a.Arity() {
+	case 0:
+	case 1:
+		e.A = a.Terms[0].Display()
+	case 2:
+		e.A = a.Terms[0].Display()
+		if f, ok := a.Terms[1].AsFloat(); ok {
+			e.Value, e.HasValue = f, true
+		} else {
+			e.B = a.Terms[1].Display()
+		}
+	default:
+		e.A = a.Terms[0].Display()
+		e.B = a.Terms[1].Display()
+		if f, ok := a.Terms[2].AsFloat(); ok {
+			e.Value, e.HasValue = f, true
+		}
+	}
+	return e
+}
+
+// Inject produces a distorted copy of the visualization containing one
+// error of the requested archetype. When the archetype is not applicable
+// to the graph (e.g. no two same-kind values to swap), it degrades to
+// WrongValue, mirroring how the paper could only use applicable archetypes
+// per case.
+func Inject(v Viz, a Archetype, rng *rand.Rand) Viz {
+	out := v.clone()
+	out.Injected = a
+	switch a {
+	case WrongEdge:
+		// Add a false edge between two existing entities.
+		entities := entitiesOf(out.Elements)
+		kind := edgeKind(out.Elements)
+		if len(entities) < 2 || kind == "" {
+			return Inject(v, WrongValue, rng)
+		}
+		from := entities[rng.Intn(len(entities))]
+		to := entities[rng.Intn(len(entities))]
+		for to == from {
+			to = entities[rng.Intn(len(entities))]
+		}
+		out.Elements = append(out.Elements, Element{Kind: kind, A: from, B: to, Value: 0.42, HasValue: true})
+		out.Injected = WrongEdge
+		return out
+	case WrongAggregation:
+		// Swap the values of two same-kind valued elements (the order of
+		// aggregation contributions).
+		idx := valuedIndexesByKind(out.Elements)
+		for _, group := range idx {
+			if len(group) >= 2 {
+				i, j := group[0], group[1]
+				if out.Elements[i].Value != out.Elements[j].Value {
+					out.Elements[i].Value, out.Elements[j].Value = out.Elements[j].Value, out.Elements[i].Value
+					return out
+				}
+			}
+		}
+		return Inject(v, WrongValue, rng)
+	case WrongChain:
+		// Break a recursion chain: reverse the direction of a middle edge.
+		for i, e := range out.Elements {
+			if e.B != "" && e.A != e.B {
+				out.Elements[i].A, out.Elements[i].B = e.B, e.A
+				return out
+			}
+		}
+		return Inject(v, WrongValue, rng)
+	default:
+		// Perturb one value.
+		for i, e := range out.Elements {
+			if e.HasValue {
+				out.Elements[i].Value = e.Value*1.7 + 1
+				out.Injected = WrongValue
+				return out
+			}
+		}
+		// No values at all: flip a node marker into a false edge.
+		out.Injected = WrongValue
+		if len(out.Elements) > 0 {
+			out.Elements[0].A += "X"
+		}
+		return out
+	}
+}
+
+func entitiesOf(els []Element) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, e := range els {
+		for _, n := range []string{e.A, e.B} {
+			if n != "" && !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+func edgeKind(els []Element) string {
+	for _, e := range els {
+		if e.B != "" {
+			return e.Kind
+		}
+	}
+	return ""
+}
+
+func valuedIndexesByKind(els []Element) map[string][]int {
+	out := map[string][]int{}
+	for i, e := range els {
+		if e.HasValue {
+			out[e.Kind] = append(out[e.Kind], i)
+		}
+	}
+	return out
+}
+
+// Respondent is the participant model of the comprehension study: it
+// reconstructs the true graph from the explanation (possible because
+// template explanations are complete) and checks each candidate against it,
+// noticing each individual discrepancy with probability Attention.
+type Respondent struct {
+	// Attention is the per-discrepancy detection probability.
+	Attention float64
+}
+
+// Pick returns the index of the candidate the respondent selects.
+func (r Respondent) Pick(rng *rand.Rand, truth Viz, candidates []Viz) int {
+	type scored struct {
+		idx       int
+		perceived int
+	}
+	best := scored{idx: -1, perceived: math.MaxInt32}
+	var ties []int
+	for i, cand := range candidates {
+		diffs := symmetricDiff(truth.Elements, cand.Elements)
+		perceived := 0
+		for d := 0; d < diffs; d++ {
+			if rng.Float64() < r.Attention {
+				perceived++
+			}
+		}
+		switch {
+		case perceived < best.perceived:
+			best = scored{idx: i, perceived: perceived}
+			ties = []int{i}
+		case perceived == best.perceived:
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) > 1 {
+		return ties[rng.Intn(len(ties))]
+	}
+	return best.idx
+}
+
+// symmetricDiff counts elements present in exactly one of the two sets.
+func symmetricDiff(a, b []Element) int {
+	ka := map[string]int{}
+	for _, e := range a {
+		ka[e.key()]++
+	}
+	for _, e := range b {
+		ka[e.key()]--
+	}
+	diff := 0
+	for _, n := range ka {
+		if n > 0 {
+			diff += n
+		} else {
+			diff -= n
+		}
+	}
+	return diff
+}

@@ -1,0 +1,312 @@
+package study
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestArchetypeStrings(t *testing.T) {
+	for a, want := range map[Archetype]string{
+		None: "none", WrongEdge: "wrong edge", WrongValue: "wrong value",
+		WrongAggregation: "incorrect aggregation", WrongChain: "incorrect chain",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func sampleViz() Viz {
+	return Viz{Elements: []Element{
+		{Kind: "Own", A: "A", B: "B", Value: 0.6, HasValue: true},
+		{Kind: "Own", A: "B", B: "C", Value: 0.7, HasValue: true},
+		{Kind: "Control", A: "A", B: "C"},
+	}}
+}
+
+func TestInjectProducesOneError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	truth := sampleViz()
+	for _, a := range []Archetype{WrongEdge, WrongValue, WrongAggregation, WrongChain} {
+		t.Run(a.String(), func(t *testing.T) {
+			bad := Inject(truth, a, rng)
+			if bad.Injected == None {
+				t.Error("Injected not recorded")
+			}
+			if d := symmetricDiff(truth.Elements, bad.Elements); d == 0 {
+				t.Errorf("%v: no difference injected", a)
+			}
+			// The original is untouched.
+			if truth.Elements[0].Value != 0.6 || len(truth.Elements) != 3 {
+				t.Error("Inject mutated the original")
+			}
+		})
+	}
+}
+
+func TestInjectWrongEdgeAddsElement(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bad := Inject(sampleViz(), WrongEdge, rng)
+	if len(bad.Elements) != 4 {
+		t.Errorf("elements = %d, want 4", len(bad.Elements))
+	}
+}
+
+func TestInjectAggregationSwapsValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bad := Inject(sampleViz(), WrongAggregation, rng)
+	if bad.Injected != WrongAggregation {
+		t.Fatalf("fell back to %v", bad.Injected)
+	}
+	if bad.Elements[0].Value != 0.7 || bad.Elements[1].Value != 0.6 {
+		t.Errorf("values not swapped: %v", bad.Elements[:2])
+	}
+}
+
+func TestInjectDegradesWhenInapplicable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := Viz{Elements: []Element{{Kind: "Own", A: "A", B: "B", Value: 0.6, HasValue: true}}}
+	// Only one valued element: aggregation swap inapplicable.
+	bad := Inject(v, WrongAggregation, rng)
+	if bad.Injected != WrongValue {
+		t.Errorf("Injected = %v, want degradation to WrongValue", bad.Injected)
+	}
+}
+
+func TestSymmetricDiff(t *testing.T) {
+	a := sampleViz().Elements
+	if d := symmetricDiff(a, a); d != 0 {
+		t.Errorf("self diff = %d", d)
+	}
+	b := append([]Element{}, a...)
+	b[0].Value = 0.9
+	if d := symmetricDiff(a, b); d != 2 {
+		t.Errorf("one changed value diff = %d, want 2", d)
+	}
+}
+
+func TestRespondentPerfectAttention(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	truth := sampleViz()
+	candidates := []Viz{Inject(truth, WrongValue, rng), truth, Inject(truth, WrongEdge, rng)}
+	r := Respondent{Attention: 1.0}
+	for i := 0; i < 50; i++ {
+		if pick := r.Pick(rng, truth, candidates); pick != 1 {
+			t.Fatalf("perfect respondent picked %d", pick)
+		}
+	}
+}
+
+func TestRespondentZeroAttentionIsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := sampleViz()
+	candidates := []Viz{truth, Inject(truth, WrongValue, rng), Inject(truth, WrongEdge, rng)}
+	r := Respondent{Attention: 0}
+	counts := map[int]int{}
+	for i := 0; i < 600; i++ {
+		counts[r.Pick(rng, truth, candidates)]++
+	}
+	for i := 0; i < 3; i++ {
+		if counts[i] < 120 {
+			t.Errorf("candidate %d picked only %d/600 times under zero attention", i, counts[i])
+		}
+	}
+}
+
+// TestFigure14Comprehension reproduces the comprehension study: five cases,
+// 24 participants, overall accuracy around the paper's 96%.
+func TestFigure14Comprehension(t *testing.T) {
+	rs, err := RunComprehension(42, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("cases = %d, want 5", len(rs))
+	}
+	acc := OverallAccuracy(rs)
+	if acc < 0.88 || acc > 1.0 {
+		t.Errorf("overall accuracy = %v, want in [0.88, 1.0] (paper: 0.96)", acc)
+	}
+	for _, r := range rs {
+		if r.Total != 24 {
+			t.Errorf("case %q total = %d", r.Case, r.Total)
+		}
+		if r.Accuracy() < 0.8 {
+			t.Errorf("case %q accuracy = %v, suspiciously low", r.Case, r.Accuracy())
+		}
+	}
+}
+
+// TestComprehensionCasesArtifacts: every case carries a complete set of
+// artifacts and exactly one correct candidate.
+func TestComprehensionCasesArtifacts(t *testing.T) {
+	cases, err := ComprehensionCases(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		if c.Explanation == "" {
+			t.Errorf("%q: empty explanation", c.Name)
+		}
+		if len(c.Candidates) != 3 {
+			t.Fatalf("%q: candidates = %d", c.Name, len(c.Candidates))
+		}
+		correct := 0
+		for i, cand := range c.Candidates {
+			if cand.Injected == None {
+				correct++
+				if i != c.CorrectIdx {
+					t.Errorf("%q: CorrectIdx = %d, correct at %d", c.Name, c.CorrectIdx, i)
+				}
+			} else if symmetricDiff(c.Truth.Elements, cand.Elements) == 0 {
+				t.Errorf("%q: distractor %d identical to truth", c.Name, i)
+			}
+		}
+		if correct != 1 {
+			t.Errorf("%q: %d correct candidates", c.Name, correct)
+		}
+	}
+}
+
+// TestFigure16ExpertStudy reproduces the expert study: 14 experts, three
+// methods with statistically indistinguishable Likert scores in the
+// region of the paper's means (3.7-3.8).
+func TestFigure16ExpertStudy(t *testing.T) {
+	r, err := RunExpert(42, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	methods := []Method{MethodParaphrase, MethodSummary, MethodTemplates}
+	for _, m := range methods {
+		if n := len(r.Scores[m]); n != 56 { // 14 experts x 4 scenarios
+			t.Errorf("%s: %d data points, want 56", m, n)
+		}
+		if r.Mean[m] < 3.2 || r.Mean[m] > 4.3 {
+			t.Errorf("%s: mean = %v, want near the paper's 3.7-3.8", m, r.Mean[m])
+		}
+		if r.StdDev[m] < 0.5 || r.StdDev[m] > 1.6 {
+			t.Errorf("%s: stddev = %v, want near the paper's ~1", m, r.StdDev[m])
+		}
+		for _, s := range r.Scores[m] {
+			if s < 1 || s > 5 {
+				t.Fatalf("%s: Likert score %v out of range", m, s)
+			}
+		}
+	}
+	// The paper's conclusion: no significant difference between methods.
+	if r.Significant() {
+		t.Errorf("significant difference found: p_para=%v p_summ=%v", r.PParaphrase, r.PSummary)
+	}
+}
+
+// TestExpertScenariosComplete: the template text of every scenario is
+// complete while at least one GPT text on the long scenarios omits
+// something (the raw material of the paper's argument).
+func TestExpertScenariosComplete(t *testing.T) {
+	scs, err := ExpertScenarios(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("scenarios = %d", len(scs))
+	}
+	for _, sc := range scs {
+		for _, m := range []Method{MethodParaphrase, MethodSummary, MethodTemplates} {
+			if sc.Texts[m] == "" {
+				t.Errorf("%q: empty %s text", sc.Name, m)
+			}
+		}
+	}
+}
+
+func TestTrigramRedundancy(t *testing.T) {
+	if r := trigramRedundancy("a b"); r != 0 {
+		t.Errorf("short text redundancy = %v", r)
+	}
+	low := trigramRedundancy("every word here is totally distinct from all other words present")
+	high := trigramRedundancy("the cat sat the cat sat the cat sat the cat sat")
+	if high <= low {
+		t.Errorf("repetitive text redundancy (%v) not above varied text (%v)", high, low)
+	}
+}
+
+func TestExpertGradeRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ex := Expert{Noise: 3} // huge noise still clamps to the scale
+	for i := 0; i < 200; i++ {
+		g := ex.Grade(rng, "some explanation text with A and B", []string{"A", "B"})
+		if g < 1 || g > 5 {
+			t.Fatalf("grade %v out of Likert range", g)
+		}
+	}
+}
+
+func TestOverallAccuracyEmpty(t *testing.T) {
+	if OverallAccuracy(nil) != 0 {
+		t.Error("empty OverallAccuracy not 0")
+	}
+}
+
+// TestStudiesReproducible: same seeds give identical outcomes.
+func TestStudiesReproducible(t *testing.T) {
+	a, err := RunComprehension(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunComprehension(9, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Correct != b[i].Correct {
+			t.Errorf("case %d differs across runs", i)
+		}
+	}
+	x, err := RunExpert(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := RunExpert(9, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Mean[MethodTemplates] != y.Mean[MethodTemplates] {
+		t.Error("expert study differs across runs")
+	}
+}
+
+func TestVizDOT(t *testing.T) {
+	v := Viz{Elements: []Element{
+		{Kind: "Own", A: "A", B: "B", Value: 0.6, HasValue: true},
+		{Kind: "HasCapital", A: "A", Value: 5, HasValue: true},
+		{Kind: "Default", A: "A"},
+	}}
+	dot := v.DOT()
+	for _, sub := range []string{
+		"digraph viz",
+		`"A" -> "B" [label="Own 0.6"];`,
+		"HasCapital 5",
+		"[Default]",
+		"style=filled",
+	} {
+		if !strings.Contains(dot, sub) {
+			t.Errorf("DOT missing %q:\n%s", sub, dot)
+		}
+	}
+}
+
+func TestCaseArtifactsRenderable(t *testing.T) {
+	cases, err := ComprehensionCases(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		for i, cand := range c.Candidates {
+			dot := cand.DOT()
+			if !strings.Contains(dot, "digraph viz") || len(dot) < 40 {
+				t.Errorf("%s candidate %d: malformed DOT", c.Name, i)
+			}
+		}
+	}
+}

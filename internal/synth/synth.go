@@ -1,0 +1,271 @@
+// Package synth generates synthetic financial extensional data for the
+// bundled KG applications: ownership graphs for company control and close
+// links, debt networks for the stress tests. The paper's evaluation runs on
+// artificial data for confidentiality reasons (its Section 6); these
+// generators reproduce that protocol, with one extra capability the
+// experiments of Figures 17 and 18 need: generating instances whose proof of
+// a designated query has exactly a requested chase-step length.
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/apps"
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// Scenario is one synthetic workload: extensional facts for a KG
+// application plus a designated explanation query.
+type Scenario struct {
+	// App is the application registry name (apps.Name*).
+	App string
+	// Facts is the extensional database.
+	Facts []ast.Atom
+	// Query is the explanation query in concrete syntax, e.g.
+	// `Control("N0", "N4")`.
+	Query string
+	// WantSteps is the expected proof size in chase steps (0 when not
+	// targeted).
+	WantSteps int
+}
+
+// name builds an entity name with a scenario-unique prefix so that facts
+// from different scenarios never collide.
+func name(prefix string, i int) string { return fmt.Sprintf("%s%d", prefix, i) }
+
+// shareFor draws a majority share in [0.51, 0.95] deterministically from
+// the rng.
+func shareFor(rng *rand.Rand) float64 {
+	return 0.51 + float64(rng.Intn(45))/100
+}
+
+// ControlChain builds a pure ownership chain N0 -> N1 -> ... -> Nsteps with
+// majority shares: the proof of Control(N0, Nsteps) takes exactly `steps`
+// chase steps (one σ1 activation plus steps-1 σ3 activations).
+func ControlChain(steps int, seed int64) Scenario {
+	if steps < 1 {
+		steps = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("N%d_", seed)
+	var facts []ast.Atom
+	for i := 0; i < steps; i++ {
+		facts = append(facts, ast.NewAtom("Own",
+			term.Str(name(prefix, i)), term.Str(name(prefix, i+1)), term.Float(shareFor(rng))))
+	}
+	return Scenario{
+		App:       apps.NameCompanyControl,
+		Facts:     facts,
+		Query:     fmt.Sprintf("Control(%q, %q)", name(prefix, 0), name(prefix, steps)),
+		WantSteps: steps,
+	}
+}
+
+// ControlJoint builds a joint-control case: N0 majority-owns k holding
+// companies which together own just over 50% of the target T. The final σ3
+// aggregation has k contributors. The proof takes k+1 chase steps (k σ1
+// activations plus the aggregating σ3).
+func ControlJoint(k int, seed int64) Scenario {
+	if k < 2 {
+		k = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("J%d_", seed)
+	target := prefix + "T"
+	var facts []ast.Atom
+	piece := 0.51 / float64(k)
+	for i := 0; i < k; i++ {
+		h := name(prefix+"H", i)
+		facts = append(facts, ast.NewAtom("Own",
+			term.Str(name(prefix, 0)), term.Str(h), term.Float(shareFor(rng))))
+		facts = append(facts, ast.NewAtom("Own",
+			term.Str(h), term.Str(target), term.Float(piece)))
+	}
+	return Scenario{
+		App:       apps.NameCompanyControl,
+		Facts:     facts,
+		Query:     fmt.Sprintf("Control(%q, %q)", name(prefix, 0), target),
+		WantSteps: k + 1,
+	}
+}
+
+// ControlChainJoint combines recursion and aggregation: a majority chain of
+// `chain` hops ending in an entity that, together with k-1 sibling holdings,
+// jointly owns the target. The proof mixes Γ cycles with a final
+// multi-contributor aggregation.
+func ControlChainJoint(chain, k int, seed int64) Scenario {
+	if chain < 1 {
+		chain = 1
+	}
+	if k < 2 {
+		k = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("CJ%d_", seed)
+	target := prefix + "T"
+	var facts []ast.Atom
+	for i := 0; i < chain; i++ {
+		facts = append(facts, ast.NewAtom("Own",
+			term.Str(name(prefix, i)), term.Str(name(prefix, i+1)), term.Float(shareFor(rng))))
+	}
+	// The chain's head controls k-1 further holdings; the chain's tail and
+	// the holdings jointly own the target.
+	piece := 0.51 / float64(k)
+	facts = append(facts, ast.NewAtom("Own",
+		term.Str(name(prefix, chain)), term.Str(target), term.Float(piece)))
+	for i := 1; i < k; i++ {
+		h := name(prefix+"H", i)
+		facts = append(facts,
+			ast.NewAtom("Own", term.Str(name(prefix, 0)), term.Str(h), term.Float(shareFor(rng))),
+			ast.NewAtom("Own", term.Str(h), term.Str(target), term.Float(piece)),
+		)
+	}
+	return Scenario{
+		App:   apps.NameCompanyControl,
+		Facts: facts,
+		Query: fmt.Sprintf("Control(%q, %q)", name(prefix, 0), target),
+	}
+}
+
+// StressCascade builds a default cascade for the two-channel stress test:
+// entity N0 is shocked and the default propagates along a chain of debts,
+// alternating the long-term and short-term channels. The proof of
+// Default(Nk) with k = (steps-1)/2 hops takes exactly `steps` chase steps
+// when steps is odd (σ4 + per hop one Risk rule and σ7); when steps is even
+// an extra shocked debtor feeding the first creditor adds one step and makes
+// the first aggregation multi-contributor.
+func StressCascade(steps int, seed int64) Scenario {
+	if steps < 1 {
+		steps = 1
+	}
+	if steps == 2 {
+		// Proof sizes 1, 3, 4, 5, ... are achievable; 2 is not (every hop
+		// needs a Risk and a Default step). Round up.
+		steps = 3
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("S%d_", seed)
+	hops := (steps - 1) / 2
+	extra := steps%2 == 0
+
+	var facts []ast.Atom
+	capital := func(i int) float64 { return 2 + float64(rng.Intn(5)) }
+	caps := make([]float64, hops+1)
+	for i := range caps {
+		caps[i] = capital(i)
+	}
+	facts = append(facts, ast.NewAtom("Shock", term.Str(name(prefix, 0)), term.Float(caps[0]+3)))
+	for i := 0; i <= hops; i++ {
+		facts = append(facts, ast.NewAtom("HasCapital", term.Str(name(prefix, i)), term.Float(caps[i])))
+	}
+	for i := 0; i < hops; i++ {
+		channel := "LongTermDebts"
+		if i%2 == 1 {
+			channel = "ShortTermDebts"
+		}
+		// Each debt exceeds the creditor's capital so the cascade always
+		// propagates.
+		facts = append(facts, ast.NewAtom(channel,
+			term.Str(name(prefix, i)), term.Str(name(prefix, i+1)), term.Float(caps[i+1]+2)))
+	}
+	if extra {
+		m := prefix + "X"
+		facts = append(facts,
+			ast.NewAtom("Shock", term.Str(m), term.Float(9)),
+			ast.NewAtom("HasCapital", term.Str(m), term.Float(3)),
+			ast.NewAtom("LongTermDebts", term.Str(m), term.Str(name(prefix, 1)), term.Float(1)),
+		)
+	}
+	queryEntity := name(prefix, hops)
+	return Scenario{
+		App:       apps.NameStressTest,
+		Facts:     facts,
+		Query:     fmt.Sprintf("Default(%q)", queryEntity),
+		WantSteps: steps,
+	}
+}
+
+// StressFanIn builds a single creditor exposed to k shocked debtors over
+// both channels: the Risk aggregations have multiple contributors and the
+// final σ7 sums both channels.
+func StressFanIn(k int, seed int64) Scenario {
+	if k < 2 {
+		k = 2
+	}
+	prefix := fmt.Sprintf("F%d_", seed)
+	target := prefix + "T"
+	var facts []ast.Atom
+	facts = append(facts, ast.NewAtom("HasCapital", term.Str(target), term.Float(float64(2*k))))
+	for i := 0; i < k; i++ {
+		d := name(prefix+"D", i)
+		facts = append(facts,
+			ast.NewAtom("Shock", term.Str(d), term.Float(8)),
+			ast.NewAtom("HasCapital", term.Str(d), term.Float(2)),
+		)
+		channel := "LongTermDebts"
+		if i%2 == 1 {
+			channel = "ShortTermDebts"
+		}
+		facts = append(facts, ast.NewAtom(channel,
+			term.Str(d), term.Str(target), term.Float(3)))
+	}
+	return Scenario{
+		App:       apps.NameStressTest,
+		Facts:     facts,
+		Query:     fmt.Sprintf("Default(%q)", target),
+		WantSteps: 0,
+	}
+}
+
+// CloseLinkChain builds an ownership chain whose integrated products stay
+// above the close-link threshold for `hops` multiplications.
+func CloseLinkChain(hops int, seed int64) Scenario {
+	if hops < 1 {
+		hops = 1
+	}
+	prefix := fmt.Sprintf("C%d_", seed)
+	var facts []ast.Atom
+	for i := 0; i < hops; i++ {
+		facts = append(facts, ast.NewAtom("Own",
+			term.Str(name(prefix, i)), term.Str(name(prefix, i+1)), term.Float(0.9)))
+	}
+	return Scenario{
+		App:       apps.NameCloseLink,
+		Facts:     facts,
+		Query:     fmt.Sprintf("CloseLink(%q, %q)", name(prefix, 0), name(prefix, hops)),
+		WantSteps: hops + 1,
+	}
+}
+
+// RandomControl builds a random layered ownership graph: `layers` layers of
+// `width` companies with majority or minority edges between consecutive
+// layers. It is the workload used to sample the pool of explanations for the
+// user studies. No query is designated; callers explain derived facts of
+// their choice.
+func RandomControl(layers, width int, seed int64) Scenario {
+	if layers < 2 {
+		layers = 2
+	}
+	if width < 1 {
+		width = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("R%d_", seed)
+	var facts []ast.Atom
+	node := func(l, i int) string { return fmt.Sprintf("%sL%dC%d", prefix, l, i) }
+	for l := 0; l < layers-1; l++ {
+		for i := 0; i < width; i++ {
+			// Each company owns one or two companies of the next layer.
+			targets := 1 + rng.Intn(2)
+			for t := 0; t < targets; t++ {
+				j := rng.Intn(width)
+				share := 0.2 + float64(rng.Intn(60))/100
+				facts = append(facts, ast.NewAtom("Own",
+					term.Str(node(l, i)), term.Str(node(l+1, j)), term.Float(share)))
+			}
+		}
+	}
+	return Scenario{App: apps.NameCompanyControl, Facts: facts}
+}

@@ -1,0 +1,207 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/parser"
+)
+
+// runScenario compiles the scenario's application, reasons over its facts
+// and returns the proof of its query.
+func runScenario(t *testing.T, s Scenario) (*core.Pipeline, *chase.Result, *chase.Proof) {
+	t.Helper()
+	app, err := apps.ByName(s.App)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := app.Pipeline(core.Config{SkipEnhancement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(s.Facts...)
+	if err != nil {
+		t.Fatalf("Reason: %v", err)
+	}
+	pattern, err := parser.ParseAtom(s.Query)
+	if err != nil {
+		t.Fatalf("query %q: %v", s.Query, err)
+	}
+	id, err := res.LookupDerived(pattern)
+	if err != nil {
+		t.Fatalf("lookup %q: %v", s.Query, err)
+	}
+	proof, err := res.ExtractProof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, res, proof
+}
+
+// TestControlChainProofLengths: the generator hits the requested chase-step
+// count exactly, across the Figure 17/18 sweep range.
+func TestControlChainProofLengths(t *testing.T) {
+	for _, steps := range []int{1, 2, 3, 6, 9, 12, 15, 18, 21} {
+		s := ControlChain(steps, int64(steps))
+		if s.WantSteps != steps {
+			t.Fatalf("WantSteps = %d, want %d", s.WantSteps, steps)
+		}
+		_, _, proof := runScenario(t, s)
+		if proof.Size() != steps {
+			t.Errorf("chain(%d): proof size = %d", steps, proof.Size())
+		}
+	}
+}
+
+// TestStressCascadeProofLengths covers odd lengths (pure cascades) and even
+// lengths (cascades with an extra contributing debtor).
+func TestStressCascadeProofLengths(t *testing.T) {
+	for _, steps := range []int{1, 3, 4, 5, 7, 9, 10, 13, 16, 19, 22} {
+		s := StressCascade(steps, int64(steps))
+		_, _, proof := runScenario(t, s)
+		if proof.Size() != s.WantSteps {
+			t.Errorf("cascade(%d): proof size = %d, want %d", steps, proof.Size(), s.WantSteps)
+		}
+	}
+}
+
+func TestStressCascadeRoundsUpTwo(t *testing.T) {
+	s := StressCascade(2, 1)
+	if s.WantSteps != 3 {
+		t.Errorf("WantSteps = %d, want 3 (2 is not achievable)", s.WantSteps)
+	}
+}
+
+// TestScenariosExplainable: every generated scenario produces a complete
+// explanation.
+func TestScenariosExplainable(t *testing.T) {
+	scenarios := []Scenario{
+		ControlChain(5, 1),
+		ControlJoint(3, 2),
+		StressCascade(7, 3),
+		StressCascade(6, 4),
+		StressFanIn(4, 5),
+		CloseLinkChain(3, 6),
+	}
+	for _, s := range scenarios {
+		p, res, proof := runScenario(t, s)
+		e, err := p.ExplainFact(res, proof.Target)
+		if err != nil {
+			t.Errorf("%s %q: %v", s.App, s.Query, err)
+			continue
+		}
+		if err := e.Verify(); err != nil {
+			t.Errorf("%s %q: %v", s.App, s.Query, err)
+		}
+	}
+}
+
+// TestControlJointContributors: the final aggregation has k contributors.
+func TestControlJointContributors(t *testing.T) {
+	s := ControlJoint(4, 9)
+	_, res, proof := runScenario(t, s)
+	if proof.Size() != s.WantSteps {
+		t.Errorf("proof size = %d, want %d", proof.Size(), s.WantSteps)
+	}
+	last := proof.Spine[len(proof.Spine)-1]
+	if len(last.Contributors) != 4 {
+		t.Errorf("contributors = %d, want 4", len(last.Contributors))
+	}
+	_ = res
+}
+
+// TestCloseLinkChainProofLength: hops multiplications plus the final
+// aggregation.
+func TestCloseLinkChainProofLength(t *testing.T) {
+	for _, hops := range []int{1, 2, 3, 4} {
+		s := CloseLinkChain(hops, int64(hops))
+		_, _, proof := runScenario(t, s)
+		if proof.Size() != s.WantSteps {
+			t.Errorf("closelink(%d): proof size = %d, want %d", hops, proof.Size(), s.WantSteps)
+		}
+	}
+}
+
+// TestSeedsProduceDistinctProofs: different seeds give distinct constants
+// (the paper samples 10 distinct proofs per length).
+func TestSeedsProduceDistinctProofs(t *testing.T) {
+	a := ControlChain(5, 1)
+	b := ControlChain(5, 2)
+	if a.Query == b.Query {
+		t.Error("seeds produce identical queries")
+	}
+	if a.Facts[0].Key() == b.Facts[0].Key() {
+		t.Error("seeds produce identical facts")
+	}
+	// Same seed reproduces the same scenario.
+	c := ControlChain(5, 1)
+	if a.Query != c.Query || a.Facts[0].Key() != c.Facts[0].Key() {
+		t.Error("same seed differs")
+	}
+}
+
+// TestRandomControlDerivesSomething: the random layered graph derives
+// control facts for study sampling.
+func TestRandomControlDerivesSomething(t *testing.T) {
+	s := RandomControl(4, 4, 7)
+	app, _ := apps.ByName(s.App)
+	p, err := app.Pipeline(core.Config{SkipEnhancement: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(s.Facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers()) == 0 {
+		t.Error("random graph derived no control facts")
+	}
+	exps, err := p.ExplainAll(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range exps {
+		if err := e.Verify(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDegenerateParameters(t *testing.T) {
+	if s := ControlChain(0, 1); s.WantSteps != 1 {
+		t.Error("ControlChain(0) not clamped")
+	}
+	if s := ControlJoint(1, 1); s.WantSteps != 3 { // clamped to k=2
+		t.Errorf("ControlJoint(1) WantSteps = %d", s.WantSteps)
+	}
+	if s := StressCascade(0, 1); s.WantSteps != 1 {
+		t.Error("StressCascade(0) not clamped")
+	}
+	if s := CloseLinkChain(0, 1); s.WantSteps != 2 {
+		t.Error("CloseLinkChain(0) not clamped")
+	}
+}
+
+// TestControlChainJoint combines recursion with a final joint aggregation:
+// the query is derivable and the explanation engages both a cycle and a
+// multi-contributor aggregation.
+func TestControlChainJoint(t *testing.T) {
+	for _, tc := range []struct{ chain, k int }{{1, 2}, {2, 3}, {3, 2}, {0, 1}} {
+		s := ControlChainJoint(tc.chain, tc.k, int64(tc.chain*10+tc.k))
+		p, res, proof := runScenario(t, s)
+		e, err := p.ExplainFact(res, proof.Target)
+		if err != nil {
+			t.Fatalf("chain=%d k=%d: %v", tc.chain, tc.k, err)
+		}
+		if err := e.Verify(); err != nil {
+			t.Errorf("chain=%d k=%d: %v", tc.chain, tc.k, err)
+		}
+		last := proof.Spine[len(proof.Spine)-1]
+		if !last.MultiContributor() {
+			t.Errorf("chain=%d k=%d: final aggregation has %d contributors",
+				tc.chain, tc.k, len(last.Contributors))
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the human-in-the-loop review step of the paper's
+// Section 4.4: because templates for recurring KG applications are
+// pre-computed once, domain experts can inspect and polish them before
+// deployment. Export writes the template store into an editable text
+// document; ImportEnhanced reads the (possibly edited) document back,
+// attaching each reviewed text as an enhanced variant after running the
+// automatic token-presence check — so a reviewer cannot accidentally drop a
+// variable from an explanation.
+//
+// The review document format is line-oriented:
+//
+//	## Π2
+//	tokens: c, d, e, f, p1, p2, s, v
+//	Since a shock amounting to <s> euro affects <f>, ...
+//
+// Everything after the "tokens:" line up to the next "## " header (or EOF)
+// is the template text; blank lines and lines starting with '#' (other than
+// headers) are ignored.
+
+// Export renders the store as a review document containing, for every
+// template, its path id, token inventory and current best text.
+func (s *Store) Export() string {
+	var sb strings.Builder
+	sb.WriteString("# Explanation template review document.\n")
+	sb.WriteString("# Edit the text under each '## <path>' header; every listed token\n")
+	sb.WriteString("# must remain present. Re-import with Store.ImportEnhanced.\n\n")
+	for _, t := range s.All() {
+		fmt.Fprintf(&sb, "## %s\n", t.Path.ID)
+		fmt.Fprintf(&sb, "tokens: %s\n", strings.Join(t.Tokens(), ", "))
+		sb.WriteString(t.BestText())
+		sb.WriteString("\n\n")
+	}
+	return sb.String()
+}
+
+// ImportEnhanced parses a review document and attaches each section's text
+// as an enhanced variant of the named template. It returns how many
+// variants were attached and an error listing every rejected section
+// (unknown path or failed token check); accepted sections are attached even
+// when others fail.
+func (s *Store) ImportEnhanced(doc string) (int, error) {
+	sections, err := parseReviewDoc(doc)
+	if err != nil {
+		return 0, err
+	}
+	attached := 0
+	var problems []string
+	ids := make([]string, 0, len(sections))
+	for id := range sections {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		text := sections[id]
+		t := s.ByPath(id)
+		if t == nil {
+			problems = append(problems, fmt.Sprintf("unknown reasoning path %q", id))
+			continue
+		}
+		if text == t.Text || text == t.BestText() {
+			continue // unchanged section
+		}
+		if err := t.AddEnhanced(text); err != nil {
+			problems = append(problems, err.Error())
+			continue
+		}
+		// A reviewed text becomes the preferred variant.
+		last := len(t.Enhanced) - 1
+		t.Enhanced[0], t.Enhanced[last] = t.Enhanced[last], t.Enhanced[0]
+		attached++
+	}
+	if len(problems) > 0 {
+		return attached, fmt.Errorf("template review: %s", strings.Join(problems, "; "))
+	}
+	return attached, nil
+}
+
+// parseReviewDoc splits the document into path-id → text sections.
+func parseReviewDoc(doc string) (map[string]string, error) {
+	sections := map[string]string{}
+	var current string
+	var body []string
+	flush := func() {
+		if current != "" {
+			sections[current] = strings.TrimSpace(strings.Join(body, "\n"))
+		}
+		body = nil
+	}
+	for i, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "## "):
+			flush()
+			current = strings.TrimSpace(strings.TrimPrefix(trimmed, "## "))
+			if current == "" {
+				return nil, fmt.Errorf("template review: line %d: empty section header", i+1)
+			}
+		case strings.HasPrefix(trimmed, "tokens:"):
+			continue // informational line
+		case strings.HasPrefix(trimmed, "#"):
+			continue // comment
+		case current == "" && trimmed != "":
+			return nil, fmt.Errorf("template review: line %d: text before first section header", i+1)
+		default:
+			body = append(body, line)
+		}
+	}
+	flush()
+	return sections, nil
+}

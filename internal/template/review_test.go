@@ -1,0 +1,120 @@
+package template
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExportFormat(t *testing.T) {
+	s := stressStore(t)
+	doc := s.Export()
+	for _, sub := range []string{"## Π1", "## Π2*", "## Γ1", "tokens: f, p1, s", "Since a shock"} {
+		if !strings.Contains(doc, sub) {
+			t.Errorf("export missing %q:\n%s", sub, doc)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	s := stressStore(t)
+	// Importing an unmodified export attaches nothing.
+	attached, err := s.ImportEnhanced(s.Export())
+	if err != nil {
+		t.Fatalf("ImportEnhanced: %v", err)
+	}
+	if attached != 0 {
+		t.Errorf("unchanged import attached %d variants", attached)
+	}
+}
+
+func TestImportReviewedText(t *testing.T) {
+	s := stressStore(t)
+	doc := `
+## Π1
+A shock of <s> euro hits <f>, whose capital of <p1> cannot absorb it, so <f> is in default.
+`
+	attached, err := s.ImportEnhanced(doc)
+	if err != nil {
+		t.Fatalf("ImportEnhanced: %v", err)
+	}
+	if attached != 1 {
+		t.Fatalf("attached = %d", attached)
+	}
+	tpl := s.ByPath("Π1")
+	if !strings.Contains(tpl.BestText(), "cannot absorb it") {
+		t.Errorf("reviewed text not preferred: %q", tpl.BestText())
+	}
+}
+
+func TestImportRejectsTokenLoss(t *testing.T) {
+	s := stressStore(t)
+	doc := `
+## Π1
+A shock hits <f>, which defaults.
+`
+	attached, err := s.ImportEnhanced(doc)
+	if err == nil {
+		t.Fatal("token-dropping review accepted")
+	}
+	if attached != 0 {
+		t.Errorf("attached = %d", attached)
+	}
+	for _, tok := range []string{"p1", "s"} {
+		if !strings.Contains(err.Error(), tok) {
+			t.Errorf("error %q does not name token %q", err, tok)
+		}
+	}
+}
+
+func TestImportUnknownPath(t *testing.T) {
+	s := stressStore(t)
+	if _, err := s.ImportEnhanced("## Π99\nsome text with tokens.\n"); err == nil {
+		t.Error("unknown path accepted")
+	}
+}
+
+func TestImportMixedSections(t *testing.T) {
+	s := stressStore(t)
+	doc := `
+## Π1
+Better text: shock of <s> euro, capital <p1>, entity <f> defaults.
+
+## Π99
+bogus section.
+`
+	attached, err := s.ImportEnhanced(doc)
+	if err == nil {
+		t.Error("bogus section not reported")
+	}
+	if attached != 1 {
+		t.Errorf("good section not attached: %d", attached)
+	}
+}
+
+func TestImportParseErrors(t *testing.T) {
+	s := stressStore(t)
+	if _, err := s.ImportEnhanced("stray text before any header"); err == nil {
+		t.Error("text before header accepted")
+	}
+	if _, err := s.ImportEnhanced("## \ntext"); err == nil {
+		t.Error("empty header accepted")
+	}
+}
+
+func TestImportComments(t *testing.T) {
+	s := stressStore(t)
+	doc := `
+# top comment
+## Π1
+tokens: whatever, ignored
+# inline comment
+Reviewed: a shock of <s> hits <f> with capital <p1>; <f> defaults.
+`
+	attached, err := s.ImportEnhanced(doc)
+	if err != nil {
+		t.Fatalf("ImportEnhanced: %v", err)
+	}
+	if attached != 1 {
+		t.Errorf("attached = %d", attached)
+	}
+}

@@ -1,0 +1,368 @@
+// Package template implements the explanation templates of Section 4.2 of
+// the paper: every reasoning path produced by the structural analysis is
+// verbalized — via the domain glossary — into a token-bearing text that can
+// later be instantiated with the constants of a materialized chase path.
+//
+// Tokens are computed by unifying variables across the rules of the path
+// (the head-to-body homomorphisms that make consecutive rules adjacent), so
+// that one entity flowing through several rules is represented by a single
+// token. By construction every rule variable of the path is captured by a
+// token, which is what guarantees the completeness of template-based
+// explanations (Sections 4.4 and 6.3): no constant of the inference can be
+// omitted.
+package template
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/glossary"
+	"repro/internal/paths"
+	"repro/internal/verbalizer"
+)
+
+// Template is the explanation template of one reasoning path.
+type Template struct {
+	// Path is the reasoning path the template verbalizes.
+	Path *paths.Path
+	// Text is the deterministic template text with <token> placeholders.
+	Text string
+	// StepTokens maps, for each rule of the path (same index), the rule's
+	// variable names to their token names.
+	StepTokens []map[string]string
+	// Enhanced holds fluent rewritings of Text produced by an Enhancer;
+	// each is guaranteed (checked) to preserve every token.
+	Enhanced []string
+}
+
+// Tokens returns the distinct token names of the template, sorted.
+func (t *Template) Tokens() []string {
+	seen := map[string]bool{}
+	for _, st := range t.StepTokens {
+		for _, tok := range st {
+			seen[tok] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for tok := range seen {
+		out = append(out, tok)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CheckText verifies that a candidate text (e.g. an LLM-enhanced variant)
+// still contains every token of the template — the automatic omission check
+// of the paper's Section 4.4. It returns the missing tokens as an error.
+func (t *Template) CheckText(text string) error {
+	var missing []string
+	for _, tok := range t.Tokens() {
+		if !strings.Contains(text, "<"+tok+">") {
+			missing = append(missing, tok)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("template %s: text omits tokens %s", t.Path.ID, strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// AddEnhanced registers an enhanced variant after running the omission
+// check.
+func (t *Template) AddEnhanced(text string) error {
+	if err := t.CheckText(text); err != nil {
+		return err
+	}
+	t.Enhanced = append(t.Enhanced, text)
+	return nil
+}
+
+// BestText returns the preferred rendering: the first enhanced variant if
+// any, otherwise the deterministic text.
+func (t *Template) BestText() string {
+	if len(t.Enhanced) > 0 {
+		return t.Enhanced[0]
+	}
+	return t.Text
+}
+
+// Instantiate substitutes the template's tokens with the constants of the
+// aligned chase derivations (one derivation per path rule, in path order)
+// and returns the resulting explanation fragment. Token values coming from
+// different steps are checked for consistency.
+func (t *Template) Instantiate(derivs []*chase.Derivation) (string, error) {
+	return t.InstantiateText(t.BestText(), derivs)
+}
+
+// InstantiateText is Instantiate over an explicit text variant (the
+// deterministic text or any enhanced variant).
+func (t *Template) InstantiateText(text string, derivs []*chase.Derivation) (string, error) {
+	if len(derivs) != len(t.StepTokens) {
+		return "", fmt.Errorf("template %s: %d derivations for %d rules", t.Path.ID, len(derivs), len(t.StepTokens))
+	}
+	values := map[string]string{}
+	for i, st := range t.StepTokens {
+		if derivs[i] == nil {
+			continue
+		}
+		render := verbalizer.DerivationRenderer(derivs[i])
+		for v, tok := range st {
+			val := render(v)
+			if strings.HasPrefix(val, "<") {
+				continue // unbound in this step; another step may bind it
+			}
+			if prev, ok := values[tok]; ok && prev != val {
+				return "", fmt.Errorf("template %s: token <%s> bound to both %q and %q", t.Path.ID, tok, prev, val)
+			}
+			values[tok] = val
+		}
+	}
+	out := text
+	for tok, val := range values {
+		out = strings.ReplaceAll(out, "<"+tok+">", val)
+	}
+	if i := strings.IndexByte(out, '<'); i >= 0 && strings.IndexByte(out[i:], '>') > 0 {
+		return "", fmt.Errorf("template %s: unresolved token near %q", t.Path.ID, out[i:min(i+20, len(out))])
+	}
+	return out, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Store holds the generated templates of one KG application, indexed by
+// reasoning path.
+type Store struct {
+	analysis  *paths.Analysis
+	glossary  *glossary.Glossary
+	templates map[string]*Template // by path ID
+	order     []string
+}
+
+// Generate verbalizes every reasoning path of the analysis into its
+// deterministic explanation template.
+func Generate(a *paths.Analysis, g *glossary.Glossary) (*Store, error) {
+	s := &Store{analysis: a, glossary: g, templates: map[string]*Template{}}
+	for _, p := range a.All() {
+		t, err := ForPath(p, g)
+		if err != nil {
+			return nil, err
+		}
+		s.templates[p.ID] = t
+		s.order = append(s.order, p.ID)
+	}
+	return s, nil
+}
+
+// Analysis returns the structural analysis the store was generated from.
+func (s *Store) Analysis() *paths.Analysis { return s.analysis }
+
+// Glossary returns the domain glossary used.
+func (s *Store) Glossary() *glossary.Glossary { return s.glossary }
+
+// ByPath returns the template of a reasoning path by its display name.
+func (s *Store) ByPath(id string) *Template { return s.templates[id] }
+
+// All returns every template in analysis order.
+func (s *Store) All() []*Template {
+	out := make([]*Template, len(s.order))
+	for i, id := range s.order {
+		out[i] = s.templates[id]
+	}
+	return out
+}
+
+// ForPath verbalizes a single reasoning path into its deterministic
+// template.
+func ForPath(p *paths.Path, g *glossary.Glossary) (*Template, error) {
+	stepTokens := tokenize(p)
+	var sentences []string
+	for i, r := range p.Rules {
+		render := verbalizer.TokenRenderer(stepTokens[i])
+		agg := verbalizer.AggRendering{Expand: p.Dashed && r.HasAggregation()}
+		sentence, err := verbalizer.RuleSentence(r, g, render, agg)
+		if err != nil {
+			return nil, fmt.Errorf("template for %s: %w", p.ID, err)
+		}
+		sentences = append(sentences, sentence)
+	}
+	return &Template{
+		Path:       p,
+		Text:       strings.Join(sentences, " "),
+		StepTokens: stepTokens,
+	}, nil
+}
+
+// tokenize computes per-step variable-to-token maps by unifying variables
+// across the rules of the path: whenever rule j consumes the head predicate
+// of rule i, the variables at corresponding argument positions denote the
+// same entity and share one token. Token names are the lower-cased variable
+// names, disambiguated with ordinals when distinct entities collide.
+func tokenize(p *paths.Path) []map[string]string {
+	type stepVar struct {
+		step int
+		v    string
+	}
+	parent := map[stepVar]stepVar{}
+	var find func(x stepVar) stepVar
+	find = func(x stepVar) stepVar {
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b stepVar) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			// Keep the earlier occurrence as representative.
+			if rb.step < ra.step || (rb.step == ra.step && rb.v < ra.v) {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+
+	// Seed every variable of every rule in first-occurrence order.
+	var orderedVars []stepVar
+	for i, r := range p.Rules {
+		for _, v := range r.Variables() {
+			sv := stepVar{i, v}
+			find(sv)
+			orderedVars = append(orderedVars, sv)
+		}
+	}
+
+	// Unify across head-to-body adjacency. Each consumed body atom is
+	// unified only with its CLOSEST preceding producer — in a chain like
+	// {c1, c2, c3} the final rule consumes the output of c2, not of c1,
+	// even though both derive the same predicate. When the consumer
+	// aggregates, its contributor-varying variables take a different value
+	// for every contributor, so only the group variables (those visible in
+	// the head or in conditions over the aggregate) may be unified; the
+	// rest keep their own tokens, as in the paper's Figure 6 where the
+	// debtor <d> of rule β stays distinct from the shocked entity <f>.
+	for j, consumer := range p.Rules {
+		group := groupVars(consumer)
+		for _, atom := range consumer.Body {
+			producerIdx := -1
+			for i := j - 1; i >= 0; i-- {
+				h := p.Rules[i].Head
+				if h.Predicate == atom.Predicate && h.Arity() == atom.Arity() {
+					producerIdx = i
+					break
+				}
+			}
+			if producerIdx < 0 {
+				continue
+			}
+			producer := p.Rules[producerIdx]
+			for k := range atom.Terms {
+				ht := producer.Head.Terms[k]
+				bt := atom.Terms[k]
+				if !ht.IsVariable() || !bt.IsVariable() {
+					continue
+				}
+				if consumer.HasAggregation() && !group[bt.Name()] {
+					continue
+				}
+				union(stepVar{producerIdx, ht.Name()}, stepVar{j, bt.Name()})
+			}
+		}
+	}
+
+	// Name classes in first-occurrence order. Ordinal suffixes
+	// disambiguate distinct classes whose variables share a name; the
+	// generated name must itself be free (e.g. a class named "s" may not
+	// take ordinal suffix "2" when another variable is literally "s2").
+	classTok := map[stepVar]string{}
+	taken := map[string]bool{}
+	for _, sv := range orderedVars {
+		base := strings.ToLower(find(sv).v)
+		taken[base] = true
+	}
+	assigned := map[string]bool{}
+	for _, sv := range orderedVars {
+		root := find(sv)
+		if _, ok := classTok[root]; ok {
+			continue
+		}
+		base := strings.ToLower(root.v)
+		name := base
+		if assigned[name] {
+			for n := 2; ; n++ {
+				cand := fmt.Sprintf("%s_%d", base, n)
+				if !assigned[cand] && !taken[cand] {
+					name = cand
+					break
+				}
+			}
+		}
+		classTok[root] = name
+		assigned[name] = true
+	}
+
+	out := make([]map[string]string, len(p.Rules))
+	for i, r := range p.Rules {
+		m := map[string]string{}
+		for _, v := range r.Variables() {
+			m[v] = classTok[find(stepVar{i, v})]
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// groupVars returns the group variables of an aggregation rule (head
+// variables plus variables of conditions over the aggregate, minus the
+// target); for plain rules it returns nil.
+func groupVars(r *ast.Rule) map[string]bool {
+	if r.Aggregation == nil {
+		return nil
+	}
+	target := r.Aggregation.Target
+	out := map[string]bool{}
+	for _, v := range r.Head.Variables() {
+		if v != target {
+			out[v] = true
+		}
+	}
+	for _, c := range r.Conditions {
+		vars := c.Variables()
+		hasTarget := false
+		for _, v := range vars {
+			if v == target {
+				hasTarget = true
+			}
+		}
+		if hasTarget {
+			for _, v := range vars {
+				if v != target {
+					out[v] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RuleFor returns the path rule a derivation should align with: the first
+// rule of the path equal to the derivation's rule that is not yet taken.
+// It is a small helper for the mapping package and tests.
+func RuleFor(p *paths.Path, taken []bool, r *ast.Rule) int {
+	for i, pr := range p.Rules {
+		if !taken[i] && pr == r {
+			return i
+		}
+	}
+	return -1
+}

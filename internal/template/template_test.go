@@ -1,0 +1,279 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/depgraph"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+	"repro/internal/paths"
+)
+
+const figure7Src = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+const controlSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`
+
+const controlGlossarySrc = `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+`
+
+func stressStore(t *testing.T) *Store {
+	t.Helper()
+	prog := parser.MustParse(stressSimpleSrc)
+	a := paths.Analyze(depgraph.New(prog))
+	s, err := Generate(a, glossary.MustParse(figure7Src))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return s
+}
+
+// TestFigure6Pi1 reproduces the Π1 template row of Figure 6.
+func TestFigure6Pi1(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Π1")
+	if tpl == nil {
+		t.Fatal("Π1 template missing")
+	}
+	want := "Since a shock amounting to <s> euro affects <f>, and <f> is a financial institution with capital of <p1>, and <s> is higher than <p1>, then <f> is in default."
+	if tpl.Text != want {
+		t.Errorf("Π1 text =\n%q, want\n%q", tpl.Text, want)
+	}
+	toks := tpl.Tokens()
+	if len(toks) != 3 || toks[0] != "f" || toks[1] != "p1" || toks[2] != "s" {
+		t.Errorf("Π1 tokens = %v", toks)
+	}
+}
+
+// TestFigure6Pi2 checks the Π2 template: the debtor token <d> of rule β
+// stays distinct from the shocked entity <f> (contributor-varying), while
+// the creditor <c> flows from β into γ (single token).
+func TestFigure6Pi2(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Π2")
+	if tpl == nil {
+		t.Fatal("Π2 template missing")
+	}
+	for _, tok := range []string{"<f>", "<s>", "<p1>", "<d>", "<c>", "<v>", "<e>", "<p2>"} {
+		if !strings.Contains(tpl.Text, tok) {
+			t.Errorf("Π2 text missing token %s:\n%s", tok, tpl.Text)
+		}
+	}
+	// β's creditor and γ's creditor share token <c>.
+	if tpl.StepTokens[1]["C"] != tpl.StepTokens[2]["C"] {
+		t.Errorf("creditor tokens differ: %v vs %v", tpl.StepTokens[1], tpl.StepTokens[2])
+	}
+	// β's debtor is NOT unified with α's shocked entity.
+	if tpl.StepTokens[0]["F"] == tpl.StepTokens[1]["D"] {
+		t.Error("debtor unified with shocked entity across an aggregation")
+	}
+	// Three sentences.
+	if got := strings.Count(tpl.Text, "Since "); got != 3 {
+		t.Errorf("sentences = %d, want 3", got)
+	}
+	// The truncated variant does not verbalize the aggregator.
+	if strings.Contains(tpl.Text, "sum") {
+		t.Errorf("Π2 (non-dashed) verbalizes aggregator:\n%s", tpl.Text)
+	}
+}
+
+// TestFigure6DashedVariant checks Π2* verbalizes the aggregator.
+func TestFigure6DashedVariant(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Π2*")
+	if tpl == nil {
+		t.Fatal("Π2* template missing")
+	}
+	if !strings.Contains(tpl.Text, "with <e> given by the sum of <v>") {
+		t.Errorf("Π2* does not verbalize the aggregation:\n%s", tpl.Text)
+	}
+}
+
+// TestFigure6Gamma1 checks the reasoning cycle template.
+func TestFigure6Gamma1(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Γ1")
+	if tpl == nil {
+		t.Fatal("Γ1 template missing")
+	}
+	if got := strings.Count(tpl.Text, "Since "); got != 2 {
+		t.Errorf("Γ1 sentences = %d, want 2", got)
+	}
+	for _, tok := range []string{"<d>", "<c>", "<v>", "<e>", "<p2>"} {
+		if !strings.Contains(tpl.Text, tok) {
+			t.Errorf("Γ1 missing token %s:\n%s", tok, tpl.Text)
+		}
+	}
+}
+
+// TestInstantiateExample48 instantiates Π2 on the first three chase steps
+// and Γ1* on the remaining two, reproducing the content of Example 4.8.
+func TestInstantiateExample48(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	res := chase.MustRun(prog, chase.Options{})
+	s := stressStore(t)
+
+	pi2 := s.ByPath("Π2")
+	first, err := pi2.Instantiate(res.Steps[:3])
+	if err != nil {
+		t.Fatalf("instantiate Π2: %v", err)
+	}
+	for _, c := range []string{"A", "6", "5", "7", "B", "2"} {
+		if !strings.Contains(first, c) {
+			t.Errorf("Π2 instance missing %q:\n%s", c, first)
+		}
+	}
+	if strings.Contains(first, "<") {
+		t.Errorf("unresolved token in instance:\n%s", first)
+	}
+
+	g1 := s.ByPath("Γ1*")
+	second, err := g1.Instantiate(res.Steps[3:5])
+	if err != nil {
+		t.Fatalf("instantiate Γ1*: %v", err)
+	}
+	for _, c := range []string{"B", "C", "11", "10", "2 and 9"} {
+		if !strings.Contains(second, c) {
+			t.Errorf("Γ1* instance missing %q:\n%s", c, second)
+		}
+	}
+	if !strings.Contains(second, "the sum of 2 and 9") {
+		t.Errorf("aggregation contributors not expanded:\n%s", second)
+	}
+}
+
+func TestInstantiateArityMismatch(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	res := chase.MustRun(prog, chase.Options{})
+	s := stressStore(t)
+	if _, err := s.ByPath("Π2").Instantiate(res.Steps[:2]); err == nil {
+		t.Error("wrong derivation count accepted")
+	}
+}
+
+func TestCheckTextAndEnhanced(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Π1")
+	good := "Because of a shock of <s> euro, <f> with capital <p1> is in default."
+	if err := tpl.AddEnhanced(good); err != nil {
+		t.Errorf("valid enhanced rejected: %v", err)
+	}
+	if tpl.BestText() != good {
+		t.Errorf("BestText = %q", tpl.BestText())
+	}
+	bad := "Because of a shock, <f> defaults." // omits <s> and <p1>
+	if err := tpl.AddEnhanced(bad); err == nil {
+		t.Error("omitting enhanced accepted")
+	} else if !strings.Contains(err.Error(), "p1") || !strings.Contains(err.Error(), "s") {
+		t.Errorf("omission error = %v", err)
+	}
+	if len(tpl.Enhanced) != 1 {
+		t.Errorf("enhanced count = %d, want 1", len(tpl.Enhanced))
+	}
+}
+
+func TestBestTextFallsBackToDeterministic(t *testing.T) {
+	s := stressStore(t)
+	tpl := s.ByPath("Γ1")
+	if tpl.BestText() != tpl.Text {
+		t.Error("BestText without enhanced variants changed")
+	}
+}
+
+// TestJointPathTokens checks the company control joint path Π5: the shares
+// of σ1 and σ3 are distinct tokens (they denote different values), while the
+// controller x is shared.
+func TestJointPathTokens(t *testing.T) {
+	prog := parser.MustParse(controlSrc)
+	a := paths.Analyze(depgraph.New(prog))
+	s, err := Generate(a, glossary.MustParse(controlGlossarySrc))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	tpl := s.ByPath("Π5")
+	if tpl == nil {
+		t.Fatal("Π5 missing")
+	}
+	// σ1 = step 0, σ2 = step 1, σ3 = step 2. σ3's Control input unifies
+	// with its closest producer σ2; σ1 keeps its own tokens (it feeds the
+	// aggregation as a distinct contributor).
+	if tpl.StepTokens[1]["X"] != tpl.StepTokens[2]["X"] {
+		t.Errorf("σ2 controller not unified: %v vs %v", tpl.StepTokens[1], tpl.StepTokens[2])
+	}
+	if tpl.StepTokens[0]["S"] == tpl.StepTokens[2]["S"] {
+		t.Error("direct share and contributed share share a token")
+	}
+	if tpl.StepTokens[0]["Y"] == tpl.StepTokens[2]["Y"] {
+		t.Error("σ1 target and σ3 target share a token")
+	}
+}
+
+func TestStoreAccessors(t *testing.T) {
+	s := stressStore(t)
+	all := s.All()
+	if len(all) != 5 { // Π1, Π2, Π2*, Γ1, Γ1*
+		t.Errorf("All = %d templates", len(all))
+	}
+	if s.ByPath("missing") != nil {
+		t.Error("ByPath(missing) non-nil")
+	}
+	if s.Analysis() == nil || s.Glossary() == nil {
+		t.Error("accessors nil")
+	}
+}
+
+func TestGenerateMissingGlossary(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	a := paths.Analyze(depgraph.New(prog))
+	if _, err := Generate(a, glossary.New()); err == nil {
+		t.Error("empty glossary accepted")
+	}
+}
+
+func TestRuleFor(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	a := paths.Analyze(depgraph.New(prog))
+	p := a.ByID("Π2")
+	taken := make([]bool, len(p.Rules))
+	beta := prog.RuleByLabel("beta")
+	i := RuleFor(p, taken, beta)
+	if i != 1 {
+		t.Errorf("RuleFor(beta) = %d, want 1", i)
+	}
+	taken[1] = true
+	if RuleFor(p, taken, beta) != -1 {
+		t.Error("taken rule matched again")
+	}
+}

@@ -1,0 +1,355 @@
+package term
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKindPredicates(t *testing.T) {
+	tests := []struct {
+		name     string
+		tm       Term
+		kind     Kind
+		isConst  bool
+		isVar    bool
+		isNull   bool
+		wantName string
+	}{
+		{"string constant", Str("A"), KindConstant, true, false, false, ""},
+		{"int constant", Int(7), KindConstant, true, false, false, ""},
+		{"float constant", Float(0.5), KindConstant, true, false, false, ""},
+		{"bool constant", Bool(true), KindConstant, true, false, false, ""},
+		{"variable", Var("X"), KindVariable, false, true, false, "X"},
+		{"null", Null("n1"), KindNull, false, false, true, "n1"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.tm.Kind(); got != tt.kind {
+				t.Errorf("Kind() = %v, want %v", got, tt.kind)
+			}
+			if got := tt.tm.IsConstant(); got != tt.isConst {
+				t.Errorf("IsConstant() = %v, want %v", got, tt.isConst)
+			}
+			if got := tt.tm.IsVariable(); got != tt.isVar {
+				t.Errorf("IsVariable() = %v, want %v", got, tt.isVar)
+			}
+			if got := tt.tm.IsNull(); got != tt.isNull {
+				t.Errorf("IsNull() = %v, want %v", got, tt.isNull)
+			}
+			if got := tt.tm.Name(); got != tt.wantName {
+				t.Errorf("Name() = %q, want %q", got, tt.wantName)
+			}
+		})
+	}
+}
+
+func TestEqual(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Term
+		want bool
+	}{
+		{"same strings", Str("A"), Str("A"), true},
+		{"different strings", Str("A"), Str("B"), false},
+		{"same ints", Int(3), Int(3), true},
+		{"different ints", Int(3), Int(4), false},
+		{"int equals numerically-equal float", Int(3), Float(3.0), true},
+		{"float equals numerically-equal int", Float(7), Int(7), true},
+		{"int not equal non-integral float", Int(3), Float(3.5), false},
+		{"string not equal int", Str("3"), Int(3), false},
+		{"bool true", Bool(true), Bool(true), true},
+		{"bool mixed", Bool(true), Bool(false), false},
+		{"same variable", Var("X"), Var("X"), true},
+		{"different variables", Var("X"), Var("Y"), false},
+		{"variable not equal constant", Var("X"), Str("X"), false},
+		{"same null", Null("n"), Null("n"), true},
+		{"null not equal variable", Null("n"), Var("n"), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.a.Equal(tt.b); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Equal(tt.a); got != tt.want {
+				t.Errorf("Equal(%v, %v) = %v, want %v (symmetry)", tt.b, tt.a, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tests := []struct {
+		name    string
+		a, b    Term
+		wantCmp int
+		wantOK  bool
+	}{
+		{"int less", Int(3), Int(5), -1, true},
+		{"int greater", Int(5), Int(3), 1, true},
+		{"int equal", Int(5), Int(5), 0, true},
+		{"mixed numeric", Int(3), Float(3.5), -1, true},
+		{"float vs int", Float(10), Int(2), 1, true},
+		{"strings", Str("abc"), Str("abd"), -1, true},
+		{"string equal", Str("x"), Str("x"), 0, true},
+		{"bools", Bool(false), Bool(true), -1, true},
+		{"string vs int incomparable", Str("a"), Int(1), 0, false},
+		{"variable incomparable", Var("X"), Int(1), 0, false},
+		{"null incomparable", Null("n"), Null("n"), 0, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cmp, ok := tt.a.Compare(tt.b)
+			if ok != tt.wantOK {
+				t.Fatalf("Compare ok = %v, want %v", ok, tt.wantOK)
+			}
+			if !ok {
+				return
+			}
+			if sign(cmp) != tt.wantCmp {
+				t.Errorf("Compare = %d, want sign %d", cmp, tt.wantCmp)
+			}
+		})
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}
+
+func TestKeyDistinguishesKinds(t *testing.T) {
+	terms := []Term{
+		Str("A"), Str("B"), Str("3"), Int(3), Float(3.5), Bool(true), Bool(false),
+		Var("A"), Null("A"), Str(""), Var(""),
+	}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		k := tm.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision: %v and %v both map to %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+}
+
+func TestKeyIntFloatCoincide(t *testing.T) {
+	if Int(3).Key() != Float(3.0).Key() {
+		t.Errorf("Int(3).Key() = %q, Float(3).Key() = %q; want equal", Int(3).Key(), Float(3.0).Key())
+	}
+	if Int(3).Key() == Float(3.5).Key() {
+		t.Error("Int(3) and Float(3.5) share a key")
+	}
+}
+
+func TestDisplayAndString(t *testing.T) {
+	tests := []struct {
+		tm          Term
+		wantDisplay string
+		wantQuote   string
+	}{
+		{Str("IrishBank"), "IrishBank", `"IrishBank"`},
+		{Int(57), "57", "57"},
+		{Float(0.5), "0.5", "0.5"},
+		{Float(14000000), "14000000", "14000000"},
+		{Bool(true), "true", "true"},
+		{Var("X"), "<X>", "<X>"},
+		{Null("z1"), "νz1", "νz1"},
+	}
+	for _, tt := range tests {
+		if got := tt.tm.Display(); got != tt.wantDisplay {
+			t.Errorf("Display(%v) = %q, want %q", tt.tm, got, tt.wantDisplay)
+		}
+		if got := tt.tm.Quote(); got != tt.wantQuote {
+			t.Errorf("Quote(%v) = %q, want %q", tt.tm, got, tt.wantQuote)
+		}
+	}
+}
+
+func TestAsFloat(t *testing.T) {
+	if f, ok := Int(4).AsFloat(); !ok || f != 4 {
+		t.Errorf("Int(4).AsFloat() = %v, %v", f, ok)
+	}
+	if f, ok := Float(2.5).AsFloat(); !ok || f != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %v, %v", f, ok)
+	}
+	if _, ok := Str("4").AsFloat(); ok {
+		t.Error("Str.AsFloat() succeeded")
+	}
+	if _, ok := Var("X").AsFloat(); ok {
+		t.Error("Var.AsFloat() succeeded")
+	}
+}
+
+func TestSubstitutionApply(t *testing.T) {
+	s := Substitution{"X": Str("A"), "Y": Int(3)}
+	if got := s.Apply(Var("X")); !got.Equal(Str("A")) {
+		t.Errorf("Apply(X) = %v", got)
+	}
+	if got := s.Apply(Var("Z")); !got.Equal(Var("Z")) {
+		t.Errorf("Apply(unbound Z) = %v, want Z unchanged", got)
+	}
+	if got := s.Apply(Str("k")); !got.Equal(Str("k")) {
+		t.Errorf("Apply(constant) = %v, want unchanged", got)
+	}
+}
+
+func TestSubstitutionBind(t *testing.T) {
+	s := Substitution{}
+	if !s.Bind("X", Str("A")) {
+		t.Fatal("first Bind failed")
+	}
+	if !s.Bind("X", Str("A")) {
+		t.Error("re-binding same value failed")
+	}
+	if s.Bind("X", Str("B")) {
+		t.Error("conflicting Bind succeeded")
+	}
+	if !s.Bind("Y", Int(3)) {
+		t.Error("independent Bind failed")
+	}
+}
+
+func TestSubstitutionMerge(t *testing.T) {
+	a := Substitution{"X": Str("A"), "Y": Int(1)}
+	b := Substitution{"Y": Int(1), "Z": Str("C")}
+	merged, ok := a.Merge(b)
+	if !ok {
+		t.Fatal("compatible Merge failed")
+	}
+	if len(merged) != 3 {
+		t.Errorf("merged size = %d, want 3", len(merged))
+	}
+	c := Substitution{"X": Str("DIFFERENT")}
+	if _, ok := a.Merge(c); ok {
+		t.Error("conflicting Merge succeeded")
+	}
+	// Merge must not mutate its receiver.
+	if len(a) != 2 {
+		t.Errorf("Merge mutated receiver: %v", a)
+	}
+}
+
+func TestSubstitutionClone(t *testing.T) {
+	a := Substitution{"X": Str("A")}
+	c := a.Clone()
+	c["X"] = Str("B")
+	if !a["X"].Equal(Str("A")) {
+		t.Error("Clone is not independent")
+	}
+}
+
+// Property: Equal is reflexive for any int/float/string constant, and Key
+// equality coincides with Equal for constants.
+func TestEqualKeyConsistencyProperty(t *testing.T) {
+	f := func(i int64, g float64, s string) bool {
+		terms := []Term{Int(i), Float(g), Str(s)}
+		for _, a := range terms {
+			if !a.Equal(a) {
+				return false
+			}
+			for _, b := range terms {
+				if a.Equal(b) != (a.Key() == b.Key()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric over integer constants.
+func TestCompareAntisymmetryProperty(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, okx := Int(a).Compare(Int(b))
+		y, oky := Int(b).Compare(Int(a))
+		return okx && oky && sign(x) == -sign(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindAndConstTypeStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindConstant: "constant", KindVariable: "variable", KindNull: "null", Kind(9): "Kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	for ct, want := range map[ConstType]string{
+		ConstString: "string", ConstInt: "int", ConstFloat: "float", ConstBool: "bool", ConstType(9): "ConstType(9)",
+	} {
+		if got := ct.String(); got != want {
+			t.Errorf("ConstType(%d).String() = %q, want %q", ct, got, want)
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	if Str("x").StringVal() != "x" || Str("x").ConstType() != ConstString {
+		t.Error("string accessors")
+	}
+	if Int(7).IntVal() != 7 || Int(7).ConstType() != ConstInt {
+		t.Error("int accessors")
+	}
+	if Float(2.5).FloatVal() != 2.5 || Float(2.5).ConstType() != ConstFloat {
+		t.Error("float accessors")
+	}
+	if !Bool(true).BoolVal() || Bool(true).ConstType() != ConstBool {
+		t.Error("bool accessors")
+	}
+	if !Int(1).IsNumeric() || !Float(1).IsNumeric() || Str("1").IsNumeric() || Var("x").IsNumeric() {
+		t.Error("IsNumeric")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	tests := []struct {
+		tm   Term
+		want string
+	}{
+		{Var("X"), "X"},
+		{Null("n1"), "νn1"},
+		{Str("abc"), "abc"},
+		{Int(3), "3"},
+		{Bool(false), "false"},
+	}
+	for _, tt := range tests {
+		if got := tt.tm.String(); got != tt.want {
+			t.Errorf("String(%#v) = %q, want %q", tt.tm, got, tt.want)
+		}
+	}
+}
+
+func TestCompareBoolAndMixed(t *testing.T) {
+	if c, ok := Bool(true).Compare(Bool(true)); !ok || c != 0 {
+		t.Errorf("bool self compare = %d, %v", c, ok)
+	}
+	if _, ok := Bool(true).Compare(Str("true")); ok {
+		t.Error("bool vs string comparable")
+	}
+	if _, ok := Int(1).Compare(Str("1")); ok {
+		t.Error("int vs string comparable")
+	}
+	if _, ok := Str("a").Compare(Int(1)); ok {
+		t.Error("string vs int comparable")
+	}
+}
+
+func TestDisplayScientificFloat(t *testing.T) {
+	// Very large non-integral floats fall back to scientific notation and
+	// must not be trailing-zero-trimmed into nonsense.
+	huge := Float(1.5e21)
+	if got := huge.Display(); got == "" || got[len(got)-1] == '.' {
+		t.Errorf("Display(1.5e21) = %q", got)
+	}
+}

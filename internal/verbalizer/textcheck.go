@@ -1,0 +1,86 @@
+package verbalizer
+
+import "strings"
+
+// ContainsConstant reports whether text mentions the constant as a whole
+// token: occurrences embedded in longer numbers or identifiers do not count
+// (the constant "2" is not contained in "0.21" or "N2_3", while a sentence-
+// ending period after "0.43" does not block the match). This matching is
+// used both by the completeness check of explanations and by the omission
+// metric of the paper's Section 6.3.
+func ContainsConstant(text, c string) bool {
+	if c == "" {
+		return true
+	}
+	return IndexConstant(text, c) >= 0
+}
+
+// IndexConstant returns the byte offset of the first whole-token occurrence
+// of c in text, or -1 when there is none.
+func IndexConstant(text, c string) int {
+	if c == "" {
+		return -1
+	}
+	for from := 0; ; {
+		i := strings.Index(text[from:], c)
+		if i < 0 {
+			return -1
+		}
+		i += from
+		if boundaryBefore(text, i) && boundaryAfter(text, i+len(c)) {
+			return i
+		}
+		from = i + 1
+	}
+}
+
+// MissingConstants returns the constants absent from the text, preserving
+// input order.
+func MissingConstants(text string, constants []string) []string {
+	var out []string
+	for _, c := range constants {
+		if !ContainsConstant(text, c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// boundaryBefore reports whether position i starts a fresh token.
+func boundaryBefore(text string, i int) bool {
+	if i == 0 {
+		return true
+	}
+	b := text[i-1]
+	if isWordByte(b) {
+		return false
+	}
+	// A decimal point glues digits: "0.43" does not contain token "43".
+	if b == '.' && i >= 2 && isDigit(text[i-2]) {
+		return false
+	}
+	return true
+}
+
+// boundaryAfter reports whether the token ends at position j (exclusive).
+func boundaryAfter(text string, j int) bool {
+	if j >= len(text) {
+		return true
+	}
+	b := text[j]
+	if isWordByte(b) {
+		return false
+	}
+	// "2" is embedded in "2.5" but not blocked by a sentence period "2.".
+	if b == '.' && j+1 < len(text) && isDigit(text[j+1]) {
+		return false
+	}
+	return true
+}
+
+func isWordByte(b byte) bool {
+	return b == '_' || isDigit(b) ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

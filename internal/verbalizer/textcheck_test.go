@@ -1,0 +1,49 @@
+package verbalizer
+
+import "testing"
+
+func TestContainsConstant(t *testing.T) {
+	tests := []struct {
+		text string
+		c    string
+		want bool
+	}{
+		{"a shock of 6 euro", "6", true},
+		{"its loan of 0.21 euros", "2", false},
+		{"its loan of 0.21 euros", "0.21", true},
+		{"total of 11 million", "1", false},
+		{"total of 11 million", "11", true},
+		{"entity N2_3 defaults", "N2_3", true},
+		{"entity N2_3 defaults", "2", false},
+		{"entity N2_3 defaults", "N2", false},
+		{"capital of 0.43.", "0.43", true},
+		{"capital of 2.", "2", true},
+		{"capital of 2.5.", "2", false},
+		{"IrishBank controls MadridCredit", "IrishBank", true},
+		{"IrishBank controls MadridCredit", "Bank", false},
+		{"A defaults", "A", true},
+		{"CASCADE", "A", false},
+		{"ends with B", "B", true},
+		{"B starts", "B", true},
+		{"", "x", false},
+		{"anything", "", true},
+		{"7 and 9", "9", true},
+		{"sum of 2 and 9", "2", true},
+	}
+	for _, tt := range tests {
+		if got := ContainsConstant(tt.text, tt.c); got != tt.want {
+			t.Errorf("ContainsConstant(%q, %q) = %v, want %v", tt.text, tt.c, got, tt.want)
+		}
+	}
+}
+
+func TestMissingConstants(t *testing.T) {
+	text := "A owes 7 to B"
+	missing := MissingConstants(text, []string{"A", "7", "B", "C", "11"})
+	if len(missing) != 2 || missing[0] != "C" || missing[1] != "11" {
+		t.Errorf("MissingConstants = %v", missing)
+	}
+	if got := MissingConstants(text, nil); len(got) != 0 {
+		t.Errorf("nil constants = %v", got)
+	}
+}

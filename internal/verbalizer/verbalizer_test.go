@@ -1,0 +1,238 @@
+package verbalizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/glossary"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+const figure7Src = `
+HasCapital(f, p): <f> is a financial institution with capital of <p>.
+Shock(f, s): a shock amounting to <s> euro affects <f>.
+Default(f): <f> is in default.
+Debts(d, c, v): <d> has an amount <v> of debts with <c>.
+Risk(c, e): <c> is at risk of defaulting given its loan of <e> euros of exposures to a defaulted debtor.
+`
+
+const stressSimpleSrc = `
+@name("stress-simple").
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+
+Shock("A", 6.0).
+HasCapital("A", 5.0).
+HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "B", 7.0).
+Debts("B", "C", 2.0).
+Debts("B", "C", 9.0).
+`
+
+func glos(t *testing.T) *glossary.Glossary {
+	t.Helper()
+	return glossary.MustParse(figure7Src)
+}
+
+func TestJoinList(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a"}, "a"},
+		{[]string{"a", "b"}, "a and b"},
+		{[]string{"a", "b", "c"}, "a, b and c"},
+		{[]string{"2", "9", "4", "1"}, "2, 9, 4 and 1"},
+	}
+	for _, tt := range tests {
+		if got := JoinList(tt.in); got != tt.want {
+			t.Errorf("JoinList(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestAtomText(t *testing.T) {
+	g := glos(t)
+	a := ast.NewAtom("Debts", term.Var("D"), term.Var("C"), term.Var("V"))
+	got, err := AtomText(a, g, TokenRenderer(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "<D> has an amount <V> of debts with <C>." {
+		t.Errorf("AtomText = %q", got)
+	}
+
+	// Constant positions use the constant display.
+	a2 := ast.NewAtom("Debts", term.Str("A"), term.Var("C"), term.Float(7))
+	got2, _ := AtomText(a2, g, TokenRenderer(nil))
+	if got2 != "A has an amount 7 of debts with <C>." {
+		t.Errorf("AtomText = %q", got2)
+	}
+
+	// Renaming through the token renderer.
+	got3, _ := AtomText(a, g, TokenRenderer(map[string]string{"D": "d2"}))
+	if !strings.Contains(got3, "<d2>") {
+		t.Errorf("renamed AtomText = %q", got3)
+	}
+
+	// Missing entry and arity mismatch error.
+	if _, err := AtomText(ast.NewAtom("Nope", term.Var("X")), g, TokenRenderer(nil)); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if _, err := AtomText(ast.NewAtom("Default", term.Var("X"), term.Var("Y")), g, TokenRenderer(nil)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestConditionAndAssignmentText(t *testing.T) {
+	c := ast.Condition{Left: term.Var("S"), Op: ast.OpGt, Right: term.Var("P1")}
+	if got := ConditionText(c, TokenRenderer(nil)); got != "<S> is higher than <P1>" {
+		t.Errorf("ConditionText = %q", got)
+	}
+	vals := ValueRenderer(term.Substitution{"S": term.Float(6), "P1": term.Float(5)})
+	if got := ConditionText(c, vals); got != "6 is higher than 5" {
+		t.Errorf("ConditionText values = %q", got)
+	}
+	as := ast.Assignment{Target: "S", Expr: ast.BinaryOf(term.Var("S1"), ast.ArithMul, term.Var("S2"))}
+	if got := AssignmentText(as, TokenRenderer(nil)); got != "<S> is given by <S1> multiplied by <S2>" {
+		t.Errorf("AssignmentText = %q", got)
+	}
+}
+
+func TestAggregationText(t *testing.T) {
+	g := ast.Aggregation{Target: "E", Func: ast.AggSum, Over: "V"}
+	if got := AggregationText(g, TokenRenderer(nil), nil); got != "with <E> given by the sum of <V>" {
+		t.Errorf("AggregationText = %q", got)
+	}
+	if got := AggregationText(g, TokenRenderer(nil), []string{"2", "9"}); got != "with <E> given by the sum of 2 and 9" {
+		t.Errorf("AggregationText contributors = %q", got)
+	}
+}
+
+// TestRuleSentenceAlpha reproduces the first template row of Figure 6: the
+// verbalization of rule α.
+func TestRuleSentenceAlpha(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	alpha := prog.RuleByLabel("alpha")
+	got, err := RuleSentence(alpha, glos(t), TokenRenderer(nil), AggRendering{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Since a shock amounting to <S> euro affects <F>, and <F> is a financial institution with capital of <P1>, and <S> is higher than <P1>, then <F> is in default."
+	if got != want {
+		t.Errorf("RuleSentence =\n%q, want\n%q", got, want)
+	}
+}
+
+func TestRuleSentenceBetaTruncatedAndExpanded(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	beta := prog.RuleByLabel("beta")
+	g := glos(t)
+
+	truncated, err := RuleSentence(beta, g, TokenRenderer(nil), AggRendering{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(truncated, "sum") {
+		t.Errorf("truncated sentence verbalizes aggregator: %q", truncated)
+	}
+
+	expanded, err := RuleSentence(beta, g, TokenRenderer(nil), AggRendering{Expand: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(expanded, "with <E> given by the sum of <V>.") {
+		t.Errorf("expanded sentence = %q", expanded)
+	}
+}
+
+// TestVerbalizeProof reproduces the deterministic explanation of the
+// Example 4.7 proof, checking that all constants of the inference appear.
+func TestVerbalizeProof(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	res := chase.MustRun(prog, chase.Options{})
+	a, _ := parser.ParseAtom(`Default("C")`)
+	id, err := res.LookupDerived(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := res.ExtractProof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := VerbalizeProof(proof, glos(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All constants used by the inference appear.
+	for _, c := range proof.Constants() {
+		if !strings.Contains(text, c) {
+			t.Errorf("explanation missing constant %q:\n%s", c, text)
+		}
+	}
+	// Five sentences, one per chase step.
+	if got := strings.Count(text, "Since "); got != 5 {
+		t.Errorf("sentences = %d, want 5:\n%s", got, text)
+	}
+	// The multi-contributor aggregation expands the sum of 2 and 9.
+	if !strings.Contains(text, "the sum of 2 and 9") {
+		t.Errorf("aggregation not expanded:\n%s", text)
+	}
+	// The single-contributor aggregation (Risk(B,7)) is truncated.
+	if strings.Contains(text, "the sum of 7") {
+		t.Errorf("single-contributor aggregation expanded:\n%s", text)
+	}
+}
+
+func TestDerivationRendererContributorList(t *testing.T) {
+	// Two debtors default and both expose the same creditor: the <D>
+	// variable of rule beta renders as the list of debtors.
+	src := `
+@output("Default").
+@label("alpha") Default(F) :- Shock(F, S), HasCapital(F, P1), S > P1.
+@label("beta")  Risk(C, E) :- Default(D), Debts(D, C, V), E = sum(V).
+@label("gamma") Default(C) :- HasCapital(C, P2), Risk(C, E), P2 < E.
+Shock("A", 6.0). HasCapital("A", 5.0).
+Shock("B", 6.0). HasCapital("B", 2.0).
+HasCapital("C", 10.0).
+Debts("A", "C", 8.0).
+Debts("B", "C", 5.0).
+`
+	prog := parser.MustParse(src)
+	res := chase.MustRun(prog, chase.Options{})
+	a, _ := parser.ParseAtom(`Risk("C", 13.0)`)
+	id, err := res.LookupDerived(a)
+	if err != nil {
+		t.Fatalf("lookup: %v\n%s", err, res.Store.Dump())
+	}
+	d := res.CanonicalDerivation(id)
+	render := DerivationRenderer(d)
+	if got := render("D"); got != "A and B" {
+		t.Errorf("render(D) = %q, want %q", got, "A and B")
+	}
+	if got := render("C"); got != "C" {
+		t.Errorf("render(C) = %q", got)
+	}
+	if got := render("ZZZ"); got != "<ZZZ>" {
+		t.Errorf("render(unbound) = %q", got)
+	}
+}
+
+func TestVerbalizeProofMissingGlossary(t *testing.T) {
+	prog := parser.MustParse(stressSimpleSrc)
+	res := chase.MustRun(prog, chase.Options{})
+	id := res.Answers()[0]
+	proof, _ := res.ExtractProof(id)
+	empty := glossary.New()
+	if _, err := VerbalizeProof(proof, empty); err == nil {
+		t.Error("missing glossary entries accepted")
+	}
+}
