@@ -1,0 +1,24 @@
+# Repository tooling. The `race` target guards the parallel chase engine:
+# any data race between join workers and the store fails the build.
+
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the concurrent packages: the chase engine's parallel join and
+# the fact store it reads. Run this after touching internal/chase or
+# internal/database concurrency.
+race:
+	$(GO) test -race ./internal/chase/... ./internal/database/...
+
+# Micro-benchmarks (one per paper table/figure plus pipeline stages);
+# BENCH narrows the pattern, e.g. `make bench BENCH=BenchmarkChase`.
+BENCH ?= .
+bench:
+	$(GO) test -run NONE -bench '$(BENCH)' -benchmem ./...

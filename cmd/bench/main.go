@@ -25,8 +25,10 @@ func main() {
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
 		experts      = flag.Int("experts", 14, "expert-study raters (fig16)")
+		workers      = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; figures are identical at any setting")
 	)
 	flag.Parse()
+	figures.SetChaseWorkers(*workers)
 
 	runners := map[string]func() (string, error){
 		"fig3": func() (string, error) { return figures.Fig3Fig9DependencyGraphs() },

@@ -37,10 +37,11 @@ func main() {
 		proof    = flag.Bool("proof", false, "also print the deterministic step-by-step proof verbalization")
 		paths    = flag.Bool("paths", false, "also print the reasoning paths composed")
 		anon     = flag.Bool("anonymize", false, "pseudonymize entity names in the explanation")
+		workers  = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; explanations are identical at any setting")
 	)
 	flag.Parse()
 
-	pipe, extra, err := buildPipeline(*appName, *progPath, *glosPath, *factPath, *noScen)
+	pipe, extra, err := buildPipeline(*appName, *progPath, *glosPath, *factPath, *noScen, *workers)
 	if err != nil {
 		fatal(err)
 	}
@@ -98,8 +99,9 @@ func main() {
 	}
 }
 
-func buildPipeline(appName, progPath, glosPath, factPath string, noScenario bool) (*core.Pipeline, []ast.Atom, error) {
+func buildPipeline(appName, progPath, glosPath, factPath string, noScenario bool, workers int) (*core.Pipeline, []ast.Atom, error) {
 	cfg := core.Config{Enhancer: &enhancer.Fluent{Variants: 2, Seed: 1}}
+	cfg.Chase.Workers = workers
 	var pipe *core.Pipeline
 	var extra []ast.Atom
 	switch {

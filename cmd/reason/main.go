@@ -28,6 +28,7 @@ func main() {
 		noScen   = flag.Bool("no-scenario", false, "with -app: do not load the bundled scenario facts")
 		graph    = flag.Bool("graph", false, "print the chase graph")
 		dot      = flag.Bool("dot", false, "print the chase graph in Graphviz DOT syntax")
+		workers  = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; results are identical at any setting")
 	)
 	flag.Parse()
 
@@ -35,7 +36,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := chase.Run(prog, chase.Options{ExtraFacts: extra})
+	res, err := chase.Run(prog, chase.Options{ExtraFacts: extra, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -24,9 +24,10 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "chase worker-pool size per reasoning request: 0 = sequential, -1 = all cores")
 	flag.Parse()
 
-	s, err := server.New()
+	s, err := server.NewWithOptions(server.Options{ChaseWorkers: *workers})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)

@@ -12,6 +12,24 @@
 // total. Chase steps whose conclusion is isomorphic to an existing fact are
 // pre-empted, which guarantees termination for the programs considered in
 // the paper (see its Section 5, "Structural Analysis").
+//
+// # Evaluation strategies and concurrency contract
+//
+// Evaluation is semi-naive by default (Options.Naive selects the naive
+// ablation) and optionally parallel: Options.Workers > 1 fans the
+// read-only join phase of each rule evaluation out over a worker pool
+// while keeping the emission phase single-threaded, so results are
+// byte-for-byte identical to the sequential engine at any worker count
+// (see parallel.go for the determinism argument).
+//
+// Run and MustRun are safe to call concurrently — every call builds its
+// own engine and store. A *Result and everything reachable from it
+// (Store, Steps, Derivations, extracted Proofs) is immutable after Run
+// returns and safe for any number of concurrent readers; the explanation
+// service serves concurrent queries over shared results this way. The
+// internal engine type is not safe for concurrent use; its parallel join
+// workers only ever read the store, which Freeze/Thaw on
+// database.Store enforce at run time.
 package chase
 
 import (

@@ -2,6 +2,7 @@ package chase
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -29,6 +30,14 @@ type Options struct {
 	// derived since the rule's previous evaluation. Exposed for the
 	// ablation benchmark; results are identical either way.
 	Naive bool
+	// Workers sets the size of the worker pool used for the join phase of
+	// each rule evaluation. 0 (and 1) select the sequential engine,
+	// preserving its exact behavior; a negative value selects
+	// runtime.GOMAXPROCS(0). Parallel evaluation is deterministic: the
+	// fact ids, chase steps, provenance edges, and aggregation
+	// contributions are byte-for-byte identical to the sequential engine
+	// at any worker count (see parallel.go for the argument).
+	Workers int
 }
 
 const (
@@ -50,6 +59,10 @@ func Run(p *ast.Program, opts Options) (*Result, error) {
 	if maxFacts <= 0 {
 		maxFacts = defaultMaxFacts
 	}
+	workers := opts.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 
 	e := &engine{
 		prog:       p,
@@ -63,6 +76,7 @@ func Run(p *ast.Program, opts Options) (*Result, error) {
 		lastSuper:  map[*ast.Rule]int{},
 		maxFacts:   maxFacts,
 		naive:      opts.Naive,
+		workers:    workers,
 	}
 	for _, f := range p.Facts {
 		if _, _, err := e.store.Add(f, true); err != nil {
@@ -169,6 +183,8 @@ type engine struct {
 	nullSeq       int
 	maxFacts      int
 	naive         bool
+	// workers is the join-phase worker-pool size; <= 1 means sequential.
+	workers int
 }
 
 // aggGroup is the accumulated state of one aggregation group.
@@ -220,6 +236,9 @@ type atomFilter func(atomIdx int, id database.FactID) bool
 // conditions that are fully bound are checked; conditions mentioning the
 // aggregation target are deferred (returned separately).
 func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
+	if e.workers > 1 {
+		return e.joinBodyParallel(r)
+	}
 	pending, err := e.joinAtoms(r, nil, nil)
 	if err != nil || pending == nil {
 		return nil, err
@@ -233,30 +252,12 @@ func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
 // before i match old facts, atom i matches new facts, atoms after i match
 // anything. The decomposition is disjoint, so no duplicates arise.
 func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]binding, error) {
+	if e.workers > 1 {
+		return e.joinBodySemiNaiveParallel(r, boundary)
+	}
 	var all []binding
 	for pivot := range r.Body {
-		p := pivot
-		filter := func(atomIdx int, id database.FactID) bool {
-			switch {
-			case atomIdx < p:
-				return id < boundary
-			case atomIdx == p:
-				return id >= boundary
-			default:
-				return true
-			}
-		}
-		// Start the join at the pivot atom: it is restricted to the (few)
-		// new facts, so the enumeration is cut down immediately instead of
-		// first scanning the full extent of the earlier atoms.
-		order := make([]int, 0, len(r.Body))
-		order = append(order, p)
-		for i := range r.Body {
-			if i != p {
-				order = append(order, i)
-			}
-		}
-		pending, err := e.joinAtoms(r, order, filter)
+		pending, err := e.joinAtoms(r, pivotOrder(r, pivot), pivotFilter(pivot, boundary))
 		if err != nil {
 			return nil, err
 		}
@@ -266,6 +267,36 @@ func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]bin
 		return nil, nil
 	}
 	return e.finishBindings(r, all)
+}
+
+// pivotFilter is the semi-naive admission rule for one pivot decomposition:
+// atoms before the pivot match only old facts, the pivot matches only new
+// facts, atoms after the pivot match anything.
+func pivotFilter(pivot int, boundary database.FactID) atomFilter {
+	return func(atomIdx int, id database.FactID) bool {
+		switch {
+		case atomIdx < pivot:
+			return id < boundary
+		case atomIdx == pivot:
+			return id >= boundary
+		default:
+			return true
+		}
+	}
+}
+
+// pivotOrder starts the join at the pivot atom: it is restricted to the
+// (few) new facts, so the enumeration is cut down immediately instead of
+// first scanning the full extent of the earlier atoms.
+func pivotOrder(r *ast.Rule, pivot int) []int {
+	order := make([]int, 0, len(r.Body))
+	order = append(order, pivot)
+	for i := range r.Body {
+		if i != pivot {
+			order = append(order, i)
+		}
+	}
+	return order
 }
 
 // joinAtoms performs the relational join of the body atoms in the given
@@ -283,28 +314,38 @@ func (e *engine) joinAtoms(r *ast.Rule, order []int, allow atomFilter) ([]bindin
 	first := make([]database.FactID, n)
 	pending := []binding{{sub: term.Substitution{}, facts: first}}
 	for _, atomIdx := range order {
-		pattern := r.Body[atomIdx]
-		var next []binding
-		for _, b := range pending {
-			for _, m := range e.store.MatchBind(pattern, b.sub) {
-				if e.superseded[m.Fact.ID] {
-					continue
-				}
-				if allow != nil && !allow(atomIdx, m.Fact.ID) {
-					continue
-				}
-				facts := make([]database.FactID, n)
-				copy(facts, b.facts)
-				facts[atomIdx] = m.Fact.ID
-				next = append(next, binding{sub: m.Sub, facts: facts})
-			}
-		}
-		pending = next
+		pending = e.extendAtom(r, pending, atomIdx, allow)
 		if len(pending) == 0 {
 			return nil, nil
 		}
 	}
 	return pending, nil
+}
+
+// extendAtom extends every pending binding with every admissible match of
+// one body atom, preserving the relative order of the inputs (the output is
+// ordered lexicographically by input position, then match position). It
+// only reads the store and the superseded set, so disjoint input slices can
+// be extended concurrently.
+func (e *engine) extendAtom(r *ast.Rule, pending []binding, atomIdx int, allow atomFilter) []binding {
+	pattern := r.Body[atomIdx]
+	n := len(r.Body)
+	var next []binding
+	for _, b := range pending {
+		for _, m := range e.store.MatchBind(pattern, b.sub) {
+			if e.superseded[m.Fact.ID] {
+				continue
+			}
+			if allow != nil && !allow(atomIdx, m.Fact.ID) {
+				continue
+			}
+			facts := make([]database.FactID, n)
+			copy(facts, b.facts)
+			facts[atomIdx] = m.Fact.ID
+			next = append(next, binding{sub: m.Sub, facts: facts})
+		}
+	}
+	return next
 }
 
 // finishBindings evaluates assignments and the non-deferred conditions over
@@ -785,6 +826,14 @@ func (e *engine) emitAgg(r *ast.Rule, groupKey string, head ast.Atom, premises [
 
 // SortedFactIDs returns ids sorted ascending; a convenience for
 // deterministic reporting.
+//
+// It is deliberately kept out of the emission path: emit and emitAgg record
+// premises in body-atom (respectively first-use) order without sorting, and
+// that order is part of the provenance contract — templates verbalize
+// premises in rule-body order, so re-sorting here would scramble
+// explanations. The only callers sort once per proof extraction (the leaf
+// set) or per report, never per emission; a regression test
+// (TestProvenancePremiseOrderStable) pins both properties down.
 func SortedFactIDs(ids []database.FactID) []database.FactID {
 	out := make([]database.FactID, len(ids))
 	copy(out, ids)

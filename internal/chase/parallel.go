@@ -1,0 +1,193 @@
+package chase
+
+// Parallel join evaluation (Options.Workers > 1).
+//
+// The sequential engine splits every rule evaluation into two phases: a
+// join phase that enumerates body homomorphisms (pure reads of the fact
+// store and the superseded set) and an emission phase that appends derived
+// facts and provenance (the only writes). Parallel mode keeps that split
+// and parallelizes only the read-only phase: the seed matches of each
+// join's first atom are partitioned into chunks, a worker pool extends and
+// filters each chunk independently against the frozen store snapshot, and
+// the single-threaded merge concatenates the per-chunk candidate buffers in
+// canonical (pivot index, chunk index) order before the unchanged emission
+// loop applies them.
+//
+// Determinism argument. The sequential join is a breadth-first expansion
+// whose output is ordered lexicographically by the per-atom match choices;
+// extending a contiguous slice of seeds yields exactly the lexicographic
+// block of bindings whose first choice lies in that slice. Concatenating
+// the blocks in seed order therefore reproduces the sequential binding
+// list element for element. Since emission order is a function of the
+// binding list alone, fact ids, chase steps, provenance edges, and
+// aggregation contributions are byte-for-byte identical to Workers: 0 at
+// any worker count. (On a program that errors mid-join — a failing
+// assignment, say — both modes fail deterministically, though the chunk
+// that surfaces the error first may differ from the sequential scan, so
+// the reported witness binding can differ.)
+//
+// The alternative design — evaluating distinct rules concurrently against
+// a round-start snapshot — was rejected: the sequential engine lets a rule
+// observe facts emitted earlier in the same round, so a snapshot-per-round
+// scheme shifts derivations across rounds and can change which rule is a
+// fact's canonical (first) deriver, silently changing explanations.
+// Within-rule parallelism keeps the canonical provenance stable while
+// still covering the hot path, because virtually all chase time is spent
+// inside body joins.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/term"
+)
+
+// chunksPerWorker oversplits each seed list so the pool can balance chunks
+// of uneven cost (a seed whose extension fans out dominates its chunk).
+const chunksPerWorker = 4
+
+// joinTask is one unit of parallel join work: a contiguous slice of seed
+// bindings to be extended through the remaining body atoms and finished
+// (assignments, conditions, negation). Tasks are created in canonical
+// order; out buffers are merged by task index.
+type joinTask struct {
+	seeds []binding
+	rest  []int
+	allow atomFilter
+	out   []binding
+}
+
+// joinBodyParallel is joinBody with the extension phase fanned out over the
+// worker pool. The first body atom is matched sequentially (one indexed
+// scan) to fix the seed order; the seeds are then chunked and extended
+// concurrently.
+func (e *engine) joinBodyParallel(r *ast.Rule) ([]binding, error) {
+	n := len(r.Body)
+	initial := []binding{{sub: term.Substitution{}, facts: make([]database.FactID, n)}}
+	seeds := e.extendAtom(r, initial, 0, nil)
+	rest := make([]int, 0, n-1)
+	for i := 1; i < n; i++ {
+		rest = append(rest, i)
+	}
+	tasks := appendChunked(nil, seeds, rest, nil, e.workers)
+	return e.runJoinTasks(r, tasks)
+}
+
+// joinBodySemiNaiveParallel evaluates all pivot decompositions of the
+// semi-naive join as one task pool: per pivot, the pivot atom is matched
+// sequentially against the new-fact slice of the store, and the resulting
+// seeds are chunked into tasks. Merging by (pivot, chunk) index reproduces
+// the sequential pivot-by-pivot concatenation exactly.
+func (e *engine) joinBodySemiNaiveParallel(r *ast.Rule, boundary database.FactID) ([]binding, error) {
+	n := len(r.Body)
+	var tasks []*joinTask
+	for pivot := range r.Body {
+		order := pivotOrder(r, pivot)
+		allow := pivotFilter(pivot, boundary)
+		initial := []binding{{sub: term.Substitution{}, facts: make([]database.FactID, n)}}
+		seeds := e.extendAtom(r, initial, pivot, allow)
+		tasks = appendChunked(tasks, seeds, order[1:], allow, e.workers)
+	}
+	return e.runJoinTasks(r, tasks)
+}
+
+// appendChunked splits seeds into up to workers*chunksPerWorker contiguous
+// chunks and appends one task per chunk, preserving seed order across the
+// chunk sequence.
+func appendChunked(tasks []*joinTask, seeds []binding, rest []int, allow atomFilter, workers int) []*joinTask {
+	if len(seeds) == 0 {
+		return tasks
+	}
+	chunks := workers * chunksPerWorker
+	if chunks > len(seeds) {
+		chunks = len(seeds)
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * len(seeds) / chunks
+		hi := (c + 1) * len(seeds) / chunks
+		tasks = append(tasks, &joinTask{seeds: seeds[lo:hi], rest: rest, allow: allow})
+	}
+	return tasks
+}
+
+// runJoinTasks extends and finishes every task on the worker pool, then
+// merges the candidate buffers in task order. The store is frozen for the
+// duration so that any write during the concurrent phase fails loudly
+// instead of racing.
+func (e *engine) runJoinTasks(r *ast.Rule, tasks []*joinTask) ([]binding, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	e.store.Freeze()
+	err := runParallel(e.workers, len(tasks), func(i int) error {
+		t := tasks[i]
+		pending := t.seeds
+		for _, atomIdx := range t.rest {
+			pending = e.extendAtom(r, pending, atomIdx, t.allow)
+			if len(pending) == 0 {
+				return nil
+			}
+		}
+		done, err := e.finishBindings(r, pending)
+		if err != nil {
+			return err
+		}
+		t.out = done
+		return nil
+	})
+	e.store.Thaw()
+	if err != nil {
+		return nil, err
+	}
+	var all []binding
+	for _, t := range tasks {
+		all = append(all, t.out...)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all, nil
+}
+
+// runParallel runs task(0..n-1) on up to `workers` goroutines, handing out
+// indexes through an atomic counter (cheap work stealing). It returns the
+// error of the lowest-indexed failing task, which makes error selection
+// deterministic and independent of goroutine scheduling.
+func runParallel(workers, n int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,6 +6,17 @@
 // Facts are append-only — the chase only ever adds facts — so fact ids are
 // also the insertion order, which the explanation pipeline uses to linearize
 // proofs deterministically.
+//
+// # Concurrency contract
+//
+// A Store is not synchronized. It is safe for any number of concurrent
+// readers (Match, MatchBind, Lookup, Get, Contains, ByPredicate, Facts,
+// Frontier, Len) as long as no writer (Add, MustAdd) runs at the same time.
+// The chase engine exploits exactly this shape: its parallel join phase is
+// read-only over a store snapshot and is separated from the single-threaded
+// emission phase that appends facts. Freeze/Thaw make that phase boundary
+// explicit and turn any out-of-phase write into an error instead of a data
+// race.
 package database
 
 import (
@@ -42,6 +53,10 @@ type Store struct {
 	// index maps predicate/position/term-key to the facts with that value
 	// at that position.
 	index map[indexKey][]FactID
+	// frozen marks a read-only snapshot phase; Add rejects writes while set.
+	// It is toggled only between phases (never while readers run), so plain
+	// (unsynchronized) access is race-free.
+	frozen bool
 }
 
 type indexKey struct {
@@ -62,10 +77,29 @@ func NewStore() *Store {
 // Len returns the number of interned facts.
 func (s *Store) Len() int { return len(s.facts) }
 
+// Frontier returns the id one past the newest fact: facts with id <
+// Frontier() exist, facts with id >= Frontier() do not yet. Semi-naive
+// evaluation snapshots the frontier before a rule's evaluation and treats
+// facts at or beyond the snapshot as "new" at the next one.
+func (s *Store) Frontier() FactID { return FactID(len(s.facts)) }
+
+// Freeze puts the store into a read-only snapshot phase: Add fails until
+// Thaw is called. The chase engine freezes the store around its concurrent
+// join phase so that a misplaced write surfaces as an error rather than a
+// data race. Freeze must not be called while other goroutines access the
+// store (the engine calls it before starting workers).
+func (s *Store) Freeze() { s.frozen = true }
+
+// Thaw ends a Freeze, re-enabling writes.
+func (s *Store) Thaw() { s.frozen = false }
+
 // Add interns a ground atom. It returns the fact and whether it was newly
 // inserted; adding an atom that is already present returns the existing fact
 // with added=false. Non-ground atoms are rejected with an error.
 func (s *Store) Add(a ast.Atom, extensional bool) (*Fact, bool, error) {
+	if s.frozen {
+		return nil, false, fmt.Errorf("database: Add(%v) during frozen snapshot phase", a)
+	}
 	if !a.IsGround() {
 		return nil, false, fmt.Errorf("database: cannot intern non-ground atom %v", a)
 	}

@@ -221,3 +221,44 @@ func TestMatchSoundProperty(t *testing.T) {
 		t.Errorf("matched %d, want %d", got, len(names))
 	}
 }
+
+// Frontier tracks the append boundary: it equals Len and advances only on
+// genuinely new facts.
+func TestFrontier(t *testing.T) {
+	s := NewStore()
+	if s.Frontier() != 0 {
+		t.Fatalf("empty store frontier = %d, want 0", s.Frontier())
+	}
+	s.MustAdd(own("A", "B", 0.5), true)
+	if s.Frontier() != 1 {
+		t.Fatalf("frontier = %d, want 1", s.Frontier())
+	}
+	s.MustAdd(own("A", "B", 0.5), true) // duplicate: no new fact
+	if s.Frontier() != 1 {
+		t.Fatalf("frontier moved on duplicate add: %d", s.Frontier())
+	}
+	if int(s.Frontier()) != s.Len() {
+		t.Fatalf("frontier %d != len %d", s.Frontier(), s.Len())
+	}
+}
+
+// Freeze turns writes into errors while leaving reads working; Thaw
+// restores writes.
+func TestFreezeThaw(t *testing.T) {
+	s := NewStore()
+	s.MustAdd(own("A", "B", 0.6), true)
+	s.Freeze()
+	if _, _, err := s.Add(own("B", "C", 0.7), true); err == nil {
+		t.Fatal("Add during freeze succeeded, want error")
+	}
+	if !s.Contains(own("A", "B", 0.6)) {
+		t.Fatal("read during freeze failed")
+	}
+	if got := len(s.Match(ast.NewAtom("Own", term.Var("X"), term.Var("Y"), term.Var("S")))); got != 1 {
+		t.Fatalf("match during freeze returned %d facts, want 1", got)
+	}
+	s.Thaw()
+	if _, added, err := s.Add(own("B", "C", 0.7), true); err != nil || !added {
+		t.Fatalf("Add after thaw: added=%v err=%v", added, err)
+	}
+}

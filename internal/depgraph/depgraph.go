@@ -6,7 +6,16 @@
 // On top of D(Σ) the package computes the notions the structural analysis of
 // Section 4.1 needs: roots (predicates not depending on intensional ones),
 // the leaf (the program's goal), critical nodes (Definition 4.1), cyclicity
-// and reachability.
+// and reachability. The chase engine also uses D(Σ) to stratify rules so
+// that negated predicates saturate before any rule reads them.
+//
+// # Concurrency contract
+//
+// A Graph is immutable after New returns: every method is a pure read, so
+// a single Graph is safe for any number of concurrent readers (the
+// explanation service shares one per compiled application). New itself
+// and Stratify allocate fresh state per call and are safe to call
+// concurrently on the same program.
 package depgraph
 
 import (

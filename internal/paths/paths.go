@@ -8,6 +8,14 @@
 // Π = {σ1,...,σn} in derivation order (supports first). Enumeration visits
 // every edge at most once, so the set of reasoning paths is finite by
 // construction.
+//
+// # Concurrency contract
+//
+// Analyze is a pure function over an immutable depgraph.Graph and may run
+// concurrently. The *Analysis it returns (and every Path in it) is
+// immutable afterwards and safe for concurrent readers — the template
+// store and the mapper read one shared Analysis per application without
+// locking.
 package paths
 
 import (

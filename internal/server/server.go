@@ -43,14 +43,26 @@ type session struct {
 	result *chase.Result
 }
 
-// New compiles every bundled application into a server.
-func New() (*Server, error) {
+// Options configure server construction.
+type Options struct {
+	// ChaseWorkers is the chase worker-pool size used by every /reason
+	// request (chase.Options.Workers): 0 = sequential, negative = all
+	// cores. Responses are identical at any setting.
+	ChaseWorkers int
+}
+
+// New compiles every bundled application into a server with default
+// options.
+func New() (*Server, error) { return NewWithOptions(Options{}) }
+
+// NewWithOptions compiles every bundled application into a server.
+func NewWithOptions(opts Options) (*Server, error) {
 	s := &Server{
 		pipes:    map[string]*core.Pipeline{},
 		sessions: map[string]*session{},
 	}
 	for _, a := range apps.All() {
-		p, err := a.Pipeline(core.Config{})
+		p, err := a.Pipeline(core.Config{Chase: chase.Options{Workers: opts.ChaseWorkers}})
 		if err != nil {
 			return nil, fmt.Errorf("server: compiling %s: %w", a.Name, err)
 		}
