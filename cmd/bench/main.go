@@ -6,17 +6,36 @@
 //	bench -fig all
 //	bench -fig fig17 -proofs 10 -seed 42
 //	bench -fig fig16 -experts 14
+//	bench -fig all -json compiled && bench -fig all -legacy -json legacy
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/figures"
 )
+
+// benchSnapshot is the machine-readable timing record written by -json.
+type benchSnapshot struct {
+	Label     string        `json:"label"`
+	Generated string        `json:"generated"`
+	Go        string        `json:"go"`
+	Workers   int           `json:"workers"`
+	Legacy    bool          `json:"legacy"`
+	Figures   []figureTimes `json:"figures"`
+}
+
+type figureTimes struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	var (
@@ -26,9 +45,12 @@ func main() {
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
 		experts      = flag.Int("experts", 14, "expert-study raters (fig16)")
 		workers      = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; figures are identical at any setting")
+		legacy       = flag.Bool("legacy", false, "use the legacy map-based join engine (timing baseline; figures are identical)")
+		jsonLabel    = flag.String("json", "", "also write per-figure wall times to BENCH_<label>.json")
 	)
 	flag.Parse()
 	figures.SetChaseWorkers(*workers)
+	figures.SetChaseLegacy(*legacy)
 
 	runners := map[string]func() (string, error){
 		"fig3": func() (string, error) { return figures.Fig3Fig9DependencyGraphs() },
@@ -77,6 +99,13 @@ func main() {
 	if *fig == "all" {
 		ids = []string{"fig3", "fig10", "fig6", "fig7", "fig8", "ex48", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18"}
 	}
+	snap := benchSnapshot{
+		Label:     *jsonLabel,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+		Workers:   *workers,
+		Legacy:    *legacy,
+	}
 	for _, id := range ids {
 		run, ok := runners[id]
 		if !ok {
@@ -89,11 +118,26 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("######## %s ########\n", id)
+		start := time.Now()
 		out, err := run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		snap.Figures = append(snap.Figures, figureTimes{ID: id, Seconds: time.Since(start).Seconds()})
 		fmt.Println(out)
+	}
+	if *jsonLabel != "" {
+		path := "BENCH_" + *jsonLabel + ".json"
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: marshal snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: write %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wrote %s\n", path)
 	}
 }

@@ -1,0 +1,65 @@
+package chase
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// benchChainFacts builds a linear ownership chain of the given length with
+// branching noise: c0 →(0.6) c1 →(0.6) … plus a 0.1 side edge per hop. The
+// company-control program then derives control transitively along the spine,
+// exercising recursive joins and per-hop aggregation.
+func benchChainFacts(n int) []ast.Atom {
+	var facts []ast.Atom
+	name := func(i int) term.Term { return term.Str(fmt.Sprintf("c%d", i)) }
+	for i := 0; i < n; i++ {
+		facts = append(facts, ast.NewAtom("Company", name(i)))
+		if i+1 < n {
+			facts = append(facts, ast.NewAtom("Own", name(i), name(i+1), term.Float(0.6)))
+		}
+		if i+2 < n {
+			facts = append(facts, ast.NewAtom("Own", name(i), name(i+2), term.Float(0.1)))
+		}
+	}
+	return facts
+}
+
+// BenchmarkJoinControlChain runs the full recursive company-control chase
+// over a 50-hop ownership chain under both join engines. The compiled
+// sub-benchmark drives slot-plan executors; Legacy interprets the same rules
+// with map-based substitutions.
+func BenchmarkJoinControlChain(b *testing.B) {
+	prog, err := parser.Parse(`
+@output("Control").
+@label("s1") Control(X, X) :- Company(X).
+@label("s2") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := benchChainFacts(50)
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"Compiled", Options{ExtraFacts: facts}},
+		{"Legacy", Options{ExtraFacts: facts, Legacy: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Run(prog, mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Derived("Control")) == 0 {
+					b.Fatal("no control facts derived")
+				}
+			}
+		})
+	}
+}

@@ -16,11 +16,24 @@
 // # Evaluation strategies and concurrency contract
 //
 // Evaluation is semi-naive by default (Options.Naive selects the naive
-// ablation) and optionally parallel: Options.Workers > 1 fans the
+// ablation). Body joins run on compiled slot-based plans: each rule is
+// compiled once into join plans over the store's interned value ids, and
+// a depth-first executor drives a flat binding frame through them,
+// converting to a term.Substitution only at the emission boundary (see
+// plan.go for the compilation scheme and the equivalence argument).
+// Options.Legacy selects the map-interpreting engine instead; results
+// are byte-identical either way, so it exists as the differential and
+// benchmarking baseline.
+//
+// Optionally the join phase is parallel: Options.Workers > 1 fans the
 // read-only join phase of each rule evaluation out over a worker pool
 // while keeping the emission phase single-threaded, so results are
 // byte-for-byte identical to the sequential engine at any worker count
-// (see parallel.go for the determinism argument).
+// (see parallel.go for the determinism argument). The compiled path
+// keeps the join phase free of dictionary writes — assignment results
+// live in value slots, never interned mid-join — so workers share the
+// immutable plan and only read the store, the superseded set, and the
+// interner.
 //
 // Run and MustRun are safe to call concurrently — every call builds its
 // own engine and store. A *Result and everything reachable from it

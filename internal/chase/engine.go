@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sort"
@@ -38,6 +39,13 @@ type Options struct {
 	// contributions are byte-for-byte identical to the sequential engine
 	// at any worker count (see parallel.go for the argument).
 	Workers int
+	// Legacy selects the pre-compilation join engine that interprets rules
+	// per match with map-based substitutions, instead of the default
+	// compiled slot-plan executor (plan.go). Results are byte-identical
+	// either way — the differential suite in plan_test.go enforces it —
+	// so Legacy exists only as the differential-testing and benchmarking
+	// baseline.
+	Legacy bool
 }
 
 const (
@@ -74,8 +82,10 @@ func Run(p *ast.Program, opts Options) (*Result, error) {
 		aggGroups:  map[*ast.Rule]map[string]*aggGroup{},
 		aggOrder:   map[*ast.Rule][]string{},
 		lastSuper:  map[*ast.Rule]int{},
+		plans:      map[*ast.Rule]*plan{},
 		maxFacts:   maxFacts,
 		naive:      opts.Naive,
+		legacy:     opts.Legacy,
 		workers:    workers,
 	}
 	for _, f := range p.Facts {
@@ -89,6 +99,17 @@ func Run(p *ast.Program, opts Options) (*Result, error) {
 		}
 		if _, _, err := e.store.Add(f, true); err != nil {
 			return nil, err
+		}
+	}
+
+	// Compile every rule into its slot-based join plans up front (the
+	// legacy engine interprets rules directly and needs none). Constants
+	// are interned into the store's dictionary here, before any join runs.
+	if !e.legacy {
+		for _, r := range p.Rules {
+			if _, err := e.planFor(r); err != nil {
+				return nil, fmt.Errorf("chase: rule %s: %w", r.Label, err)
+			}
 		}
 	}
 
@@ -180,11 +201,20 @@ type engine struct {
 	// the count moved since its previous evaluation.
 	supersessions int
 	lastSuper     map[*ast.Rule]int
-	nullSeq       int
-	maxFacts      int
-	naive         bool
+	// plans caches the compiled slot-plan of each rule (and of constraint
+	// pseudo-rules); unused in legacy mode.
+	plans    map[*ast.Rule]*plan
+	nullSeq  int
+	maxFacts int
+	naive    bool
+	// legacy selects the map-based join interpreter over the compiled
+	// slot-plan executor.
+	legacy bool
 	// workers is the join-phase worker-pool size; <= 1 means sequential.
 	workers int
+	// keyBuf is the reusable scratch buffer for aggregation group and
+	// contributor-identity keys (single-threaded accumulation phase only).
+	keyBuf []byte
 }
 
 // aggGroup is the accumulated state of one aggregation group.
@@ -220,11 +250,50 @@ func (e *engine) round(rules []*ast.Rule) (bool, error) {
 	return changed, nil
 }
 
-// binding is one body homomorphism: the substitution plus the matched facts
-// in body-atom order.
+// binding is one body homomorphism together with the matched facts in
+// body-atom order. The legacy engine materializes the substitution directly
+// (sub); the compiled engine carries the flat slot frame (frame for
+// atom-bound variables as interned ids, vals for assignment targets) and
+// converts to a substitution only at the emission boundary via bindingSub.
 type binding struct {
 	sub   term.Substitution
+	frame []term.ValueID
+	vals  []term.Term
 	facts []database.FactID
+}
+
+// planFor returns the cached compiled plan of the rule, compiling it on
+// first use (rules at Run start, constraint pseudo-rules when checked).
+func (e *engine) planFor(r *ast.Rule) (*plan, error) {
+	if p, ok := e.plans[r]; ok {
+		return p, nil
+	}
+	p, err := compilePlan(r, e.store.Interner())
+	if err != nil {
+		return nil, err
+	}
+	e.plans[r] = p
+	return p, nil
+}
+
+// bindingSub converts a binding to the substitution the emission path,
+// provenance record, and aggregation contributors expose. Legacy bindings
+// already carry it; compiled bindings are converted here — the single
+// frame→Substitution boundary.
+func (e *engine) bindingSub(r *ast.Rule, b binding) term.Substitution {
+	if b.sub != nil {
+		return b.sub
+	}
+	p := e.plans[r]
+	in := e.store.Interner()
+	sub := make(term.Substitution, p.nslots+p.nvals)
+	for i, name := range p.slotNames {
+		sub[name] = in.Value(b.frame[i])
+	}
+	for i, name := range p.valNames {
+		sub[name] = b.vals[i]
+	}
+	return sub
 }
 
 // atomFilter restricts which facts an atom position may match during
@@ -236,6 +305,16 @@ type atomFilter func(atomIdx int, id database.FactID) bool
 // conditions that are fully bound are checked; conditions mentioning the
 // aggregation target are deferred (returned separately).
 func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
+	if !e.legacy {
+		p, err := e.planFor(r)
+		if err != nil {
+			return nil, err
+		}
+		if e.workers > 1 {
+			return e.joinPlanBodyParallel(p)
+		}
+		return e.joinPlanBody(p)
+	}
 	if e.workers > 1 {
 		return e.joinBodyParallel(r)
 	}
@@ -252,6 +331,16 @@ func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
 // before i match old facts, atom i matches new facts, atoms after i match
 // anything. The decomposition is disjoint, so no duplicates arise.
 func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]binding, error) {
+	if !e.legacy {
+		p, err := e.planFor(r)
+		if err != nil {
+			return nil, err
+		}
+		if e.workers > 1 {
+			return e.joinPlanSemiNaiveParallel(p, boundary)
+		}
+		return e.joinPlanSemiNaive(p, boundary)
+	}
 	if e.workers > 1 {
 		return e.joinBodySemiNaiveParallel(r, boundary)
 	}
@@ -466,18 +555,21 @@ func (e *engine) applyPlainRule(r *ast.Rule) (bool, error) {
 	}
 	changed := false
 	for _, b := range bindings {
+		bsub := e.bindingSub(r, b)
 		// Restricted chase: when the head has existential variables, the
 		// step is pre-empted if some existing fact already satisfies the
 		// head pattern under the current bindings (existential positions
 		// act as wildcards). Without this check the rule would invent a
-		// fresh null every round and never reach a fixpoint.
-		if hasExistential(r, b.sub) {
-			pattern := r.Head.Apply(b.sub)
-			if len(e.store.Match(pattern)) > 0 {
+		// fresh null every round and never reach a fixpoint. MatchAny
+		// stops at the first witness instead of materializing the full
+		// match list.
+		if hasExistential(r, bsub) {
+			pattern := r.Head.Apply(bsub)
+			if e.store.MatchAny(pattern) {
 				continue
 			}
 		}
-		head, sub, err := e.instantiateHead(r, b.sub)
+		head, sub, err := e.instantiateHead(r, bsub)
 		if err != nil {
 			return false, err
 		}
@@ -534,16 +626,10 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 	}
 	touched := map[string]bool{}
 	for _, b := range bindings {
-		key := groupKey(groupVars, b.sub)
+		key := e.groupKeyOf(r, groupVars, b)
 		gr, ok := groups[key]
 		if !ok {
-			sub := term.Substitution{}
-			for _, v := range groupVars {
-				if t, bound := b.sub[v]; bound {
-					sub[v] = t
-				}
-			}
-			gr = &aggGroup{key: key, sub: sub, seen: map[string]bool{}}
+			gr = &aggGroup{key: key, sub: e.groupSub(r, groupVars, b), seen: map[string]bool{}}
 			groups[key] = gr
 			e.aggOrder[r] = append(e.aggOrder[r], key)
 		}
@@ -551,16 +637,16 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 		// facts are distinct contributors (two loans between the same
 		// entities both count); re-derivations of the identical premise
 		// tuple are not double counted.
-		ident := factTupleKey(b.facts)
+		ident := e.factTupleKey(b.facts)
 		if gr.seen[ident] {
 			continue
 		}
 		gr.seen[ident] = true
-		val, bound := b.sub[g.Over]
+		val, bound := e.bindingValue(r, b, g.Over)
 		if !bound {
 			return false, fmt.Errorf("aggregation %s: variable %s unbound", g, g.Over)
 		}
-		gr.contrib = append(gr.contrib, Contribution{Premises: b.facts, Value: val, Sub: b.sub})
+		gr.contrib = append(gr.contrib, Contribution{Premises: b.facts, Value: val, Sub: e.bindingSub(r, b)})
 		touched[key] = true
 	}
 
@@ -665,22 +751,127 @@ func aggGroupVars(r *ast.Rule) []string {
 	return out
 }
 
-func groupKey(vars []string, sub term.Substitution) string {
-	parts := make([]string, len(vars))
-	for i, v := range vars {
-		if t, ok := sub[v]; ok {
-			parts[i] = t.Key()
+// Aggregation keys are integer-id based: group keys encode atom-bound
+// variables as their dense interned ids (4 bytes each) instead of canonical
+// term strings, and contributor-identity keys varint-encode the premise fact
+// ids. Assignment-target group variables encode by canonical key — a
+// computed value may enter the dictionary later, so its id would not be
+// stable across rounds, while its canonical key is. Id equality coincides
+// with canonical-key equality, so the partition (and, with binding order,
+// the aggOrder discovery order) is identical to the previous string keys.
+
+// groupKeyOf builds the group key of one binding. Both engines produce the
+// same partition; the byte encodings differ only in how a term is reached
+// (slot id vs. dictionary lookup).
+func (e *engine) groupKeyOf(r *ast.Rule, groupVars []string, b binding) string {
+	buf := e.keyBuf[:0]
+	in := e.store.Interner()
+	if b.sub != nil {
+		assigned := map[string]bool{}
+		for _, as := range r.Assignments {
+			assigned[as.Target] = true
+		}
+		for _, v := range groupVars {
+			t, ok := b.sub[v]
+			switch {
+			case !ok:
+				buf = append(buf, 0xff)
+			case assigned[v]:
+				buf = appendKeyPart(buf, t)
+			default:
+				// Atom-bound terms come from interned fact rows, so the
+				// lookup always succeeds and the id is round-stable.
+				if id, found := in.Lookup(t); found {
+					buf = appendIDPart(buf, id)
+				} else {
+					buf = appendKeyPart(buf, t)
+				}
+			}
+		}
+	} else {
+		p := e.plans[r]
+		for _, ref := range p.groupRefs {
+			switch ref.kind {
+			case refSlot:
+				buf = appendIDPart(buf, b.frame[ref.idx])
+			case refVal:
+				buf = appendKeyPart(buf, b.vals[ref.idx])
+			default:
+				buf = append(buf, 0xff)
+			}
 		}
 	}
-	return strings.Join(parts, "\x00")
+	e.keyBuf = buf
+	return string(buf)
 }
 
-func factTupleKey(ids []database.FactID) string {
-	parts := make([]string, len(ids))
-	for i, id := range ids {
-		parts[i] = strconv.Itoa(int(id))
+func appendIDPart(buf []byte, id term.ValueID) []byte {
+	return append(buf, 'i', byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+}
+
+func appendKeyPart(buf []byte, t term.Term) []byte {
+	buf = append(buf, 'k')
+	buf = append(buf, t.Key()...)
+	return append(buf, 0)
+}
+
+// groupSub binds the group variables of one binding (the group-level part of
+// the homomorphism stored on the aggregation group).
+func (e *engine) groupSub(r *ast.Rule, groupVars []string, b binding) term.Substitution {
+	sub := term.Substitution{}
+	if b.sub != nil {
+		for _, v := range groupVars {
+			if t, bound := b.sub[v]; bound {
+				sub[v] = t
+			}
+		}
+		return sub
 	}
-	return strings.Join(parts, ",")
+	p := e.plans[r]
+	in := e.store.Interner()
+	for _, ref := range p.groupRefs {
+		switch ref.kind {
+		case refSlot:
+			sub[ref.name] = in.Value(b.frame[ref.idx])
+		case refVal:
+			sub[ref.name] = b.vals[ref.idx]
+		}
+	}
+	return sub
+}
+
+// bindingValue resolves one variable of a binding (the aggregated variable
+// at accumulation time) without materializing the whole substitution.
+func (e *engine) bindingValue(r *ast.Rule, b binding, name string) (term.Term, bool) {
+	if b.sub != nil {
+		t, ok := b.sub[name]
+		return t, ok
+	}
+	p := e.plans[r]
+	switch ref := p.overRef; {
+	case ref.name == name && ref.kind == refSlot:
+		return e.store.Interner().Value(b.frame[ref.idx]), true
+	case ref.name == name && ref.kind == refVal:
+		return b.vals[ref.idx], true
+	}
+	if i, ok := p.slotOf[name]; ok {
+		return e.store.Interner().Value(b.frame[i]), true
+	}
+	if i, ok := p.valOf[name]; ok {
+		return b.vals[i], true
+	}
+	return term.Term{}, false
+}
+
+// factTupleKey is the contributor-identity key: the premise fact ids,
+// varint-encoded into the engine's reusable key buffer.
+func (e *engine) factTupleKey(ids []database.FactID) string {
+	buf := e.keyBuf[:0]
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	e.keyBuf = buf
+	return string(buf)
 }
 
 func dedupFacts(contrib []Contribution) []database.FactID {

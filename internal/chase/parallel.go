@@ -151,6 +151,130 @@ func (e *engine) runJoinTasks(r *ast.Rule, tasks []*joinTask) ([]binding, error)
 	return all, nil
 }
 
+// planSeed is one admissible match of the first atom of a compiled order:
+// the binding frame right after that atom bound, plus the matched fact id.
+type planSeed struct {
+	frame []term.ValueID
+	fact  database.FactID
+}
+
+// planTask is the compiled-engine unit of parallel join work: a contiguous
+// slice of seeds to be driven through the rest of the ordered plan by a
+// per-task executor.
+type planTask struct {
+	op    *orderedPlan
+	allow atomFilter
+	seeds []planSeed
+	out   []binding
+}
+
+// planSeeds matches the first atom of the order sequentially (one indexed
+// scan) to fix the seed order. The steps scheduled at depth 0 are
+// deliberately deferred to the workers: they are per-binding filters, so
+// running them inside the task keeps the surviving set identical while the
+// seed scan stays a pure match loop.
+func (e *engine) planSeeds(p *plan, op *orderedPlan, allow atomFilter) []planSeed {
+	pa := &op.atoms[0]
+	atomIdx := op.order[0]
+	frame := make([]term.ValueID, p.nslots)
+	for i := range frame {
+		frame[i] = term.NoValue
+	}
+	var seeds []planSeed
+	for _, id := range e.store.CandidatesSlots(*pa, frame) {
+		if !e.store.BindRowSlots(*pa, id, frame) {
+			continue
+		}
+		if e.superseded[id] {
+			continue
+		}
+		if allow != nil && !allow(atomIdx, id) {
+			continue
+		}
+		seeds = append(seeds, planSeed{frame: append([]term.ValueID(nil), frame...), fact: id})
+	}
+	return seeds
+}
+
+// appendPlanChunked splits seeds into up to workers*chunksPerWorker
+// contiguous chunks and appends one task per chunk, preserving seed order
+// across the chunk sequence (the same chunk arithmetic as appendChunked).
+func appendPlanChunked(tasks []*planTask, seeds []planSeed, op *orderedPlan, allow atomFilter, workers int) []*planTask {
+	if len(seeds) == 0 {
+		return tasks
+	}
+	chunks := workers * chunksPerWorker
+	if chunks > len(seeds) {
+		chunks = len(seeds)
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * len(seeds) / chunks
+		hi := (c + 1) * len(seeds) / chunks
+		tasks = append(tasks, &planTask{op: op, allow: allow, seeds: seeds[lo:hi]})
+	}
+	return tasks
+}
+
+// joinPlanBodyParallel is joinPlanBody with the depth-first extension fanned
+// out over the worker pool.
+func (e *engine) joinPlanBodyParallel(p *plan) ([]binding, error) {
+	op := p.orders[0]
+	tasks := appendPlanChunked(nil, e.planSeeds(p, op, nil), op, nil, e.workers)
+	return e.runPlanTasks(p, tasks)
+}
+
+// joinPlanSemiNaiveParallel evaluates all pivot decompositions of the
+// compiled semi-naive join as one task pool; merging by (pivot, chunk) index
+// reproduces the sequential pivot-by-pivot concatenation exactly.
+func (e *engine) joinPlanSemiNaiveParallel(p *plan, boundary database.FactID) ([]binding, error) {
+	var tasks []*planTask
+	for pivot := range p.orders {
+		op := p.orders[pivot]
+		allow := pivotFilter(pivot, boundary)
+		tasks = appendPlanChunked(tasks, e.planSeeds(p, op, allow), op, allow, e.workers)
+	}
+	return e.runPlanTasks(p, tasks)
+}
+
+// runPlanTasks drives every task's seeds through a per-task executor on the
+// worker pool (the plan itself is immutable and shared), then merges the out
+// buffers in task order under the same Freeze/Thaw discipline as
+// runJoinTasks. Workers only read the store, the superseded set, and the
+// interner — assignment results live in value slots and are never interned
+// during the join, so no worker ever writes shared state.
+func (e *engine) runPlanTasks(p *plan, tasks []*planTask) ([]binding, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	e.store.Freeze()
+	err := runParallel(e.workers, len(tasks), func(i int) error {
+		t := tasks[i]
+		x := e.newExecutor(p, t.op, t.allow)
+		first := t.op.order[0]
+		for _, s := range t.seeds {
+			copy(x.frame, s.frame)
+			x.facts[first] = s.fact
+			if err := x.afterBind(0); err != nil {
+				return err
+			}
+		}
+		t.out = x.out
+		return nil
+	})
+	e.store.Thaw()
+	if err != nil {
+		return nil, err
+	}
+	var all []binding
+	for _, t := range tasks {
+		all = append(all, t.out...)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all, nil
+}
+
 // runParallel runs task(0..n-1) on up to `workers` goroutines, handing out
 // indexes through an atomic counter (cheap work stealing). It returns the
 // error of the lowest-indexed failing task, which makes error selection

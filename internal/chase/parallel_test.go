@@ -43,6 +43,15 @@ func diffResults(t *testing.T, label string, want, got *Result) {
 		if fmt.Sprint(w.Premises) != fmt.Sprint(g.Premises) {
 			t.Fatalf("%s: step %d premise lists differ: %v vs %v", label, i, w.Premises, g.Premises)
 		}
+		if len(w.Sub) != len(g.Sub) {
+			t.Fatalf("%s: step %d substitution sizes differ: %v vs %v", label, i, w.Sub, g.Sub)
+		}
+		for v, wt := range w.Sub {
+			gt, ok := g.Sub[v]
+			if !ok || !wt.Equal(gt) || wt.Display() != gt.Display() {
+				t.Fatalf("%s: step %d substitution differs at %s: %v vs %v", label, i, v, wt, gt)
+			}
+		}
 		if len(w.Contributors) != len(g.Contributors) {
 			t.Fatalf("%s: step %d contributor counts differ: %d vs %d", label, i, len(w.Contributors), len(g.Contributors))
 		}

@@ -1,0 +1,72 @@
+package database
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+// benchStore builds an ownership relation shaped like the chase hot path:
+// n facts Own(owner, target, share) with 100 owners fanning out over
+// targets, so a one-bound-position probe touches ~n/100 candidate rows.
+func benchStore(n int) *Store {
+	s := NewStore()
+	for i := 0; i < n; i++ {
+		s.MustAdd(ast.NewAtom("Own",
+			term.Str(fmt.Sprintf("c%d", i%100)),
+			term.Str(fmt.Sprintf("c%d", i)),
+			term.Float(float64(i%97)/97),
+		), true)
+	}
+	return s
+}
+
+// BenchmarkMatchBind compares the two per-candidate binding paths on the
+// identical probe — Own(X, Y, S) with X bound to the densest owner. Legacy
+// clones a map-based substitution per candidate; Slots writes interned ids
+// into a reusable frame.
+func BenchmarkMatchBind(b *testing.B) {
+	s := benchStore(10_000)
+	pattern := ast.NewAtom("Own", term.Var("X"), term.Var("Y"), term.Var("S"))
+	bound := term.Str("c0")
+
+	b.Run("Legacy", func(b *testing.B) {
+		base := term.Substitution{"X": bound}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := s.MatchBind(pattern, base)
+			if len(out) == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+
+	b.Run("Slots", func(b *testing.B) {
+		xID, ok := s.Interner().Lookup(bound)
+		if !ok {
+			b.Fatal("bound value not interned")
+		}
+		sp := SlotPattern{Predicate: "Own", Ops: []SlotOp{
+			{Kind: SlotBound, Slot: 0},
+			{Kind: SlotWrite, Slot: 1},
+			{Kind: SlotWrite, Slot: 2},
+		}}
+		frame := make([]term.ValueID, 3)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame[0] = xID
+			matched := 0
+			s.MatchBindSlots(sp, frame, func(f *Fact) bool {
+				matched++
+				return true
+			})
+			if matched == 0 {
+				b.Fatal("no matches")
+			}
+		}
+	})
+}

@@ -45,12 +45,18 @@ type Fact struct {
 // String renders the fact as predicate(args) with unquoted constants.
 func (f *Fact) String() string { return f.Atom.Display() }
 
-// Store is an append-only fact store with join indexes.
+// Store is an append-only fact store with join indexes. Alongside the
+// ast.Atom view, every fact is stored as a flat []term.ValueID row over the
+// store's value dictionary, and the (predicate, position, value) index is
+// keyed on those dense integer ids — the representation the compiled-plan
+// join executor (internal/chase) probes without hashing term strings.
 type Store struct {
 	facts  []*Fact
+	in     *term.Interner
+	rows   [][]term.ValueID
 	byKey  map[string]FactID
 	byPred map[string][]FactID
-	// index maps predicate/position/term-key to the facts with that value
+	// index maps predicate/position/value-id to the facts with that value
 	// at that position.
 	index map[indexKey][]FactID
 	// frozen marks a read-only snapshot phase; Add rejects writes while set.
@@ -62,17 +68,29 @@ type Store struct {
 type indexKey struct {
 	pred string
 	pos  int
-	key  string
+	val  term.ValueID
 }
 
 // NewStore returns an empty fact store.
 func NewStore() *Store {
 	return &Store{
+		in:     term.NewInterner(),
 		byKey:  make(map[string]FactID),
 		byPred: make(map[string][]FactID),
 		index:  make(map[indexKey][]FactID),
 	}
 }
+
+// Interner exposes the store's value dictionary. Callers may Intern new
+// values only while the store is writable (the chase compiles rule constants
+// into ids before its concurrent join phase); Lookup and Value are read-only
+// and safe alongside other readers.
+func (s *Store) Interner() *term.Interner { return s.in }
+
+// Row returns the fact's argument values as interned ids, positionally
+// parallel to its atom's terms. The returned slice is shared; callers must
+// not mutate it.
+func (s *Store) Row(id FactID) []term.ValueID { return s.rows[id] }
 
 // Len returns the number of interned facts.
 func (s *Store) Len() int { return len(s.facts) }
@@ -111,10 +129,12 @@ func (s *Store) Add(a ast.Atom, extensional bool) (*Fact, bool, error) {
 	s.facts = append(s.facts, f)
 	s.byKey[key] = f.ID
 	s.byPred[a.Predicate] = append(s.byPred[a.Predicate], f.ID)
+	row := make([]term.ValueID, len(a.Terms))
 	for pos, t := range a.Terms {
-		k := indexKey{a.Predicate, pos, t.Key()}
-		s.index[k] = append(s.index[k], f.ID)
+		row[pos] = s.in.Intern(t)
+		s.index[indexKey{a.Predicate, pos, row[pos]}] = append(s.index[indexKey{a.Predicate, pos, row[pos]}], f.ID)
 	}
+	s.rows = append(s.rows, row)
 	return f, true, nil
 }
 
@@ -192,14 +212,31 @@ type Binding struct {
 	Sub  term.Substitution
 }
 
-// candidateIDs picks the smallest index bucket applicable to the pattern.
+// MatchAny reports whether at least one fact unifies with the pattern. It is
+// Match with an early exit: the existential pre-emption check of the chase
+// only needs existence, not the full id list.
+func (s *Store) MatchAny(pattern ast.Atom) bool {
+	for _, id := range s.candidateIDs(pattern) {
+		if s.matches(s.facts[id].Atom, pattern) {
+			return true
+		}
+	}
+	return false
+}
+
+// candidateIDs picks the smallest index bucket applicable to the pattern. A
+// constant that was never interned cannot occur in any fact, so its (empty)
+// bucket wins immediately.
 func (s *Store) candidateIDs(pattern ast.Atom) []FactID {
 	best := s.byPred[pattern.Predicate]
 	for pos, t := range pattern.Terms {
 		if t.IsVariable() {
 			continue
 		}
-		bucket := s.index[indexKey{pattern.Predicate, pos, t.Key()}]
+		var bucket []FactID
+		if v, ok := s.in.Lookup(t); ok {
+			bucket = s.index[indexKey{pattern.Predicate, pos, v}]
+		}
 		if len(bucket) < len(best) {
 			best = bucket
 		}

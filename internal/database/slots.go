@@ -1,0 +1,125 @@
+package database
+
+// Slot-based matching: the allocation-free counterpart of MatchBind used by
+// the compiled-plan join executor (internal/chase/plan.go).
+//
+// Where MatchBind clones a map[string]Term per candidate fact, the slot API
+// writes interned value ids into a caller-owned flat binding frame. A
+// SlotPattern is a rule body atom compiled against a fixed join order: every
+// argument position is pre-resolved to either a constant id, a frame slot
+// that is already bound when the atom is reached, or a frame slot the atom
+// binds. Matching a candidate row is then a handful of int32 comparisons and
+// stores — zero allocations per candidate.
+//
+// All slot methods only read the store (SlotWrite writes the caller's frame,
+// never the store) and are safe under the reader side of the Store
+// concurrency contract.
+
+import "repro/internal/term"
+
+// SlotOpKind says how one argument position of a SlotPattern constrains a
+// candidate row against the binding frame.
+type SlotOpKind uint8
+
+const (
+	// SlotConst requires row[pos] == Val (a pre-interned constant).
+	SlotConst SlotOpKind = iota
+	// SlotBound requires row[pos] == frame[Slot], where the slot was bound
+	// by an earlier atom of the join order. Bound slots participate in
+	// index-bucket selection.
+	SlotBound
+	// SlotWrite binds frame[Slot] = row[pos]: the first occurrence of a
+	// free variable. The write happens unconditionally while the row is
+	// scanned; callers treat write slots as scratch until the whole
+	// pattern has matched.
+	SlotWrite
+	// SlotSame requires row[pos] == frame[Slot] where the slot was written
+	// by an earlier position of this same pattern (a repeated variable,
+	// e.g. Own(X, X)). Unlike SlotBound it carries no value before the
+	// row scan, so it is excluded from bucket selection.
+	SlotSame
+)
+
+// SlotOp is the compiled constraint of one argument position.
+type SlotOp struct {
+	Kind SlotOpKind
+	// Slot is the frame index for SlotBound/SlotWrite/SlotSame.
+	Slot int
+	// Val is the constant id for SlotConst.
+	Val term.ValueID
+}
+
+// SlotPattern is an atom compiled against a fixed join order: one SlotOp per
+// argument position.
+type SlotPattern struct {
+	Predicate string
+	Ops       []SlotOp
+}
+
+// CandidatesSlots picks the smallest index bucket applicable to the pattern
+// under the current frame, mirroring the bucket choice of Match/MatchBind:
+// the per-predicate extent and every SlotConst or SlotBound position
+// compete, first smallest wins. The returned slice is shared; callers must
+// not mutate it.
+func (s *Store) CandidatesSlots(p SlotPattern, frame []term.ValueID) []FactID {
+	best := s.byPred[p.Predicate]
+	for pos := range p.Ops {
+		var v term.ValueID
+		switch p.Ops[pos].Kind {
+		case SlotConst:
+			v = p.Ops[pos].Val
+		case SlotBound:
+			v = frame[p.Ops[pos].Slot]
+		default:
+			continue
+		}
+		bucket := s.index[indexKey{p.Predicate, pos, v}]
+		if len(bucket) < len(best) {
+			best = bucket
+		}
+	}
+	return best
+}
+
+// BindRowSlots matches the fact's row against the pattern, writing SlotWrite
+// positions into the frame as it scans left to right. It reports whether the
+// row matches; on a mismatch, write slots scanned before the failing
+// position retain the candidate's values (they are scratch until the next
+// candidate or a successful match).
+func (s *Store) BindRowSlots(p SlotPattern, id FactID, frame []term.ValueID) bool {
+	row := s.rows[id]
+	if len(row) != len(p.Ops) {
+		return false
+	}
+	for pos := range p.Ops {
+		op := &p.Ops[pos]
+		switch op.Kind {
+		case SlotConst:
+			if row[pos] != op.Val {
+				return false
+			}
+		case SlotBound, SlotSame:
+			if row[pos] != frame[op.Slot] {
+				return false
+			}
+		case SlotWrite:
+			frame[op.Slot] = row[pos]
+		}
+	}
+	return true
+}
+
+// MatchBindSlots yields every fact matching the pattern under the frame, in
+// candidate (insertion) order. For each yielded fact the frame's SlotWrite
+// slots hold that fact's values; the frame is reused across candidates, so
+// the callback must consume (or copy) the bindings before returning true to
+// continue. No per-candidate allocation occurs.
+func (s *Store) MatchBindSlots(p SlotPattern, frame []term.ValueID, yield func(f *Fact) bool) {
+	for _, id := range s.CandidatesSlots(p, frame) {
+		if s.BindRowSlots(p, id, frame) {
+			if !yield(s.facts[id]) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package database
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+func TestMatchAny(t *testing.T) {
+	s := NewStore()
+	s.MustAdd(own("A", "B", 0.6), true)
+	s.MustAdd(own("A", "C", 0.3), true)
+	if !s.MatchAny(ast.NewAtom("Own", term.Str("A"), term.Var("Y"), term.Var("S"))) {
+		t.Error("MatchAny missed an existing match")
+	}
+	if s.MatchAny(ast.NewAtom("Own", term.Str("Z"), term.Var("Y"), term.Var("S"))) {
+		t.Error("MatchAny matched a non-existent constant")
+	}
+	// A never-interned constant short-circuits through its empty bucket.
+	if s.MatchAny(ast.NewAtom("Own", term.Var("X"), term.Var("Y"), term.Float(0.99))) {
+		t.Error("MatchAny matched a never-interned value")
+	}
+	if s.MatchAny(ast.NewAtom("Nope", term.Var("X"))) {
+		t.Error("MatchAny matched an absent predicate")
+	}
+}
+
+func TestRowParallelsAtom(t *testing.T) {
+	s := NewStore()
+	f, _ := s.MustAdd(own("A", "B", 0.6), true)
+	row := s.Row(f.ID)
+	if len(row) != 3 {
+		t.Fatalf("row arity = %d", len(row))
+	}
+	for pos, v := range row {
+		got := s.Interner().Value(v)
+		if !got.Equal(f.Atom.Terms[pos]) {
+			t.Errorf("row[%d] resolves to %v, want %v", pos, got, f.Atom.Terms[pos])
+		}
+	}
+}
+
+// TestMatchBindSlotsAgainstMatchBind cross-checks the slot path against the
+// map path on the same pattern: Own(X, Y, S) with X pre-bound yields the
+// same facts in the same order.
+func TestMatchBindSlotsAgainstMatchBind(t *testing.T) {
+	s := NewStore()
+	s.MustAdd(own("A", "B", 0.6), true)
+	s.MustAdd(own("B", "C", 0.7), true)
+	s.MustAdd(own("A", "C", 0.3), true)
+
+	pattern := ast.NewAtom("Own", term.Var("X"), term.Var("Y"), term.Var("S"))
+	base := term.Substitution{"X": term.Str("A")}
+	legacy := s.MatchBind(pattern, base)
+
+	xID, ok := s.Interner().Lookup(term.Str("A"))
+	if !ok {
+		t.Fatal("A not interned")
+	}
+	sp := SlotPattern{Predicate: "Own", Ops: []SlotOp{
+		{Kind: SlotBound, Slot: 0},
+		{Kind: SlotWrite, Slot: 1},
+		{Kind: SlotWrite, Slot: 2},
+	}}
+	frame := []term.ValueID{xID, term.NoValue, term.NoValue}
+	var got []*Fact
+	var bound [][2]term.Term
+	s.MatchBindSlots(sp, frame, func(f *Fact) bool {
+		got = append(got, f)
+		bound = append(bound, [2]term.Term{s.Interner().Value(frame[1]), s.Interner().Value(frame[2])})
+		return true
+	})
+
+	if len(got) != len(legacy) {
+		t.Fatalf("slot path matched %d facts, legacy %d", len(got), len(legacy))
+	}
+	for i := range got {
+		if got[i].ID != legacy[i].Fact.ID {
+			t.Errorf("match %d: fact #%d vs #%d", i, got[i].ID, legacy[i].Fact.ID)
+		}
+		if !bound[i][0].Equal(legacy[i].Sub["Y"]) || !bound[i][1].Equal(legacy[i].Sub["S"]) {
+			t.Errorf("match %d: slot bindings (%v, %v) vs legacy (%v, %v)",
+				i, bound[i][0], bound[i][1], legacy[i].Sub["Y"], legacy[i].Sub["S"])
+		}
+	}
+}
+
+func TestBindRowSlotsRepeatedVariable(t *testing.T) {
+	s := NewStore()
+	loop, _ := s.MustAdd(own("A", "A", 1.0), true)
+	edge, _ := s.MustAdd(own("A", "B", 0.6), true)
+	sp := SlotPattern{Predicate: "Own", Ops: []SlotOp{
+		{Kind: SlotWrite, Slot: 0},
+		{Kind: SlotSame, Slot: 0},
+		{Kind: SlotWrite, Slot: 1},
+	}}
+	frame := make([]term.ValueID, 2)
+	if !s.BindRowSlots(sp, loop.ID, frame) {
+		t.Error("self-loop row rejected by SlotSame")
+	}
+	if s.BindRowSlots(sp, edge.ID, frame) {
+		t.Error("non-loop row accepted by SlotSame")
+	}
+}
+
+func TestBindRowSlotsArityMismatch(t *testing.T) {
+	s := NewStore()
+	f, _ := s.MustAdd(ast.NewAtom("P", term.Str("a")), true)
+	sp := SlotPattern{Predicate: "P", Ops: []SlotOp{
+		{Kind: SlotWrite, Slot: 0},
+		{Kind: SlotWrite, Slot: 1},
+	}}
+	if s.BindRowSlots(sp, f.ID, make([]term.ValueID, 2)) {
+		t.Error("arity-mismatched row matched")
+	}
+}
+
+// TestCandidatesSlotsSelectivity mirrors TestIndexSelectivity for the slot
+// path: a bound position with a small bucket must beat the predicate extent.
+func TestCandidatesSlotsSelectivity(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 50; i++ {
+		s.MustAdd(ast.NewAtom("Own", term.Str("Hub"), term.Int(int64(i)), term.Float(0.5)), true)
+	}
+	s.MustAdd(ast.NewAtom("Own", term.Str("Rare"), term.Int(999), term.Float(0.5)), true)
+	rare, _ := s.Interner().Lookup(term.Str("Rare"))
+	sp := SlotPattern{Predicate: "Own", Ops: []SlotOp{
+		{Kind: SlotConst, Val: rare},
+		{Kind: SlotWrite, Slot: 0},
+		{Kind: SlotWrite, Slot: 1},
+	}}
+	if got := s.CandidatesSlots(sp, make([]term.ValueID, 2)); len(got) != 1 {
+		t.Errorf("candidate bucket = %d facts, want 1", len(got))
+	}
+}

@@ -1,0 +1,69 @@
+package term
+
+import "testing"
+
+func TestInternerDenseIDs(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern(Str("IrishBank"))
+	b := in.Intern(Int(3))
+	c := in.Intern(Str("HSBC"))
+	if a != 0 || b != 1 || c != 2 {
+		t.Fatalf("ids not dense in interning order: %d %d %d", a, b, c)
+	}
+	if in.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", in.Len())
+	}
+	if got := in.Intern(Str("IrishBank")); got != a {
+		t.Errorf("re-interning returned %d, want %d", got, a)
+	}
+	if in.Len() != 3 {
+		t.Errorf("re-interning grew the dictionary to %d", in.Len())
+	}
+}
+
+// Id equality must coincide with Term.Equal: numerically equal int and float
+// constants share an id, distinct types and values do not.
+func TestInternerKeySemantics(t *testing.T) {
+	in := NewInterner()
+	i3 := in.Intern(Int(3))
+	f3 := in.Intern(Float(3.0))
+	if i3 != f3 {
+		t.Errorf("Int(3) and Float(3.0) got distinct ids %d, %d", i3, f3)
+	}
+	s3 := in.Intern(Str("3"))
+	if s3 == i3 {
+		t.Errorf("Str(\"3\") shares id %d with Int(3)", s3)
+	}
+	f35 := in.Intern(Float(3.5))
+	if f35 == i3 {
+		t.Errorf("Float(3.5) shares id %d with Int(3)", f35)
+	}
+	n := in.Intern(Null("z1"))
+	if n == s3 || n == i3 {
+		t.Errorf("null shares an id with a constant")
+	}
+	if b, tr := in.Intern(Bool(false)), in.Intern(Bool(true)); b == tr {
+		t.Errorf("true and false share id %d", b)
+	}
+}
+
+func TestInternerLookupValue(t *testing.T) {
+	in := NewInterner()
+	if _, ok := in.Lookup(Str("absent")); ok {
+		t.Fatal("Lookup of never-interned term succeeded")
+	}
+	id := in.Intern(Str("x"))
+	got, ok := in.Lookup(Str("x"))
+	if !ok || got != id {
+		t.Fatalf("Lookup = (%d, %v), want (%d, true)", got, ok, id)
+	}
+	if v := in.Value(id); !v.Equal(Str("x")) {
+		t.Fatalf("Value(%d) = %v, want x", id, v)
+	}
+	// The representative of key-sharing numerics renders identically.
+	nid := in.Intern(Int(7))
+	in.Intern(Float(7.0))
+	if v := in.Value(nid); v.Display() != "7" {
+		t.Fatalf("representative renders as %q, want \"7\"", v.Display())
+	}
+}
