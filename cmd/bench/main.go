@@ -7,6 +7,7 @@
 //	bench -fig fig17 -proofs 10 -seed 42
 //	bench -fig fig16 -experts 14
 //	bench -fig all -json compiled && bench -fig all -legacy -json legacy
+//	bench -fig serving    # cold vs warm explain-all; writes BENCH_serving.json
 package main
 
 import (
@@ -37,9 +38,18 @@ type figureTimes struct {
 	Seconds float64 `json:"seconds"`
 }
 
+// servingSnapshot is the machine-readable cold/warm serving-latency record
+// written to BENCH_serving.json by `bench -fig serving`.
+type servingSnapshot struct {
+	Generated string                 `json:"generated"`
+	Go        string                 `json:"go"`
+	Workers   int                    `json:"workers"`
+	Workloads []figures.ServingPoint `json:"workloads"`
+}
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18) or 'all'")
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving) or 'all'")
 		seed         = flag.Int64("seed", 42, "experiment seed")
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
@@ -86,6 +96,27 @@ func main() {
 				return "", err
 			}
 			return out + "\n" + figures.TimingBoxplots(points, 56), nil
+		},
+		"serving": func() (string, error) {
+			out, points, err := figures.ServingLatency()
+			if err != nil {
+				return "", err
+			}
+			snap := servingSnapshot{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Go:        runtime.Version(),
+				Workers:   *workers,
+				Workloads: points,
+			}
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("marshal serving snapshot: %w", err)
+			}
+			if err := os.WriteFile("BENCH_serving.json", append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("write BENCH_serving.json: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_serving.json")
+			return out, nil
 		},
 	}
 	// Aliases: the paper's figure numbers group several renderings.

@@ -11,6 +11,7 @@
 //	curl localhost:8080/apps
 //	curl -X POST localhost:8080/reason -d '{"app":"stress-simple","scenario":true}'
 //	curl 'localhost:8080/explain?session=s1&query=Default("C")'
+//	curl localhost:8080/stats
 package main
 
 import (
@@ -25,9 +26,17 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "chase worker-pool size per reasoning request: 0 = sequential, -1 = all cores")
+	maxSessions := flag.Int("max-sessions", 0, "session LRU capacity (0 = default)")
+	maxExplanations := flag.Int("max-explanations", 0, "rendered-explanation LRU capacity (0 = default)")
+	resultCache := flag.Int("result-cache", 0, "per-app reasoning-result cache capacity (0 = default)")
 	flag.Parse()
 
-	s, err := server.NewWithOptions(server.Options{ChaseWorkers: *workers})
+	s, err := server.NewWithOptions(server.Options{
+		ChaseWorkers:    *workers,
+		MaxSessions:     *maxSessions,
+		MaxExplanations: *maxExplanations,
+		ResultCacheSize: *resultCache,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
 		os.Exit(1)

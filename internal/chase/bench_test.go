@@ -28,6 +28,59 @@ func benchChainFacts(n int) []ast.Atom {
 	return facts
 }
 
+// BenchmarkExtractProof measures proof extraction for every answer of a
+// 60-hop recursive control chase — the workload of an explain-all request.
+// Cold walks the chase graph back from each answer independently (the
+// pre-memo behavior and the fallback for oversized stores); Warm serves
+// the same proofs from the proof-closure memo after a single build.
+func BenchmarkExtractProof(b *testing.B) {
+	prog, err := parser.Parse(`
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := Run(prog, Options{ExtraFacts: benchChainFacts(60)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	answers := res.Answers()
+	if len(answers) == 0 {
+		b.Fatal("no answers")
+	}
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, id := range answers {
+				if p := res.extractProofWalk(id); p.Size() == 0 {
+					b.Fatal("empty proof")
+				}
+			}
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		b.ReportAllocs()
+		if _, err := res.ExtractProof(answers[0]); err != nil { // build the memo
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, id := range answers {
+				p, err := res.ExtractProof(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Size() == 0 {
+					b.Fatal("empty proof")
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkJoinControlChain runs the full recursive company-control chase
 // over a 50-hop ownership chain under both join engines. The compiled
 // sub-benchmark drives slot-plan executors; Legacy interprets the same rules

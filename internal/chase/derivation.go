@@ -49,6 +49,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/ast"
 	"repro/internal/database"
@@ -143,6 +144,12 @@ type Result struct {
 	superseded map[database.FactID]bool
 	// Rounds is the number of evaluation rounds until fixpoint.
 	Rounds int
+
+	// memoOnce guards the one-time construction of the proof-closure memo;
+	// memo is immutable once built (see memo.go). Both are internal to
+	// ExtractProof and do not affect the Result's value semantics.
+	memoOnce sync.Once
+	memo     *proofMemo
 }
 
 // Derivations returns all recorded derivations of a fact, earliest first.

@@ -77,10 +77,29 @@ func (p *Proof) Constants() []string {
 
 // ExtractProof computes the proof of a fact from the chase result, following
 // each fact's canonical (earliest) derivation.
+//
+// Extraction is memoized: the first call builds the result's proof-closure
+// memo (see memo.go), so explaining many answers that share sub-proofs —
+// e.g. every control relationship rooted in one ownership chain — walks
+// each shared sub-DAG once instead of once per answer. The memo is
+// immutable after construction and ExtractProof is safe for any number of
+// concurrent callers. Memoized and walked extractions are byte-identical;
+// the differential suite in memo_test.go enforces it.
 func (r *Result) ExtractProof(target database.FactID) (*Proof, error) {
-	if int(target) >= r.Store.Len() {
+	if target < 0 || int(target) >= r.Store.Len() {
 		return nil, fmt.Errorf("chase: unknown fact id %d", target)
 	}
+	if m := r.proofMemo(); m != nil {
+		return r.extractProofMemo(m, target), nil
+	}
+	return r.extractProofWalk(target), nil
+}
+
+// extractProofWalk is the uncached proof extraction: a depth-first walk of
+// the chase graph backwards from the target. It remains the reference
+// implementation the memoized path is differentially tested against, and
+// the fallback for stores too large to memoize.
+func (r *Result) extractProofWalk(target database.FactID) *Proof {
 	p := &Proof{Target: target, result: r}
 
 	// Collect the proof DAG by walking premises backwards.
@@ -111,8 +130,14 @@ func (r *Result) ExtractProof(target database.FactID) (*Proof, error) {
 		p.Leaves = append(p.Leaves, id)
 	}
 	p.Leaves = SortedFactIDs(p.Leaves)
+	p.Spine = r.spineOf(target)
+	return p
+}
 
-	// Spine: from the target walk the most recent intensional premise.
+// spineOf linearizes the proof of target: from the target it repeatedly
+// follows the most recent intensional premise of the canonical derivation,
+// then reverses into root-to-target order.
+func (r *Result) spineOf(target database.FactID) []*Derivation {
 	isIDB := r.Program.IsIntensional
 	var spineRev []*Derivation
 	cur := target
@@ -133,23 +158,44 @@ func (r *Result) ExtractProof(target database.FactID) (*Proof, error) {
 		}
 		cur = next
 	}
-	p.Spine = make([]*Derivation, len(spineRev))
+	spine := make([]*Derivation, len(spineRev))
 	for i, d := range spineRev {
-		p.Spine[len(spineRev)-1-i] = d
+		spine[len(spineRev)-1-i] = d
 	}
-	return p, nil
+	return spine
+}
+
+// factStrings renders every fact once, so the graph dumps below do not
+// re-fetch and re-render shared premises per edge.
+func (r *Result) factStrings() []string {
+	out := make([]string, r.Store.Len())
+	for _, f := range r.Store.Facts() {
+		out[f.ID] = f.String()
+	}
+	return out
 }
 
 // Graph renders the full chase graph in the style of the paper's Figure 8:
 // one line per chase step, premises => conclusion, labelled with the rule.
 func (r *Result) Graph() string {
+	strs := r.factStrings()
 	var sb strings.Builder
+	size := 0
 	for _, d := range r.Steps {
-		prems := make([]string, len(d.Premises))
-		for i, id := range d.Premises {
-			prems[i] = r.Store.Get(id).String()
+		size += len(strs[d.Fact]) + len(d.Rule.Label) + 10
+		for _, id := range d.Premises {
+			size += len(strs[id]) + 3
 		}
-		fmt.Fprintf(&sb, "%s --%s--> %s\n", strings.Join(prems, " + "), d.Rule.Label, r.Store.Get(d.Fact).String())
+	}
+	sb.Grow(size)
+	for _, d := range r.Steps {
+		for i, id := range d.Premises {
+			if i > 0 {
+				sb.WriteString(" + ")
+			}
+			sb.WriteString(strs[id])
+		}
+		fmt.Fprintf(&sb, " --%s--> %s\n", d.Rule.Label, strs[d.Fact])
 	}
 	return sb.String()
 }
@@ -157,7 +203,16 @@ func (r *Result) Graph() string {
 // DOT renders the chase graph in Graphviz DOT syntax: fact nodes and
 // rule-labelled edges from each premise to the conclusion.
 func (r *Result) DOT() string {
+	strs := r.factStrings()
 	var sb strings.Builder
+	size := len("digraph chase {\n  rankdir=TB;\n}\n")
+	for _, f := range r.Store.Facts() {
+		size += len(strs[f.ID]) + 48
+	}
+	for _, d := range r.Steps {
+		size += len(d.Premises) * (len(d.Rule.Label) + 32)
+	}
+	sb.Grow(size)
 	sb.WriteString("digraph chase {\n  rankdir=TB;\n")
 	for _, f := range r.Store.Facts() {
 		shape := "ellipse"
@@ -168,7 +223,7 @@ func (r *Result) DOT() string {
 		if r.superseded[f.ID] {
 			style = ", style=dashed"
 		}
-		fmt.Fprintf(&sb, "  f%d [label=%q, shape=%s%s];\n", f.ID, f.String(), shape, style)
+		fmt.Fprintf(&sb, "  f%d [label=%q, shape=%s%s];\n", f.ID, strs[f.ID], shape, style)
 	}
 	for _, d := range r.Steps {
 		for _, prem := range d.Premises {

@@ -1,0 +1,119 @@
+package chase
+
+import (
+	"math/bits"
+
+	"repro/internal/database"
+)
+
+// memoMaxFacts bounds the proof-closure memo: above this store size the
+// memo's bitsets (one word-packed step set per derived fact, so up to
+// facts*steps/8 bytes in total) would cost more memory than the repeated
+// walks cost time, and ExtractProof falls back to the per-call DFS.
+const memoMaxFacts = 1 << 14
+
+// proofMemo is the per-result proof-closure memo: for every derived fact,
+// the set of chase steps reachable backwards through canonical
+// derivations, stored as a bitset indexed by Derivation.Step. Because a
+// step's premises always precede the derived fact (a rule only fires on
+// facts that already exist), the closure of fact i depends only on facts
+// with smaller ids and one dynamic-programming pass in fact-id order
+// computes every closure, visiting each shared sub-DAG once instead of
+// once per explained answer.
+//
+// The memo is built at most once per Result (lazily, on the first
+// ExtractProof) and is immutable afterwards, so any number of concurrent
+// readers may decode proofs from it without locking; Result.proofMemo
+// serializes the one-time construction through sync.Once.
+type proofMemo struct {
+	// words is the length of each step bitset in uint64 words.
+	words int
+	// closure holds one step bitset per fact id; nil entries mark
+	// extensional facts (empty closure).
+	closure [][]uint64
+}
+
+// proofMemo returns the result's proof-closure memo, building it on first
+// use. It returns nil when the store is too large to memoize (see
+// memoMaxFacts); callers then fall back to the uncached walk.
+func (r *Result) proofMemo() *proofMemo {
+	r.memoOnce.Do(func() {
+		if r.Store.Len() <= memoMaxFacts {
+			r.memo = buildProofMemo(r)
+		}
+	})
+	return r.memo
+}
+
+// buildProofMemo runs the closure dynamic program in fact-id order.
+func buildProofMemo(r *Result) *proofMemo {
+	n := r.Store.Len()
+	m := &proofMemo{
+		words:   (len(r.Steps) + 63) / 64,
+		closure: make([][]uint64, n),
+	}
+	for id := 0; id < n; id++ {
+		d := r.CanonicalDerivation(database.FactID(id))
+		if d == nil {
+			continue // extensional: empty closure
+		}
+		bs := make([]uint64, m.words)
+		for _, prem := range d.Premises {
+			for w, v := range m.closure[prem] {
+				bs[w] |= v
+			}
+		}
+		bs[d.Step/64] |= 1 << (uint(d.Step) % 64)
+		m.closure[id] = bs
+	}
+	return m
+}
+
+// extractProofMemo decodes the memoized closure of target into a Proof.
+// It produces exactly the Proof extractProofWalk produces: step bit i is
+// Derivation.Step i, so ascending bit order is ascending chronological
+// order, and the leaf bitset decodes in ascending fact-id order, matching
+// SortedFactIDs.
+func (r *Result) extractProofMemo(m *proofMemo, target database.FactID) *Proof {
+	p := &Proof{Target: target, result: r}
+	bs := m.closure[target]
+	if bs == nil {
+		// Extensional target: the proof is the fact itself.
+		p.Leaves = SortedFactIDs([]database.FactID{target})
+		p.Spine = r.spineOf(target)
+		return p
+	}
+	total := 0
+	for _, w := range bs {
+		total += bits.OnesCount64(w)
+	}
+	steps := make([]*Derivation, 0, total)
+	leafWords := make([]uint64, (r.Store.Len()+63)/64)
+	for w, word := range bs {
+		for word != 0 {
+			step := r.Steps[w*64+bits.TrailingZeros64(word)]
+			steps = append(steps, step)
+			for _, prem := range step.Premises {
+				if m.closure[prem] == nil {
+					leafWords[prem/64] |= 1 << (uint(prem) % 64)
+				}
+			}
+			word &= word - 1
+		}
+	}
+	p.Steps = steps
+	nLeaves := 0
+	for _, w := range leafWords {
+		nLeaves += bits.OnesCount64(w)
+	}
+	leaves := make([]database.FactID, 0, nLeaves)
+	for w, word := range leafWords {
+		for word != 0 {
+			leaves = append(leaves, database.FactID(w*64+bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	p.Leaves = leaves
+	p.Spine = r.spineOf(target)
+	return p
+}

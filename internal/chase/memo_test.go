@@ -1,0 +1,180 @@
+package chase
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/parser"
+	"repro/internal/term"
+)
+
+// diffProofs asserts that the memoized and walked extractions of one target
+// are byte-identical in every exported field.
+func diffProofs(t *testing.T, label string, want, got *Proof) {
+	t.Helper()
+	if want.Target != got.Target {
+		t.Fatalf("%s: target %d != %d", label, want.Target, got.Target)
+	}
+	if !reflect.DeepEqual(want.Steps, got.Steps) {
+		t.Errorf("%s: steps differ:\nwalk: %v\nmemo: %v", label, want.Steps, got.Steps)
+	}
+	if !reflect.DeepEqual(want.Spine, got.Spine) {
+		t.Errorf("%s: spines differ:\nwalk: %v\nmemo: %v", label, want.Spine, got.Spine)
+	}
+	if !reflect.DeepEqual(want.Leaves, got.Leaves) {
+		t.Errorf("%s: leaves differ:\nwalk: %v\nmemo: %v", label, want.Leaves, got.Leaves)
+	}
+	if !reflect.DeepEqual(want.Constants(), got.Constants()) {
+		t.Errorf("%s: constants differ", label)
+	}
+}
+
+// TestExtractProofMemoDifferentialFixedPrograms: on every bundled program
+// shape, the memoized extraction of every fact — extensional leaves,
+// superseded aggregates, derived answers — matches the reference walk.
+func TestExtractProofMemoDifferentialFixedPrograms(t *testing.T) {
+	sources := map[string]string{
+		"stress-simple": stressSimpleSrc,
+		"irish-bank":    irishBankSrc,
+		"two-channel":   twoChannelSrc,
+		"negation":      eligibleSrc,
+		"kitchen-sink":  planKitchenSrc,
+	}
+	for name, src := range sources {
+		prog, err := parser.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		res, err := Run(prog, Options{})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		for id := 0; id < res.Store.Len(); id++ {
+			target := database.FactID(id)
+			memoized, err := res.ExtractProof(target)
+			if err != nil {
+				t.Fatalf("%s #%d: %v", name, id, err)
+			}
+			diffProofs(t, fmt.Sprintf("%s #%d", name, id), res.extractProofWalk(target), memoized)
+		}
+	}
+}
+
+// TestExtractProofMemoDifferentialRandomOwnership repeats the differential
+// over random layered ownership graphs, where answers share deep control
+// sub-proofs — exactly the reuse the memo exists for.
+func TestExtractProofMemoDifferentialRandomOwnership(t *testing.T) {
+	prog := parser.MustParse(`
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`)
+	for seed := int64(0); seed < 8; seed++ {
+		res, err := Run(prog, Options{ExtraFacts: randomOwnership(seed)})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for id := 0; id < res.Store.Len(); id++ {
+			target := database.FactID(id)
+			memoized, err := res.ExtractProof(target)
+			if err != nil {
+				t.Fatalf("seed %d #%d: %v", seed, id, err)
+			}
+			diffProofs(t, fmt.Sprintf("seed %d #%d", seed, id), res.extractProofWalk(target), memoized)
+		}
+	}
+}
+
+// TestExtractProofMemoFallback: past memoMaxFacts the memo is skipped and
+// extraction still answers through the reference walk.
+func TestExtractProofMemoFallback(t *testing.T) {
+	facts := make([]ast.Atom, memoMaxFacts+1)
+	for i := range facts {
+		facts[i] = ast.NewAtom("Big", term.Str(fmt.Sprintf("e%d", i)))
+	}
+	prog := parser.MustParse(`
+@output("Derived").
+@label("d1") Derived(X) :- Big(X), Seed(X).
+Seed("e7").
+`)
+	res, err := Run(prog, Options{ExtraFacts: facts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := res.proofMemo(); m != nil {
+		t.Fatalf("memo built for %d facts, want fallback above %d", res.Store.Len(), memoMaxFacts)
+	}
+	answers := res.Answers()
+	if len(answers) != 1 {
+		t.Fatalf("answers = %d", len(answers))
+	}
+	p, err := res.ExtractProof(answers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Size() != 1 || len(p.Leaves) != 2 {
+		t.Errorf("proof size = %d, leaves = %d", p.Size(), len(p.Leaves))
+	}
+}
+
+// TestExtractProofUnknownIDs: out-of-range ids error on both sides of the
+// size guard.
+func TestExtractProofUnknownIDs(t *testing.T) {
+	res := MustRun(parser.MustParse(stressSimpleSrc), Options{})
+	for _, id := range []database.FactID{-1, database.FactID(res.Store.Len())} {
+		if _, err := res.ExtractProof(id); err == nil {
+			t.Errorf("ExtractProof(%d) succeeded", id)
+		}
+	}
+}
+
+// TestExtractProofConcurrent extracts every fact's proof from many
+// goroutines at once — the first caller builds the memo, the rest must see
+// it fully constructed (run under -race; the memo is immutable after the
+// sync.Once build).
+func TestExtractProofConcurrent(t *testing.T) {
+	prog := parser.MustParse(`
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`)
+	res, err := Run(prog, Options{ExtraFacts: benchChainFacts(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[database.FactID]*Proof{}
+	for id := 0; id < res.Store.Len(); id++ {
+		want[database.FactID(id)] = res.extractProofWalk(database.FactID(id))
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := 0; id < res.Store.Len(); id++ {
+				p, err := res.ExtractProof(database.FactID(id))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				w := want[database.FactID(id)]
+				if !reflect.DeepEqual(w.Steps, p.Steps) || !reflect.DeepEqual(w.Leaves, p.Leaves) {
+					errs <- fmt.Sprintf("fact %d: concurrent proof differs", id)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/database"
+)
+
+// reasonFingerprint canonically fingerprints one reasoning request: the
+// program text plus the effective chase options that can change the
+// outcome. Extra facts are hashed in order — fact order determines fact
+// ids and hence proofs, so two requests are "the same run" only when their
+// fact lists match positionally. Workers, Legacy and Naive are deliberately
+// excluded: results are proven byte-identical across those settings (the
+// differential suites in chase enforce it), so runs may be shared across
+// them; MaxRounds and MaxFacts are included because they decide whether a
+// run errors at all.
+func reasonFingerprint(prog *ast.Program, opts chase.Options) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d\x00%d\x00", opts.MaxRounds, opts.MaxFacts)
+	h.Write([]byte(prog.String()))
+	h.Write([]byte{0})
+	for _, f := range opts.ExtraFacts {
+		h.Write([]byte(f.Key()))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// flightGroup deduplicates concurrent identical reasoning runs: the first
+// caller of a key becomes the leader and runs the chase; callers arriving
+// while it is in flight wait and share the leader's result and error
+// (singleflight, specialized to chase results).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	res *chase.Result
+	err error
+	// waiters counts callers that joined this in-flight run (guarded by
+	// the group mutex).
+	waiters int
+}
+
+// waiting reports how many callers are currently waiting on key's
+// in-flight run, and whether such a run exists.
+func (g *flightGroup) waiting(key string) (int, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.calls[key]
+	if !ok {
+		return 0, false
+	}
+	return c.waiters, true
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: map[string]*flightCall{}}
+}
+
+// do runs fn under key, collapsing concurrent calls for the same key onto
+// one execution. The returned bool reports whether this caller shared
+// another caller's in-flight run.
+func (g *flightGroup) do(key string, fn func() (*chase.Result, error)) (*chase.Result, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.res, c.err, true
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	c.wg.Done()
+	return c.res, c.err, false
+}
+
+// explKey identifies one memoized explanation: the chase result it was
+// extracted from (by identity — results are immutable) and the explained
+// fact.
+type explKey struct {
+	res *chase.Result
+	id  database.FactID
+}
+
+// CacheStats snapshots the pipeline's cache accounting; zero-valued
+// sections mean the corresponding cache is disabled.
+type CacheStats struct {
+	// Results accounts the reasoning-result cache behind Reason.
+	Results Stats `json:"results"`
+	// Explanations accounts the explanation memo behind ExplainFact.
+	Explanations Stats `json:"explanations"`
+	// SharedRuns counts Reason calls that joined another caller's
+	// in-flight chase run instead of starting their own.
+	SharedRuns uint64 `json:"sharedRuns"`
+}
+
+// Stats mirrors lru.Stats without exporting the lru package in core's API.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Cap       int    `json:"cap"`
+}
+
+// CacheStats reports the pipeline's current cache accounting.
+func (p *Pipeline) CacheStats() CacheStats {
+	var cs CacheStats
+	if p.results != nil {
+		s := p.results.Stats()
+		cs.Results = Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Len: s.Len, Cap: s.Cap}
+	}
+	if p.expl != nil {
+		s := p.expl.Stats()
+		cs.Explanations = Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Len: s.Len, Cap: s.Cap}
+	}
+	cs.SharedRuns = p.sharedRuns.Load()
+	return cs
+}

@@ -1,0 +1,342 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/term"
+)
+
+const controlSrc = `
+@name("company-control").
+@output("Control").
+@label("s1") Control(X, Y) :- Own(X, Y, S), S > 0.5.
+@label("s2") Control(X, X) :- Company(X).
+@label("s3") Control(X, Y) :- Control(X, Z), Own(Z, Y, S), TS = sum(S), TS > 0.5.
+`
+
+const controlGlossarySrc = `
+Own(x, y, s): <x> owns <s> shares of <y>.
+Control(x, y): <x> exercises control over <y>.
+Company(x): <x> is a business corporation.
+`
+
+// chainFacts builds an ownership chain c0 -> c1 -> ... -> cn with majority
+// shares plus a minority side edge per hop, giving every Control answer a
+// deep shared sub-proof.
+func chainFacts(n int) []ast.Atom {
+	var facts []ast.Atom
+	name := func(i int) term.Term { return term.Str(fmt.Sprintf("c%d", i)) }
+	for i := 0; i < n; i++ {
+		facts = append(facts, ast.NewAtom("Company", name(i)))
+		if i+1 < n {
+			facts = append(facts, ast.NewAtom("Own", name(i), name(i+1), term.Float(0.6)))
+		}
+		if i+2 < n {
+			facts = append(facts, ast.NewAtom("Own", name(i), name(i+2), term.Float(0.1)))
+		}
+	}
+	return facts
+}
+
+func controlPipeline(t testing.TB, cfg Config) *Pipeline {
+	t.Helper()
+	p, err := NewPipelineFromSource(controlSrc, controlGlossarySrc, cfg)
+	if err != nil {
+		t.Fatalf("NewPipelineFromSource: %v", err)
+	}
+	return p
+}
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int32
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do("k", func() (*chase.Result, error) {
+			runs.Add(1)
+			close(started)
+			<-release
+			return nil, nil
+		})
+		leaderDone <- err
+	}()
+	<-started
+	var wg sync.WaitGroup
+	sharedCount := make(chan bool, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _, shared := g.do("k", func() (*chase.Result, error) {
+				runs.Add(1)
+				return nil, nil
+			})
+			sharedCount <- shared
+		}()
+	}
+	// Release the leader only once all four callers joined its flight.
+	for {
+		if n, ok := g.waiting("k"); ok && n == 4 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+	close(sharedCount)
+	for shared := range sharedCount {
+		if !shared {
+			t.Error("waiter did not share the leader's run")
+		}
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	// The key is released after the flight: a later call runs again.
+	g.do("k", func() (*chase.Result, error) { runs.Add(1); return nil, nil })
+	if n := runs.Load(); n != 2 {
+		t.Errorf("fn ran %d times after release, want 2", n)
+	}
+}
+
+func TestReasonCacheHitsAndKeys(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	facts := chainFacts(4)
+	r1, err := p.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical requests did not share the cached result")
+	}
+	if s := p.CacheStats().Results; s.Hits == 0 || s.Len != 1 {
+		t.Errorf("result cache stats = %+v", s)
+	}
+	// A different fact list is a different run.
+	r3, err := p.Reason(chainFacts(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("distinct requests shared a result")
+	}
+	// Fact order determines fact ids, so permuted facts are a distinct key.
+	perm := append([]ast.Atom{}, facts...)
+	perm[0], perm[len(perm)-1] = perm[len(perm)-1], perm[0]
+	r4, err := p.Reason(perm...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4 == r1 {
+		t.Error("permuted facts shared the in-order result")
+	}
+}
+
+func TestReasonCacheDisabledByDefault(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true})
+	facts := chainFacts(3)
+	r1, err := p.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Error("caching active without ResultCacheSize")
+	}
+	if s := p.CacheStats(); s.Results.Cap != 0 || s.Explanations.Cap != 0 {
+		t.Errorf("stats report caches: %+v", s)
+	}
+}
+
+func TestReasonCacheCapacityBound(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 2})
+	for n := 2; n <= 5; n++ {
+		if _, err := p.Reason(chainFacts(n)...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.CacheStats().Results
+	if s.Len != 2 || s.Evictions != 2 {
+		t.Errorf("result cache stats = %+v, want len 2 evictions 2", s)
+	}
+}
+
+func TestReasonErrorNotCached(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	bad := ast.NewAtom("Own", term.Var("X"), term.Str("y"), term.Float(0.6))
+	for i := 0; i < 2; i++ {
+		if _, err := p.Reason(bad); err == nil {
+			t.Fatalf("call %d: non-ground extra fact accepted", i)
+		}
+	}
+	if s := p.CacheStats().Results; s.Len != 0 {
+		t.Errorf("error cached: %+v", s)
+	}
+}
+
+func TestConcurrentReasonSharesOneRun(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	facts := chainFacts(12)
+	const callers = 8
+	results := make([]*chase.Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := p.Reason(facts...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i] != results[0] {
+			t.Fatalf("caller %d got a different result object", i)
+		}
+	}
+}
+
+// TestExplainMemoDifferential: a fully cached pipeline serves explanations
+// byte-identical to a cache-less pipeline, and warm repeats return the
+// memoized objects.
+func TestExplainMemoDifferential(t *testing.T) {
+	cached := controlPipeline(t, Config{ResultCacheSize: 4, ExplanationCacheSize: 64})
+	uncached := controlPipeline(t, Config{})
+	facts := chainFacts(8)
+
+	resC, err := cached.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resU, err := uncached.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := cached.ExplainAll(resC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := uncached.ExplainAll(resU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) == 0 || len(cold) != len(reference) {
+		t.Fatalf("explanations: cached %d vs uncached %d", len(cold), len(reference))
+	}
+	for i, e := range cold {
+		ref := reference[i]
+		if e.Fact.String() != ref.Fact.String() {
+			t.Errorf("answer %d: fact %q != %q", i, e.Fact.String(), ref.Fact.String())
+		}
+		if e.Text != ref.Text || e.Deterministic != ref.Deterministic {
+			t.Errorf("answer %d: cached text differs from uncached", i)
+		}
+		if fmt.Sprint(e.PathIDs()) != fmt.Sprint(ref.PathIDs()) {
+			t.Errorf("answer %d: paths %v != %v", i, e.PathIDs(), ref.PathIDs())
+		}
+		if fmt.Sprint(e.Proof.RuleSequence()) != fmt.Sprint(ref.Proof.RuleSequence()) {
+			t.Errorf("answer %d: rule sequence differs", i)
+		}
+		if e.Proof.Size() != ref.Proof.Size() {
+			t.Errorf("answer %d: proof size %d != %d", i, e.Proof.Size(), ref.Proof.Size())
+		}
+	}
+
+	warm, err := cached.ExplainAll(resC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			t.Errorf("answer %d: warm pass rebuilt the explanation", i)
+		}
+	}
+	if s := cached.CacheStats().Explanations; s.Hits == 0 {
+		t.Errorf("explanation memo never hit: %+v", s)
+	}
+}
+
+// TestExplainMemoKeyedByResult: explanations from different sessions never
+// collide, even for the same fact id.
+func TestExplainMemoKeyedByResult(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ExplanationCacheSize: 64})
+	r1, err := p.Reason(chainFacts(3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Reason(chainFacts(4)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := p.ExplainFact(r1, r1.Answers()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p.ExplainFact(r2, r2.Answers()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 == e2 {
+		t.Error("explanations of distinct results collided")
+	}
+}
+
+// BenchmarkExplainAll measures one explain-all serving request end to end
+// (reason + explain every answer) on a 40-hop recursive control chain.
+// Cold is the cache-less pipeline: every iteration re-runs the chase and
+// rebuilds every explanation. Warm serves the same request from the
+// result cache, the proof-closure memo and the explanation memo.
+func BenchmarkExplainAll(b *testing.B) {
+	facts := chainFacts(40)
+	request := func(b *testing.B, p *Pipeline) {
+		res, err := p.Reason(facts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		es, err := p.ExplainAll(res)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(es) == 0 {
+			b.Fatal("no explanations")
+		}
+	}
+	b.Run("Cold", func(b *testing.B) {
+		p := controlPipeline(b, Config{SkipEnhancement: true})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			request(b, p)
+		}
+	})
+	b.Run("Warm", func(b *testing.B) {
+		p := controlPipeline(b, Config{SkipEnhancement: true, ResultCacheSize: 4, ExplanationCacheSize: 4096})
+		request(b, p) // populate every cache
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			request(b, p)
+		}
+	})
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/ast"
 	"repro/internal/chase"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/enhancer"
 	"repro/internal/glossary"
+	"repro/internal/lru"
 	"repro/internal/mapping"
 	"repro/internal/parser"
 	"repro/internal/paths"
@@ -39,12 +41,25 @@ type Config struct {
 	SkipEnhancement bool
 	// Chase options used by Reason.
 	Chase chase.Options
+	// ResultCacheSize bounds the reasoning-result cache: when positive,
+	// Reason memoizes chase results under a canonical fingerprint of
+	// (program, options, extra facts), and concurrent identical calls
+	// share one chase run (singleflight). 0 disables caching and every
+	// Reason call runs its own chase, the pre-cache behavior.
+	ResultCacheSize int
+	// ExplanationCacheSize bounds the explanation memo: when positive,
+	// ExplainFact (and hence Explain, ExplainQuery and ExplainAll)
+	// memoizes the finished Explanation per (result, fact). Cached
+	// explanations are shared pointers and must be treated as immutable.
+	// 0 disables the memo.
+	ExplanationCacheSize int
 }
 
 // Pipeline is a compiled KG application: program, glossary, structural
-// analysis and (enhanced) explanation templates. A Pipeline is immutable
-// after construction and safe for concurrent explanation queries over
-// distinct chase results.
+// analysis and (enhanced) explanation templates. The compiled artifacts
+// are immutable after construction; the optional result and explanation
+// caches are internally synchronized, so a Pipeline is safe for concurrent
+// Reason and explanation queries over shared or distinct chase results.
 type Pipeline struct {
 	prog      *ast.Program
 	glossary  *glossary.Glossary
@@ -52,6 +67,18 @@ type Pipeline struct {
 	analysis  *paths.Analysis
 	templates *template.Store
 	cfg       Config
+
+	// results caches chase results by request fingerprint; flight
+	// deduplicates concurrent identical runs. Both are nil when
+	// Config.ResultCacheSize is 0.
+	results *lru.Cache[string, *chase.Result]
+	flight  *flightGroup
+	// sharedRuns counts Reason calls served by another caller's
+	// in-flight run.
+	sharedRuns atomic.Uint64
+	// expl memoizes finished explanations per (result, fact); nil when
+	// Config.ExplanationCacheSize is 0.
+	expl *lru.Cache[explKey, *Explanation]
 }
 
 // NewPipeline compiles a program and its glossary into a pipeline: it
@@ -84,14 +111,22 @@ func NewPipeline(prog *ast.Program, g *glossary.Glossary, cfg Config) (*Pipeline
 			return nil, fmt.Errorf("core: template enhancement: %w", err)
 		}
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		prog:      prog,
 		glossary:  g,
 		graph:     graph,
 		analysis:  analysis,
 		templates: store,
 		cfg:       cfg,
-	}, nil
+	}
+	if cfg.ResultCacheSize > 0 {
+		p.results = lru.New[string, *chase.Result](cfg.ResultCacheSize)
+		p.flight = newFlightGroup()
+	}
+	if cfg.ExplanationCacheSize > 0 {
+		p.expl = lru.New[explKey, *Explanation](cfg.ExplanationCacheSize)
+	}
+	return p, nil
 }
 
 // NewPipelineFromSource parses the program and glossary texts and compiles
@@ -125,10 +160,39 @@ func (p *Pipeline) Templates() *template.Store { return p.templates }
 
 // Reason runs the chase over the program's facts plus the given extra
 // extensional facts, returning the saturated result with full provenance.
+//
+// With Config.ResultCacheSize > 0 identical requests (same program, same
+// options, same extra facts in the same order) are served from a bounded
+// cache, and concurrent identical misses share a single chase run. Cached
+// results are shared pointers; a chase Result is immutable after Run, so
+// sharing is safe, and the cached bytes are exactly the uncached bytes
+// (the chase result of a request is deterministic).
 func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 	opts := p.cfg.Chase
 	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
-	return chase.Run(p.prog, opts)
+	if p.results == nil {
+		return chase.Run(p.prog, opts)
+	}
+	key := reasonFingerprint(p.prog, opts)
+	if res, ok := p.results.Get(key); ok {
+		return res, nil
+	}
+	res, err, shared := p.flight.do(key, func() (*chase.Result, error) {
+		// Double-check under the flight lock-out: a previous leader may
+		// have populated the cache between our miss and becoming leader.
+		if res, ok := p.results.Get(key); ok {
+			return res, nil
+		}
+		res, err := chase.Run(p.prog, opts)
+		if err == nil {
+			p.results.Put(key, res)
+		}
+		return res, err
+	})
+	if shared {
+		p.sharedRuns.Add(1)
+	}
+	return res, err
 }
 
 // Explanation is the answer to one explanation query.
@@ -186,7 +250,31 @@ func (p *Pipeline) ExplainQuery(res *chase.Result, query string) (*Explanation, 
 }
 
 // ExplainFact explains a fact by id.
+//
+// With Config.ExplanationCacheSize > 0 the finished Explanation is
+// memoized per (result, fact): repeated queries — and every warm
+// ExplainAll — return the already-built Explanation. Explanation building
+// is deterministic, so the memoized object carries exactly the bytes an
+// uncached rebuild would produce; callers must treat shared Explanations
+// as immutable.
 func (p *Pipeline) ExplainFact(res *chase.Result, id database.FactID) (*Explanation, error) {
+	if p.expl == nil {
+		return p.explainFact(res, id)
+	}
+	key := explKey{res: res, id: id}
+	if e, ok := p.expl.Get(key); ok {
+		return e, nil
+	}
+	e, err := p.explainFact(res, id)
+	if err != nil {
+		return nil, err
+	}
+	p.expl.Put(key, e)
+	return e, nil
+}
+
+// explainFact builds one explanation from scratch.
+func (p *Pipeline) explainFact(res *chase.Result, id database.FactID) (*Explanation, error) {
 	proof, err := res.ExtractProof(id)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,40 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestServingLatency smoke-tests the serving figure: every bundled app and
+// the scaled synthetic workload are measured, latencies are positive, and
+// the warm path is not slower than cold (the real ≥5x acceptance bar is
+// asserted on the committed BENCH_serving.json numbers, not here, to keep
+// the test robust on loaded machines).
+func TestServingLatency(t *testing.T) {
+	out, points, err := ServingLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 6 {
+		t.Fatalf("workloads = %d, want 6", len(points))
+	}
+	seen := map[string]bool{}
+	for _, pt := range points {
+		seen[pt.Workload] = true
+		if pt.Answers < 1 || pt.Facts < 1 {
+			t.Errorf("%s: answers=%d facts=%d", pt.Workload, pt.Answers, pt.Facts)
+		}
+		if pt.ColdSeconds <= 0 || pt.WarmSeconds <= 0 {
+			t.Errorf("%s: non-positive latency %+v", pt.Workload, pt)
+		}
+		if pt.Speedup < 1 {
+			t.Errorf("%s: warm slower than cold: %+v", pt.Workload, pt)
+		}
+	}
+	if !seen["control-chain-60"] || !seen["company-control"] {
+		t.Errorf("workloads = %v", seen)
+	}
+	if !strings.Contains(out, "control-chain-60") || !strings.Contains(out, "speedup") {
+		t.Errorf("rendering incomplete:\n%s", out)
+	}
+}

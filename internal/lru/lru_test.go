@@ -1,0 +1,103 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPutGetEviction(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" evicts it.
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("a lost: %d, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Cap != 2 || st.Len != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 9)
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	if v, _ := c.Get("a"); v != 9 {
+		t.Errorf("a = %d", v)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("evictions = %d", st.Evictions)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	if !c.Remove("a") || c.Remove("a") {
+		t.Error("Remove accounting wrong")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Error("a survived Remove")
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Errorf("Remove counted as eviction: %+v", st)
+	}
+}
+
+func TestMinimumCapacity(t *testing.T) {
+	c := New[int, int](0)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if c.Len() != 1 || c.Cap() != 1 {
+		t.Errorf("Len = %d, Cap = %d", c.Len(), c.Cap())
+	}
+}
+
+func TestHitMissCounting(t *testing.T) {
+	c := New[int, int](4)
+	c.Put(1, 1)
+	c.Get(1)
+	c.Get(2)
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestConcurrent hammers one cache from many goroutines; correctness here
+// is "no race, no panic, capacity respected" (run under -race).
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%16)
+				if _, ok := c.Get(k); !ok {
+					c.Put(k, i)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 8 {
+		t.Errorf("Len = %d exceeds capacity", c.Len())
+	}
+}

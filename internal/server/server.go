@@ -12,9 +12,23 @@
 //	POST /reason                      {"app": ..., "facts": "...", "scenario": bool} -> {"session": id, answers}
 //	GET  /explain?session=S&query=Q   explanation of one derived fact
 //	GET  /paths?app=A                 the reasoning paths of an application
+//	GET  /stats                       cache occupancy and hit/miss/eviction counters
 //
 // Everything stays inside the process: no data leaves, matching the paper's
 // confidentiality requirement.
+//
+// # Serving caches
+//
+// The server is a bounded memoization layer over the pipeline: sessions
+// live in an LRU (capacity Options.MaxSessions) so state cannot grow
+// without bound under heavy traffic, rendered explanation responses are
+// memoized per (session, query) in a second LRU (Options.MaxExplanations),
+// and every pipeline runs with the core result cache and explanation memo
+// enabled, so identical /reason payloads share one chase run and repeated
+// /explain queries skip proof extraction, mapping and verbalization.
+// Cached responses are byte-identical to uncached ones — every cached
+// object is deterministic and immutable — and all caches expose their
+// counters on /stats.
 package server
 
 import (
@@ -27,15 +41,25 @@ import (
 	"repro/internal/apps"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/lru"
 	"repro/internal/parser"
 )
 
 // Server is the HTTP handler set. Create with New.
 type Server struct {
-	mu       sync.Mutex
-	pipes    map[string]*core.Pipeline
-	sessions map[string]*session
-	nextID   int
+	// pipes is immutable after construction.
+	pipes map[string]*core.Pipeline
+	// sessions is the bounded session store: least recently used sessions
+	// are evicted at capacity (their immutable chase results are shared
+	// with the pipeline result cache, so eviction only drops the handle).
+	sessions *lru.Cache[string, *session]
+	// explanations memoizes rendered /explain responses per
+	// (session, query). Responses are immutable once cached.
+	explanations *lru.Cache[string, *explainResponse]
+
+	// mu guards nextID.
+	mu     sync.Mutex
+	nextID int
 }
 
 type session struct {
@@ -43,12 +67,32 @@ type session struct {
 	result *chase.Result
 }
 
+// Default serving-layer capacities; see Options.
+const (
+	DefaultMaxSessions     = 256
+	DefaultMaxExplanations = 2048
+	DefaultResultCacheSize = 64
+)
+
 // Options configure server construction.
 type Options struct {
 	// ChaseWorkers is the chase worker-pool size used by every /reason
 	// request (chase.Options.Workers): 0 = sequential, negative = all
 	// cores. Responses are identical at any setting.
 	ChaseWorkers int
+	// MaxSessions bounds the session store; at capacity the least
+	// recently used session is evicted and later /explain calls against
+	// it answer 404. 0 selects DefaultMaxSessions; negative values are
+	// clamped to 1.
+	MaxSessions int
+	// MaxExplanations bounds the rendered-explanation cache. 0 selects
+	// DefaultMaxExplanations; negative values are clamped to 1.
+	MaxExplanations int
+	// ResultCacheSize is handed to every pipeline as
+	// core.Config.ResultCacheSize: identical /reason payloads for one app
+	// share a cached chase run (with singleflight deduplication). 0
+	// selects DefaultResultCacheSize; negative values are clamped to 1.
+	ResultCacheSize int
 }
 
 // New compiles every bundled application into a server with default
@@ -57,12 +101,26 @@ func New() (*Server, error) { return NewWithOptions(Options{}) }
 
 // NewWithOptions compiles every bundled application into a server.
 func NewWithOptions(opts Options) (*Server, error) {
+	if opts.MaxSessions == 0 {
+		opts.MaxSessions = DefaultMaxSessions
+	}
+	if opts.MaxExplanations == 0 {
+		opts.MaxExplanations = DefaultMaxExplanations
+	}
+	if opts.ResultCacheSize == 0 {
+		opts.ResultCacheSize = DefaultResultCacheSize
+	}
 	s := &Server{
-		pipes:    map[string]*core.Pipeline{},
-		sessions: map[string]*session{},
+		pipes:        map[string]*core.Pipeline{},
+		sessions:     lru.New[string, *session](opts.MaxSessions),
+		explanations: lru.New[string, *explainResponse](opts.MaxExplanations),
 	}
 	for _, a := range apps.All() {
-		p, err := a.Pipeline(core.Config{Chase: chase.Options{Workers: opts.ChaseWorkers}})
+		p, err := a.Pipeline(core.Config{
+			Chase:                chase.Options{Workers: opts.ChaseWorkers},
+			ResultCacheSize:      opts.ResultCacheSize,
+			ExplanationCacheSize: opts.MaxExplanations,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("server: compiling %s: %w", a.Name, err)
 		}
@@ -78,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /reason", s.handleReason)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /paths", s.handlePaths)
+	mux.HandleFunc("GET /stats", s.handleStats)
 	return mux
 }
 
@@ -148,8 +207,8 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
-	s.sessions[id] = &session{app: req.App, result: res}
 	s.mu.Unlock()
+	s.sessions.Put(id, &session{app: req.App, result: res})
 
 	resp := reasonResponse{Session: id, Rounds: res.Rounds, Facts: res.Store.Len()}
 	for _, fid := range res.Answers() {
@@ -178,7 +237,8 @@ type proofStep struct {
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	sess := s.session(r.URL.Query().Get("session"))
+	sessionID := r.URL.Query().Get("session")
+	sess := s.session(sessionID)
 	if sess == nil {
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
 		return
@@ -188,13 +248,22 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
 		return
 	}
+	// Session ids are never reused, so a cached rendering keyed by
+	// (session, query) can only ever repeat a response this exact session
+	// already produced; the live-session check above keeps evicted
+	// sessions from answering. Errors are never cached.
+	cacheKey := sessionID + "\x00" + query
+	if resp, ok := s.explanations.Get(cacheKey); ok {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	pipe := s.pipe(sess.app)
 	e, err := pipe.ExplainQuery(sess.result, query)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	resp := explainResponse{
+	resp := &explainResponse{
 		Fact:           e.Fact.String(),
 		Text:           e.Text,
 		Deterministic:  e.Deterministic,
@@ -208,6 +277,31 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			step.Premises = append(step.Premises, sess.result.Store.Get(p).String())
 		}
 		resp.ProofSteps = append(resp.ProofSteps, step)
+	}
+	s.explanations.Put(cacheKey, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the /stats payload: serving-layer cache accounting plus
+// per-application pipeline cache stats.
+type statsResponse struct {
+	// Sessions accounts the bounded session store.
+	Sessions lru.Stats `json:"sessions"`
+	// Explanations accounts the rendered-explanation cache.
+	Explanations lru.Stats `json:"explanations"`
+	// Apps maps application name to its pipeline cache stats (reasoning
+	// results, explanation memo, deduplicated runs).
+	Apps map[string]core.CacheStats `json:"apps"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{
+		Sessions:     s.sessions.Stats(),
+		Explanations: s.explanations.Stats(),
+		Apps:         map[string]core.CacheStats{},
+	}
+	for name, pipe := range s.pipes {
+		resp.Apps[name] = pipe.CacheStats()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -239,16 +333,15 @@ func (s *Server) handlePaths(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// pipe returns the compiled pipeline for an app; pipes is immutable after
+// construction so no locking is needed.
 func (s *Server) pipe(name string) *core.Pipeline {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.pipes[name]
 }
 
 func (s *Server) session(id string) *session {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
+	sess, _ := s.sessions.Get(id)
+	return sess
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -1,22 +1,45 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
+	return newTestServerOpts(t, Options{})
+}
+
+func newTestServerOpts(t *testing.T, opts Options) *httptest.Server {
 	t.Helper()
-	s, err := New()
+	s, err := NewWithOptions(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return ts
+}
+
+// getBody fetches a URL and returns the raw response bytes and status.
+func getBody(t testing.TB, url string) ([]byte, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body, resp.StatusCode
 }
 
 func getJSON(t *testing.T, url string, out any) *http.Response {
@@ -164,6 +187,164 @@ func TestErrorPaths(t *testing.T) {
 	}
 	if resp := getJSON(t, ts.URL+"/explain?session="+rr.Session+`&query=Default(%22Z%22)`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
 		t.Errorf("missing fact status = %d", resp.StatusCode)
+	}
+}
+
+// TestSessionCapacityEnforced is the regression test for the formerly
+// unbounded session map: at capacity the least recently used session is
+// evicted and stops answering.
+func TestSessionCapacityEnforced(t *testing.T) {
+	ts := newTestServerOpts(t, Options{MaxSessions: 3})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		var rr reasonResponse
+		resp := postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &rr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reason %d status = %d", i, resp.StatusCode)
+		}
+		ids = append(ids, rr.Session)
+	}
+	for i, id := range ids {
+		_, code := getBody(t, ts.URL+"/explain?session="+id+`&query=Default(%22C%22)`)
+		wantCode := http.StatusOK
+		if i < 2 { // the two oldest sessions were evicted
+			wantCode = http.StatusNotFound
+		}
+		if code != wantCode {
+			t.Errorf("session %d (%s): status = %d, want %d", i, id, code, wantCode)
+		}
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Sessions.Len != 3 || st.Sessions.Cap != 3 || st.Sessions.Evictions != 2 {
+		t.Errorf("session stats = %+v", st.Sessions)
+	}
+}
+
+// TestExplainCacheByteIdentical: repeating one explanation query serves the
+// memoized rendering, and the cached response is byte-for-byte the uncached
+// one.
+func TestExplainCacheByteIdentical(t *testing.T) {
+	ts := newTestServer(t)
+	var rr reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &rr)
+	url := ts.URL + "/explain?session=" + rr.Session + `&query=Default(%22C%22)`
+	cold, code := getBody(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("cold status = %d", code)
+	}
+	warm, code := getBody(t, url)
+	if code != http.StatusOK {
+		t.Fatalf("warm status = %d", code)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("cached response differs:\ncold: %s\nwarm: %s", cold, warm)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Explanations.Hits == 0 || st.Explanations.Len == 0 {
+		t.Errorf("explanation cache stats = %+v", st.Explanations)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var rr reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"company-control","scenario":true}`, &rr)
+	postJSON(t, ts.URL+"/reason", `{"app":"company-control","scenario":true}`, &rr)
+	var st statsResponse
+	resp := getJSON(t, ts.URL+"/stats", &st)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if st.Sessions.Cap != DefaultMaxSessions || st.Sessions.Len != 2 {
+		t.Errorf("sessions = %+v", st.Sessions)
+	}
+	if len(st.Apps) != 5 {
+		t.Fatalf("apps tracked = %d", len(st.Apps))
+	}
+	cc := st.Apps["company-control"]
+	if cc.Results.Cap != DefaultResultCacheSize {
+		t.Errorf("result cache cap = %d", cc.Results.Cap)
+	}
+	// The second identical /reason was served from the result cache.
+	if cc.Results.Hits == 0 {
+		t.Errorf("result cache stats = %+v", cc.Results)
+	}
+}
+
+// TestConcurrentServing hammers one server with parallel /reason and
+// /explain requests (run under -race): identical payloads must produce
+// responses byte-identical to a fresh, cache-cold server's, whether they
+// were served from a cache or computed.
+func TestConcurrentServing(t *testing.T) {
+	// Reference bytes from a cache-cold server: the first rendering of
+	// the explanation, and the answer set of the reasoning request.
+	ref := newTestServer(t)
+	var refReason reasonResponse
+	postJSON(t, ref.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &refReason)
+	refBody, code := getBody(t, ref.URL+"/explain?session="+refReason.Session+`&query=Default(%22C%22)`)
+	if code != http.StatusOK {
+		t.Fatalf("reference explain status = %d", code)
+	}
+
+	ts := newTestServer(t)
+	var shared reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, &shared)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				// A fresh session per iteration: the explanation cache
+				// misses, the result cache hits after the first run.
+				resp, err := http.Post(ts.URL+"/reason", "application/json",
+					strings.NewReader(`{"app":"stress-simple","scenario":true}`))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				var rr reasonResponse
+				if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+					resp.Body.Close()
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				if fmt.Sprint(rr.Answers) != fmt.Sprint(refReason.Answers) {
+					errs <- fmt.Sprintf("answers %v != %v", rr.Answers, refReason.Answers)
+					return
+				}
+				for _, sess := range []string{rr.Session, shared.Session} {
+					body, code := getBody(t, ts.URL+"/explain?session="+sess+`&query=Default(%22C%22)`)
+					if code != http.StatusOK {
+						errs <- fmt.Sprintf("explain status %d", code)
+						return
+					}
+					if !bytes.Equal(body, refBody) {
+						errs <- fmt.Sprintf("explain body differs from cold reference:\n%s\nvs\n%s", body, refBody)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	ss := st.Apps["stress-simple"]
+	if ss.Results.Hits == 0 {
+		t.Errorf("no shared reasoning runs under load: %+v", ss)
+	}
+	if st.Explanations.Hits == 0 {
+		t.Errorf("no explanation cache hits under load: %+v", st.Explanations)
 	}
 }
 
