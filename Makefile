@@ -12,10 +12,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrent packages: the chase engine's parallel join, the
-# fact store it reads, and the serving layer (shared LRUs, singleflight,
-# proof-closure memo). Run this after touching concurrency in any of them.
+# fact store it reads, the incremental maintainer, and the serving layer
+# (shared LRUs, singleflight, proof-closure memo, session mutations). Run
+# this after touching concurrency in any of them.
 race:
-	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/core/... ./internal/server/... ./internal/lru/...
+	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/...
 
 # Micro-benchmarks (one per paper table/figure plus pipeline stages);
 # BENCH narrows the pattern, e.g. `make bench BENCH=BenchmarkChase`.

@@ -8,6 +8,7 @@
 //	bench -fig fig16 -experts 14
 //	bench -fig all -json compiled && bench -fig all -legacy -json legacy
 //	bench -fig serving    # cold vs warm explain-all; writes BENCH_serving.json
+//	bench -fig incremental # single-fact update vs full re-chase; writes BENCH_incremental.json
 package main
 
 import (
@@ -47,9 +48,18 @@ type servingSnapshot struct {
 	Workloads []figures.ServingPoint `json:"workloads"`
 }
 
+// incrementalSnapshot is the machine-readable update-vs-re-chase record
+// written to BENCH_incremental.json by `bench -fig incremental`.
+type incrementalSnapshot struct {
+	Generated string                     `json:"generated"`
+	Go        string                     `json:"go"`
+	Workers   int                        `json:"workers"`
+	Workloads []figures.IncrementalPoint `json:"workloads"`
+}
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving) or 'all'")
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental) or 'all'")
 		seed         = flag.Int64("seed", 42, "experiment seed")
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
@@ -116,6 +126,27 @@ func main() {
 				return "", fmt.Errorf("write BENCH_serving.json: %w", err)
 			}
 			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_serving.json")
+			return out, nil
+		},
+		"incremental": func() (string, error) {
+			out, points, err := figures.IncrementalLatency()
+			if err != nil {
+				return "", err
+			}
+			snap := incrementalSnapshot{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Go:        runtime.Version(),
+				Workers:   *workers,
+				Workloads: points,
+			}
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("marshal incremental snapshot: %w", err)
+			}
+			if err := os.WriteFile("BENCH_incremental.json", append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("write BENCH_incremental.json: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_incremental.json")
 			return out, nil
 		},
 	}

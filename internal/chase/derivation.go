@@ -177,7 +177,7 @@ func (r *Result) Superseded(id database.FactID) bool { return r.superseded[id] }
 func (r *Result) Derived(pred string) []database.FactID {
 	var out []database.FactID
 	for _, f := range r.Store.Facts() {
-		if f.Extensional || r.superseded[f.ID] {
+		if f.Extensional || r.superseded[f.ID] || r.Store.Retracted(f.ID) {
 			continue
 		}
 		if pred != "" && f.Atom.Predicate != pred {

@@ -3,14 +3,12 @@ package chase
 import (
 	"encoding/binary"
 	"fmt"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/ast"
 	"repro/internal/database"
-	"repro/internal/depgraph"
 	"repro/internal/term"
 )
 
@@ -54,119 +52,15 @@ const (
 )
 
 // Run executes the chase for the program until fixpoint and returns the
-// result with full provenance.
+// result with full provenance. It is RunLive followed by a Snapshot; callers
+// that need to maintain the fixpoint under later base-fact updates keep the
+// Live handle instead (see live.go and internal/incremental).
 func Run(p *ast.Program, opts Options) (*Result, error) {
-	if err := p.Validate(); err != nil {
-		return nil, fmt.Errorf("chase: invalid program: %w", err)
-	}
-	maxRounds := opts.MaxRounds
-	if maxRounds <= 0 {
-		maxRounds = defaultMaxRounds
-	}
-	maxFacts := opts.MaxFacts
-	if maxFacts <= 0 {
-		maxFacts = defaultMaxFacts
-	}
-	workers := opts.Workers
-	if workers < 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	e := &engine{
-		prog:       p,
-		store:      database.NewStore(),
-		derivs:     map[database.FactID][]*Derivation{},
-		superseded: map[database.FactID]bool{},
-		aggState:   map[string]aggEmission{},
-		lastSeen:   map[*ast.Rule]int{},
-		aggGroups:  map[*ast.Rule]map[string]*aggGroup{},
-		aggOrder:   map[*ast.Rule][]string{},
-		lastSuper:  map[*ast.Rule]int{},
-		plans:      map[*ast.Rule]*plan{},
-		maxFacts:   maxFacts,
-		naive:      opts.Naive,
-		legacy:     opts.Legacy,
-		workers:    workers,
-	}
-	for _, f := range p.Facts {
-		if _, _, err := e.store.Add(f, true); err != nil {
-			return nil, err
-		}
-	}
-	for _, f := range opts.ExtraFacts {
-		if !f.IsGround() {
-			return nil, fmt.Errorf("chase: extra fact %v is not ground", f)
-		}
-		if _, _, err := e.store.Add(f, true); err != nil {
-			return nil, err
-		}
-	}
-
-	// Compile every rule into its slot-based join plans up front (the
-	// legacy engine interprets rules directly and needs none). Constants
-	// are interned into the store's dictionary here, before any join runs.
-	if !e.legacy {
-		for _, r := range p.Rules {
-			if _, err := e.planFor(r); err != nil {
-				return nil, fmt.Errorf("chase: rule %s: %w", r.Label, err)
-			}
-		}
-	}
-
-	// Stratify: rules are evaluated stratum by stratum so that negated
-	// predicates are fully saturated before any rule reads them.
-	strata, err := depgraph.New(p).Stratify()
+	l, err := RunLive(p, opts)
 	if err != nil {
-		return nil, fmt.Errorf("chase: %w", err)
-	}
-	maxStratum := 0
-	for _, s := range strata {
-		if s > maxStratum {
-			maxStratum = s
-		}
-	}
-
-	rounds := 0
-	for stratum := 0; stratum <= maxStratum; stratum++ {
-		var rules []*ast.Rule
-		for _, r := range p.Rules {
-			if strata[r.Head.Predicate] == stratum {
-				rules = append(rules, r)
-			}
-		}
-		if len(rules) == 0 {
-			continue
-		}
-		for {
-			rounds++
-			if rounds > maxRounds {
-				return nil, fmt.Errorf("chase: no fixpoint after %d rounds (non-terminating program?)", maxRounds)
-			}
-			changed, err := e.round(rules)
-			if err != nil {
-				return nil, err
-			}
-			if !changed {
-				break
-			}
-		}
-	}
-	if rounds == 0 {
-		rounds = 1 // a program without rules still "converges" in one pass
-	}
-
-	if err := e.checkConstraints(); err != nil {
 		return nil, err
 	}
-
-	return &Result{
-		Program:    p,
-		Store:      e.store,
-		Steps:      e.steps,
-		derivs:     e.derivs,
-		superseded: e.superseded,
-		Rounds:     rounds,
-	}, nil
+	return l.Snapshot(), nil
 }
 
 // MustRun is Run for statically-valid programs; it panics on error.
@@ -201,6 +95,11 @@ type engine struct {
 	// the count moved since its previous evaluation.
 	supersessions int
 	lastSuper     map[*ast.Rule]int
+	// dirtyGroups marks aggregation groups that lost a contributor or an
+	// emission to a retraction (incremental maintenance, live.go); the
+	// rule's next evaluation recomputes exactly those groups even when no
+	// new contributor arrived. Nil outside incremental updates.
+	dirtyGroups map[*ast.Rule]map[string]bool
 	// plans caches the compiled slot-plan of each rule (and of constraint
 	// pseudo-rules); unused in legacy mode.
 	plans    map[*ast.Rule]*plan
@@ -600,9 +499,11 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 	full := e.naive || !seen || prev == 0
 	superMoved := e.lastSuper[r] != e.supersessions
 	e.lastSuper[r] = e.supersessions
-	if !full && e.store.Len() == prev && !superMoved {
+	dirty := e.dirtyGroups[r]
+	if !full && e.store.Len() == prev && !superMoved && len(dirty) == 0 {
 		return false, nil
 	}
+	delete(e.dirtyGroups, r)
 
 	var bindings []binding
 	var err error
@@ -625,6 +526,9 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 		e.aggGroups[r] = groups
 	}
 	touched := map[string]bool{}
+	for key := range dirty {
+		touched[key] = true
+	}
 	for _, b := range bindings {
 		key := e.groupKeyOf(r, groupVars, b)
 		gr, ok := groups[key]
@@ -702,13 +606,16 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 }
 
 // liveContributions filters out contributors whose premises have been
-// superseded by a more complete aggregate emission.
+// superseded by a more complete aggregate emission or tombstoned by an
+// incremental retraction (the latter is belt-and-braces: purgeRetracted
+// removes dead contributors physically; the check here is a cheap len test
+// in the append-only common case).
 func (e *engine) liveContributions(contrib []Contribution) []Contribution {
 	live := contrib
 	for i, c := range contrib {
 		stale := false
 		for _, id := range c.Premises {
-			if e.superseded[id] {
+			if e.superseded[id] || e.store.Retracted(id) {
 				stale = true
 				break
 			}
@@ -1000,7 +907,21 @@ func (e *engine) emitAgg(r *ast.Rule, groupKey string, head ast.Atom, premises [
 	if !added && existing != nil && !existing.Extensional {
 		// The identical total was already derived (possibly by another
 		// rule); record the group state so we do not loop.
+		if prev, ok := e.aggState[stateKey]; ok && prev.fact != existing.ID {
+			e.superseded[prev.fact] = true
+			e.supersessions++
+		}
 		e.aggState[stateKey] = aggEmission{fact: existing.ID, value: total}
+		if e.superseded[existing.ID] {
+			// Only incremental updates reach this: the group's total moved
+			// away and came back, so its old emission — superseded by a value
+			// the group no longer holds — becomes current again. Its recorded
+			// premises are live (a dead premise would have tombstoned it), so
+			// the original derivation stands.
+			delete(e.superseded, existing.ID)
+			e.supersessions++
+			return true, nil
+		}
 		return false, nil
 	}
 	if !added {

@@ -189,6 +189,9 @@ func (r *Result) Graph() string {
 	}
 	sb.Grow(size)
 	for _, d := range r.Steps {
+		if r.Store.Retracted(d.Fact) {
+			continue // over-deleted by an incremental update
+		}
 		for i, id := range d.Premises {
 			if i > 0 {
 				sb.WriteString(" + ")
@@ -215,6 +218,9 @@ func (r *Result) DOT() string {
 	sb.Grow(size)
 	sb.WriteString("digraph chase {\n  rankdir=TB;\n")
 	for _, f := range r.Store.Facts() {
+		if r.Store.Retracted(f.ID) {
+			continue // over-deleted by an incremental update
+		}
 		shape := "ellipse"
 		if f.Extensional {
 			shape = "box"
@@ -226,6 +232,9 @@ func (r *Result) DOT() string {
 		fmt.Fprintf(&sb, "  f%d [label=%q, shape=%s%s];\n", f.ID, strs[f.ID], shape, style)
 	}
 	for _, d := range r.Steps {
+		if r.Store.Retracted(d.Fact) {
+			continue
+		}
 		for _, prem := range d.Premises {
 			fmt.Fprintf(&sb, "  f%d -> f%d [label=%q];\n", prem, d.Fact, d.Rule.Label)
 		}

@@ -9,20 +9,25 @@ import (
 	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/database"
+	"repro/internal/incremental"
 )
 
 // reasonFingerprint canonically fingerprints one reasoning request: the
 // program text plus the effective chase options that can change the
-// outcome. Extra facts are hashed in order — fact order determines fact
-// ids and hence proofs, so two requests are "the same run" only when their
-// fact lists match positionally. Workers, Legacy and Naive are deliberately
-// excluded: results are proven byte-identical across those settings (the
-// differential suites in chase enforce it), so runs may be shared across
-// them; MaxRounds and MaxFacts are included because they decide whether a
-// run errors at all.
-func reasonFingerprint(prog *ast.Program, opts chase.Options) string {
+// outcome, plus the maintained instance's epoch (0 until the pipeline's
+// first Update). Extra facts are hashed in order — fact order determines
+// fact ids and hence proofs, so two requests are "the same run" only when
+// their fact lists match positionally. Workers, Legacy and Naive are
+// deliberately excluded: results are proven byte-identical across those
+// settings (the differential suites in chase enforce it), so runs may be
+// shared across them; MaxRounds and MaxFacts are included because they
+// decide whether a run errors at all. The epoch is included because an
+// update changes the effective base without changing the program text:
+// without it, a result cached before the update would keep answering
+// requests made after it.
+func reasonFingerprint(prog *ast.Program, opts chase.Options, epoch uint64) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d\x00%d\x00", opts.MaxRounds, opts.MaxFacts)
+	fmt.Fprintf(h, "%d\x00%d\x00%d\x00", opts.MaxRounds, opts.MaxFacts, epoch)
 	h.Write([]byte(prog.String()))
 	h.Write([]byte{0})
 	for _, f := range opts.ExtraFacts {
@@ -109,6 +114,12 @@ type CacheStats struct {
 	// SharedRuns counts Reason calls that joined another caller's
 	// in-flight chase run instead of starting their own.
 	SharedRuns uint64 `json:"sharedRuns"`
+	// Epoch is the maintained instance's mutation epoch (0 before the
+	// pipeline's first Update); it versions every result-cache key.
+	Epoch uint64 `json:"epoch"`
+	// Incremental holds the maintained instance's cumulative update
+	// counters; all zero before the first Update.
+	Incremental incremental.Counters `json:"incremental"`
 }
 
 // Stats mirrors lru.Stats without exporting the lru package in core's API.
@@ -132,5 +143,7 @@ func (p *Pipeline) CacheStats() CacheStats {
 		cs.Explanations = Stats{Hits: s.Hits, Misses: s.Misses, Evictions: s.Evictions, Len: s.Len, Cap: s.Cap}
 	}
 	cs.SharedRuns = p.sharedRuns.Load()
+	cs.Epoch = p.Epoch()
+	cs.Incremental = p.IncrementalStats()
 	return cs
 }

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ast"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/depgraph"
 	"repro/internal/enhancer"
 	"repro/internal/glossary"
+	"repro/internal/incremental"
 	"repro/internal/lru"
 	"repro/internal/mapping"
 	"repro/internal/parser"
@@ -79,6 +81,13 @@ type Pipeline struct {
 	// expl memoizes finished explanations per (result, fact); nil when
 	// Config.ExplanationCacheSize is 0.
 	expl *lru.Cache[explKey, *Explanation]
+
+	// mntMu guards mnt, the incrementally maintained instance. It stays nil
+	// until the first Update; from then on Reason serves the maintained
+	// fixpoint and stamps its epoch into the result-cache fingerprint, so a
+	// result cached before an update can never answer a request after it.
+	mntMu sync.Mutex
+	mnt   *incremental.Maintainer
 }
 
 // NewPipeline compiles a program and its glossary into a pipeline: it
@@ -170,10 +179,11 @@ func (p *Pipeline) Templates() *template.Store { return p.templates }
 func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 	opts := p.cfg.Chase
 	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
+	run, epoch := p.reasonRun(opts)
 	if p.results == nil {
-		return chase.Run(p.prog, opts)
+		return run()
 	}
-	key := reasonFingerprint(p.prog, opts)
+	key := reasonFingerprint(p.prog, opts, epoch)
 	if res, ok := p.results.Get(key); ok {
 		return res, nil
 	}
@@ -183,7 +193,7 @@ func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 		if res, ok := p.results.Get(key); ok {
 			return res, nil
 		}
-		res, err := chase.Run(p.prog, opts)
+		res, err := run()
 		if err == nil {
 			p.results.Put(key, res)
 		}
@@ -193,6 +203,86 @@ func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 		p.sharedRuns.Add(1)
 	}
 	return res, err
+}
+
+// reasonRun picks how a Reason request is computed. Before the first Update
+// it is a plain chase over the compiled program (epoch 0, the pre-update
+// fingerprint). After an Update the maintained instance is authoritative: a
+// request with no extra facts snapshots it directly, and a request with
+// extra facts re-chases over the maintained base plus the extras. Either
+// way the maintainer's epoch joins the cache fingerprint.
+func (p *Pipeline) reasonRun(opts chase.Options) (func() (*chase.Result, error), uint64) {
+	p.mntMu.Lock()
+	defer p.mntMu.Unlock()
+	if p.mnt == nil {
+		prog := p.prog
+		return func() (*chase.Result, error) { return chase.Run(prog, opts) }, 0
+	}
+	m := p.mnt
+	if len(opts.ExtraFacts) == 0 {
+		return m.Result, m.Epoch()
+	}
+	base := m.BaseFacts()
+	prog := *p.prog
+	prog.Facts = base
+	return func() (*chase.Result, error) { return chase.Run(&prog, opts) }, m.Epoch()
+}
+
+// Update applies base-fact additions and retractions to the pipeline's
+// maintained instance and repairs its fixpoint incrementally (see the
+// incremental package for the exact semantics of adds, retracts and
+// promotions). The first call stands up the maintainer with one full chase
+// over the compiled program; every later call pays only for the delta.
+//
+// After an Update, Reason serves the maintained instance: its epoch is part
+// of the result-cache fingerprint, so results cached before the update
+// become unreachable rather than stale. The returned Result is an immutable
+// snapshot of the repaired fixpoint.
+func (p *Pipeline) Update(add, retract []ast.Atom) (*chase.Result, incremental.UpdateStats, error) {
+	p.mntMu.Lock()
+	defer p.mntMu.Unlock()
+	if p.mnt == nil {
+		m, err := incremental.New(p.prog, p.cfg.Chase)
+		if err != nil {
+			return nil, incremental.UpdateStats{}, fmt.Errorf("core: building maintainer: %w", err)
+		}
+		p.mnt = m
+	}
+	return p.mnt.Update(add, retract)
+}
+
+// Maintain builds an independent maintainer over the program plus the given
+// extra extensional facts — the mutable counterpart of Reason(extra...) for
+// callers (like the serving layer) that keep several live instances of one
+// compiled application. The pipeline's own maintained instance (Update) is
+// not affected.
+func (p *Pipeline) Maintain(extra ...ast.Atom) (*incremental.Maintainer, error) {
+	opts := p.cfg.Chase
+	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
+	return incremental.New(p.prog, opts)
+}
+
+// Epoch returns the maintained instance's mutation epoch: 0 before the
+// first Update, and strictly increasing across updates that changed the
+// instance. It is the version Reason stamps into cache fingerprints.
+func (p *Pipeline) Epoch() uint64 {
+	p.mntMu.Lock()
+	defer p.mntMu.Unlock()
+	if p.mnt == nil {
+		return 0
+	}
+	return p.mnt.Epoch()
+}
+
+// IncrementalStats returns the maintained instance's cumulative update
+// counters; all zero before the first Update.
+func (p *Pipeline) IncrementalStats() incremental.Counters {
+	p.mntMu.Lock()
+	defer p.mntMu.Unlock()
+	if p.mnt == nil {
+		return incremental.Counters{}
+	}
+	return p.mnt.Stats()
 }
 
 // Explanation is the answer to one explanation query.

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/term"
+)
+
+func ownAtom(x, y string, s float64) ast.Atom {
+	return ast.NewAtom("Own", term.Str(x), term.Str(y), term.Float(s))
+}
+
+// TestUpdateInvalidatesCachedReason is the staleness regression for the
+// result cache: a Reason result cached before an Update must never answer a
+// request made after it. The epoch in the fingerprint is what prevents it —
+// the program text, options and extra-fact list are all unchanged here.
+func TestUpdateInvalidatesCachedReason(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	r1, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(r1.Answers()); n != 0 {
+		t.Fatalf("empty instance has %d answers", n)
+	}
+	if _, _, err := p.Update([]ast.Atom{ownAtom("a", "b", 0.6)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 == r1 {
+		t.Fatal("Reason served the pre-update cached result")
+	}
+	if n := len(r2.Answers()); n != 1 {
+		t.Fatalf("updated instance has %d answers, want 1:\n%s", n, r2.Store.Dump())
+	}
+	// Identical post-update requests still share the cache.
+	r3, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 != r2 {
+		t.Error("post-update requests did not share the cached snapshot")
+	}
+	// A retraction moves the epoch again.
+	if _, _, err := p.Update(nil, []ast.Atom{ownAtom("a", "b", 0.6)}); err != nil {
+		t.Fatal(err)
+	}
+	r4, err := p.Reason()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r4.Answers()) != 0 {
+		t.Error("Reason did not observe the retraction")
+	}
+}
+
+// TestReasonExtraFactsOverMaintainedBase checks that extra-fact requests
+// made after an Update chase over the maintained base, not the compiled
+// program's original facts.
+func TestReasonExtraFactsOverMaintainedBase(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	if _, _, err := p.Update([]ast.Atom{ownAtom("a", "b", 0.6)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Reason(ownAtom("b", "c", 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a->b from the update plus b->c from the request compose to a->c.
+	want := ast.NewAtom("Control", term.Str("a"), term.Str("c"))
+	if _, err := res.LookupDerived(want); err != nil {
+		t.Errorf("Control(a, c) not derived over maintained base + extras: %v\n%s", err, res.Store.Dump())
+	}
+}
+
+func TestEpochAndIncrementalStats(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true})
+	if e := p.Epoch(); e != 0 {
+		t.Errorf("epoch %d before first update, want 0", e)
+	}
+	if c := p.IncrementalStats(); c.Updates != 0 {
+		t.Errorf("counters %+v before first update", c)
+	}
+	if _, _, err := p.Update([]ast.Atom{ownAtom("a", "b", 0.6)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	e1 := p.Epoch()
+	if e1 == 0 {
+		t.Error("epoch still 0 after an update")
+	}
+	if _, _, err := p.Update([]ast.Atom{ownAtom("b", "c", 0.7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() <= e1 {
+		t.Error("epoch did not advance across updates")
+	}
+	cs := p.CacheStats()
+	if cs.Epoch != p.Epoch() || cs.Incremental.Updates != 2 {
+		t.Errorf("cache stats epoch=%d incremental=%+v", cs.Epoch, cs.Incremental)
+	}
+}
+
+// TestMaintainIsIndependent checks that serving-layer maintainers built via
+// Maintain do not interact with the pipeline's own maintained instance.
+func TestMaintainIsIndependent(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true})
+	m, err := p.Maintain(ownAtom("a", "b", 0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Update([]ast.Atom{ownAtom("b", "c", 0.7)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if p.Epoch() != 0 {
+		t.Error("session maintainer update moved the pipeline epoch")
+	}
+	res, err := m.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.LookupDerived(ast.NewAtom("Control", term.Str("a"), term.Str("c"))); err != nil {
+		t.Errorf("maintained session missing Control(a, c): %v", err)
+	}
+}

@@ -3,9 +3,13 @@
 // ids, per-predicate relations, and hash indexes on (predicate, position,
 // value) for efficient join evaluation.
 //
-// Facts are append-only — the chase only ever adds facts — so fact ids are
-// also the insertion order, which the explanation pipeline uses to linearize
-// proofs deterministically.
+// Facts are append-only during a chase — the chase only ever adds facts — so
+// fact ids are also the insertion order, which the explanation pipeline uses
+// to linearize proofs deterministically. Between chase phases a fact may be
+// tombstoned with Retract: it keeps its id (survivors are never renumbered)
+// but becomes invisible to every lookup and join index, which is the store
+// half of the incremental-maintenance contract (internal/incremental).
+// Re-adding a retracted atom interns a fresh fact under a new id.
 //
 // # Concurrency contract
 //
@@ -59,10 +63,17 @@ type Store struct {
 	// index maps predicate/position/value-id to the facts with that value
 	// at that position.
 	index map[indexKey][]FactID
-	// frozen marks a read-only snapshot phase; Add rejects writes while set.
-	// It is toggled only between phases (never while readers run), so plain
-	// (unsynchronized) access is race-free.
+	// frozen marks a read-only snapshot phase; Add and Retract reject
+	// writes while set. It is toggled only between phases (never while
+	// readers run), so plain (unsynchronized) access is race-free.
 	frozen bool
+	// dead marks tombstoned facts (see Retract). Nil until the first
+	// retraction, so the hot Retracted check is a single len test for the
+	// append-only common case.
+	dead map[FactID]bool
+	// epoch counts mutations (Add and Retract). Cache layers fingerprint it
+	// to detect that a store changed underneath a memoized artifact.
+	epoch uint64
 }
 
 type indexKey struct {
@@ -126,6 +137,7 @@ func (s *Store) Add(a ast.Atom, extensional bool) (*Fact, bool, error) {
 		return s.facts[id], false, nil
 	}
 	f := &Fact{ID: FactID(len(s.facts)), Atom: a, Extensional: extensional}
+	s.epoch++
 	s.facts = append(s.facts, f)
 	s.byKey[key] = f.ID
 	s.byPred[a.Predicate] = append(s.byPred[a.Predicate], f.ID)
@@ -147,6 +159,75 @@ func (s *Store) MustAdd(a ast.Atom, extensional bool) (*Fact, bool) {
 	}
 	return f, added
 }
+
+// Retract tombstones a fact: the id keeps resolving through Get and Row (so
+// historical provenance stays readable) but the fact disappears from every
+// lookup path — Contains, Lookup, Match, MatchBind, MatchAny, ByPredicate,
+// the slot candidates, and the (predicate, position, value) index. Surviving
+// facts keep their ids. Re-adding the same atom later interns a fresh fact
+// under a new id; the tombstone is never revived, which preserves the
+// premises-precede-conclusions id invariant the proof memo relies on.
+// Retracting an already-retracted id is a no-op.
+func (s *Store) Retract(id FactID) error {
+	if s.frozen {
+		return fmt.Errorf("database: Retract(%d) during frozen snapshot phase", id)
+	}
+	if id < 0 || int(id) >= len(s.facts) {
+		return fmt.Errorf("database: Retract(%d): unknown fact id", id)
+	}
+	if s.dead[id] {
+		return nil
+	}
+	f := s.facts[id]
+	if s.dead == nil {
+		s.dead = map[FactID]bool{}
+	}
+	s.dead[id] = true
+	s.epoch++
+	// byKey may already point at a newer fact with the same atom (a
+	// re-added atom whose old tombstone is retracted again is impossible —
+	// dead guard above — but keep the delete guarded anyway).
+	if cur, ok := s.byKey[f.Atom.Key()]; ok && cur == id {
+		delete(s.byKey, f.Atom.Key())
+	}
+	s.byPred[f.Atom.Predicate] = removeID(s.byPred[f.Atom.Predicate], id)
+	for pos, v := range s.rows[id] {
+		k := indexKey{f.Atom.Predicate, pos, v}
+		s.index[k] = removeID(s.index[k], id)
+		if len(s.index[k]) == 0 {
+			delete(s.index, k)
+		}
+	}
+	return nil
+}
+
+// removeID deletes one id from a bucket, preserving the order of the rest.
+func removeID(bucket []FactID, id FactID) []FactID {
+	for i, b := range bucket {
+		if b == id {
+			return append(bucket[:i], bucket[i+1:]...)
+		}
+	}
+	return bucket
+}
+
+// Retracted reports whether the fact id has been tombstoned.
+func (s *Store) Retracted(id FactID) bool {
+	if len(s.dead) == 0 {
+		return false
+	}
+	return s.dead[id]
+}
+
+// LiveLen returns the number of non-retracted facts.
+func (s *Store) LiveLen() int { return len(s.facts) - len(s.dead) }
+
+// Epoch returns the store's mutation counter: it increments on every Add and
+// Retract, so two reads returning the same value bracket a span with no
+// store mutation. Serving caches include it in their fingerprints so an
+// entry computed against an older instance version dies instead of being
+// served.
+func (s *Store) Epoch() uint64 { return s.epoch }
 
 // Contains reports whether the ground atom is already interned.
 func (s *Store) Contains(a ast.Atom) bool {
@@ -276,11 +357,14 @@ func bindAtom(pattern, fact ast.Atom, sub term.Substitution) bool {
 // callers must not mutate it.
 func (s *Store) Facts() []*Fact { return s.facts }
 
-// Predicates returns the distinct predicates present, sorted.
+// Predicates returns the distinct predicates with at least one live fact,
+// sorted. A predicate whose every fact was retracted is absent.
 func (s *Store) Predicates() []string {
 	out := make([]string, 0, len(s.byPred))
-	for p := range s.byPred {
-		out = append(out, p)
+	for p, ids := range s.byPred {
+		if len(ids) > 0 {
+			out = append(out, p)
+		}
 	}
 	sort.Strings(out)
 	return out

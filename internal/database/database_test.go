@@ -262,3 +262,144 @@ func TestFreezeThaw(t *testing.T) {
 		t.Fatalf("Add after thaw: added=%v err=%v", added, err)
 	}
 }
+
+// Retract tombstones a fact: invisible to every lookup path, ids stable,
+// re-add gets a fresh id, epoch advances on every mutation.
+func TestRetract(t *testing.T) {
+	s := NewStore()
+	f0, _ := s.MustAdd(own("A", "B", 0.6), true)
+	f1, _ := s.MustAdd(own("B", "C", 0.9), true)
+	f2, _ := s.MustAdd(own("A", "C", 0.3), true)
+	e0 := s.Epoch()
+
+	if err := s.Retract(f1.ID); err != nil {
+		t.Fatalf("Retract: %v", err)
+	}
+	if s.Epoch() != e0+1 {
+		t.Errorf("epoch = %d, want %d", s.Epoch(), e0+1)
+	}
+	if !s.Retracted(f1.ID) || s.Retracted(f0.ID) || s.Retracted(f2.ID) {
+		t.Error("Retracted flags wrong")
+	}
+	if s.LiveLen() != 2 || s.Len() != 3 {
+		t.Errorf("LiveLen = %d Len = %d", s.LiveLen(), s.Len())
+	}
+	// Invisible to key lookup and containment.
+	if s.Contains(own("B", "C", 0.9)) || s.Lookup(own("B", "C", 0.9)) != nil {
+		t.Error("retracted fact visible to Contains/Lookup")
+	}
+	// Invisible to per-predicate extent and pattern matching.
+	if ids := s.ByPredicate("Own"); len(ids) != 2 {
+		t.Errorf("ByPredicate = %v", ids)
+	}
+	open := ast.NewAtom("Own", term.Var("X"), term.Var("Y"), term.Var("S"))
+	if got := s.Match(open); len(got) != 2 {
+		t.Errorf("Match = %v", got)
+	}
+	// Invisible to the (predicate, position, value) index bucket: the only
+	// fact with C in position 1 besides f2 was f1.
+	indexed := s.Match(ast.NewAtom("Own", term.Var("X"), term.Str("C"), term.Var("S")))
+	if len(indexed) != 1 || indexed[0] != f2.ID {
+		t.Errorf("indexed Match = %v, want [%d]", indexed, f2.ID)
+	}
+	if s.MatchAny(own("B", "C", 0.9)) {
+		t.Error("MatchAny saw retracted fact")
+	}
+	if len(s.MatchBind(open, term.Substitution{"X": term.Str("B")})) != 0 {
+		t.Error("MatchBind saw retracted fact")
+	}
+	// Survivors keep their ids; the tombstone stays resolvable for
+	// provenance readers.
+	if s.Get(f0.ID) != f0 || s.Get(f2.ID) != f2 || s.Get(f1.ID) != f1 {
+		t.Error("Get renumbered facts")
+	}
+	// Idempotent: a second retract is a no-op and does not bump the epoch.
+	e1 := s.Epoch()
+	if err := s.Retract(f1.ID); err != nil {
+		t.Fatalf("double Retract: %v", err)
+	}
+	if s.Epoch() != e1 {
+		t.Error("no-op Retract bumped epoch")
+	}
+	// Re-adding the atom interns a fresh fact under a new id.
+	f3, added := s.MustAdd(own("B", "C", 0.9), true)
+	if !added || f3.ID != 3 {
+		t.Fatalf("re-add: added=%v id=%d, want fresh id 3", added, f3.ID)
+	}
+	if s.Retracted(f3.ID) || !s.Retracted(f1.ID) {
+		t.Error("re-add revived or inherited the tombstone")
+	}
+	if got := s.Match(open); len(got) != 3 {
+		t.Errorf("post-re-add Match = %v", got)
+	}
+}
+
+// Retracted facts are invisible to the slot-based candidate selection the
+// compiled-plan executor uses.
+func TestRetractSlots(t *testing.T) {
+	s := NewStore()
+	f0, _ := s.MustAdd(own("A", "B", 0.6), true)
+	f1, _ := s.MustAdd(own("A", "C", 0.3), true)
+	if err := s.Retract(f0.ID); err != nil {
+		t.Fatalf("Retract: %v", err)
+	}
+	a, _ := s.Interner().Lookup(term.Str("A"))
+	p := SlotPattern{Predicate: "Own", Ops: []SlotOp{
+		{Kind: SlotConst, Val: a},
+		{Kind: SlotWrite, Slot: 0},
+		{Kind: SlotWrite, Slot: 1},
+	}}
+	frame := make([]term.ValueID, 2)
+	cands := s.CandidatesSlots(p, frame)
+	if len(cands) != 1 || cands[0] != f1.ID {
+		t.Errorf("CandidatesSlots = %v, want [%d]", cands, f1.ID)
+	}
+	var seen []FactID
+	s.MatchBindSlots(p, frame, func(f *Fact) bool {
+		seen = append(seen, f.ID)
+		return true
+	})
+	if len(seen) != 1 || seen[0] != f1.ID {
+		t.Errorf("MatchBindSlots yielded %v, want [%d]", seen, f1.ID)
+	}
+}
+
+// Retract respects the freeze phase and rejects unknown ids; a fully
+// retracted predicate disappears from Predicates and Dump.
+func TestRetractEdgeCases(t *testing.T) {
+	s := NewStore()
+	f, _ := s.MustAdd(ast.NewAtom("Company", term.Str("A")), true)
+	s.Freeze()
+	if err := s.Retract(f.ID); err == nil {
+		t.Error("Retract during freeze succeeded, want error")
+	}
+	s.Thaw()
+	if err := s.Retract(FactID(99)); err == nil {
+		t.Error("Retract of unknown id succeeded, want error")
+	}
+	if err := s.Retract(f.ID); err != nil {
+		t.Fatalf("Retract: %v", err)
+	}
+	if len(s.Predicates()) != 0 {
+		t.Errorf("Predicates = %v, want empty", s.Predicates())
+	}
+	if s.Dump() != "" {
+		t.Errorf("Dump = %q, want empty", s.Dump())
+	}
+}
+
+// Epoch advances on Add but not on duplicate Add (no mutation happens).
+func TestEpoch(t *testing.T) {
+	s := NewStore()
+	if s.Epoch() != 0 {
+		t.Fatalf("fresh store epoch = %d", s.Epoch())
+	}
+	s.MustAdd(own("A", "B", 0.5), true)
+	if s.Epoch() != 1 {
+		t.Errorf("epoch after Add = %d, want 1", s.Epoch())
+	}
+	s.MustAdd(own("A", "B", 0.5), true)
+	if s.Epoch() != 1 {
+		t.Errorf("epoch after duplicate Add = %d, want 1", s.Epoch())
+	}
+}

@@ -10,9 +10,10 @@
 //
 //	GET  /apps                        list the deployed applications
 //	POST /reason                      {"app": ..., "facts": "...", "scenario": bool} -> {"session": id, answers}
+//	POST /facts                       {"session": ..., "add": "...", "retract": "..."} -> updated answers
 //	GET  /explain?session=S&query=Q   explanation of one derived fact
 //	GET  /paths?app=A                 the reasoning paths of an application
-//	GET  /stats                       cache occupancy and hit/miss/eviction counters
+//	GET  /stats                       cache occupancy, hit/miss/eviction and incremental-update counters
 //
 // Everything stays inside the process: no data leaves, matching the paper's
 // confidentiality requirement.
@@ -29,6 +30,20 @@
 // Cached responses are byte-identical to uncached ones — every cached
 // object is deterministic and immutable — and all caches expose their
 // counters on /stats.
+//
+// # Live sessions
+//
+// POST /facts mutates a session in place: base facts are added or retracted
+// and the session's fixpoint is repaired incrementally (see the incremental
+// package) instead of re-chased. The first mutation of a session stands up
+// its maintainer with one full chase; later mutations pay only for the
+// delta. Each mutation advances the session's epoch, which is part of every
+// rendered-explanation cache key, so explanations cached against the old
+// fixpoint can never answer for the new one; the superseded entries are
+// removed eagerly and counted on /stats. A failed mutation (e.g. a
+// constraint violation) poisons the session's maintainer — the session
+// keeps serving its last consistent result, further mutations report the
+// failure, and clients recover by opening a fresh session.
 package server
 
 import (
@@ -37,10 +52,13 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/apps"
+	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/incremental"
 	"repro/internal/lru"
 	"repro/internal/parser"
 )
@@ -60,11 +78,37 @@ type Server struct {
 	// mu guards nextID.
 	mu     sync.Mutex
 	nextID int
+
+	// Cumulative incremental-maintenance counters across every session
+	// mutation, reported on /stats.
+	updates       atomic.Uint64
+	deltaRounds   atomic.Uint64
+	overDeleted   atomic.Uint64
+	rederived     atomic.Uint64
+	invalidations atomic.Uint64
 }
 
+// session is one live reasoning instance. mu guards every field below it:
+// /facts swaps result, epoch and the cached-explanation key list atomically,
+// and /explain reads result and epoch under the same lock so a response is
+// always rendered against a consistent (fixpoint, epoch) pair.
 type session struct {
-	app    string
+	app string
+
+	mu     sync.Mutex
 	result *chase.Result
+	// extra is the extensional fact list the session was opened with; the
+	// first mutation seeds the maintainer from it.
+	extra []ast.Atom
+	// mnt is the session's incremental maintainer, nil until the first
+	// POST /facts.
+	mnt *incremental.Maintainer
+	// epoch versions the session's fixpoint (0 before the first mutation);
+	// it is part of every rendered-explanation cache key.
+	epoch uint64
+	// explKeys lists this session's entries in the rendered-explanation
+	// cache for the current epoch, so a mutation can remove exactly them.
+	explKeys []string
 }
 
 // Default serving-layer capacities; see Options.
@@ -134,6 +178,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", s.handleApps)
 	mux.HandleFunc("POST /reason", s.handleReason)
+	mux.HandleFunc("POST /facts", s.handleFacts)
 	mux.HandleFunc("GET /explain", s.handleExplain)
 	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -208,9 +253,106 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
 	s.mu.Unlock()
-	s.sessions.Put(id, &session{app: req.App, result: res})
+	s.sessions.Put(id, &session{app: req.App, result: res, extra: extra})
 
 	resp := reasonResponse{Session: id, Rounds: res.Rounds, Facts: res.Store.Len()}
+	for _, fid := range res.Answers() {
+		resp.Answers = append(resp.Answers, res.Store.Get(fid).String())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// factsRequest is the /facts payload: base facts to add and retract, in
+// concrete syntax (newline- or period-separated fact lists, same format as
+// the /reason facts field).
+type factsRequest struct {
+	Session string `json:"session"`
+	Add     string `json:"add,omitempty"`
+	Retract string `json:"retract,omitempty"`
+}
+
+// factsResponse reports the repaired fixpoint and what the update did.
+type factsResponse struct {
+	Session string `json:"session"`
+	// Epoch is the session's new version; explanations rendered before it
+	// are no longer served.
+	Epoch   uint64                  `json:"epoch"`
+	Stats   incremental.UpdateStats `json:"stats"`
+	Facts   int                     `json:"facts"`
+	Answers []string                `json:"answers"`
+	// InvalidatedExplanations counts cached renderings this update removed.
+	InvalidatedExplanations int `json:"invalidatedExplanations"`
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	var req factsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return
+	}
+	sess := s.session(req.Session)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+		return
+	}
+	parseFacts := func(field, src string) ([]ast.Atom, bool) {
+		if src == "" {
+			return nil, true
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("%s: %w", field, err))
+			return nil, false
+		}
+		return prog.Facts, true
+	}
+	add, ok := parseFacts("add", req.Add)
+	if !ok {
+		return
+	}
+	retract, ok := parseFacts("retract", req.Retract)
+	if !ok {
+		return
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.mnt == nil {
+		m, err := s.pipe(sess.app).Maintain(sess.extra...)
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		sess.mnt = m
+	}
+	res, stats, err := sess.mnt.Update(add, retract)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	sess.result = res
+	sess.epoch = sess.mnt.Epoch()
+	invalidated := 0
+	for _, key := range sess.explKeys {
+		if s.explanations.Remove(key) {
+			invalidated++
+		}
+	}
+	sess.explKeys = nil
+
+	s.updates.Add(1)
+	s.deltaRounds.Add(uint64(stats.DeltaRounds))
+	s.overDeleted.Add(uint64(stats.OverDeleted))
+	s.rederived.Add(uint64(stats.Rederived))
+	s.invalidations.Add(uint64(invalidated))
+
+	resp := factsResponse{
+		Session:                 req.Session,
+		Epoch:                   sess.epoch,
+		Stats:                   stats,
+		Facts:                   res.Store.LiveLen(),
+		InvalidatedExplanations: invalidated,
+	}
 	for _, fid := range res.Answers() {
 		resp.Answers = append(resp.Answers, res.Store.Get(fid).String())
 	}
@@ -248,17 +390,21 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
 		return
 	}
-	// Session ids are never reused, so a cached rendering keyed by
-	// (session, query) can only ever repeat a response this exact session
-	// already produced; the live-session check above keeps evicted
-	// sessions from answering. Errors are never cached.
-	cacheKey := sessionID + "\x00" + query
+	// Session ids are never reused and the session's epoch is part of the
+	// key, so a cached rendering can only ever repeat a response this exact
+	// session produced against its current fixpoint; the live-session check
+	// above keeps evicted sessions from answering, and /facts removes the
+	// previous epoch's entries. Errors are never cached.
+	sess.mu.Lock()
+	result, epoch := sess.result, sess.epoch
+	sess.mu.Unlock()
+	cacheKey := sessionID + "#" + strconv.FormatUint(epoch, 10) + "\x00" + query
 	if resp, ok := s.explanations.Get(cacheKey); ok {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	pipe := s.pipe(sess.app)
-	e, err := pipe.ExplainQuery(sess.result, query)
+	e, err := pipe.ExplainQuery(result, query)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -272,13 +418,20 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Complete:       e.Verify() == nil,
 	}
 	for _, d := range e.Proof.Steps {
-		step := proofStep{Rule: d.Rule.Label, Derived: sess.result.Store.Get(d.Fact).String()}
+		step := proofStep{Rule: d.Rule.Label, Derived: result.Store.Get(d.Fact).String()}
 		for _, p := range d.Premises {
-			step.Premises = append(step.Premises, sess.result.Store.Get(p).String())
+			step.Premises = append(step.Premises, result.Store.Get(p).String())
 		}
 		resp.ProofSteps = append(resp.ProofSteps, step)
 	}
-	s.explanations.Put(cacheKey, resp)
+	// Cache only if the session has not moved on while we rendered: an
+	// entry for a superseded epoch would dodge the next invalidation sweep.
+	sess.mu.Lock()
+	if sess.epoch == epoch {
+		s.explanations.Put(cacheKey, resp)
+		sess.explKeys = append(sess.explKeys, cacheKey)
+	}
+	sess.mu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -292,6 +445,23 @@ type statsResponse struct {
 	// Apps maps application name to its pipeline cache stats (reasoning
 	// results, explanation memo, deduplicated runs).
 	Apps map[string]core.CacheStats `json:"apps"`
+	// Incremental aggregates /facts maintenance work across all sessions.
+	Incremental incrementalStats `json:"incremental"`
+}
+
+// incrementalStats is the /stats incremental-maintenance section.
+type incrementalStats struct {
+	// Updates counts successful /facts mutations.
+	Updates uint64 `json:"updates"`
+	// DeltaRounds is the total semi-naive rounds spent repairing fixpoints.
+	DeltaRounds uint64 `json:"deltaRounds"`
+	// OverDeleted is the total derived facts tombstoned by retractions.
+	OverDeleted uint64 `json:"overDeleted"`
+	// Rederived is the total over-deleted facts revived through alternative
+	// proofs.
+	Rederived uint64 `json:"rederived"`
+	// Invalidations is the total cached explanations removed by mutations.
+	Invalidations uint64 `json:"invalidations"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -299,6 +469,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions:     s.sessions.Stats(),
 		Explanations: s.explanations.Stats(),
 		Apps:         map[string]core.CacheStats{},
+		Incremental: incrementalStats{
+			Updates:       s.updates.Load(),
+			DeltaRounds:   s.deltaRounds.Load(),
+			OverDeleted:   s.overDeleted.Load(),
+			Rederived:     s.rederived.Load(),
+			Invalidations: s.invalidations.Load(),
+		},
 	}
 	for name, pipe := range s.pipes {
 		resp.Apps[name] = pipe.CacheStats()

@@ -361,3 +361,150 @@ func TestSessionsIsolated(t *testing.T) {
 		t.Error("session leakage")
 	}
 }
+
+// TestFactsMutationFlow drives a session through retract and re-add cycles:
+// answers must track the mutations, explanations rendered against a stale
+// fixpoint must disappear, and the session must keep explaining correctly.
+func TestFactsMutationFlow(t *testing.T) {
+	ts := newTestServer(t)
+	var rr reasonResponse
+	body := `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6).\nOwn(\"Y\",\"Z\",0.7)."}`
+	postJSON(t, ts.URL+"/reason", body, &rr)
+	if rr.Session == "" {
+		t.Fatalf("reason response = %+v", rr)
+	}
+	explainURL := ts.URL + "/explain?session=" + rr.Session + `&query=Control(%22X%22,%22Z%22)`
+	if _, code := getBody(t, explainURL); code != http.StatusOK {
+		t.Fatalf("pre-mutation explain status = %d", code)
+	}
+
+	var fr factsResponse
+	resp := postJSON(t, ts.URL+"/facts",
+		`{"session":"`+rr.Session+`","retract":"Own(\"Y\",\"Z\",0.7)."}`, &fr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("facts status = %d: %+v", resp.StatusCode, fr)
+	}
+	if fr.Epoch == 0 || fr.Stats.Retracted != 1 || fr.Stats.OverDeleted == 0 {
+		t.Errorf("facts response = %+v", fr)
+	}
+	if fr.InvalidatedExplanations == 0 {
+		t.Error("mutation removed no cached explanations")
+	}
+	for _, a := range fr.Answers {
+		if a == "Control(X, Z)" {
+			t.Error("Control(X, Z) survived retracting its support")
+		}
+	}
+	// The stale explanation is gone; the surviving fact still explains.
+	if _, code := getBody(t, explainURL); code != http.StatusUnprocessableEntity {
+		t.Fatalf("post-mutation explain status = %d, want 422", code)
+	}
+	if _, code := getBody(t, ts.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusOK {
+		t.Errorf("surviving fact explain status = %d", code)
+	}
+
+	// Re-adding restores the chain and its explanation.
+	resp = postJSON(t, ts.URL+"/facts",
+		`{"session":"`+rr.Session+`","add":"Own(\"Y\",\"Z\",0.7)."}`, &fr)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-add status = %d", resp.StatusCode)
+	}
+	found := false
+	for _, a := range fr.Answers {
+		if a == "Control(X, Z)" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Control(X, Z) not restored: %v", fr.Answers)
+	}
+	if _, code := getBody(t, explainURL); code != http.StatusOK {
+		t.Errorf("restored explain status = %d", code)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Incremental.Updates != 2 || st.Incremental.Invalidations == 0 || st.Incremental.OverDeleted == 0 {
+		t.Errorf("incremental stats = %+v", st.Incremental)
+	}
+}
+
+func TestFactsErrors(t *testing.T) {
+	ts := newTestServer(t)
+	if resp := postJSON(t, ts.URL+"/facts", `{"session":"nope","add":"A(\"x\")."}`, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown session status = %d", resp.StatusCode)
+	}
+	if resp := postJSON(t, ts.URL+"/facts", `not json`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d", resp.StatusCode)
+	}
+	var rr reasonResponse
+	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6)."}`, &rr)
+	if resp := postJSON(t, ts.URL+"/facts", `{"session":"`+rr.Session+`","add":"not facts"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad fact syntax status = %d", resp.StatusCode)
+	}
+	// Retracting a derived fact is rejected without changing the session.
+	if resp := postJSON(t, ts.URL+"/facts",
+		`{"session":"`+rr.Session+`","retract":"Control(\"X\",\"Y\")."}`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("retract derived status = %d", resp.StatusCode)
+	}
+	if _, code := getBody(t, ts.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusOK {
+		t.Errorf("session unusable after rejected mutation: status = %d", code)
+	}
+}
+
+// TestConcurrentMutation hammers sessions with parallel /facts and /explain
+// requests (meaningful under -race): per-session mutations are serialized,
+// reads see a consistent (fixpoint, epoch) pair, and no request may fail
+// with anything but the expected not-derived 422 while the chain is down.
+func TestConcurrentMutation(t *testing.T) {
+	ts := newTestServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan string, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var rr reasonResponse
+			postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6).\nOwn(\"Y\",\"Z\",0.7)."}`, &rr)
+			mut := ts.URL + "/facts"
+			explain := ts.URL + "/explain?session=" + rr.Session + `&query=Control(%22X%22,%22Z%22)`
+			inner := sync.WaitGroup{}
+			inner.Add(1)
+			go func() {
+				defer inner.Done()
+				for i := 0; i < 5; i++ {
+					if _, code := getBody(t, explain); code != http.StatusOK && code != http.StatusUnprocessableEntity {
+						errs <- fmt.Sprintf("explain status %d", code)
+						return
+					}
+				}
+			}()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(mut, "application/json",
+					strings.NewReader(`{"session":"`+rr.Session+`","retract":"Own(\"Y\",\"Z\",0.7)."}`))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+				resp, err = http.Post(mut, "application/json",
+					strings.NewReader(`{"session":"`+rr.Session+`","add":"Own(\"Y\",\"Z\",0.7)."}`))
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				resp.Body.Close()
+			}
+			inner.Wait()
+			// The session ends with the chain restored.
+			if _, code := getBody(t, explain); code != http.StatusOK {
+				errs <- fmt.Sprintf("final explain status %d", code)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
