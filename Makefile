@@ -13,10 +13,13 @@ test:
 
 # Race-detect the concurrent packages: the chase engine's parallel join, the
 # fact store it reads, the incremental maintainer, and the serving layer
-# (shared LRUs, singleflight, proof-closure memo, session mutations). Run
-# this after touching concurrency in any of them.
+# (shared LRUs, singleflight, proof-closure memo, session mutations, the
+# admission/deadline middleware, and the mid-chase cancellation paths —
+# cancel_test.go in chase/incremental/core and the hardening tests in
+# server). Run this after touching concurrency or cancellation in any of
+# them.
 race:
-	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/...
+	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/... ./internal/leakcheck/...
 
 # Micro-benchmarks (one per paper table/figure plus pipeline stages);
 # BENCH narrows the pattern, e.g. `make bench BENCH=BenchmarkChase`.

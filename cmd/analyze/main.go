@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/ast"
+	"repro/internal/cmdutil"
 	"repro/internal/core"
 	"repro/internal/enhancer"
 	"repro/internal/glossary"
@@ -36,8 +37,11 @@ func main() {
 		draft     = flag.Bool("draft-glossary", false, "print drafted glossary entries for undocumented predicates and exit")
 		exportTo  = flag.String("export-templates", "", "write the template review document to this file and exit")
 		importFr  = flag.String("import-templates", "", "import an edited template review document and report the outcome")
+		timeout   = flag.Duration("timeout", 0, "abort the analysis after this long (0 = no deadline); Ctrl-C always interrupts cleanly")
 	)
 	flag.Parse()
+	ctx, stop := cmdutil.SignalContext(*timeout)
+	defer stop()
 
 	if *draft {
 		if err := draftGlossary(*appName, *progPath, *glosPath); err != nil {
@@ -47,7 +51,12 @@ func main() {
 		return
 	}
 
-	pipe, err := buildPipeline(*appName, *progPath, *glosPath, *variants)
+	var pipe *core.Pipeline
+	err := cmdutil.RunInterruptible(ctx, func() error {
+		var err error
+		pipe, err = buildPipeline(*appName, *progPath, *glosPath, *variants)
+		return err
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analyze:", err)
 		os.Exit(1)

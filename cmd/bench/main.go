@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cmdutil"
 	"repro/internal/figures"
 )
 
@@ -67,8 +68,11 @@ func main() {
 		workers      = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; figures are identical at any setting")
 		legacy       = flag.Bool("legacy", false, "use the legacy map-based join engine (timing baseline; figures are identical)")
 		jsonLabel    = flag.String("json", "", "also write per-figure wall times to BENCH_<label>.json")
+		timeout      = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always interrupts cleanly")
 	)
 	flag.Parse()
+	ctx, stopSignals := cmdutil.SignalContext(*timeout)
+	defer stopSignals()
 	figures.SetChaseWorkers(*workers)
 	figures.SetChaseLegacy(*legacy)
 
@@ -181,7 +185,12 @@ func main() {
 		}
 		fmt.Printf("######## %s ########\n", id)
 		start := time.Now()
-		out, err := run()
+		var out string
+		err := cmdutil.RunInterruptible(ctx, func() error {
+			var err error
+			out, err = run()
+			return err
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", id, err)
 			os.Exit(1)

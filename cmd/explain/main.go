@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/ast"
+	"repro/internal/cmdutil"
 	"repro/internal/core"
 	"repro/internal/enhancer"
 	"repro/internal/parser"
@@ -38,6 +39,7 @@ func main() {
 		paths    = flag.Bool("paths", false, "also print the reasoning paths composed")
 		anon     = flag.Bool("anonymize", false, "pseudonymize entity names in the explanation")
 		workers  = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; explanations are identical at any setting")
+		timeout  = flag.Duration("timeout", 0, "abort reasoning after this long (0 = no deadline); Ctrl-C always cancels cleanly")
 	)
 	flag.Parse()
 
@@ -45,7 +47,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := pipe.Reason(extra...)
+	ctx, stop := cmdutil.SignalContext(*timeout)
+	defer stop()
+	res, err := pipe.ReasonContext(ctx, extra...)
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/ast"
 	"repro/internal/chase"
+	"repro/internal/cmdutil"
 	"repro/internal/parser"
 )
 
@@ -29,6 +30,7 @@ func main() {
 		graph    = flag.Bool("graph", false, "print the chase graph")
 		dot      = flag.Bool("dot", false, "print the chase graph in Graphviz DOT syntax")
 		workers  = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; results are identical at any setting")
+		timeout  = flag.Duration("timeout", 0, "abort the chase after this long (0 = no deadline); Ctrl-C always cancels cleanly")
 	)
 	flag.Parse()
 
@@ -36,7 +38,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := chase.Run(prog, chase.Options{ExtraFacts: extra, Workers: *workers})
+	ctx, stop := cmdutil.SignalContext(*timeout)
+	defer stop()
+	res, err := chase.RunContext(ctx, prog, chase.Options{ExtraFacts: extra, Workers: *workers})
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,7 @@
 package chase
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -56,7 +57,17 @@ const (
 // that need to maintain the fixpoint under later base-fact updates keep the
 // Live handle instead (see live.go and internal/incremental).
 func Run(p *ast.Program, opts Options) (*Result, error) {
-	l, err := RunLive(p, opts)
+	return RunContext(context.Background(), p, opts)
+}
+
+// RunContext is Run under a cancellation context: the engine checks ctx at
+// every round, rule and parallel-chunk boundary and returns a wrapped
+// ErrCanceled/ErrDeadline promptly after ctx ends. A canceled run has no
+// side effects — every run builds its own store — so a later run over the
+// same program is byte-identical to one that was never canceled (see
+// context.go for the full contract).
+func RunContext(ctx context.Context, p *ast.Program, opts Options) (*Result, error) {
+	l, err := RunLiveContext(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +125,9 @@ type engine struct {
 	// keyBuf is the reusable scratch buffer for aggregation group and
 	// contributor-identity keys (single-threaded accumulation phase only).
 	keyBuf []byte
+	// ctx is the run's cancellation context; nil means none (see context.go
+	// for the checkpoint placement and the state left after a cancel).
+	ctx context.Context
 }
 
 // aggGroup is the accumulated state of one aggregation group.
@@ -130,10 +144,15 @@ type aggEmission struct {
 }
 
 // round applies each given rule once over the current store. It reports
-// whether any new fact was derived.
+// whether any new fact was derived. Cancellation is checked before every
+// rule evaluation, so a canceled round stops between two complete
+// evaluations.
 func (e *engine) round(rules []*ast.Rule) (bool, error) {
 	changed := false
 	for _, r := range rules {
+		if err := e.checkCtx(); err != nil {
+			return changed, err
+		}
 		var c bool
 		var err error
 		if r.HasAggregation() {
@@ -399,6 +418,9 @@ func (e *engine) finishBindings(r *ast.Rule, pending []binding) ([]binding, erro
 // store, reporting the first violating homomorphism.
 func (e *engine) checkConstraints() error {
 	for _, c := range e.prog.Constraints {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		pseudo := &ast.Rule{
 			Label:      c.Label,
 			Head:       ast.NewAtom("⊥"),
@@ -450,6 +472,14 @@ func (e *engine) applyPlainRule(r *ast.Rule) (bool, error) {
 		bindings, err = e.joinBodySemiNaive(r, database.FactID(prev))
 	}
 	if err != nil {
+		// Roll the semi-naive boundary back so the interrupted evaluation
+		// (e.g. a cancellation at a chunk boundary) is not recorded as done;
+		// the join emitted nothing, so this restores the pre-call state.
+		if seen {
+			e.lastSeen[r] = prev
+		} else {
+			delete(e.lastSeen, r)
+		}
 		return false, err
 	}
 	changed := false
@@ -497,7 +527,8 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 	prev, seen := e.lastSeen[r]
 	e.lastSeen[r] = e.store.Len()
 	full := e.naive || !seen || prev == 0
-	superMoved := e.lastSuper[r] != e.supersessions
+	prevSuper := e.lastSuper[r]
+	superMoved := prevSuper != e.supersessions
 	e.lastSuper[r] = e.supersessions
 	dirty := e.dirtyGroups[r]
 	if !full && e.store.Len() == prev && !superMoved && len(dirty) == 0 {
@@ -515,6 +546,20 @@ func (e *engine) applyAggRule(r *ast.Rule) (bool, error) {
 		bindings, err = e.joinBodySemiNaive(r, database.FactID(prev))
 	}
 	if err != nil {
+		// Restore the evaluation bookkeeping consumed above so an
+		// interrupted join (cancellation at a chunk boundary) leaves the
+		// rule due for re-evaluation, not silently skipped. In full mode the
+		// wiped group state is rebuilt by the full re-join the restored
+		// boundary forces.
+		if seen {
+			e.lastSeen[r] = prev
+		} else {
+			delete(e.lastSeen, r)
+		}
+		e.lastSuper[r] = prevSuper
+		if dirty != nil {
+			e.dirtyGroups[r] = dirty
+		}
 		return false, err
 	}
 

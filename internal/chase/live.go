@@ -22,6 +22,7 @@ package chase
 // only ever grows, and tombstoned facts keep resolving by id).
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -53,6 +54,18 @@ type Live struct {
 // RunLive executes the chase to fixpoint like Run but keeps the engine
 // resident, returning a Live handle for incremental maintenance.
 func RunLive(p *ast.Program, opts Options) (*Live, error) {
+	return RunLiveContext(context.Background(), p, opts)
+}
+
+// RunLiveContext is RunLive under a cancellation context (see RunContext).
+// The context only governs the initial fixpoint computation: a successfully
+// returned Live is detached from it, so a request-scoped context that
+// expires later cannot poison subsequent maintenance — install per-update
+// contexts with SetContext instead.
+func RunLiveContext(ctx context.Context, p *ast.Program, opts Options) (*Live, error) {
+	if err := ContextErr(ctx); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("chase: invalid program: %w", err)
 	}
@@ -123,6 +136,7 @@ func RunLive(p *ast.Program, opts Options) (*Live, error) {
 		}
 	}
 
+	e.ctx = ctx
 	l := &Live{
 		e:          e,
 		strata:     strata,
@@ -147,7 +161,21 @@ func RunLive(p *ast.Program, opts Options) (*Live, error) {
 	if err := e.checkConstraints(); err != nil {
 		return nil, err
 	}
+	e.ctx = nil // detach: later maintenance installs its own context
 	return l, nil
+}
+
+// SetContext installs the cancellation context every subsequent method call
+// checks at its round, rule and chunk boundaries; nil removes it. A Live is
+// single-writer (see the package comment above), so the caller that owns
+// the write lock installs a per-update context before mutating and removes
+// it afterwards — the incremental Maintainer does exactly that around each
+// Update.
+func (l *Live) SetContext(ctx context.Context) {
+	if ctx == context.Background() {
+		ctx = nil
+	}
+	l.e.ctx = ctx
 }
 
 // existentialRules returns the rules whose head mentions a variable not
@@ -277,6 +305,9 @@ func (l *Live) Retract(ids []database.FactID) (int, error) {
 // It reports whether the atom is live afterwards.
 func (l *Live) Rederive(a ast.Atom) (bool, error) {
 	e := l.e
+	if err := e.checkCtx(); err != nil {
+		return false, err
+	}
 	if e.store.Contains(a) {
 		return true, nil
 	}
@@ -545,6 +576,9 @@ func (l *Live) Saturate(dirty map[string]bool) (int, error) {
 			continue
 		}
 		for {
+			if err := e.checkCtx(); err != nil {
+				return rounds, err
+			}
 			rounds++
 			if rounds > l.maxRounds {
 				return rounds, fmt.Errorf("chase: no fixpoint after %d rounds (non-terminating program?)", l.maxRounds)

@@ -122,6 +122,9 @@ func (e *engine) runJoinTasks(r *ast.Rule, tasks []*joinTask) ([]binding, error)
 	}
 	e.store.Freeze()
 	err := runParallel(e.workers, len(tasks), func(i int) error {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		t := tasks[i]
 		pending := t.seeds
 		for _, atomIdx := range t.rest {
@@ -248,6 +251,9 @@ func (e *engine) runPlanTasks(p *plan, tasks []*planTask) ([]binding, error) {
 	}
 	e.store.Freeze()
 	err := runParallel(e.workers, len(tasks), func(i int) error {
+		if err := e.checkCtx(); err != nil {
+			return err
+		}
 		t := tasks[i]
 		x := e.newExecutor(p, t.op, t.allow)
 		first := t.op.order[0]

@@ -1,0 +1,47 @@
+// Package cmdutil holds the shared command-line lifecycle helpers: a
+// signal-aware root context so Ctrl-C (or a service manager's SIGTERM)
+// cancels a long reasoning run cleanly instead of killing the process
+// mid-write, and an interruptible runner for work that predates context
+// plumbing.
+package cmdutil
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns the root context of a command invocation: canceled
+// on SIGINT or SIGTERM, and — when timeout > 0 — expired after the timeout.
+// The CancelFunc releases the signal registration; a second signal after the
+// first falls back to the default handler and kills the process, so a hung
+// run can always be forced down.
+func SignalContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	tctx, cancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// RunInterruptible runs fn on its own goroutine and waits for it or for the
+// context, whichever finishes first. It exists for call trees that do not
+// accept a context yet (the figure generators): on cancellation the
+// goroutine is abandoned, which is acceptable only because every caller
+// exits the process right after. Returns fn's error, or the context's.
+func RunInterruptible(ctx context.Context, fn func() error) error {
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -47,9 +48,12 @@ type flightGroup struct {
 }
 
 type flightCall struct {
-	wg  sync.WaitGroup
-	res *chase.Result
-	err error
+	// done is closed when the leader's run finishes, making res/err
+	// readable. A channel rather than a WaitGroup so that waiters can also
+	// select on their own context and leave early.
+	done chan struct{}
+	res  *chase.Result
+	err  error
 	// waiters counts callers that joined this in-flight run (guarded by
 	// the group mutex).
 	waiters int
@@ -72,28 +76,47 @@ func newFlightGroup() *flightGroup {
 }
 
 // do runs fn under key, collapsing concurrent calls for the same key onto
-// one execution. The returned bool reports whether this caller shared
+// one execution. The returned bool reports whether this caller joined
 // another caller's in-flight run.
-func (g *flightGroup) do(key string, fn func() (*chase.Result, error)) (*chase.Result, error, bool) {
-	g.mu.Lock()
-	if c, ok := g.calls[key]; ok {
-		c.waiters++
+//
+// Cancellation does not fate-share: a waiter whose own context dies stops
+// waiting and returns its own typed error, and a waiter whose leader was
+// canceled (through the *leader's* context) retries as a fresh leader
+// instead of inheriting the cancellation — one impatient client must not
+// fail every client piled up behind it. Canceled runs return err != nil, so
+// they are never written to the result cache (the Put in Reason is gated on
+// err == nil): cancellation cannot poison the cache.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*chase.Result, error)) (*chase.Result, error, bool) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.calls[key]; ok {
+			c.waiters++
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				return nil, chase.ContextErr(ctx), true
+			}
+			if chase.IsCancellation(c.err) {
+				if err := chase.ContextErr(ctx); err != nil {
+					return nil, err, true
+				}
+				continue // leader canceled, we are alive: run it ourselves
+			}
+			return c.res, c.err, true
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
 		g.mu.Unlock()
-		c.wg.Wait()
-		return c.res, c.err, true
+
+		c.res, c.err = fn()
+
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.res, c.err, false
 	}
-	c := &flightCall{}
-	c.wg.Add(1)
-	g.calls[key] = c
-	g.mu.Unlock()
-
-	c.res, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	c.wg.Done()
-	return c.res, c.err, false
 }
 
 // explKey identifies one memoized explanation: the chase result it was

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -60,7 +61,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 	var runs atomic.Int32
 	leaderDone := make(chan error, 1)
 	go func() {
-		_, err, _ := g.do("k", func() (*chase.Result, error) {
+		_, err, _ := g.do(context.Background(), "k", func() (*chase.Result, error) {
 			runs.Add(1)
 			close(started)
 			<-release
@@ -75,7 +76,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _, shared := g.do("k", func() (*chase.Result, error) {
+			_, _, shared := g.do(context.Background(), "k", func() (*chase.Result, error) {
 				runs.Add(1)
 				return nil, nil
 			})
@@ -104,7 +105,7 @@ func TestFlightGroupDeduplicates(t *testing.T) {
 		t.Errorf("fn ran %d times, want 1", n)
 	}
 	// The key is released after the flight: a later call runs again.
-	g.do("k", func() (*chase.Result, error) { runs.Add(1); return nil, nil })
+	g.do(context.Background(), "k", func() (*chase.Result, error) { runs.Add(1); return nil, nil })
 	if n := runs.Load(); n != 2 {
 		t.Errorf("fn ran %d times after release, want 2", n)
 	}

@@ -1,0 +1,141 @@
+package core
+
+// Cancellation through the pipeline: typed errors surface from
+// ReasonContext, canceled runs never enter the result cache, and the
+// singleflight group neither fate-shares cancellations between callers nor
+// caches a canceled leader's failure.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/chase"
+)
+
+func TestReasonContextCanceledNotCached(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true, ResultCacheSize: 4})
+	facts := chainFacts(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ReasonContext(ctx, facts...); !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The cancellation was not cached: the same request under a live
+	// context runs and succeeds, and only then does the cache hold it.
+	res, err := p.ReasonContext(context.Background(), facts...)
+	if err != nil {
+		t.Fatalf("Reason after canceled request: %v", err)
+	}
+	res2, err := p.Reason(facts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res != res2 {
+		t.Errorf("second call did not hit the cache")
+	}
+	if hits := p.CacheStats().Results.Hits; hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+}
+
+func TestReasonContextDeadline(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true})
+	ctx, cancel := context.WithTimeout(context.Background(), -1)
+	defer cancel()
+	if _, err := p.ReasonContext(ctx, chainFacts(4)...); !errors.Is(err, chase.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+}
+
+// TestFlightLeaderCancelRetry: a waiter piled up behind a leader whose run
+// is canceled does not inherit the failure — it retries as the new leader.
+func TestFlightLeaderCancelRetry(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(context.Background(), "k", func() (*chase.Result, error) {
+			close(started)
+			<-release
+			return nil, chase.ErrCanceled // the leader's own context died
+		})
+		leaderDone <- err
+	}()
+	<-started
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.do(context.Background(), "k", func() (*chase.Result, error) {
+			return nil, nil // the retry succeeds
+		})
+		waiterDone <- err
+	}()
+	for {
+		if n, ok := g.waiting("k"); ok && n == 1 {
+			break
+		}
+		runtime.Gosched()
+	}
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("leader err = %v, want ErrCanceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter err = %v, want nil (retry as new leader)", err)
+	}
+}
+
+// TestFlightWaiterOwnContextCancel: a waiter whose own context dies stops
+// waiting immediately with its own typed error; the leader is undisturbed.
+func TestFlightWaiterOwnContextCancel(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, _ := g.do(context.Background(), "k", func() (*chase.Result, error) {
+			close(started)
+			<-release
+			return nil, nil
+		})
+		if err != nil {
+			t.Errorf("leader err = %v", err)
+		}
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err, shared := g.do(ctx, "k", func() (*chase.Result, error) {
+		t.Error("dead waiter must not become leader")
+		return nil, nil
+	})
+	if !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("waiter err = %v, want ErrCanceled", err)
+	}
+	if !shared {
+		t.Errorf("waiter did not report joining the flight")
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestUpdateContextPropagates: a dead context rejects the pipeline update
+// with the typed error before anything is mutated.
+func TestUpdateContextPropagates(t *testing.T) {
+	p := controlPipeline(t, Config{SkipEnhancement: true})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := p.UpdateContext(ctx, chainFacts(4), nil); !errors.Is(err, chase.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	// The rejected update never stood up a maintainer epoch: a plain
+	// update still works from scratch.
+	if _, _, err := p.Update(chainFacts(4), nil); err != nil {
+		t.Fatalf("update after rejection: %v", err)
+	}
+}

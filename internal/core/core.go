@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -177,9 +178,20 @@ func (p *Pipeline) Templates() *template.Store { return p.templates }
 // sharing is safe, and the cached bytes are exactly the uncached bytes
 // (the chase result of a request is deterministic).
 func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
+	return p.ReasonContext(context.Background(), extra...)
+}
+
+// ReasonContext is Reason under a context: the chase run is cancellable at
+// its round and chunk boundaries and returns chase.ErrCanceled/ErrDeadline
+// when interrupted. Cancellation composes with the caches: a canceled run is
+// never written to the result cache, a waiter sharing an in-flight run whose
+// leader is canceled re-runs the chase under its own (still live) context,
+// and a waiter whose own context dies returns its own typed error without
+// disturbing the leader.
+func (p *Pipeline) ReasonContext(ctx context.Context, extra ...ast.Atom) (*chase.Result, error) {
 	opts := p.cfg.Chase
 	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
-	run, epoch := p.reasonRun(opts)
+	run, epoch := p.reasonRun(ctx, opts)
 	if p.results == nil {
 		return run()
 	}
@@ -187,7 +199,7 @@ func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 	if res, ok := p.results.Get(key); ok {
 		return res, nil
 	}
-	res, err, shared := p.flight.do(key, func() (*chase.Result, error) {
+	res, err, shared := p.flight.do(ctx, key, func() (*chase.Result, error) {
 		// Double-check under the flight lock-out: a previous leader may
 		// have populated the cache between our miss and becoming leader.
 		if res, ok := p.results.Get(key); ok {
@@ -211,12 +223,12 @@ func (p *Pipeline) Reason(extra ...ast.Atom) (*chase.Result, error) {
 // request with no extra facts snapshots it directly, and a request with
 // extra facts re-chases over the maintained base plus the extras. Either
 // way the maintainer's epoch joins the cache fingerprint.
-func (p *Pipeline) reasonRun(opts chase.Options) (func() (*chase.Result, error), uint64) {
+func (p *Pipeline) reasonRun(ctx context.Context, opts chase.Options) (func() (*chase.Result, error), uint64) {
 	p.mntMu.Lock()
 	defer p.mntMu.Unlock()
 	if p.mnt == nil {
 		prog := p.prog
-		return func() (*chase.Result, error) { return chase.Run(prog, opts) }, 0
+		return func() (*chase.Result, error) { return chase.RunContext(ctx, prog, opts) }, 0
 	}
 	m := p.mnt
 	if len(opts.ExtraFacts) == 0 {
@@ -225,7 +237,7 @@ func (p *Pipeline) reasonRun(opts chase.Options) (func() (*chase.Result, error),
 	base := m.BaseFacts()
 	prog := *p.prog
 	prog.Facts = base
-	return func() (*chase.Result, error) { return chase.Run(&prog, opts) }, m.Epoch()
+	return func() (*chase.Result, error) { return chase.RunContext(ctx, &prog, opts) }, m.Epoch()
 }
 
 // Update applies base-fact additions and retractions to the pipeline's
@@ -239,16 +251,27 @@ func (p *Pipeline) reasonRun(opts chase.Options) (func() (*chase.Result, error),
 // become unreachable rather than stale. The returned Result is an immutable
 // snapshot of the repaired fixpoint.
 func (p *Pipeline) Update(add, retract []ast.Atom) (*chase.Result, incremental.UpdateStats, error) {
+	return p.UpdateContext(context.Background(), add, retract)
+}
+
+// UpdateContext is Update under a context. The initial maintainer build (the
+// first call's full chase) and the request-resolution phase are cancellable
+// without consequence; once the repair starts mutating the fixpoint, a
+// cancellation poisons the maintained instance like any other mid-repair
+// failure (see incremental.Maintainer.UpdateContext). Deadlines on updates
+// should therefore be generous — they are a backstop against runaway
+// programs, not a latency budget.
+func (p *Pipeline) UpdateContext(ctx context.Context, add, retract []ast.Atom) (*chase.Result, incremental.UpdateStats, error) {
 	p.mntMu.Lock()
 	defer p.mntMu.Unlock()
 	if p.mnt == nil {
-		m, err := incremental.New(p.prog, p.cfg.Chase)
+		m, err := incremental.NewContext(ctx, p.prog, p.cfg.Chase)
 		if err != nil {
 			return nil, incremental.UpdateStats{}, fmt.Errorf("core: building maintainer: %w", err)
 		}
 		p.mnt = m
 	}
-	return p.mnt.Update(add, retract)
+	return p.mnt.UpdateContext(ctx, add, retract)
 }
 
 // Maintain builds an independent maintainer over the program plus the given
@@ -257,9 +280,16 @@ func (p *Pipeline) Update(add, retract []ast.Atom) (*chase.Result, incremental.U
 // compiled application. The pipeline's own maintained instance (Update) is
 // not affected.
 func (p *Pipeline) Maintain(extra ...ast.Atom) (*incremental.Maintainer, error) {
+	return p.MaintainContext(context.Background(), extra...)
+}
+
+// MaintainContext is Maintain under a context: the stand-up chase is
+// cancellable, and a canceled build returns no maintainer (nothing to
+// poison).
+func (p *Pipeline) MaintainContext(ctx context.Context, extra ...ast.Atom) (*incremental.Maintainer, error) {
 	opts := p.cfg.Chase
 	opts.ExtraFacts = append(append([]ast.Atom{}, opts.ExtraFacts...), extra...)
-	return incremental.New(p.prog, opts)
+	return incremental.NewContext(ctx, p.prog, opts)
 }
 
 // Epoch returns the maintained instance's mutation epoch: 0 before the

@@ -37,6 +37,8 @@
 package incremental
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -87,7 +89,15 @@ type Maintainer struct {
 // New runs the chase for the program to fixpoint and returns a maintainer
 // holding the live result.
 func New(p *ast.Program, opts chase.Options) (*Maintainer, error) {
-	l, err := chase.RunLive(p, opts)
+	return NewContext(context.Background(), p, opts)
+}
+
+// NewContext is New under a context: the initial chase run is cancellable at
+// its round and chunk boundaries. A canceled construction returns
+// chase.ErrCanceled/ErrDeadline and no maintainer — nothing to poison, the
+// caller simply retries with a live context.
+func NewContext(ctx context.Context, p *ast.Program, opts chase.Options) (*Maintainer, error) {
+	l, err := chase.RunLiveContext(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -135,8 +145,15 @@ func (m *Maintainer) BaseFacts() []ast.Atom {
 	return out
 }
 
+// ErrPoisoned marks every error a maintainer returns after a failed update;
+// match with errors.Is. The original failure is included as text only —
+// deliberately not wrapped — so a maintainer poisoned by a canceled repair
+// does not itself read as a cancellation (the poison is permanent; the
+// cancellation was transient).
+var ErrPoisoned = errors.New("incremental: maintainer unusable after failed update")
+
 func (m *Maintainer) poisonErr() error {
-	return fmt.Errorf("incremental: maintainer unusable after failed update: %w", m.broken)
+	return fmt.Errorf("%w: %v", ErrPoisoned, m.broken)
 }
 
 // Update applies base-fact retractions, then additions, and repairs the
@@ -151,6 +168,20 @@ func (m *Maintainer) poisonErr() error {
 // later call reports the failure. Callers recover by building a new
 // maintainer from the intended base.
 func (m *Maintainer) Update(add, retract []ast.Atom) (*chase.Result, UpdateStats, error) {
+	return m.UpdateContext(context.Background(), add, retract)
+}
+
+// UpdateContext is Update under a context. Cancellation has two regimes:
+//
+//   - Before the first mutation (while the request is still being resolved
+//     against the store), a dead context returns chase.ErrCanceled/ErrDeadline
+//     and the maintainer stays usable — nothing changed, nothing to poison.
+//   - Once repair has started mutating the fixpoint, a cancellation is a
+//     mid-repair failure like any other: the maintainer is poisoned, because
+//     a half-repaired instance must never be served. Callers that want
+//     cancellable updates without that risk should bound the *request* (fail
+//     fast before the mutation point) rather than interrupt the repair.
+func (m *Maintainer) UpdateContext(ctx context.Context, add, retract []ast.Atom) (*chase.Result, UpdateStats, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var stats UpdateStats
@@ -204,6 +235,14 @@ func (m *Maintainer) Update(add, retract []ast.Atom) (*chase.Result, UpdateStats
 	if len(seeds) == 0 && len(adds) == 0 {
 		return live.Snapshot(), stats, nil
 	}
+
+	// Last exit before mutation: a request whose context is already dead is
+	// rejected typed but un-poisoned — the fixpoint has not been touched.
+	if err := chase.ContextErr(ctx); err != nil {
+		return nil, stats, err
+	}
+	live.SetContext(ctx)
+	defer live.SetContext(nil)
 
 	fail := func(err error) (*chase.Result, UpdateStats, error) {
 		m.broken = err

@@ -1,0 +1,42 @@
+// Package leakcheck is a test helper that fails a test when it leaks
+// goroutines. Servers under cancellation and overload are exactly where
+// leaks hide: an abandoned chase, a handler blocked on a dead client, a
+// semaphore slot never released. The check is count-based with retries —
+// goroutines legitimately take a moment to unwind after a response is
+// written — and dumps all stacks on failure so the leak is attributable.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check snapshots the goroutine count and returns a function that verifies
+// the count came back down. Use as:
+//
+//	defer leakcheck.Check(t)()
+//
+// before starting the server under test (and after any process-wide
+// singletons the test will touch have been initialized, so their goroutines
+// are part of the baseline).
+func Check(t testing.TB) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		var after int
+		// Goroutines unwind asynchronously after the last response; retry
+		// before declaring a leak.
+		for i := 0; i < 50; i++ {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d before, %d after; stacks:\n%s", before, after, buf[:n])
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+// HTTP transport construction. A bare http.ListenAndServe has no timeouts
+// at all: a client that sends its request headers one byte a minute (the
+// classic slowloris attack), or never reads its response, holds a goroutine
+// and a file descriptor forever. NewHTTPServer builds the http.Server every
+// binary should serve this handler from, with each timeout set.
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPTimeouts are the transport-level timeouts of a serving socket.
+// They bound the connection, not the request — the per-request reasoning
+// deadline is Options.RequestTimeout, and WriteTimeout must exceed it or
+// responses of slow-but-legal requests are cut off mid-body.
+type HTTPTimeouts struct {
+	// ReadHeader is the slowloris bound: how long a client may take to
+	// finish sending its request headers.
+	ReadHeader time.Duration
+	// Read bounds reading the entire request, body included.
+	Read time.Duration
+	// Write bounds writing the entire response, measured from the end of
+	// the request headers.
+	Write time.Duration
+	// Idle bounds how long a keep-alive connection may sit between
+	// requests.
+	Idle time.Duration
+}
+
+// DefaultHTTPTimeouts returns the transport defaults: headers within 5s,
+// request bodies within 30s, responses within 60s (comfortably above the
+// 30s default reasoning deadline), idle keep-alives reaped after 2min.
+func DefaultHTTPTimeouts() HTTPTimeouts {
+	return HTTPTimeouts{
+		ReadHeader: 5 * time.Second,
+		Read:       30 * time.Second,
+		Write:      60 * time.Second,
+		Idle:       2 * time.Minute,
+	}
+}
+
+// NewHTTPServer builds the configured http.Server for a handler. Zero
+// fields of t fall back to DefaultHTTPTimeouts; a negative field disables
+// that timeout (standard library semantics).
+func NewHTTPServer(addr string, h http.Handler, t HTTPTimeouts) *http.Server {
+	d := DefaultHTTPTimeouts()
+	if t.ReadHeader == 0 {
+		t.ReadHeader = d.ReadHeader
+	}
+	if t.Read == 0 {
+		t.Read = d.Read
+	}
+	if t.Write == 0 {
+		t.Write = d.Write
+	}
+	if t.Idle == 0 {
+		t.Idle = d.Idle
+	}
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: t.ReadHeader,
+		ReadTimeout:       t.Read,
+		WriteTimeout:      t.Write,
+		IdleTimeout:       t.Idle,
+	}
+}

@@ -1,0 +1,147 @@
+package server
+
+// Request-lifecycle middleware: admission control, per-request deadlines,
+// panic containment and drain gating. The reasoning endpoints (/reason,
+// /facts, /explain) run behind guard — a bounded in-flight semaphore that
+// fails fast with 503 at capacity and stamps a deadline into the request
+// context — and the whole mux runs behind protect, which turns handler
+// panics into logged 500s and rejects new work (except /stats) while the
+// server is draining for shutdown. See ARCHITECTURE.md, "Request lifecycle
+// and overload behavior".
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+
+	"repro/internal/chase"
+	"repro/internal/incremental"
+)
+
+// maxRequestBody bounds every JSON request body; oversize bodies answer 413
+// before the decoder buffers them.
+const maxRequestBody = 1 << 20
+
+// StatusClientClosedRequest is the non-standard (nginx-convention) status
+// reported when reasoning was abandoned because the client went away; the
+// client never sees it, but it keeps access logs and /stats honest.
+const StatusClientClosedRequest = 499
+
+// guard admission-controls one reasoning endpoint: a semaphore slot is
+// acquired without blocking (full → immediate 503, no queue growth), and the
+// request context gets the per-request deadline. The slot is held for the
+// handler's whole run, so cap(inflight) bounds concurrent reasoning work.
+func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server at capacity (%d requests in flight); retry", cap(s.inflight)))
+			return
+		}
+		if hook := s.testHookInflight; hook != nil {
+			hook()
+		}
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// protect wraps the whole mux: it rejects new work while the server drains
+// (503, so load balancers retry elsewhere; /stats stays up for observers)
+// and converts handler panics into logged 500s instead of killing the
+// connection — one poisoned request must not take the process down with it.
+func (s *Server) protect(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.URL.Path != "/stats" {
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is shutting down"))
+			return
+		}
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+				if !rec.wrote {
+					writeError(rec, http.StatusInternalServerError, errors.New("internal error"))
+				}
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// statusRecorder remembers whether a handler already wrote headers, so the
+// panic recovery knows whether a 500 can still be sent.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// decodeJSON decodes one bounded, strict JSON request body into v. On
+// failure it has already written the response: 413 when the body exceeds
+// maxRequestBody, 400 (naming the offending field) on unknown fields, 400 on
+// malformed JSON.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxRequestBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		if errors.As(err, &maxErr) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", maxErr.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+		return false
+	}
+	return true
+}
+
+// writeEngineError maps a reasoning-layer error onto the response status:
+// a poisoned session maintainer is a client-visible 422 (the session is
+// permanently unusable — open a new one), a deadline is 408, a client
+// disconnect is 499, and everything else (constraint violations, fact
+// limits, parse-adjacent engine errors) is 422.
+func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, incremental.ErrPoisoned):
+		writeError(w, http.StatusUnprocessableEntity, err)
+	case errors.Is(err, chase.ErrDeadline):
+		s.timeouts.Add(1)
+		writeError(w, http.StatusRequestTimeout, err)
+	case errors.Is(err, chase.ErrCanceled):
+		s.clientGone.Add(1)
+		writeError(w, StatusClientClosedRequest, err)
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err)
+	}
+}
+
+// SetDraining flips drain mode: while draining, every endpoint except
+// /stats answers 503 so that a load balancer stops routing here, while
+// requests already in flight finish normally (http.Server.Shutdown waits
+// for them).
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }

@@ -49,10 +49,12 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/ast"
@@ -86,23 +88,50 @@ type Server struct {
 	overDeleted   atomic.Uint64
 	rederived     atomic.Uint64
 	invalidations atomic.Uint64
+
+	// inflight is the admission semaphore of the reasoning endpoints: a
+	// request either takes a slot without blocking or answers 503. timeout
+	// is the per-request reasoning deadline (0 = none).
+	inflight chan struct{}
+	timeout  time.Duration
+	// draining gates new work during graceful shutdown.
+	draining atomic.Bool
+	logf     func(format string, args ...any)
+
+	// Request-lifecycle counters, reported on /stats.
+	rejected    atomic.Uint64 // 503: semaphore full
+	timeouts    atomic.Uint64 // 408: reasoning deadline exceeded
+	clientGone  atomic.Uint64 // 499: client disconnected mid-reasoning
+	panics      atomic.Uint64 // 500: handler panics contained
+	sessionBusy atomic.Uint64 // 429: concurrent mutation of one session
+
+	// testHookInflight, when set, runs inside guard while the semaphore
+	// slot is held — tests use it to saturate admission deterministically.
+	testHookInflight func()
 }
 
-// session is one live reasoning instance. mu guards every field below it:
-// /facts swaps result, epoch and the cached-explanation key list atomically,
-// and /explain reads result and epoch under the same lock so a response is
-// always rendered against a consistent (fixpoint, epoch) pair.
+// session is one live reasoning instance, with two locks at two timescales.
+// mu serializes mutations: POST /facts holds it for the whole (possibly
+// long) incremental repair, and a second concurrent mutation of the same
+// session fails fast with 429 instead of queueing behind it. stateMu guards
+// the published state (result, epoch, explKeys) with short critical
+// sections only: /facts swaps the repaired fixpoint in atomically, and
+// /explain reads result and epoch under it, so a response is always
+// rendered against a consistent (fixpoint, epoch) pair and readers never
+// block behind a running repair.
 type session struct {
 	app string
 
-	mu     sync.Mutex
-	result *chase.Result
+	mu sync.Mutex
 	// extra is the extensional fact list the session was opened with; the
-	// first mutation seeds the maintainer from it.
+	// first mutation seeds the maintainer from it. mnt is the session's
+	// incremental maintainer, nil until the first POST /facts. Both are
+	// touched only under mu.
 	extra []ast.Atom
-	// mnt is the session's incremental maintainer, nil until the first
-	// POST /facts.
-	mnt *incremental.Maintainer
+	mnt   *incremental.Maintainer
+
+	stateMu sync.Mutex
+	result  *chase.Result
 	// epoch versions the session's fixpoint (0 before the first mutation);
 	// it is part of every rendered-explanation cache key.
 	epoch uint64
@@ -116,7 +145,15 @@ const (
 	DefaultMaxSessions     = 256
 	DefaultMaxExplanations = 2048
 	DefaultResultCacheSize = 64
+	// DefaultMaxInflight bounds concurrent reasoning requests; the 65th
+	// answers 503 immediately instead of queueing.
+	DefaultMaxInflight = 64
 )
+
+// DefaultRequestTimeout is the per-request reasoning deadline: a chase (or
+// incremental repair) that has not finished after this long is canceled at
+// its next round/chunk boundary and the request answers 408.
+const DefaultRequestTimeout = 30 * time.Second
 
 // Options configure server construction.
 type Options struct {
@@ -137,6 +174,23 @@ type Options struct {
 	// share a cached chase run (with singleflight deduplication). 0
 	// selects DefaultResultCacheSize; negative values are clamped to 1.
 	ResultCacheSize int
+	// RequestTimeout is the per-request reasoning deadline: the request
+	// context handed to the chase carries it, and an overrun answers 408
+	// within one round/chunk boundary. 0 selects DefaultRequestTimeout;
+	// negative disables the deadline (client disconnect still cancels).
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently admitted reasoning requests
+	// (/reason, /facts, /explain share one semaphore); at capacity
+	// requests answer 503 immediately. 0 selects DefaultMaxInflight;
+	// negative values are clamped to 1.
+	MaxInflight int
+	// MaxFacts caps the fact store of every chase run and session
+	// (chase.Options.MaxFacts): a program that explodes past it fails with
+	// 422 instead of exhausting memory. 0 = unlimited.
+	MaxFacts int
+	// Log receives panic reports and lifecycle messages; nil selects the
+	// process-default logger.
+	Log *log.Logger
 }
 
 // New compiles every bundled application into a server with default
@@ -154,14 +208,33 @@ func NewWithOptions(opts Options) (*Server, error) {
 	if opts.ResultCacheSize == 0 {
 		opts.ResultCacheSize = DefaultResultCacheSize
 	}
+	if opts.MaxInflight == 0 {
+		opts.MaxInflight = DefaultMaxInflight
+	}
+	if opts.MaxInflight < 1 {
+		opts.MaxInflight = 1
+	}
+	switch {
+	case opts.RequestTimeout == 0:
+		opts.RequestTimeout = DefaultRequestTimeout
+	case opts.RequestTimeout < 0:
+		opts.RequestTimeout = 0
+	}
+	logger := opts.Log
+	if logger == nil {
+		logger = log.Default()
+	}
 	s := &Server{
 		pipes:        map[string]*core.Pipeline{},
 		sessions:     lru.New[string, *session](opts.MaxSessions),
 		explanations: lru.New[string, *explainResponse](opts.MaxExplanations),
+		inflight:     make(chan struct{}, opts.MaxInflight),
+		timeout:      opts.RequestTimeout,
+		logf:         logger.Printf,
 	}
 	for _, a := range apps.All() {
 		p, err := a.Pipeline(core.Config{
-			Chase:                chase.Options{Workers: opts.ChaseWorkers},
+			Chase:                chase.Options{Workers: opts.ChaseWorkers, MaxFacts: opts.MaxFacts},
 			ResultCacheSize:      opts.ResultCacheSize,
 			ExplanationCacheSize: opts.MaxExplanations,
 		})
@@ -173,16 +246,19 @@ func NewWithOptions(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Handler returns the route multiplexer.
+// Handler returns the route multiplexer. The reasoning endpoints run behind
+// the admission guard (bounded in-flight slots, per-request deadline); the
+// cheap metadata endpoints bypass it so /stats stays observable under
+// saturation; the whole mux runs behind panic recovery and the drain gate.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /apps", s.handleApps)
-	mux.HandleFunc("POST /reason", s.handleReason)
-	mux.HandleFunc("POST /facts", s.handleFacts)
-	mux.HandleFunc("GET /explain", s.handleExplain)
+	mux.HandleFunc("POST /reason", s.guard(s.handleReason))
+	mux.HandleFunc("POST /facts", s.guard(s.handleFacts))
+	mux.HandleFunc("GET /explain", s.guard(s.handleExplain))
 	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return s.protect(mux)
 }
 
 // appInfo is one row of the /apps listing.
@@ -221,8 +297,7 @@ type reasonResponse struct {
 
 func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	var req reasonRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	app, err := apps.ByName(req.App)
@@ -243,9 +318,9 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 		}
 		extra = append(extra, factProg.Facts...)
 	}
-	res, err := pipe.Reason(extra...)
+	res, err := pipe.ReasonContext(r.Context(), extra...)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeEngineError(w, err)
 		return
 	}
 
@@ -286,8 +361,7 @@ type factsResponse struct {
 
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	var req factsRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON: %w", err))
+	if !decodeJSON(w, r, &req) {
 		return
 	}
 	sess := s.session(req.Session)
@@ -315,30 +389,43 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	sess.mu.Lock()
+	// One mutation at a time per session: a request arriving while another
+	// update holds the lock fails fast with 429 instead of queueing behind
+	// a possibly long repair (its deadline would expire in the queue
+	// anyway, poisoning the maintainer mid-repair for nothing).
+	if !sess.mu.TryLock() {
+		s.sessionBusy.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session %s has a mutation in flight; retry", req.Session))
+		return
+	}
 	defer sess.mu.Unlock()
 	if sess.mnt == nil {
-		m, err := s.pipe(sess.app).Maintain(sess.extra...)
+		m, err := s.pipe(sess.app).MaintainContext(r.Context(), sess.extra...)
 		if err != nil {
-			writeError(w, http.StatusUnprocessableEntity, err)
+			s.writeEngineError(w, err)
 			return
 		}
 		sess.mnt = m
 	}
-	res, stats, err := sess.mnt.Update(add, retract)
+	res, stats, err := sess.mnt.UpdateContext(r.Context(), add, retract)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		s.writeEngineError(w, err)
 		return
 	}
+	sess.stateMu.Lock()
 	sess.result = res
 	sess.epoch = sess.mnt.Epoch()
+	stale := sess.explKeys
+	sess.explKeys = nil
+	sess.stateMu.Unlock()
 	invalidated := 0
-	for _, key := range sess.explKeys {
+	for _, key := range stale {
 		if s.explanations.Remove(key) {
 			invalidated++
 		}
 	}
-	sess.explKeys = nil
 
 	s.updates.Add(1)
 	s.deltaRounds.Add(uint64(stats.DeltaRounds))
@@ -395,9 +482,9 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	// session produced against its current fixpoint; the live-session check
 	// above keeps evicted sessions from answering, and /facts removes the
 	// previous epoch's entries. Errors are never cached.
-	sess.mu.Lock()
+	sess.stateMu.Lock()
 	result, epoch := sess.result, sess.epoch
-	sess.mu.Unlock()
+	sess.stateMu.Unlock()
 	cacheKey := sessionID + "#" + strconv.FormatUint(epoch, 10) + "\x00" + query
 	if resp, ok := s.explanations.Get(cacheKey); ok {
 		writeJSON(w, http.StatusOK, resp)
@@ -426,12 +513,12 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Cache only if the session has not moved on while we rendered: an
 	// entry for a superseded epoch would dodge the next invalidation sweep.
-	sess.mu.Lock()
+	sess.stateMu.Lock()
 	if sess.epoch == epoch {
 		s.explanations.Put(cacheKey, resp)
 		sess.explKeys = append(sess.explKeys, cacheKey)
 	}
-	sess.mu.Unlock()
+	sess.stateMu.Unlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -447,6 +534,9 @@ type statsResponse struct {
 	Apps map[string]core.CacheStats `json:"apps"`
 	// Incremental aggregates /facts maintenance work across all sessions.
 	Incremental incrementalStats `json:"incremental"`
+	// Requests reports the request-lifecycle accounting (admission,
+	// deadlines, contained panics).
+	Requests requestStats `json:"requests"`
 }
 
 // incrementalStats is the /stats incremental-maintenance section.
@@ -464,6 +554,30 @@ type incrementalStats struct {
 	Invalidations uint64 `json:"invalidations"`
 }
 
+// requestStats is the /stats request-lifecycle section.
+type requestStats struct {
+	// Inflight is the number of reasoning requests currently admitted, out
+	// of MaxInflight slots.
+	Inflight    int `json:"inflight"`
+	MaxInflight int `json:"maxInflight"`
+	// Rejected counts requests answered 503 because every slot was taken.
+	Rejected uint64 `json:"rejected"`
+	// Timeouts counts requests answered 408 because reasoning overran the
+	// per-request deadline.
+	Timeouts uint64 `json:"timeouts"`
+	// ClientGone counts reasoning runs abandoned because the client
+	// disconnected (status 499 in logs; the client never sees it).
+	ClientGone uint64 `json:"clientGone"`
+	// Panics counts handler panics contained by the recovery middleware.
+	Panics uint64 `json:"panics"`
+	// SessionBusy counts mutations answered 429 because their session
+	// already had an update in flight.
+	SessionBusy uint64 `json:"sessionBusy"`
+	// Draining reports whether the server is refusing new work for
+	// shutdown.
+	Draining bool `json:"draining"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		Sessions:     s.sessions.Stats(),
@@ -475,6 +589,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			OverDeleted:   s.overDeleted.Load(),
 			Rederived:     s.rederived.Load(),
 			Invalidations: s.invalidations.Load(),
+		},
+		Requests: requestStats{
+			Inflight:    len(s.inflight),
+			MaxInflight: cap(s.inflight),
+			Rejected:    s.rejected.Load(),
+			Timeouts:    s.timeouts.Load(),
+			ClientGone:  s.clientGone.Load(),
+			Panics:      s.panics.Load(),
+			SessionBusy: s.sessionBusy.Load(),
+			Draining:    s.draining.Load(),
 		},
 	}
 	for name, pipe := range s.pipes {
