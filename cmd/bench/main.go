@@ -9,6 +9,7 @@
 //	bench -fig all -json compiled && bench -fig all -legacy -json legacy
 //	bench -fig serving    # cold vs warm explain-all; writes BENCH_serving.json
 //	bench -fig incremental # single-fact update vs full re-chase; writes BENCH_incremental.json
+//	bench -fig columnar   # join engines on a million-fact EKG; writes BENCH_columnar.json
 package main
 
 import (
@@ -58,15 +59,24 @@ type incrementalSnapshot struct {
 	Workloads []figures.IncrementalPoint `json:"workloads"`
 }
 
+// columnarSnapshot is the machine-readable join-engine comparison record
+// written to BENCH_columnar.json by `bench -fig columnar`.
+type columnarSnapshot struct {
+	Generated string                  `json:"generated"`
+	Go        string                  `json:"go"`
+	Workloads []figures.ColumnarPoint `json:"workloads"`
+}
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental) or 'all'")
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental, columnar) or 'all'")
 		seed         = flag.Int64("seed", 42, "experiment seed")
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
 		experts      = flag.Int("experts", 14, "expert-study raters (fig16)")
 		workers      = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; figures are identical at any setting")
 		legacy       = flag.Bool("legacy", false, "use the legacy map-based join engine (timing baseline; figures are identical)")
+		batch        = flag.Bool("batch", false, "use the batch-at-a-time columnar join executor (figures are identical)")
 		jsonLabel    = flag.String("json", "", "also write per-figure wall times to BENCH_<label>.json")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always interrupts cleanly")
 	)
@@ -75,6 +85,7 @@ func main() {
 	defer stopSignals()
 	figures.SetChaseWorkers(*workers)
 	figures.SetChaseLegacy(*legacy)
+	figures.SetChaseBatch(*batch)
 
 	runners := map[string]func() (string, error){
 		"fig3": func() (string, error) { return figures.Fig3Fig9DependencyGraphs() },
@@ -151,6 +162,26 @@ func main() {
 				return "", fmt.Errorf("write BENCH_incremental.json: %w", err)
 			}
 			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_incremental.json")
+			return out, nil
+		},
+		"columnar": func() (string, error) {
+			out, points, err := figures.ColumnarThroughput()
+			if err != nil {
+				return "", err
+			}
+			snap := columnarSnapshot{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Go:        runtime.Version(),
+				Workloads: points,
+			}
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("marshal columnar snapshot: %w", err)
+			}
+			if err := os.WriteFile("BENCH_columnar.json", append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("write BENCH_columnar.json: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_columnar.json")
 			return out, nil
 		},
 	}

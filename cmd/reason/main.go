@@ -30,6 +30,7 @@ func main() {
 		graph    = flag.Bool("graph", false, "print the chase graph")
 		dot      = flag.Bool("dot", false, "print the chase graph in Graphviz DOT syntax")
 		workers  = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; results are identical at any setting")
+		batch    = flag.Bool("batch", false, "use the batch-at-a-time columnar join executor; results are identical either way")
 		timeout  = flag.Duration("timeout", 0, "abort the chase after this long (0 = no deadline); Ctrl-C always cancels cleanly")
 	)
 	flag.Parse()
@@ -40,7 +41,7 @@ func main() {
 	}
 	ctx, stop := cmdutil.SignalContext(*timeout)
 	defer stop()
-	res, err := chase.RunContext(ctx, prog, chase.Options{ExtraFacts: extra, Workers: *workers})
+	res, err := chase.RunContext(ctx, prog, chase.Options{ExtraFacts: extra, Workers: *workers, Batch: *batch})
 	if err != nil {
 		fatal(err)
 	}

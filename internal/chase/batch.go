@@ -1,0 +1,908 @@
+package chase
+
+// Batch-at-a-time columnar join execution (Options.Batch).
+//
+// The frame executor (plan.go) is tuple-at-a-time: one depth-first walk per
+// seed match, probing the store's hash indexes per partial binding. The
+// batch executor processes an entire semi-naive delta per rule in one
+// vectorized pass over the sorted columnar indexes (database.Columnar): the
+// tuple set lives column-wise (one dense []term.ValueID per bound slot, one
+// []database.FactID per bound body atom), every join depth extends all
+// tuples at once against a pre-chosen probe of the predicate's columnar
+// runs, pushed-down steps run as whole-column filters with vectorized fast
+// paths, and the columns convert to []binding only at the emission boundary
+// — the same frame→Substitution boundary the frame executor uses.
+//
+// Determinism contract. The batch output is byte-identical to the frame
+// executor's (and hence to the legacy engine's) at any worker count:
+//
+//   - At each depth the frame executor enumerates, per partial binding, the
+//     facts matching the atom pattern in ascending fact-id order — whichever
+//     hash bucket CandidatesSlots picks, the filtered candidate sequence is
+//     the same, because every bucket keeps ids ascending. The batch
+//     executor walks input tuples in order and, per tuple, visits columnar
+//     candidates in dense order, which is fact-id order (database.Columnar
+//     keeps its dense numbering id-sorted). Output tuple order therefore
+//     equals the frame executor's depth-first leaf order at every depth.
+//   - Pushed-down steps are per-tuple filters and deterministic functions of
+//     bound operands; running them column-wise over the same tuple sequence
+//     keeps the surviving set and order identical. The vectorized fast
+//     paths are semantics-preserving: id equality coincides with
+//     term.Term.Equal for interned values (numerically equal int/float
+//     constants share an id), and term.Interner.Numeric returns exactly the
+//     AsFloat view that Term.Compare uses for numeric ordering; every other
+//     case falls back to the shared condHolds/arithCombine helpers.
+//   - Parallel mode chunks the depth-0 tuple set contiguously and
+//     concatenates per-chunk outputs in chunk order, the same argument as
+//     parallel.go.
+//
+// The one intended divergence, shared with the frame executor's pushdown
+// (see plan.go): on ill-typed programs that error at run time, the batch
+// pass evaluates depth-by-depth where the frame executor recurses
+// tuple-by-tuple, so a different (equally deterministic) homomorphism may
+// surface the error. The differential suites skip such programs.
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/database"
+	"repro/internal/term"
+)
+
+// batchCols is the column-wise tuple set flowing through one batch pass:
+// tuple i is the cross-section of all non-nil columns at index i. A nil
+// column means the slot/val/atom is not bound yet at the current depth.
+type batchCols struct {
+	n     int
+	slots [][]term.ValueID
+	vals  [][]term.Term
+	facts [][]database.FactID
+}
+
+// Admission modes (semi-naive pivot filter translated to dense space) and
+// probe strategies of one join depth.
+const (
+	admitAny = iota
+	admitOld // dense index < bound (facts older than the boundary)
+	admitNew // dense index >= bound (facts at or beyond the boundary)
+)
+
+const (
+	scanExtent = iota // no usable constant/bound position: scan the extent
+	probeConst        // binary-search a constant position once per pass
+	probeBound        // binary-search a bound-slot position once per tuple
+)
+
+// batchAdmit is the precompiled candidate admission of one join depth:
+// the columnar index, the pattern ops with cached dense columns, the
+// pivot-filter mode, and the chosen probe strategy. It is immutable after
+// newBatchExec, so parallel chunks share it.
+type batchAdmit struct {
+	atomIdx int
+	c       *database.Columnar
+	ops     []database.SlotOp
+	// cols caches c.Col(pos) per pattern position; samePos maps a SlotSame
+	// position to the earlier SlotWrite position of the same slot.
+	cols    [][]term.ValueID
+	samePos []int
+	// writePoss/writeSlots are the SlotWrite positions and their slots.
+	writePoss  []int
+	writeSlots []int
+	mode       int
+	bound      int32
+	strategy   int
+	probePos   int
+	probeVal   term.ValueID
+	probeSlot  int
+	// skipPos is the probe position (already guaranteed by the run search),
+	// excluded from the per-candidate check; -1 when scanning.
+	skipPos int
+}
+
+// batchExec runs one ordered plan batch-at-a-time. It is immutable after
+// construction: parallel chunks of the same pivot share one batchExec, and
+// all per-pass mutable state lives in batchCols values and local buffers.
+type batchExec struct {
+	e      *engine
+	p      *plan
+	op     *orderedPlan
+	admits []batchAdmit
+}
+
+// ensurePlanColumnar refreshes the columnar index of every body predicate of
+// the plan, with sorted runs for exactly the positions some ordered plan of
+// the rule can probe — the constant and bound positions of its slot ops;
+// write positions only ever need the dense columns. It must run while the
+// store is writable — the engine calls it at the start of every batch join,
+// before any Freeze — so the per-pivot newBatchExec calls below find every
+// run already built.
+func (e *engine) ensurePlanColumnar(p *plan) {
+	need := make(map[string][]int, len(p.rule.Body))
+	for _, a := range p.rule.Body {
+		if _, ok := need[a.Predicate]; !ok {
+			need[a.Predicate] = nil
+		}
+	}
+	for _, op := range p.orders {
+		for d := range op.atoms {
+			pa := &op.atoms[d]
+			need[pa.Predicate] = append(need[pa.Predicate], probePositions(pa.Ops)...)
+		}
+	}
+	for pred, poss := range need {
+		e.store.EnsureColumnarRuns(pred, poss)
+	}
+}
+
+// probePositions lists the positions of one atom's slot ops that the
+// executor could select as a probe: constants and already-bound slots.
+func probePositions(ops []database.SlotOp) []int {
+	var poss []int
+	for pos, sop := range ops {
+		if sop.Kind == database.SlotConst || sop.Kind == database.SlotBound {
+			poss = append(poss, pos)
+		}
+	}
+	return poss
+}
+
+// newBatchExec precompiles one ordered plan against the current columnar
+// indexes. pivot < 0 selects the unfiltered full join; otherwise the
+// standard pivot filter (atoms before the pivot match only pre-boundary
+// facts, the pivot only post-boundary ones) is translated to dense-index
+// comparisons.
+func (e *engine) newBatchExec(p *plan, op *orderedPlan, pivot int, boundary database.FactID) *batchExec {
+	bx := &batchExec{e: e, p: p, op: op, admits: make([]batchAdmit, len(op.atoms))}
+	for d := range op.atoms {
+		pa := &op.atoms[d]
+		atomIdx := op.order[d]
+		c := e.store.EnsureColumnarRuns(pa.Predicate, probePositions(pa.Ops))
+		ad := &bx.admits[d]
+		ad.atomIdx = atomIdx
+		ad.c = c
+		ad.ops = pa.Ops
+		ad.cols = make([][]term.ValueID, len(pa.Ops))
+		ad.samePos = make([]int, len(pa.Ops))
+		for pos, sop := range pa.Ops {
+			ad.cols[pos] = c.Col(pos)
+			ad.samePos[pos] = -1
+			if sop.Kind == database.SlotSame {
+				for pos2 := 0; pos2 < pos; pos2++ {
+					if pa.Ops[pos2].Kind == database.SlotWrite && pa.Ops[pos2].Slot == sop.Slot {
+						ad.samePos[pos] = pos2
+						break
+					}
+				}
+			}
+			if sop.Kind == database.SlotWrite {
+				ad.writePoss = append(ad.writePoss, pos)
+				ad.writeSlots = append(ad.writeSlots, sop.Slot)
+			}
+		}
+		if pivot >= 0 && atomIdx <= pivot {
+			if atomIdx < pivot {
+				ad.mode = admitOld
+			} else {
+				ad.mode = admitNew
+			}
+			ad.bound = c.DenseBoundary(boundary)
+		}
+		// Probe selection: the cheapest of scanning the extent, the exact
+		// run of a constant position, and the estimated run of a bound
+		// position. Any choice yields the same candidates in the same
+		// order; this only sets the work per tuple.
+		ad.strategy = scanExtent
+		ad.probePos = -1
+		ad.skipPos = -1
+		bestCost := c.Extent()
+		for pos, sop := range pa.Ops {
+			switch sop.Kind {
+			case database.SlotConst:
+				if n := c.RunLen(pos, sop.Val); n < bestCost {
+					bestCost = n
+					ad.strategy = probeConst
+					ad.probePos = pos
+					ad.probeVal = sop.Val
+				}
+			case database.SlotBound:
+				if n := c.AvgRun(pos); n < bestCost {
+					bestCost = n
+					ad.strategy = probeBound
+					ad.probePos = pos
+					ad.probeSlot = sop.Slot
+				}
+			}
+		}
+		if ad.strategy != scanExtent {
+			ad.skipPos = ad.probePos
+		}
+	}
+	return bx
+}
+
+// admit checks one candidate (dense index k of the depth's predicate)
+// against tuple i: pivot mode, arity, and every pattern position except the
+// probed one — all reads of dense columns. The superseded check is hoisted
+// to the caller (it needs the fact id anyway).
+func (ad *batchAdmit) admit(st *batchCols, i int, k int32) bool {
+	switch ad.mode {
+	case admitOld:
+		if k >= ad.bound {
+			return false
+		}
+	case admitNew:
+		if k < ad.bound {
+			return false
+		}
+	}
+	if ad.c.RowLen(k) != len(ad.ops) {
+		return false
+	}
+	for pos := range ad.ops {
+		if pos == ad.skipPos {
+			continue
+		}
+		switch sop := &ad.ops[pos]; sop.Kind {
+		case database.SlotConst:
+			if ad.cols[pos][k] != sop.Val {
+				return false
+			}
+		case database.SlotBound:
+			if ad.cols[pos][k] != st.slots[sop.Slot][i] {
+				return false
+			}
+		case database.SlotSame:
+			if ad.cols[pos][k] != ad.cols[ad.samePos[pos]][k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// seed runs the depth-0 extension from a single virtual empty tuple,
+// producing the batch counterpart of planSeeds. Steps scheduled at depth 0
+// are deliberately not applied here — parallel mode chunks the seed set
+// first and lets each chunk filter its own tuples (see planSeeds).
+func (bx *batchExec) seed() *batchCols {
+	return bx.extend(0, &batchCols{
+		n:     1,
+		slots: make([][]term.ValueID, bx.p.nslots),
+		vals:  make([][]term.Term, bx.p.nvals),
+		facts: make([][]database.FactID, len(bx.p.rule.Body)),
+	})
+}
+
+// extend joins every input tuple with every admissible match of the atom at
+// order position d. Tuples are visited in order and candidates per tuple in
+// dense (fact-id) order, so the output order equals the frame executor's
+// depth-first leaf order. Surviving input columns are gathered through a
+// src indirection — the columnar counterpart of copying the frame per leaf.
+func (bx *batchExec) extend(d int, st *batchCols) *batchCols {
+	ad := &bx.admits[d]
+	superseded := bx.e.superseded
+	checkSuper := len(superseded) > 0
+	var src []int32
+	var newFacts []database.FactID
+	newCols := make([][]term.ValueID, len(ad.writePoss))
+
+	push := func(i int, k int32) {
+		id := ad.c.ID(k)
+		if checkSuper && superseded[id] {
+			return
+		}
+		src = append(src, int32(i))
+		newFacts = append(newFacts, id)
+		for w, pos := range ad.writePoss {
+			newCols[w] = append(newCols[w], ad.cols[pos][k])
+		}
+	}
+
+	switch ad.strategy {
+	case probeConst:
+		base, tail := ad.c.Runs(ad.probePos, ad.probeVal)
+		for i := 0; i < st.n; i++ {
+			for _, k := range base {
+				if ad.admit(st, i, k) {
+					push(i, k)
+				}
+			}
+			for _, k := range tail {
+				if ad.admit(st, i, k) {
+					push(i, k)
+				}
+			}
+		}
+	case probeBound:
+		col := st.slots[ad.probeSlot]
+		var base, tail []int32
+		probed := false
+		var lastVal term.ValueID
+		for i := 0; i < st.n; i++ {
+			if v := col[i]; !probed || v != lastVal {
+				base, tail = ad.c.Runs(ad.probePos, v)
+				lastVal, probed = v, true
+			}
+			for _, k := range base {
+				if ad.admit(st, i, k) {
+					push(i, k)
+				}
+			}
+			for _, k := range tail {
+				if ad.admit(st, i, k) {
+					push(i, k)
+				}
+			}
+		}
+	default:
+		lo, hi := int32(0), int32(ad.c.Extent())
+		switch ad.mode {
+		case admitOld:
+			hi = ad.bound
+		case admitNew:
+			lo = ad.bound
+		}
+		for i := 0; i < st.n; i++ {
+			for k := lo; k < hi; k++ {
+				if ad.admit(st, i, k) {
+					push(i, k)
+				}
+			}
+		}
+	}
+
+	out := &batchCols{
+		n:     len(src),
+		slots: make([][]term.ValueID, len(st.slots)),
+		vals:  make([][]term.Term, len(st.vals)),
+		facts: make([][]database.FactID, len(st.facts)),
+	}
+	for s, col := range st.slots {
+		if col == nil {
+			continue
+		}
+		g := make([]term.ValueID, len(src))
+		for j, i := range src {
+			g[j] = col[i]
+		}
+		out.slots[s] = g
+	}
+	for w, slot := range ad.writeSlots {
+		out.slots[slot] = newCols[w]
+	}
+	for v, col := range st.vals {
+		if col == nil {
+			continue
+		}
+		g := make([]term.Term, len(src))
+		for j, i := range src {
+			g[j] = col[i]
+		}
+		out.vals[v] = g
+	}
+	for a, col := range st.facts {
+		if col == nil {
+			continue
+		}
+		g := make([]database.FactID, len(src))
+		for j, i := range src {
+			g[j] = col[i]
+		}
+		out.facts[a] = g
+	}
+	out.facts[ad.atomIdx] = newFacts
+	return out
+}
+
+// runSteps applies the steps scheduled at depth d column-wise, in the same
+// relative order as the frame executor's runSteps; filters compact the
+// tuple set in place of dropping one frame at a time.
+func (bx *batchExec) runSteps(d int, st *batchCols) (*batchCols, error) {
+	steps := bx.op.steps[d]
+	for i := range steps {
+		var err error
+		switch s := &steps[i]; {
+		case s.assign != nil:
+			err = bx.assignCol(s.assign, st)
+		case s.cond != nil:
+			st, err = bx.filterCond(s.cond, st)
+		case s.neg != nil:
+			st = bx.filterNeg(s.neg, st)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if st.n == 0 {
+			return st, nil
+		}
+	}
+	return st, nil
+}
+
+// resolveAt turns an operand into its term for tuple i.
+func (bx *batchExec) resolveAt(o planOperand, st *batchCols, i int) term.Term {
+	if o.isConst {
+		return o.t
+	}
+	if o.kind == refVal {
+		return st.vals[o.idx][i]
+	}
+	return bx.e.store.Interner().Value(st.slots[o.idx][i])
+}
+
+// evalExprAt evaluates a compiled expression for tuple i with the shared
+// arithmetic semantics.
+func (bx *batchExec) evalExprAt(e *planExpr, st *batchCols, i int) (term.Term, error) {
+	if e.leaf {
+		return bx.resolveAt(e.operand, st, i), nil
+	}
+	l, err := bx.evalExprAt(e.l, st, i)
+	if err != nil {
+		return term.Term{}, err
+	}
+	r, err := bx.evalExprAt(e.r, st, i)
+	if err != nil {
+		return term.Term{}, err
+	}
+	return arithCombine(e.op, l, r, e.src)
+}
+
+// assignCol evaluates one assignment over all tuples into a value column.
+func (bx *batchExec) assignCol(a *planAssign, st *batchCols) error {
+	col := make([]term.Term, st.n)
+	for i := 0; i < st.n; i++ {
+		v, err := bx.evalExprAt(a.expr, st, i)
+		if err != nil {
+			return fmt.Errorf("assignment %s: %w", a.src, err)
+		}
+		col[i] = v
+	}
+	st.vals[a.target] = col
+	return nil
+}
+
+// filterCond drops the tuples for which the condition does not hold. Two
+// vectorized fast paths cover the hot cases — Eq/Ne over id space (id
+// equality is term equality for interned values) and numeric ordering via
+// the interner's Numeric cache — with per-tuple fallback to the shared
+// condHolds for everything else, so filter decisions and error messages
+// match the frame executor exactly.
+func (bx *batchExec) filterCond(c *planCond, st *batchCols) (*batchCols, error) {
+	in := bx.e.store.Interner()
+	keep := make([]bool, st.n)
+	kept := 0
+
+	if c.l.isConst && c.r.isConst {
+		// Constant condition: evaluate once, keep all or none.
+		ok, err := condHolds(c.op, c.l.t, c.r.t, c.src)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return &batchCols{
+				slots: make([][]term.ValueID, len(st.slots)),
+				vals:  make([][]term.Term, len(st.vals)),
+				facts: make([][]database.FactID, len(st.facts)),
+			}, nil
+		}
+		return st, nil
+	}
+
+	idSide := func(o planOperand) (col []term.ValueID, val term.ValueID, ok bool) {
+		if o.isConst {
+			if id, found := in.Lookup(o.t); found {
+				return nil, id, true
+			}
+			// Never interned: no stored value is semantically equal, so
+			// NoValue (matched by no slot value) encodes it exactly.
+			return nil, term.NoValue, true
+		}
+		if o.kind == refSlot {
+			return st.slots[o.idx], 0, true
+		}
+		return nil, 0, false
+	}
+
+	switch c.op {
+	case ast.OpEq, ast.OpNe:
+		lCol, lVal, lOK := idSide(c.l)
+		rCol, rVal, rOK := idSide(c.r)
+		if lOK && rOK {
+			want := c.op == ast.OpEq
+			for i := 0; i < st.n; i++ {
+				l, r := lVal, rVal
+				if lCol != nil {
+					l = lCol[i]
+				}
+				if rCol != nil {
+					r = rCol[i]
+				}
+				if (l == r) == want {
+					keep[i] = true
+					kept++
+				}
+			}
+			return compactCols(st, keep, kept), nil
+		}
+	default:
+		// Numeric ordering fast path: slot operands read the interner's
+		// float cache, constants pre-convert; any non-numeric tuple falls
+		// back to the shared semantics (string ordering, error parity).
+		numAt := func(o planOperand, i int) (float64, bool) {
+			if o.isConst {
+				return o.t.AsFloat()
+			}
+			if o.kind == refVal {
+				return st.vals[o.idx][i].AsFloat()
+			}
+			return in.Numeric(st.slots[o.idx][i])
+		}
+		for i := 0; i < st.n; i++ {
+			lf, lok := numAt(c.l, i)
+			rf, rok := numAt(c.r, i)
+			var ok bool
+			if lok && rok {
+				switch c.op {
+				case ast.OpLt:
+					ok = lf < rf
+				case ast.OpLe:
+					ok = lf <= rf
+				case ast.OpGt:
+					ok = lf > rf
+				case ast.OpGe:
+					ok = lf >= rf
+				}
+			} else {
+				var err error
+				ok, err = condHolds(c.op, bx.resolveAt(c.l, st, i), bx.resolveAt(c.r, st, i), c.src)
+				if err != nil {
+					return nil, err
+				}
+			}
+			if ok {
+				keep[i] = true
+				kept++
+			}
+		}
+		return compactCols(st, keep, kept), nil
+	}
+
+	// Generic path (computed-value operands under Eq/Ne).
+	for i := 0; i < st.n; i++ {
+		ok, err := condHolds(c.op, bx.resolveAt(c.l, st, i), bx.resolveAt(c.r, st, i), c.src)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			keep[i] = true
+			kept++
+		}
+	}
+	return compactCols(st, keep, kept), nil
+}
+
+// filterNeg drops the tuples for which the negated atom matches some
+// current (non-superseded) fact — the same stratified-negation rejection as
+// executor.negBlocked, probed per tuple through the store's hash indexes
+// (negation probes are point lookups; the columnar index buys nothing).
+func (bx *batchExec) filterNeg(ng *planNeg, st *batchCols) *batchCols {
+	store := bx.e.store
+	in := store.Interner()
+	frame := make([]term.ValueID, bx.p.nslots)
+	var scratch []database.SlotOp
+	keep := make([]bool, st.n)
+	kept := 0
+	for i := 0; i < st.n; i++ {
+		for s, col := range st.slots {
+			if col != nil {
+				frame[s] = col[i]
+			} else {
+				frame[s] = term.NoValue
+			}
+		}
+		pat := ng.pat
+		if len(ng.valFixes) > 0 {
+			scratch = append(scratch[:0], ng.pat.Ops...)
+			resolvable := true
+			for _, vf := range ng.valFixes {
+				id, ok := in.Lookup(st.vals[vf.val][i])
+				if !ok {
+					// The computed value was never interned, so no stored
+					// fact can contain it: the negated atom has no match.
+					resolvable = false
+					break
+				}
+				scratch[vf.pos] = database.SlotOp{Kind: database.SlotConst, Val: id}
+			}
+			if !resolvable {
+				keep[i] = true
+				kept++
+				continue
+			}
+			pat = database.SlotPattern{Predicate: ng.pat.Predicate, Ops: scratch}
+		}
+		blocked := false
+		for _, id := range store.CandidatesSlots(pat, frame) {
+			if bx.e.superseded[id] {
+				continue
+			}
+			if store.BindRowSlots(pat, id, frame) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			keep[i] = true
+			kept++
+		}
+	}
+	return compactCols(st, keep, kept)
+}
+
+// compactCols gathers the kept tuples, preserving order. It returns the
+// input unchanged when nothing was dropped.
+func compactCols(st *batchCols, keep []bool, kept int) *batchCols {
+	if kept == st.n {
+		return st
+	}
+	out := &batchCols{
+		n:     kept,
+		slots: make([][]term.ValueID, len(st.slots)),
+		vals:  make([][]term.Term, len(st.vals)),
+		facts: make([][]database.FactID, len(st.facts)),
+	}
+	for s, col := range st.slots {
+		if col == nil {
+			continue
+		}
+		g := make([]term.ValueID, 0, kept)
+		for i, k := range keep {
+			if k {
+				g = append(g, col[i])
+			}
+		}
+		out.slots[s] = g
+	}
+	for v, col := range st.vals {
+		if col == nil {
+			continue
+		}
+		g := make([]term.Term, 0, kept)
+		for i, k := range keep {
+			if k {
+				g = append(g, col[i])
+			}
+		}
+		out.vals[v] = g
+	}
+	for a, col := range st.facts {
+		if col == nil {
+			continue
+		}
+		g := make([]database.FactID, 0, kept)
+		for i, k := range keep {
+			if k {
+				g = append(g, col[i])
+			}
+		}
+		out.facts[a] = g
+	}
+	return out
+}
+
+// appendBindings converts the leaf columns to bindings. Frames and value
+// tuples are carved out of two arena allocations (they are transient: read
+// once at the emission boundary); the premise fact tuples are allocated per
+// binding because Derivation.Premises and Contribution.Premises retain them
+// for the lifetime of the result.
+func (bx *batchExec) appendBindings(st *batchCols, out []binding) []binding {
+	if st.n == 0 {
+		return out
+	}
+	p := bx.p
+	nb := len(st.facts)
+	frames := make([]term.ValueID, st.n*p.nslots)
+	var vals []term.Term
+	if p.nvals > 0 {
+		vals = make([]term.Term, st.n*p.nvals)
+	}
+	for i := 0; i < st.n; i++ {
+		b := binding{
+			frame: frames[i*p.nslots : (i+1)*p.nslots : (i+1)*p.nslots],
+			facts: make([]database.FactID, nb),
+		}
+		for s := 0; s < p.nslots; s++ {
+			b.frame[s] = st.slots[s][i]
+		}
+		for a := 0; a < nb; a++ {
+			b.facts[a] = st.facts[a][i]
+		}
+		if p.nvals > 0 {
+			b.vals = vals[i*p.nvals : (i+1)*p.nvals : (i+1)*p.nvals]
+			for v := 0; v < p.nvals; v++ {
+				b.vals[v] = st.vals[v][i]
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// finishFrom drives an already-seeded tuple set through the remaining
+// depths: steps at the current depth, then the next extension, with a
+// cancellation checkpoint per depth.
+func (bx *batchExec) finishFrom(st *batchCols, out []binding) ([]binding, error) {
+	for d := 0; ; d++ {
+		if err := bx.e.checkCtx(); err != nil {
+			return nil, err
+		}
+		var err error
+		st, err = bx.runSteps(d, st)
+		if err != nil {
+			return nil, err
+		}
+		if st.n == 0 {
+			return out, nil
+		}
+		if d+1 == len(bx.op.atoms) {
+			return bx.appendBindings(st, out), nil
+		}
+		st = bx.extend(d+1, st)
+		if st.n == 0 {
+			return out, nil
+		}
+	}
+}
+
+// run seeds and finishes one sequential batch pass, appending to out.
+func (bx *batchExec) run(out []binding) ([]binding, error) {
+	if err := bx.e.checkCtx(); err != nil {
+		return nil, err
+	}
+	st := bx.seed()
+	if st.n == 0 {
+		return out, nil
+	}
+	return bx.finishFrom(st, out)
+}
+
+// joinBatchBody is the batch-engine full body join (sequential).
+func (e *engine) joinBatchBody(p *plan) ([]binding, error) {
+	e.ensurePlanColumnar(p)
+	bx := e.newBatchExec(p, p.orders[0], -1, 0)
+	out, err := bx.run(nil)
+	if err != nil || len(out) == 0 {
+		return nil, err
+	}
+	return out, nil
+}
+
+// joinBatchSemiNaive is the batch-engine semi-naive join (sequential): one
+// batch pass per pivot decomposition, outputs concatenated in pivot order
+// exactly like the frame and legacy engines.
+func (e *engine) joinBatchSemiNaive(p *plan, boundary database.FactID) ([]binding, error) {
+	e.ensurePlanColumnar(p)
+	var all []binding
+	for pivot := range p.orders {
+		bx := e.newBatchExec(p, p.orders[pivot], pivot, boundary)
+		var err error
+		all, err = bx.run(all)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all, nil
+}
+
+// batchTask is one contiguous chunk of a pivot's seed tuples, finished
+// independently on the worker pool and merged in task order.
+type batchTask struct {
+	bx  *batchExec
+	st  *batchCols
+	out []binding
+}
+
+// sliceCols returns the contiguous sub-range [lo, hi) of a tuple set; the
+// sub-columns alias the input, which chunks only read.
+func sliceCols(st *batchCols, lo, hi int) *batchCols {
+	out := &batchCols{
+		n:     hi - lo,
+		slots: make([][]term.ValueID, len(st.slots)),
+		vals:  make([][]term.Term, len(st.vals)),
+		facts: make([][]database.FactID, len(st.facts)),
+	}
+	for s, col := range st.slots {
+		if col != nil {
+			out.slots[s] = col[lo:hi]
+		}
+	}
+	for v, col := range st.vals {
+		if col != nil {
+			out.vals[v] = col[lo:hi]
+		}
+	}
+	for a, col := range st.facts {
+		if col != nil {
+			out.facts[a] = col[lo:hi]
+		}
+	}
+	return out
+}
+
+// appendBatchChunked splits a seeded tuple set into up to
+// workers*chunksPerWorker contiguous chunks, preserving tuple order across
+// the chunk sequence (the same chunk arithmetic as appendChunked).
+func appendBatchChunked(tasks []*batchTask, bx *batchExec, st *batchCols, workers int) []*batchTask {
+	if st.n == 0 {
+		return tasks
+	}
+	chunks := workers * chunksPerWorker
+	if chunks > st.n {
+		chunks = st.n
+	}
+	for c := 0; c < chunks; c++ {
+		lo := c * st.n / chunks
+		hi := (c + 1) * st.n / chunks
+		tasks = append(tasks, &batchTask{bx: bx, st: sliceCols(st, lo, hi)})
+	}
+	return tasks
+}
+
+// runBatchTasks finishes every chunk on the worker pool under the same
+// Freeze/Thaw discipline as runPlanTasks, then merges the outputs in task
+// order. Chunks only read shared state (the store, the columnar indexes —
+// refreshed before the freeze — the superseded set, and the shared
+// batchExec); every column a chunk produces is freshly allocated.
+func (e *engine) runBatchTasks(tasks []*batchTask) ([]binding, error) {
+	if len(tasks) == 0 {
+		return nil, nil
+	}
+	e.store.Freeze()
+	err := runParallel(e.workers, len(tasks), func(i int) error {
+		t := tasks[i]
+		out, err := t.bx.finishFrom(t.st, nil)
+		if err != nil {
+			return err
+		}
+		t.out = out
+		return nil
+	})
+	e.store.Thaw()
+	if err != nil {
+		return nil, err
+	}
+	var all []binding
+	for _, t := range tasks {
+		all = append(all, t.out...)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	return all, nil
+}
+
+// joinBatchBodyParallel is joinBatchBody with the post-seed depths fanned
+// out over the worker pool.
+func (e *engine) joinBatchBodyParallel(p *plan) ([]binding, error) {
+	e.ensurePlanColumnar(p)
+	bx := e.newBatchExec(p, p.orders[0], -1, 0)
+	tasks := appendBatchChunked(nil, bx, bx.seed(), e.workers)
+	return e.runBatchTasks(tasks)
+}
+
+// joinBatchSemiNaiveParallel evaluates all pivot decompositions as one task
+// pool; merging by (pivot, chunk) index reproduces the sequential
+// pivot-by-pivot concatenation exactly.
+func (e *engine) joinBatchSemiNaiveParallel(p *plan, boundary database.FactID) ([]binding, error) {
+	e.ensurePlanColumnar(p)
+	var tasks []*batchTask
+	for pivot := range p.orders {
+		bx := e.newBatchExec(p, p.orders[pivot], pivot, boundary)
+		tasks = appendBatchChunked(tasks, bx, bx.seed(), e.workers)
+	}
+	return e.runBatchTasks(tasks)
+}

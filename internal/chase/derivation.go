@@ -25,6 +25,20 @@
 // are byte-identical either way, so it exists as the differential and
 // benchmarking baseline.
 //
+// Options.Batch replaces the tuple-at-a-time frame executor with a
+// batch-at-a-time columnar executor built on the store's sorted columnar
+// indexes (database.Columnar): each rule evaluation admits an entire
+// delta's worth of tuples into column vectors, runs every join depth,
+// condition, assignment and negation check over whole columns, and
+// converts to Substitutions only for the tuples that survive to
+// emission. The batch executor is byte-identical to the frame executor
+// — same facts, ids, step order, premises and substitutions — because
+// both enumerate candidates in ascending fact-id order and the columnar
+// index's runs are sorted by (value, dense position) with dense position
+// equal to bucket rank (see batch.go for the full determinism contract).
+// Batch requires compiled plans, so it is mutually exclusive with
+// Options.Legacy.
+//
 // Optionally the join phase is parallel: Options.Workers > 1 fans the
 // read-only join phase of each rule evaluation out over a worker pool
 // while keeping the emission phase single-threaded, so results are
@@ -144,6 +158,17 @@ type Result struct {
 	superseded map[database.FactID]bool
 	// Rounds is the number of evaluation rounds until fixpoint.
 	Rounds int
+	// LoadSeconds and EvalSeconds split the initial run's wall time into
+	// the fact-ingestion phase (interning the program's and the options'
+	// extra facts into the store) and the evaluation phase (plan
+	// compilation, stratification, the chase to fixpoint, and constraint
+	// checking). Pure observability: the engine-differential suites
+	// compare results field by field and deliberately ignore these. The
+	// engine benchmark (`cmd/bench -fig columnar`) reads EvalSeconds so
+	// executor comparisons are not diluted by ingestion, which runs
+	// identical code under every executor.
+	LoadSeconds float64
+	EvalSeconds float64
 
 	// memoOnce guards the one-time construction of the proof-closure memo;
 	// memo is immutable once built (see memo.go). Both are internal to

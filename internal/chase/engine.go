@@ -45,6 +45,16 @@ type Options struct {
 	// so Legacy exists only as the differential-testing and benchmarking
 	// baseline.
 	Legacy bool
+	// Batch selects the batch-at-a-time columnar join executor (batch.go):
+	// each rule evaluation processes its entire semi-naive delta in one
+	// vectorized pass over per-predicate sorted columnar indexes
+	// (database.Columnar) instead of one depth-first walk per tuple.
+	// Results are byte-identical to the default frame executor at any
+	// worker count — the differential and fuzz suites enforce it — so,
+	// like Workers and Legacy, Batch does not participate in result cache
+	// fingerprints. Mutually exclusive with Legacy (the legacy engine
+	// predates compiled plans, which the batch executor builds on).
+	Batch bool
 }
 
 const (
@@ -120,6 +130,9 @@ type engine struct {
 	// legacy selects the map-based join interpreter over the compiled
 	// slot-plan executor.
 	legacy bool
+	// batch selects the batch-at-a-time columnar executor (batch.go) over
+	// the tuple-at-a-time frame executor; implies !legacy.
+	batch bool
 	// workers is the join-phase worker-pool size; <= 1 means sequential.
 	workers int
 	// keyBuf is the reusable scratch buffer for aggregation group and
@@ -228,6 +241,12 @@ func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
 		if err != nil {
 			return nil, err
 		}
+		if e.batch {
+			if e.workers > 1 {
+				return e.joinBatchBodyParallel(p)
+			}
+			return e.joinBatchBody(p)
+		}
 		if e.workers > 1 {
 			return e.joinPlanBodyParallel(p)
 		}
@@ -253,6 +272,12 @@ func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]bin
 		p, err := e.planFor(r)
 		if err != nil {
 			return nil, err
+		}
+		if e.batch {
+			if e.workers > 1 {
+				return e.joinBatchSemiNaiveParallel(p, boundary)
+			}
+			return e.joinBatchSemiNaive(p, boundary)
 		}
 		if e.workers > 1 {
 			return e.joinPlanSemiNaiveParallel(p, boundary)

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/ast"
 	"repro/internal/database"
@@ -49,6 +50,10 @@ type Live struct {
 	// un-pre-empt them; any retraction resets them to a full re-join.
 	existRules []*ast.Rule
 	hasNeg     bool
+	// loadSeconds/evalSeconds split the initial run's wall time; see
+	// Result.LoadSeconds.
+	loadSeconds float64
+	evalSeconds float64
 }
 
 // RunLive executes the chase to fixpoint like Run but keeps the engine
@@ -68,6 +73,9 @@ func RunLiveContext(ctx context.Context, p *ast.Program, opts Options) (*Live, e
 	}
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("chase: invalid program: %w", err)
+	}
+	if opts.Batch && opts.Legacy {
+		return nil, fmt.Errorf("chase: options Batch and Legacy are mutually exclusive")
 	}
 	maxRounds := opts.MaxRounds
 	if maxRounds <= 0 {
@@ -96,8 +104,10 @@ func RunLiveContext(ctx context.Context, p *ast.Program, opts Options) (*Live, e
 		maxFacts:   maxFacts,
 		naive:      opts.Naive,
 		legacy:     opts.Legacy,
+		batch:      opts.Batch,
 		workers:    workers,
 	}
+	loadStart := time.Now()
 	for _, f := range p.Facts {
 		if _, _, err := e.store.Add(f, true); err != nil {
 			return nil, err
@@ -111,6 +121,7 @@ func RunLiveContext(ctx context.Context, p *ast.Program, opts Options) (*Live, e
 			return nil, err
 		}
 	}
+	evalStart := time.Now()
 
 	// Compile every rule into its slot-based join plans up front (the
 	// legacy engine interprets rules directly and needs none). Constants
@@ -161,6 +172,9 @@ func RunLiveContext(ctx context.Context, p *ast.Program, opts Options) (*Live, e
 	if err := e.checkConstraints(); err != nil {
 		return nil, err
 	}
+	now := time.Now()
+	l.loadSeconds = evalStart.Sub(loadStart).Seconds()
+	l.evalSeconds = now.Sub(evalStart).Seconds()
 	e.ctx = nil // detach: later maintenance installs its own context
 	return l, nil
 }
@@ -222,12 +236,14 @@ func (l *Live) Snapshot() *Result {
 		superseded[k] = v
 	}
 	return &Result{
-		Program:    e.prog,
-		Store:      e.store,
-		Steps:      e.steps,
-		derivs:     derivs,
-		superseded: superseded,
-		Rounds:     l.rounds,
+		Program:     e.prog,
+		Store:       e.store,
+		Steps:       e.steps,
+		derivs:      derivs,
+		superseded:  superseded,
+		Rounds:      l.rounds,
+		LoadSeconds: l.loadSeconds,
+		EvalSeconds: l.evalSeconds,
 	}
 }
 

@@ -503,8 +503,15 @@ func (x *executor) resolve(o planOperand) term.Term {
 
 // holds evaluates a compiled condition with ast.Condition.Holds semantics.
 func (x *executor) holds(c *planCond) (bool, error) {
-	l, r := x.resolve(c.l), x.resolve(c.r)
-	switch c.op {
+	return condHolds(c.op, x.resolve(c.l), x.resolve(c.r), c.src)
+}
+
+// condHolds is the shared condition semantics of the frame and batch
+// executors (ast.Condition.Holds over resolved terms). Both must route
+// through it so filter decisions — and error messages on ill-typed
+// programs — stay identical across engines.
+func condHolds(op ast.CompareOp, l, r term.Term, src ast.Condition) (bool, error) {
+	switch op {
 	case ast.OpEq:
 		return l.Equal(r), nil
 	case ast.OpNe:
@@ -512,9 +519,9 @@ func (x *executor) holds(c *planCond) (bool, error) {
 	}
 	cmp, ok := l.Compare(r)
 	if !ok {
-		return false, fmt.Errorf("condition %v: incomparable terms %v and %v", c.src, l, r)
+		return false, fmt.Errorf("condition %v: incomparable terms %v and %v", src, l, r)
 	}
-	switch c.op {
+	switch op {
 	case ast.OpLt:
 		return cmp < 0, nil
 	case ast.OpLe:
@@ -524,7 +531,7 @@ func (x *executor) holds(c *planCond) (bool, error) {
 	case ast.OpGe:
 		return cmp >= 0, nil
 	}
-	return false, fmt.Errorf("condition %v: unknown operator", c.src)
+	return false, fmt.Errorf("condition %v: unknown operator", src)
 }
 
 // evalExpr evaluates a compiled expression with ast.Expr.Eval semantics.
@@ -540,13 +547,19 @@ func (x *executor) evalExpr(e *planExpr) (term.Term, error) {
 	if err != nil {
 		return term.Term{}, err
 	}
+	return arithCombine(e.op, l, r, e.src)
+}
+
+// arithCombine is the shared arithmetic semantics of the frame and batch
+// executors (ast.BinaryExpr.Eval over resolved operands).
+func arithCombine(op ast.ArithOp, l, r term.Term, src string) (term.Term, error) {
 	lf, lok := l.AsFloat()
 	rf, rok := r.AsFloat()
 	if !lok || !rok {
-		return term.Term{}, fmt.Errorf("expression %s: non-numeric operands %v, %v", e.src, l, r)
+		return term.Term{}, fmt.Errorf("expression %s: non-numeric operands %v, %v", src, l, r)
 	}
 	var v float64
-	switch e.op {
+	switch op {
 	case ast.ArithAdd:
 		v = lf + rf
 	case ast.ArithSub:
@@ -555,11 +568,11 @@ func (x *executor) evalExpr(e *planExpr) (term.Term, error) {
 		v = lf * rf
 	case ast.ArithDiv:
 		if rf == 0 {
-			return term.Term{}, fmt.Errorf("expression %s: division by zero", e.src)
+			return term.Term{}, fmt.Errorf("expression %s: division by zero", src)
 		}
 		v = lf / rf
 	default:
-		return term.Term{}, fmt.Errorf("expression %s: unknown operator", e.src)
+		return term.Term{}, fmt.Errorf("expression %s: unknown operator", src)
 	}
 	return term.Float(v), nil
 }

@@ -159,11 +159,13 @@ P(X) :- Own(X, X, S), Edge(X, Y), S > 0.5.
 	}
 }
 
-// FuzzPlanDifferential fuzzes whole programs through both engines: any
-// parseable, valid program either fails on both engines or produces a
-// byte-identical result. (Per the documented pushdown caveat, runtime
-// evaluation errors may surface on different homomorphisms, so inputs where
-// either engine errors are skipped rather than compared.)
+// FuzzPlanDifferential fuzzes whole programs through all three engines —
+// legacy, compiled frame, and batch columnar — each crossed with worker
+// counts 0 and 4: any parseable, valid program either fails on every engine
+// or produces a byte-identical result. (Per the documented pushdown caveat,
+// runtime evaluation errors may surface on different homomorphisms, so
+// inputs where either baseline engine errors are skipped rather than
+// compared.)
 func FuzzPlanDifferential(f *testing.F) {
 	f.Add(stressSimpleSrc)
 	f.Add(irishBankSrc)
@@ -194,5 +196,15 @@ func FuzzPlanDifferential(f *testing.F) {
 			t.Fatalf("compiled sequential succeeded but workers=4 failed: %v", perr)
 		}
 		diffResults(t, "fuzz-parallel", legacy, par)
+		for _, workers := range []int{0, 4} {
+			batchOpts := bound
+			batchOpts.Batch = true
+			batchOpts.Workers = workers
+			batch, berr := Run(prog, batchOpts)
+			if berr != nil {
+				t.Fatalf("frame executor succeeded but batch workers=%d failed: %v", workers, berr)
+			}
+			diffResults(t, fmt.Sprintf("fuzz-batch-%d", workers), legacy, batch)
+		}
 	})
 }

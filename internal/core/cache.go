@@ -18,7 +18,7 @@ import (
 // outcome, plus the maintained instance's epoch (0 until the pipeline's
 // first Update). Extra facts are hashed in order — fact order determines
 // fact ids and hence proofs, so two requests are "the same run" only when
-// their fact lists match positionally. Workers, Legacy and Naive are
+// their fact lists match positionally. Workers, Legacy, Naive and Batch are
 // deliberately excluded: results are proven byte-identical across those
 // settings (the differential suites in chase enforce it), so runs may be
 // shared across them; MaxRounds and MaxFacts are included because they

@@ -11,6 +11,17 @@
 // half of the incremental-maintenance contract (internal/incremental).
 // Re-adding a retracted atom interns a fresh fact under a new id.
 //
+// Alongside the hash indexes the store maintains per-predicate sorted
+// columnar indexes (Columnar, see columnar.go): dense column-major value
+// arrays plus per-position permutations sorted by (value, fact id), the
+// representation the batch-at-a-time join executor scans and probes. They
+// are built lazily by EnsureColumnar (all positions) or EnsureColumnarRuns
+// (sorted runs for the listed probe positions only, radix-sorted on the
+// value id), kept coherent across Add, Retract,
+// Freeze and Thaw (appends accumulate in a small sorted tail that is
+// LSM-merged into the base; retraction invalidates and the next ensure
+// rebuilds), and their maintenance work is counted on ColumnarStats.
+//
 // # Concurrency contract
 //
 // A Store is not synchronized. It is safe for any number of concurrent
@@ -20,7 +31,10 @@
 // read-only over a store snapshot and is separated from the single-threaded
 // emission phase that appends facts. Freeze/Thaw make that phase boundary
 // explicit and turn any out-of-phase write into an error instead of a data
-// race.
+// race. EnsureColumnar and EnsureColumnarRuns are writers when the index
+// has pending work: callers must refresh indexes before freezing (the chase
+// calls them at join entry), and a refresh or run-build attempt during a
+// frozen phase panics rather than racing.
 package database
 
 import (
@@ -63,6 +77,10 @@ type Store struct {
 	// index maps predicate/position/value-id to the facts with that value
 	// at that position.
 	index map[indexKey][]FactID
+	// colIdx holds the lazily built per-predicate sorted columnar indexes
+	// (columnar.go); colStats counts their maintenance work.
+	colIdx   map[string]*Columnar
+	colStats ColumnarStats
 	// frozen marks a read-only snapshot phase; Add and Retract reject
 	// writes while set. It is toggled only between phases (never while
 	// readers run), so plain (unsynchronized) access is race-free.
@@ -191,6 +209,7 @@ func (s *Store) Retract(id FactID) error {
 		delete(s.byKey, f.Atom.Key())
 	}
 	s.byPred[f.Atom.Predicate] = removeID(s.byPred[f.Atom.Predicate], id)
+	s.invalidateColumnar(f.Atom.Predicate)
 	for pos, v := range s.rows[id] {
 		k := indexKey{f.Atom.Predicate, pos, v}
 		s.index[k] = removeID(s.index[k], id)

@@ -1,0 +1,33 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestColumnarThroughputTiny runs the columnar benchmark at a toy scale: the
+// point builder itself asserts that all three engines derive the same fact
+// count, so passing means the measured workloads are engine-independent.
+func TestColumnarThroughputTiny(t *testing.T) {
+	table, points, err := columnarThroughput(6, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, pt := range points {
+		if pt.Facts == 0 {
+			t.Fatalf("%s: no extensional facts", pt.Workload)
+		}
+		if pt.Derived <= 0 {
+			t.Fatalf("%s: nothing derived", pt.Workload)
+		}
+		if pt.BatchSeconds <= 0 || pt.FrameSeconds <= 0 || pt.LegacySeconds <= 0 {
+			t.Fatalf("%s: non-positive timing: %+v", pt.Workload, pt)
+		}
+		if !strings.Contains(table, pt.Workload) {
+			t.Fatalf("table missing workload %s:\n%s", pt.Workload, table)
+		}
+	}
+}

@@ -52,6 +52,9 @@ func applyWorkers(cfg core.Config) core.Config {
 	if chaseLegacy {
 		cfg.Chase.Legacy = true
 	}
+	if chaseBatch {
+		cfg.Chase.Batch = true
+	}
 	return cfg
 }
 

@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/parser"
+	"repro/internal/synth"
+)
+
+// TestColumnarProfile is a profiling harness, not a correctness test: it
+// runs one columnar-benchmark workload under one engine so
+// `go test -run TestColumnarProfile -cpuprofile cpu.out` isolates the join
+// executor selected by COLUMNAR_PROFILE_ENGINE (batch|frame|legacy).
+// COLUMNAR_PROFILE_WORKLOAD picks reach (default) or twohop;
+// COLUMNAR_PROFILE_FULL runs the benchmark's full million-fact scale
+// instead of the mid scale.
+func TestColumnarProfile(t *testing.T) {
+	engine := os.Getenv("COLUMNAR_PROFILE_ENGINE")
+	if engine == "" {
+		t.Skip("set COLUMNAR_PROFILE_ENGINE=batch|frame|legacy to profile")
+	}
+	rules := columnarReachRules
+	if os.Getenv("COLUMNAR_PROFILE_WORKLOAD") == "twohop" {
+		rules = columnarTwoHopRules
+	}
+	scale := []int{32, 300, 16}
+	if os.Getenv("COLUMNAR_PROFILE_FULL") != "" {
+		scale = []int{64, 500, 32}
+	}
+	facts := synth.LayeredOwnership(scale[0], scale[1], scale[2], 42)
+	prog, err := parser.Parse(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := chase.Options{ExtraFacts: facts}
+	switch engine {
+	case "batch":
+		opts.Batch = true
+	case "legacy":
+		opts.Legacy = true
+	}
+	res, err := chase.Run(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s: %d facts total, load %.2fs eval %.2fs",
+		engine, res.Store.Len(), res.LoadSeconds, res.EvalSeconds)
+}

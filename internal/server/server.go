@@ -60,6 +60,7 @@ import (
 	"repro/internal/ast"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/database"
 	"repro/internal/incremental"
 	"repro/internal/lru"
 	"repro/internal/parser"
@@ -161,6 +162,11 @@ type Options struct {
 	// request (chase.Options.Workers): 0 = sequential, negative = all
 	// cores. Responses are identical at any setting.
 	ChaseWorkers int
+	// ChaseBatch selects the batch-at-a-time columnar join executor for
+	// every reasoning request (chase.Options.Batch). Responses are
+	// identical either way; only wall time and the /stats columnar
+	// counters change.
+	ChaseBatch bool
 	// MaxSessions bounds the session store; at capacity the least
 	// recently used session is evicted and later /explain calls against
 	// it answer 404. 0 selects DefaultMaxSessions; negative values are
@@ -234,7 +240,7 @@ func NewWithOptions(opts Options) (*Server, error) {
 	}
 	for _, a := range apps.All() {
 		p, err := a.Pipeline(core.Config{
-			Chase:                chase.Options{Workers: opts.ChaseWorkers, MaxFacts: opts.MaxFacts},
+			Chase:                chase.Options{Workers: opts.ChaseWorkers, Batch: opts.ChaseBatch, MaxFacts: opts.MaxFacts},
 			ResultCacheSize:      opts.ResultCacheSize,
 			ExplanationCacheSize: opts.MaxExplanations,
 		})
@@ -534,6 +540,10 @@ type statsResponse struct {
 	Apps map[string]core.CacheStats `json:"apps"`
 	// Incremental aggregates /facts maintenance work across all sessions.
 	Incremental incrementalStats `json:"incremental"`
+	// Columnar aggregates columnar index-maintenance work (rebuilds,
+	// tail merges, tail refreshes, appended rows) across every fact store
+	// in the process — the cost side of the batch executor's ledger.
+	Columnar database.ColumnarStats `json:"columnar"`
 	// Requests reports the request-lifecycle accounting (admission,
 	// deadlines, contained panics).
 	Requests requestStats `json:"requests"`
@@ -590,6 +600,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rederived:     s.rederived.Load(),
 			Invalidations: s.invalidations.Load(),
 		},
+		Columnar: database.GlobalColumnarStats(),
 		Requests: requestStats{
 			Inflight:    len(s.inflight),
 			MaxInflight: cap(s.inflight),

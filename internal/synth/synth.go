@@ -269,3 +269,53 @@ func RandomControl(layers, width int, seed int64) Scenario {
 	}
 	return Scenario{App: apps.NameCompanyControl, Facts: facts}
 }
+
+// LayeredOwnership builds a large layered ownership DAG for join-throughput
+// benchmarking: `layers` layers of `width` companies each, every company
+// owning `fanout` distinct random companies of the next layer, so the EKG
+// holds layers*width*fanout Own facts plus width Source markers on the first
+// layer. Only about 8% of the edges carry majority shares (> 0.5), which
+// makes majority-reachability chases join-dominated: an engine scans every
+// out-edge of a reached company but extends the frontier through few of
+// them, so the probes-per-derivation ratio stays high and executor join
+// throughput — not fact emission — decides the wall time. Duplicate edges
+// between the same pair keep only the first share (the store deduplicates by
+// atom identity, not by pair, so the generator avoids pair collisions up
+// front to make the fact count exact).
+func LayeredOwnership(layers, width, fanout int, seed int64) []ast.Atom {
+	if layers < 2 {
+		layers = 2
+	}
+	if width < 1 {
+		width = 1
+	}
+	if fanout < 1 {
+		fanout = 1
+	}
+	if fanout > width {
+		fanout = width
+	}
+	rng := rand.New(rand.NewSource(seed))
+	prefix := fmt.Sprintf("B%d_", seed)
+	node := func(l, i int) string { return fmt.Sprintf("%sL%dC%d", prefix, l, i) }
+	facts := make([]ast.Atom, 0, layers*width*fanout+width)
+	for i := 0; i < width; i++ {
+		facts = append(facts, ast.NewAtom("Source", term.Str(node(0, i))))
+	}
+	for l := 0; l < layers; l++ {
+		for i := 0; i < width; i++ {
+			// Sample fanout distinct targets via a partial Fisher-Yates over
+			// the next layer's indexes.
+			perm := rng.Perm(width)
+			for t := 0; t < fanout; t++ {
+				share := 0.05 + float64(rng.Intn(45))/100 // minority: (0.05, 0.50)
+				if rng.Intn(1000) < 80 {
+					share = 0.51 + float64(rng.Intn(44))/100 // ~8% majority
+				}
+				facts = append(facts, ast.NewAtom("Own",
+					term.Str(node(l, i)), term.Str(node(l+1, perm[t])), term.Float(share)))
+			}
+		}
+	}
+	return facts
+}

@@ -29,6 +29,13 @@ const NoValue ValueID = -1
 type Interner struct {
 	byKey map[string]ValueID
 	terms []Term
+	// nums caches the float64 value of numeric ids (parallel to terms);
+	// isNum marks which entries are valid. The batch join executor
+	// (internal/chase/batch.go) evaluates numeric comparisons over whole
+	// candidate runs through this cache instead of materializing a Term per
+	// candidate.
+	nums  []float64
+	isNum []bool
 }
 
 // NewInterner returns an empty dictionary.
@@ -48,7 +55,19 @@ func (in *Interner) Intern(t Term) ValueID {
 	id := ValueID(len(in.terms))
 	in.byKey[key] = id
 	in.terms = append(in.terms, t)
+	f, ok := t.AsFloat()
+	in.nums = append(in.nums, f)
+	in.isNum = append(in.isNum, ok)
 	return id
+}
+
+// Numeric returns the float64 value of an interned id when its
+// representative term is an int or float constant (ok=false otherwise). It is
+// Value(id).AsFloat() as two array loads — the form the batch executor's
+// vectorized condition filters need. Key-sharing numeric terms (3 and 3.0)
+// have the same float value, so the cache is representative-independent.
+func (in *Interner) Numeric(id ValueID) (float64, bool) {
+	return in.nums[id], in.isNum[id]
 }
 
 // Lookup returns the id of t without interning. ok is false when t was never

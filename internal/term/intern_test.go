@@ -67,3 +67,27 @@ func TestInternerLookupValue(t *testing.T) {
 		t.Fatalf("representative renders as %q, want \"7\"", v.Display())
 	}
 }
+
+// TestInternerNumericCache: Numeric is Value(id).AsFloat() for every id —
+// including key-sharing int/float pairs, whose shared entry is
+// representative-independent — and ok=false for non-numeric terms.
+func TestInternerNumericCache(t *testing.T) {
+	in := NewInterner()
+	terms := []Term{Int(3), Float(3.0), Float(2.5), Str("x"), Bool(true), Null("z1"), Int(-7)}
+	for _, tm := range terms {
+		id := in.Intern(tm)
+		gotF, gotOK := in.Numeric(id)
+		wantF, wantOK := in.Value(id).AsFloat()
+		if gotOK != wantOK || (wantOK && gotF != wantF) {
+			t.Errorf("Numeric(%v) = (%v, %v), want (%v, %v)", tm, gotF, gotOK, wantF, wantOK)
+		}
+	}
+	i3 := in.Intern(Int(3))
+	f3 := in.Intern(Float(3.0))
+	if i3 != f3 {
+		t.Fatalf("3 and 3.0 interned to different ids: %d vs %d", i3, f3)
+	}
+	if f, ok := in.Numeric(i3); !ok || f != 3.0 {
+		t.Fatalf("Numeric(shared 3) = (%v, %v)", f, ok)
+	}
+}

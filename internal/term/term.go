@@ -6,6 +6,12 @@
 // Constants carry a dynamic type (string, integer, float or boolean) because
 // Vadalog programs mix symbolic entities ("IrishBank") with numeric values
 // (shares, capital amounts) that participate in comparisons and arithmetic.
+//
+// The Interner maps terms to dense ValueIDs — the integer currency of the
+// join executors — and memoizes each id's numeric interpretation
+// (Interner.Numeric), so vectorized comparison passes read two flat arrays
+// instead of re-parsing terms. Interning is canonical: Int(3) and Float(3.0)
+// share one id, so id equality coincides with term equality.
 package term
 
 import (
