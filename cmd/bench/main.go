@@ -10,6 +10,7 @@
 //	bench -fig serving    # cold vs warm explain-all; writes BENCH_serving.json
 //	bench -fig incremental # single-fact update vs full re-chase; writes BENCH_incremental.json
 //	bench -fig columnar   # join engines on a million-fact EKG; writes BENCH_columnar.json
+//	bench -fig write      # serialized vs group-commit write throughput; writes BENCH_write.json
 package main
 
 import (
@@ -67,9 +68,18 @@ type columnarSnapshot struct {
 	Workloads []figures.ColumnarPoint `json:"workloads"`
 }
 
+// writeSnapshot is the machine-readable write-throughput record written to
+// BENCH_write.json by `bench -fig write`.
+type writeSnapshot struct {
+	Generated string               `json:"generated"`
+	Go        string               `json:"go"`
+	Workers   int                  `json:"workers"`
+	Workloads []figures.WritePoint `json:"workloads"`
+}
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental, columnar) or 'all'")
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental, columnar, write) or 'all'")
 		seed         = flag.Int64("seed", 42, "experiment seed")
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
@@ -182,6 +192,27 @@ func main() {
 				return "", fmt.Errorf("write BENCH_columnar.json: %w", err)
 			}
 			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_columnar.json")
+			return out, nil
+		},
+		"write": func() (string, error) {
+			out, points, err := figures.WriteThroughput()
+			if err != nil {
+				return "", err
+			}
+			snap := writeSnapshot{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Go:        runtime.Version(),
+				Workers:   *workers,
+				Workloads: points,
+			}
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("marshal write snapshot: %w", err)
+			}
+			if err := os.WriteFile("BENCH_write.json", append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("write BENCH_write.json: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_write.json")
 			return out, nil
 		},
 	}

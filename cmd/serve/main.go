@@ -6,6 +6,7 @@
 //
 //	serve -addr :8080
 //	serve -addr :8080 -timeout 10s -max-inflight 16   # tighter overload posture
+//	serve -addr :8080 -wal-dir wal -fsync group       # durable sessions (WAL + restore)
 //
 // Then:
 //
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -46,8 +48,17 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrently admitted reasoning requests; above it requests answer 503 (0 = default 64)")
 	maxFacts := flag.Int("max-facts", 0, "fact-store cap per reasoning run; exceeding it answers 422 (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	walDir := flag.String("wal-dir", "", "directory for per-session write-ahead logs; mutated sessions survive eviction and restarts (empty = volatile sessions)")
+	fsync := flag.String("fsync", "group", "WAL fsync policy: group (once per commit batch), per-commit, or off")
+	commitWindow := flag.Duration("commit-window", 0, "how long a session's commit leader collects concurrent writes per batch (0 = commit whatever has queued)")
+	writeQueue := flag.Int("write-queue", 0, "per-session pending-write queue bound; beyond it writes answer 429 (0 = default 64)")
 	flag.Parse()
 
+	sync, err := wal.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve:", err)
+		os.Exit(1)
+	}
 	s, err := server.NewWithOptions(server.Options{
 		ChaseWorkers:    *workers,
 		ChaseBatch:      *batch,
@@ -57,6 +68,10 @@ func main() {
 		RequestTimeout:  *timeout,
 		MaxInflight:     *maxInflight,
 		MaxFacts:        *maxFacts,
+		WALDir:          *walDir,
+		WALSync:         sync,
+		CommitWindow:    *commitWindow,
+		WriteQueue:      *writeQueue,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

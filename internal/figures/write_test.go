@@ -1,0 +1,36 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWriteThroughputTiny runs the write benchmark at a toy scale: both
+// modes must complete the full update schedule, the group mode must account
+// every write to exactly one commit, and the table must render every point.
+func TestWriteThroughputTiny(t *testing.T) {
+	table, points, err := writeThroughput(6, 6, []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d, want 2", len(points))
+	}
+	for _, pt := range points {
+		if pt.Updates != pt.Writers*6 {
+			t.Fatalf("%s x%d: updates = %d", pt.Workload, pt.Writers, pt.Updates)
+		}
+		if pt.SerializedSeconds <= 0 || pt.GroupSeconds <= 0 {
+			t.Fatalf("%s x%d: non-positive timing: %+v", pt.Workload, pt.Writers, pt)
+		}
+		if pt.Commits < 1 || pt.Commits > pt.Updates {
+			t.Fatalf("%s x%d: commits = %d for %d updates", pt.Workload, pt.Writers, pt.Commits, pt.Updates)
+		}
+		if pt.MeanBatch < 1 || pt.MaxBatch < 1 {
+			t.Fatalf("%s x%d: batch accounting: %+v", pt.Workload, pt.Writers, pt)
+		}
+		if !strings.Contains(table, pt.Workload) {
+			t.Fatalf("table missing workload %s:\n%s", pt.Workload, table)
+		}
+	}
+}

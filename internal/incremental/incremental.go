@@ -145,6 +145,35 @@ func (m *Maintainer) BaseFacts() []ast.Atom {
 	return out
 }
 
+// Resolve reports whether the atom is currently live and whether it is an
+// extensional (base) fact. The group committer uses it to pre-validate
+// batched retractions against the store before starting an update, so an
+// invalid request can be rejected individually instead of failing the whole
+// merged batch. A poisoned maintainer resolves nothing.
+func (m *Maintainer) Resolve(a ast.Atom) (present, base bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return false, false
+	}
+	f := m.live.Store().Lookup(a)
+	if f == nil {
+		return false, false
+	}
+	return true, f.Extensional
+}
+
+// Poisoned returns the poison error after a failed update, nil while the
+// maintainer is healthy.
+func (m *Maintainer) Poisoned() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return m.poisonErr()
+	}
+	return nil
+}
+
 // ErrPoisoned marks every error a maintainer returns after a failed update;
 // match with errors.Is. The original failure is included as text only —
 // deliberately not wrapped — so a maintainer poisoned by a canceled repair

@@ -28,6 +28,9 @@ type Cache[K comparable, V any] struct {
 	hits      uint64
 	misses    uint64
 	evictions uint64
+
+	// onEvict, when set, observes capacity evictions (not Removes).
+	onEvict func(K, V)
 }
 
 // entry is one cache slot, stored in the recency list.
@@ -86,15 +89,41 @@ func (c *Cache[K, V]) Put(k K, v V) {
 		return
 	}
 	c.items[k] = c.order.PushFront(&entry[K, V]{key: k, val: v})
+	var evicted []*entry[K, V]
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		if oldest == nil {
 			break
 		}
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		e := oldest.Value.(*entry[K, V])
+		delete(c.items, e.key)
 		c.evictions++
+		if c.onEvict != nil {
+			evicted = append(evicted, e)
+		}
 	}
+	// Run the eviction hook outside the cache lock so it may touch the
+	// cache (or anything that does) without deadlocking.
+	if len(evicted) > 0 {
+		fn := c.onEvict
+		c.mu.Unlock()
+		for _, e := range evicted {
+			fn(e.key, e.val)
+		}
+		c.mu.Lock()
+	}
+}
+
+// OnEvict registers a hook observing every capacity eviction — the serving
+// layer uses it to release per-session resources (WAL file handles, commit
+// queues) when a session falls out of the LRU. Deliberate Removes do not
+// trigger it. The hook runs outside the cache lock, after the entry is
+// already gone. Set it before the cache is shared.
+func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvict = fn
 }
 
 // Remove drops the entry stored under k, reporting whether it was present.

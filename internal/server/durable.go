@@ -1,0 +1,288 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/incremental"
+	"repro/internal/wal"
+)
+
+// This file is the durable half of the write path: per-session WAL wiring
+// (log-before-apply hooks for the group committer) and transparent session
+// restore — an evicted or crash-lost session with a WAL on disk is rebuilt
+// to byte-identical state the next time /facts, /explain or a session-read
+// /reason names it, instead of answering 404.
+
+// programFingerprint identifies a compiled program in WAL headers: replay
+// refuses to resurrect a session against different rules.
+func programFingerprint(p *ast.Program) string {
+	sum := sha256.Sum256([]byte(p.String()))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// walPath is the session's log file; session ids are never reused within a
+// WAL directory (nextID starts past every id found on disk).
+func (s *Server) walPath(id string) string {
+	return filepath.Join(s.walDir, id+".wal")
+}
+
+// scanWALDir returns the highest session number among s<N>.wal files, so a
+// restarted process never reissues an id that still has state on disk.
+func scanWALDir(dir string) int {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "s") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "s"), ".wal"))
+		if err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// newSession builds a live session around a group committer wired to this
+// server: lazy maintainer stand-up (which also creates the session's WAL on
+// first write), log-before-apply, abort records, and publication of each
+// applied batch to the session's read state.
+func (s *Server) newSession(id, app string, extra []ast.Atom, res *chase.Result) *session {
+	sess := &session{app: app, extra: extra, result: res}
+	sess.cmt = core.NewCommitter(core.CommitterConfig{
+		Queue:        s.writeQueue,
+		Window:       s.commitWindow,
+		ApplyTimeout: s.timeout,
+		ApplyLock:    &sess.renderMu,
+		Standup:      s.standup(sess, id),
+		OnLog:        sess.onLog,
+		OnAbort:      sess.onAbort,
+		OnApply:      s.onApply(sess),
+	})
+	return sess
+}
+
+// standup returns the committer's lazy maintainer factory for a fresh
+// session: one full chase over the session's opening facts, then — when a
+// WAL directory is configured — the session's log, created durable with the
+// program fingerprint and those base facts before any commit is
+// acknowledged against it.
+func (s *Server) standup(sess *session, id string) func(context.Context) (*incremental.Maintainer, error) {
+	return func(ctx context.Context) (*incremental.Maintainer, error) {
+		m, err := s.pipe(sess.app).MaintainContext(ctx, sess.extra...)
+		if err != nil {
+			return nil, err
+		}
+		if s.walDir != "" {
+			l, err := wal.Create(s.walPath(id), wal.Header{
+				App:     sess.app,
+				Program: s.fingerprints[sess.app],
+				Base:    sess.extra,
+			}, s.walSync)
+			if err != nil {
+				// Durability was promised (a WAL dir is configured) but is
+				// unavailable: fail the write rather than silently running
+				// volatile.
+				return nil, fmt.Errorf("session WAL: %w", err)
+			}
+			sess.setWAL(l)
+		}
+		return m, nil
+	}
+}
+
+// onLog appends the merged batch delta and makes it durable per policy —
+// one record and (under the group policy) one fsync per commit, regardless
+// of how many writes coalesced into it.
+func (sess *session) onLog(seq uint64, add, retract []ast.Atom) error {
+	l := sess.getWAL()
+	if l == nil {
+		return nil
+	}
+	if err := l.Append(wal.Delta{Seq: seq, Add: add, Retract: retract}); err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// onAbort marks a logged-but-failed batch so replay skips it. Best effort:
+// if the abort record cannot be written, restore-time replay discovers the
+// failure by re-running the delta and skipping it when it fails again.
+func (sess *session) onAbort(seq uint64) {
+	l := sess.getWAL()
+	if l == nil {
+		return
+	}
+	_ = l.AppendAbort(seq)
+	_ = l.Sync()
+}
+
+// onApply publishes an applied batch: the repaired fixpoint and its commit
+// epoch become the session's read state, cached explanations rendered
+// against the previous epoch are removed, and the server-wide incremental
+// counters advance once per batch.
+func (s *Server) onApply(sess *session) func(uint64, *chase.Result, incremental.UpdateStats) int {
+	return func(seq uint64, res *chase.Result, stats incremental.UpdateStats) int {
+		if s.testHookApply != nil {
+			s.testHookApply()
+		}
+		sess.stateMu.Lock()
+		sess.result = res
+		sess.epoch = seq
+		stale := sess.explKeys
+		sess.explKeys = nil
+		sess.stateMu.Unlock()
+		invalidated := 0
+		for _, key := range stale {
+			if s.explanations.Remove(key) {
+				invalidated++
+			}
+		}
+		s.updates.Add(1)
+		s.deltaRounds.Add(uint64(stats.DeltaRounds))
+		s.overDeleted.Add(uint64(stats.OverDeleted))
+		s.rederived.Add(uint64(stats.Rederived))
+		s.invalidations.Add(uint64(invalidated))
+		return invalidated
+	}
+}
+
+// close releases the session's write-path resources on eviction: the
+// committer stops accepting writes and the WAL handle is closed (the file
+// stays on disk — it is what restore replays).
+func (sess *session) close() {
+	if sess.cmt != nil {
+		sess.cmt.Close()
+	}
+	if l := sess.getWAL(); l != nil {
+		_ = l.Close()
+	}
+}
+
+// restore rebuilds an evicted (or crash-lost) session from its WAL: replay
+// the header and committed deltas against the compiled program, verify the
+// program fingerprint, and re-arm the session with a committer continuing
+// at the next sequence number, appending to the same log. Returns (nil,
+// nil) when the session has no log to restore from — the caller answers
+// 404 exactly as before.
+func (s *Server) restore(ctx context.Context, id string) (*session, error) {
+	if s.walDir == "" {
+		return nil, nil
+	}
+	// One restore at a time: concurrent requests against the same evicted
+	// session would otherwise replay it twice and race the session table.
+	s.restoreMu.Lock()
+	defer s.restoreMu.Unlock()
+	if sess := s.session(id); sess != nil {
+		return sess, nil // raced with another restorer: done
+	}
+	rec, err := wal.Replay(s.walPath(id))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", id, err)
+	}
+	pipe := s.pipe(rec.Header.App)
+	if pipe == nil {
+		return nil, fmt.Errorf("restoring session %s: unknown application %q", id, rec.Header.App)
+	}
+	if got, want := rec.Header.Program, s.fingerprints[rec.Header.App]; got != want {
+		return nil, fmt.Errorf("restoring session %s: program fingerprint changed (log %s, compiled %s)", id, got, want)
+	}
+	start := time.Now()
+	deltas := rec.Live()
+	m, bad, err := s.replay(ctx, pipe, rec.Header.Base, deltas)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", id, err)
+	}
+	log, err := rec.OpenAppend(s.walSync)
+	if err != nil {
+		return nil, fmt.Errorf("restoring session %s: %w", id, err)
+	}
+	// A delta that failed during replay was the poisoning write of the
+	// previous life, crashed before its abort record landed; mark it now so
+	// the next replay skips it outright.
+	if bad != 0 {
+		_ = log.AppendAbort(bad)
+		_ = log.Sync()
+	}
+	res, err := m.Result()
+	if err != nil {
+		_ = log.Close()
+		return nil, fmt.Errorf("restoring session %s: %w", id, err)
+	}
+	sess := &session{app: rec.Header.App, extra: rec.Header.Base, result: res, epoch: rec.LastSeq()}
+	sess.setWAL(log)
+	sess.cmt = core.NewCommitter(core.CommitterConfig{
+		Queue:        s.writeQueue,
+		Window:       s.commitWindow,
+		ApplyTimeout: s.timeout,
+		StartSeq:     rec.LastSeq(),
+		Maintainer:   m,
+		ApplyLock:    &sess.renderMu,
+		OnLog:        sess.onLog,
+		OnAbort:      sess.onAbort,
+		OnApply:      s.onApply(sess),
+	})
+	s.sessions.Put(id, sess)
+	s.restores.Add(1)
+	s.restoreNanos.Add(uint64(time.Since(start)))
+	return sess, nil
+}
+
+// replay rebuilds a maintainer by applying the committed deltas in order.
+// The incremental engine is deterministic, so the rebuilt instance is
+// byte-identical — same atoms, same fact ids, same proofs — to the state
+// the session had after its last acknowledged commit. A delta that fails
+// mid-replay can only be the final one (its failure poisoned or crashed the
+// previous life, and nothing committed after it); the maintainer is rebuilt
+// once more without it and its seq is reported for an abort record.
+func (s *Server) replay(ctx context.Context, pipe *core.Pipeline, base []ast.Atom, deltas []wal.Delta) (*incremental.Maintainer, uint64, error) {
+	m, err := pipe.MaintainContext(ctx, base...)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, d := range deltas {
+		if _, _, err := m.UpdateContext(ctx, d.Add, d.Retract); err != nil {
+			if i != len(deltas)-1 {
+				return nil, 0, fmt.Errorf("replay: delta %d/%d failed before the tail: %w", i+1, len(deltas), err)
+			}
+			m, err2 := s.replayClean(ctx, pipe, base, deltas[:i])
+			if err2 != nil {
+				return nil, 0, err2
+			}
+			return m, d.Seq, nil
+		}
+	}
+	return m, 0, nil
+}
+
+// replayClean rebuilds a maintainer over deltas known to apply cleanly.
+func (s *Server) replayClean(ctx context.Context, pipe *core.Pipeline, base []ast.Atom, deltas []wal.Delta) (*incremental.Maintainer, error) {
+	m, err := pipe.MaintainContext(ctx, base...)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range deltas {
+		if _, _, err := m.UpdateContext(ctx, d.Add, d.Retract); err != nil {
+			return nil, fmt.Errorf("replay: delta failed on clean rebuild: %w", err)
+		}
+	}
+	return m, nil
+}

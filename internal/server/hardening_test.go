@@ -188,31 +188,77 @@ func (b *syncBuffer) String() string {
 	return b.buf.String()
 }
 
+// TestSessionBusy429 exercises queue-full backpressure: with the commit
+// leader pinned mid-apply and the session's write queue (capacity 1) full,
+// one more write answers 429 — the only 429 the write path produces.
+// Contention below that coalesces into batches instead of bouncing.
 func TestSessionBusy429(t *testing.T) {
-	ts, s := newTestServerFull(t, Options{})
+	ts, s := newTestServerFull(t, Options{WriteQueue: 1})
 	var rr reasonResponse
 	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6)."}`, &rr)
 	sess := s.session(rr.Session)
 	if sess == nil {
 		t.Fatal("session not found")
 	}
-	sess.mu.Lock() // a mutation is in flight
-	body, code := postBody(t, ts.URL+"/facts",
-		`{"session":"`+rr.Session+`","add":"Own(\"Y\",\"Z\",0.7)."}`)
-	if code != http.StatusTooManyRequests {
-		t.Fatalf("busy session: status = %d, want 429 (body %s)", code, body)
+	applying := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookApply = func() {
+		once.Do(func() {
+			close(applying)
+			<-release
+		})
 	}
-	// Reads are not blocked by the mutation lock.
+	codes := make(chan int, 2)
+	go func() {
+		_, code := postBody(t, ts.URL+"/facts",
+			`{"session":"`+rr.Session+`","add":"Own(\"Y\",\"Z\",0.7)."}`)
+		codes <- code
+	}()
+	<-applying // the leader is now pinned applying the first write
+	go func() {
+		_, code := postBody(t, ts.URL+"/facts",
+			`{"session":"`+rr.Session+`","add":"Own(\"Z\",\"W\",0.8)."}`)
+		codes <- code
+	}()
+	waitFor(t, func() bool { return sess.cmt.Pending() == 1 }) // queue full
+	resp, err := http.Post(ts.URL+"/facts", "application/json",
+		strings.NewReader(`{"session":"`+rr.Session+`","add":"Own(\"W\",\"V\",0.9)."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("full write queue: status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Errorf("429 without Retry-After")
+	}
+	// Reads never join the write queue: the last published fixpoint keeps
+	// serving explanations while the commit is in flight.
 	if _, code := getBody(t, ts.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusOK {
-		t.Errorf("explain during mutation: status = %d", code)
+		t.Errorf("explain during commit: status = %d", code)
 	}
-	sess.mu.Unlock()
-	if resp := postJSON(t, ts.URL+"/facts",
-		`{"session":"`+rr.Session+`","add":"Own(\"Y\",\"Z\",0.7)."}`, nil); resp.StatusCode != http.StatusOK {
-		t.Errorf("after release: status = %d", resp.StatusCode)
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Errorf("queued write: status = %d, want 200", code)
+		}
 	}
 	if got := s.sessionBusy.Load(); got != 1 {
 		t.Errorf("sessionBusy counter = %d, want 1", got)
+	}
+}
+
+// waitFor polls until cond holds; every condition used with it is monotone.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 

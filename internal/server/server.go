@@ -10,10 +10,11 @@
 //
 //	GET  /apps                        list the deployed applications
 //	POST /reason                      {"app": ..., "facts": "...", "scenario": bool} -> {"session": id, answers}
-//	POST /facts                       {"session": ..., "add": "...", "retract": "..."} -> updated answers
-//	GET  /explain?session=S&query=Q   explanation of one derived fact
+//	                                  {"session": ..., "epoch": N} -> current answers of a live session at or past epoch N
+//	POST /facts                       {"session": ..., "add": "...", "retract": "...", "async": bool} -> updated answers
+//	GET  /explain?session=S&query=Q&epoch=N   explanation of one derived fact (at or past epoch N)
 //	GET  /paths?app=A                 the reasoning paths of an application
-//	GET  /stats                       cache occupancy, hit/miss/eviction and incremental-update counters
+//	GET  /stats                       cache occupancy, hit/miss/eviction, incremental-update and write-path counters
 //
 // Everything stays inside the process: no data leaves, matching the paper's
 // confidentiality requirement.
@@ -31,26 +32,44 @@
 // object is deterministic and immutable — and all caches expose their
 // counters on /stats.
 //
-// # Live sessions
+// # Live sessions and the write path
 //
 // POST /facts mutates a session in place: base facts are added or retracted
 // and the session's fixpoint is repaired incrementally (see the incremental
-// package) instead of re-chased. The first mutation of a session stands up
-// its maintainer with one full chase; later mutations pay only for the
-// delta. Each mutation advances the session's epoch, which is part of every
+// package) instead of re-chased. Writes flow through a per-session group
+// committer (core.Committer): concurrent mutations of one session coalesce
+// into a single merged delta, logged to the session's write-ahead log
+// (internal/wal) before it is applied under one maintainer lock
+// acquisition, and every coalesced writer receives the shared commit epoch
+// and result. 429 is returned only when the session's write queue is full.
+// With "async": true a write answers 202 as soon as its batch is durably
+// logged, carrying the epoch token; /reason and /explain accept ?epoch= and
+// wait (bounded by the request deadline) until the state has caught up, or
+// answer 409 for epochs that were never issued.
+//
+// Each commit advances the session's epoch, which is part of every
 // rendered-explanation cache key, so explanations cached against the old
 // fixpoint can never answer for the new one; the superseded entries are
 // removed eagerly and counted on /stats. A failed mutation (e.g. a
 // constraint violation) poisons the session's maintainer — the session
 // keeps serving its last consistent result, further mutations report the
 // failure, and clients recover by opening a fresh session.
+//
+// With a WAL directory configured, committed sessions survive eviction and
+// process crashes: the log records the program fingerprint, the opening
+// base facts and every committed delta, and a request naming an evicted
+// session replays it back to byte-identical state (same atoms, fact ids and
+// proofs — the incremental engine is deterministic) instead of 404.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -64,6 +83,7 @@ import (
 	"repro/internal/incremental"
 	"repro/internal/lru"
 	"repro/internal/parser"
+	"repro/internal/wal"
 )
 
 // Server is the HTTP handler set. Create with New.
@@ -81,6 +101,21 @@ type Server struct {
 	// mu guards nextID.
 	mu     sync.Mutex
 	nextID int
+
+	// fingerprints maps application name to its compiled-program
+	// fingerprint, stamped into WAL headers and checked on restore.
+	// Immutable after construction.
+	fingerprints map[string]string
+	// Write-path configuration (see Options).
+	walDir       string
+	walSync      wal.SyncPolicy
+	commitWindow time.Duration
+	writeQueue   int
+	// restoreMu serializes WAL session restores; restores and restoreNanos
+	// account them for /stats.
+	restoreMu    sync.Mutex
+	restores     atomic.Uint64
+	restoreNanos atomic.Uint64
 
 	// Cumulative incremental-maintenance counters across every session
 	// mutation, reported on /stats.
@@ -104,41 +139,77 @@ type Server struct {
 	timeouts    atomic.Uint64 // 408: reasoning deadline exceeded
 	clientGone  atomic.Uint64 // 499: client disconnected mid-reasoning
 	panics      atomic.Uint64 // 500: handler panics contained
-	sessionBusy atomic.Uint64 // 429: concurrent mutation of one session
+	sessionBusy atomic.Uint64 // 429: session write queue full
 
 	// testHookInflight, when set, runs inside guard while the semaphore
 	// slot is held — tests use it to saturate admission deterministically.
 	testHookInflight func()
+	// testHookApply, when set, runs at the start of every commit
+	// publication — tests use it to pin the commit leader so writes pile
+	// up in the queue deterministically.
+	testHookApply func()
 }
 
-// session is one live reasoning instance, with two locks at two timescales.
-// mu serializes mutations: POST /facts holds it for the whole (possibly
-// long) incremental repair, and a second concurrent mutation of the same
-// session fails fast with 429 instead of queueing behind it. stateMu guards
-// the published state (result, epoch, explKeys) with short critical
-// sections only: /facts swaps the repaired fixpoint in atomically, and
-// /explain reads result and epoch under it, so a response is always
-// rendered against a consistent (fixpoint, epoch) pair and readers never
-// block behind a running repair.
+// session is one live reasoning instance. Mutations flow through cmt, the
+// per-session group committer: its single leader goroutine owns the
+// maintainer, so no handler ever holds a lock across an incremental
+// repair. stateMu guards the published read state (result, epoch,
+// explKeys) with short critical sections only: the committer's apply hook
+// swaps the repaired fixpoint in atomically, and /explain reads result and
+// epoch under it, so a response is always rendered against a consistent
+// (fixpoint, epoch) pair; rendering additionally read-holds renderMu so it
+// never overlaps the mutation of the store it is reading.
 type session struct {
 	app string
-
-	mu sync.Mutex
 	// extra is the extensional fact list the session was opened with; the
-	// first mutation seeds the maintainer from it. mnt is the session's
-	// incremental maintainer, nil until the first POST /facts. Both are
-	// touched only under mu.
+	// first commit seeds the maintainer (and the WAL header) from it.
+	// Immutable after construction.
 	extra []ast.Atom
-	mnt   *incremental.Maintainer
+	// cmt is the session's group committer (see core.Committer); its leader
+	// goroutine starts on the first write.
+	cmt *core.Committer
+
+	// walMu guards walLog, the session's write-ahead log handle — nil until
+	// the first commit stands it up, and when no WAL directory is
+	// configured.
+	walMu  sync.Mutex
+	walLog *wal.Log
+
+	// renderMu excludes response rendering from batch application: results
+	// share the maintainer's grow-only store, so the committer write-holds
+	// it across each repair and handlers read-hold it while materializing
+	// answers, explanations and fact counts. Readers never wait for queued
+	// writes — only for a repair that is mutating the store right now.
+	renderMu sync.RWMutex
 
 	stateMu sync.Mutex
 	result  *chase.Result
-	// epoch versions the session's fixpoint (0 before the first mutation);
-	// it is part of every rendered-explanation cache key.
+	// epoch is the session's last applied commit sequence number (0 before
+	// the first mutation); it is part of every rendered-explanation cache
+	// key and is the token async writers wait on.
 	epoch uint64
 	// explKeys lists this session's entries in the rendered-explanation
 	// cache for the current epoch, so a mutation can remove exactly them.
 	explKeys []string
+}
+
+func (sess *session) setWAL(l *wal.Log) {
+	sess.walMu.Lock()
+	sess.walLog = l
+	sess.walMu.Unlock()
+}
+
+func (sess *session) getWAL() *wal.Log {
+	sess.walMu.Lock()
+	defer sess.walMu.Unlock()
+	return sess.walLog
+}
+
+// read returns the session's published (fixpoint, epoch) pair.
+func (sess *session) read() (*chase.Result, uint64) {
+	sess.stateMu.Lock()
+	defer sess.stateMu.Unlock()
+	return sess.result, sess.epoch
 }
 
 // Default serving-layer capacities; see Options.
@@ -194,6 +265,24 @@ type Options struct {
 	// (chase.Options.MaxFacts): a program that explodes past it fails with
 	// 422 instead of exhausting memory. 0 = unlimited.
 	MaxFacts int
+	// WALDir enables durable sessions: every mutated session logs its
+	// program fingerprint, opening base facts and committed deltas to
+	// WALDir/<session>.wal, and requests naming an evicted or crash-lost
+	// session restore it by replay instead of 404. Empty disables the WAL
+	// (sessions are volatile, the pre-durability behavior).
+	WALDir string
+	// WALSync selects the fsync policy for session WALs (group fsyncs once
+	// per commit batch — the default; per-commit fsyncs inside every
+	// append; off never fsyncs). Ignored without WALDir.
+	WALSync wal.SyncPolicy
+	// CommitWindow is how long a session's commit leader keeps collecting
+	// concurrent writes after the first one of a batch arrives. 0 (the
+	// default) commits whatever has queued when the leader gets to it: no
+	// added latency when idle, large batches under pressure.
+	CommitWindow time.Duration
+	// WriteQueue bounds each session's pending-write queue; writes beyond
+	// it answer 429. 0 selects the committer default (64).
+	WriteQueue int
 	// Log receives panic reports and lifecycle messages; nil selects the
 	// process-default logger.
 	Log *log.Logger
@@ -232,10 +321,15 @@ func NewWithOptions(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		pipes:        map[string]*core.Pipeline{},
+		fingerprints: map[string]string{},
 		sessions:     lru.New[string, *session](opts.MaxSessions),
 		explanations: lru.New[string, *explainResponse](opts.MaxExplanations),
 		inflight:     make(chan struct{}, opts.MaxInflight),
 		timeout:      opts.RequestTimeout,
+		walDir:       opts.WALDir,
+		walSync:      opts.WALSync,
+		commitWindow: opts.CommitWindow,
+		writeQueue:   opts.WriteQueue,
 		logf:         logger.Printf,
 	}
 	for _, a := range apps.All() {
@@ -248,7 +342,19 @@ func NewWithOptions(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("server: compiling %s: %w", a.Name, err)
 		}
 		s.pipes[a.Name] = p
+		s.fingerprints[a.Name] = programFingerprint(p.Program())
 	}
+	if s.walDir != "" {
+		if err := os.MkdirAll(s.walDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: WAL directory: %w", err)
+		}
+		// Never reuse a session id that still has durable state: ids name
+		// WAL files, and a collision would truncate a restorable session.
+		s.nextID = scanWALDir(s.walDir)
+	}
+	// Eviction releases the session's write-path resources (commit queue,
+	// WAL handle); the log file stays on disk for restore.
+	s.sessions.OnEvict(func(id string, sess *session) { sess.close() })
 	return s, nil
 }
 
@@ -282,7 +388,10 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// reasonRequest is the /reason payload.
+// reasonRequest is the /reason payload. App/Facts/Scenario open a new
+// session; Session (plus an optional Epoch, also accepted as ?epoch=)
+// instead reads a live session's current answers, waiting until its state
+// has caught up with the given commit epoch.
 type reasonRequest struct {
 	// App is the application registry name.
 	App string `json:"app"`
@@ -290,12 +399,21 @@ type reasonRequest struct {
 	Facts string `json:"facts,omitempty"`
 	// Scenario loads the application's bundled scenario facts.
 	Scenario bool `json:"scenario,omitempty"`
+	// Session reads an existing session instead of opening one.
+	Session string `json:"session,omitempty"`
+	// Epoch makes a session read wait (bounded by the request deadline)
+	// until the session has applied at least this commit epoch; an epoch
+	// that was never issued answers 409.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // reasonResponse reports the derived knowledge and the session id for
 // follow-up explanation queries.
 type reasonResponse struct {
-	Session string   `json:"session"`
+	Session string `json:"session"`
+	// Epoch is the session's last applied commit epoch (0 before the first
+	// mutation); present on session reads.
+	Epoch   uint64   `json:"epoch,omitempty"`
 	Rounds  int      `json:"rounds"`
 	Facts   int      `json:"facts"`
 	Answers []string `json:"answers"`
@@ -304,6 +422,22 @@ type reasonResponse struct {
 func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	var req reasonRequest
 	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if q := r.URL.Query().Get("epoch"); q != "" {
+		e, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("epoch: %w", err))
+			return
+		}
+		req.Epoch = e
+	}
+	if req.Session != "" {
+		s.handleSessionRead(w, r, req)
+		return
+	}
+	if req.Epoch != 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("epoch requires a session"))
 		return
 	}
 	app, err := apps.ByName(req.App)
@@ -334,7 +468,7 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	s.nextID++
 	id := "s" + strconv.Itoa(s.nextID)
 	s.mu.Unlock()
-	s.sessions.Put(id, &session{app: req.App, result: res, extra: extra})
+	s.sessions.Put(id, s.newSession(id, req.App, extra, res))
 
 	resp := reasonResponse{Session: id, Rounds: res.Rounds, Facts: res.Store.Len()}
 	for _, fid := range res.Answers() {
@@ -343,13 +477,82 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleSessionRead answers a /reason request naming an existing session:
+// the session's current answers, optionally not before a given commit
+// epoch.
+func (s *Server) handleSessionRead(w http.ResponseWriter, r *http.Request, req reasonRequest) {
+	if req.App != "" || req.Facts != "" || req.Scenario {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("a session read takes no app, facts or scenario"))
+		return
+	}
+	sess, ok := s.liveSession(w, r.Context(), req.Session)
+	if !ok {
+		return
+	}
+	if !s.awaitEpoch(w, r.Context(), sess, req.Epoch) {
+		return
+	}
+	res, epoch := sess.read()
+	sess.renderMu.RLock()
+	resp := reasonResponse{Session: req.Session, Epoch: epoch, Rounds: res.Rounds, Facts: res.Store.LiveLen()}
+	for _, fid := range res.Answers() {
+		resp.Answers = append(resp.Answers, res.Store.Get(fid).String())
+	}
+	sess.renderMu.RUnlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// liveSession resolves a session id, transparently restoring evicted
+// sessions from their WAL; on failure the response is already written.
+func (s *Server) liveSession(w http.ResponseWriter, ctx context.Context, id string) (*session, bool) {
+	if sess := s.session(id); sess != nil {
+		return sess, true
+	}
+	sess, err := s.restore(ctx, id)
+	if err != nil {
+		if chase.ContextErr(ctx) != nil {
+			s.writeEngineError(w, err)
+		} else {
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return nil, false
+	}
+	if sess == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+		return nil, false
+	}
+	return sess, true
+}
+
+// awaitEpoch blocks until the session has applied the requested commit
+// epoch (0 = no wait). Unissued epochs answer 409; a request deadline
+// expiring mid-wait answers through the engine-error mapping (408/499). On
+// failure the response is already written.
+func (s *Server) awaitEpoch(w http.ResponseWriter, ctx context.Context, sess *session, epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	if err := sess.cmt.WaitApplied(ctx, epoch); err != nil {
+		switch {
+		case errors.Is(err, core.ErrEpochUnknown), errors.Is(err, core.ErrCommitterClosed):
+			writeError(w, http.StatusConflict, err)
+		default:
+			s.writeEngineError(w, err)
+		}
+		return false
+	}
+	return true
+}
+
 // factsRequest is the /facts payload: base facts to add and retract, in
 // concrete syntax (newline- or period-separated fact lists, same format as
-// the /reason facts field).
+// the /reason facts field). With Async set the request answers 202 as soon
+// as its batch is durably logged, carrying the commit epoch to wait on.
 type factsRequest struct {
 	Session string `json:"session"`
 	Add     string `json:"add,omitempty"`
 	Retract string `json:"retract,omitempty"`
+	Async   bool   `json:"async,omitempty"`
 }
 
 // factsResponse reports the repaired fixpoint and what the update did.
@@ -361,8 +564,18 @@ type factsResponse struct {
 	Stats   incremental.UpdateStats `json:"stats"`
 	Facts   int                     `json:"facts"`
 	Answers []string                `json:"answers"`
+	// Batch is the number of concurrent writes coalesced into this
+	// request's commit (1 when it committed alone).
+	Batch int `json:"batch"`
 	// InvalidatedExplanations counts cached renderings this update removed.
 	InvalidatedExplanations int `json:"invalidatedExplanations"`
+}
+
+// asyncFactsResponse is the 202 body of an async write: the epoch token to
+// pass to /reason or /explain.
+type asyncFactsResponse struct {
+	Session string `json:"session"`
+	Epoch   uint64 `json:"epoch"`
 }
 
 func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
@@ -370,9 +583,8 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sess := s.session(req.Session)
-	if sess == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+	sess, ok := s.liveSession(w, r.Context(), req.Session)
+	if !ok {
 		return
 	}
 	parseFacts := func(field, src string) ([]ast.Atom, bool) {
@@ -395,60 +607,40 @@ func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// One mutation at a time per session: a request arriving while another
-	// update holds the lock fails fast with 429 instead of queueing behind
-	// a possibly long repair (its deadline would expire in the queue
-	// anyway, poisoning the maintainer mid-repair for nothing).
-	if !sess.mu.TryLock() {
-		s.sessionBusy.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("session %s has a mutation in flight; retry", req.Session))
-		return
-	}
-	defer sess.mu.Unlock()
-	if sess.mnt == nil {
-		m, err := s.pipe(sess.app).MaintainContext(r.Context(), sess.extra...)
-		if err != nil {
-			s.writeEngineError(w, err)
+	// The write joins the session's commit queue: concurrent writes
+	// coalesce into one logged, applied batch, and this request observes
+	// the shared commit epoch and result. The apply itself runs detached
+	// from r.Context() under the server timeout — a client hanging up
+	// abandons only its wait, never a repair in progress.
+	res, err := sess.cmt.Submit(r.Context(), add, retract, req.Async)
+	if err != nil {
+		if errors.Is(err, core.ErrQueueFull) {
+			s.sessionBusy.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("session %s write queue is full; retry", req.Session))
 			return
 		}
-		sess.mnt = m
-	}
-	res, stats, err := sess.mnt.UpdateContext(r.Context(), add, retract)
-	if err != nil {
 		s.writeEngineError(w, err)
 		return
 	}
-	sess.stateMu.Lock()
-	sess.result = res
-	sess.epoch = sess.mnt.Epoch()
-	stale := sess.explKeys
-	sess.explKeys = nil
-	sess.stateMu.Unlock()
-	invalidated := 0
-	for _, key := range stale {
-		if s.explanations.Remove(key) {
-			invalidated++
-		}
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, asyncFactsResponse{Session: req.Session, Epoch: res.Seq})
+		return
 	}
-
-	s.updates.Add(1)
-	s.deltaRounds.Add(uint64(stats.DeltaRounds))
-	s.overDeleted.Add(uint64(stats.OverDeleted))
-	s.rederived.Add(uint64(stats.Rederived))
-	s.invalidations.Add(uint64(invalidated))
-
+	sess.renderMu.RLock()
 	resp := factsResponse{
 		Session:                 req.Session,
-		Epoch:                   sess.epoch,
-		Stats:                   stats,
-		Facts:                   res.Store.LiveLen(),
-		InvalidatedExplanations: invalidated,
+		Epoch:                   res.Seq,
+		Stats:                   res.Stats,
+		Facts:                   res.Result.Store.LiveLen(),
+		Batch:                   res.Batch,
+		InvalidatedExplanations: res.Invalidated,
 	}
-	for _, fid := range res.Answers() {
-		resp.Answers = append(resp.Answers, res.Store.Get(fid).String())
+	for _, fid := range res.Result.Answers() {
+		resp.Answers = append(resp.Answers, res.Result.Store.Get(fid).String())
 	}
+	sess.renderMu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -473,9 +665,8 @@ type proofStep struct {
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	sessionID := r.URL.Query().Get("session")
-	sess := s.session(sessionID)
-	if sess == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session"))
+	sess, ok := s.liveSession(w, r.Context(), sessionID)
+	if !ok {
 		return
 	}
 	query := r.URL.Query().Get("query")
@@ -483,22 +674,32 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing query parameter"))
 		return
 	}
+	if q := r.URL.Query().Get("epoch"); q != "" {
+		e, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("epoch: %w", err))
+			return
+		}
+		if !s.awaitEpoch(w, r.Context(), sess, e) {
+			return
+		}
+	}
 	// Session ids are never reused and the session's epoch is part of the
 	// key, so a cached rendering can only ever repeat a response this exact
 	// session produced against its current fixpoint; the live-session check
-	// above keeps evicted sessions from answering, and /facts removes the
-	// previous epoch's entries. Errors are never cached.
-	sess.stateMu.Lock()
-	result, epoch := sess.result, sess.epoch
-	sess.stateMu.Unlock()
+	// above keeps unrestorable sessions from answering, and every commit
+	// removes the previous epoch's entries. Errors are never cached.
+	result, epoch := sess.read()
 	cacheKey := sessionID + "#" + strconv.FormatUint(epoch, 10) + "\x00" + query
 	if resp, ok := s.explanations.Get(cacheKey); ok {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
 	pipe := s.pipe(sess.app)
+	sess.renderMu.RLock()
 	e, err := pipe.ExplainQuery(result, query)
 	if err != nil {
+		sess.renderMu.RUnlock()
 		writeError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
@@ -517,6 +718,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.ProofSteps = append(resp.ProofSteps, step)
 	}
+	sess.renderMu.RUnlock()
 	// Cache only if the session has not moved on while we rendered: an
 	// entry for a superseded epoch would dodge the next invalidation sweep.
 	sess.stateMu.Lock()
@@ -547,6 +749,25 @@ type statsResponse struct {
 	// Requests reports the request-lifecycle accounting (admission,
 	// deadlines, contained panics).
 	Requests requestStats `json:"requests"`
+	// WritePath reports the group-commit and durability accounting.
+	WritePath writePathStats `json:"writePath"`
+}
+
+// writePathStats is the /stats write-path section: group-commit batching,
+// WAL appends/fsyncs and session restores.
+type writePathStats struct {
+	// Commit is the process-wide group-commit accounting: writes accepted,
+	// batches applied, coalesced batch sizes (Batched/Commits is the
+	// mean), queue depth high-water mark and queue-full rejections.
+	Commit core.CommitStats `json:"commit"`
+	// WAL is the process-wide write-ahead-log accounting (appends, fsyncs,
+	// bytes, replays).
+	WAL wal.Stats `json:"wal"`
+	// Restores counts sessions transparently rebuilt from their WAL after
+	// eviction or restart; RestoreMillis is the total wall time spent
+	// replaying them.
+	Restores      uint64 `json:"restores"`
+	RestoreMillis uint64 `json:"restoreMillis"`
 }
 
 // incrementalStats is the /stats incremental-maintenance section.
@@ -580,8 +801,8 @@ type requestStats struct {
 	ClientGone uint64 `json:"clientGone"`
 	// Panics counts handler panics contained by the recovery middleware.
 	Panics uint64 `json:"panics"`
-	// SessionBusy counts mutations answered 429 because their session
-	// already had an update in flight.
+	// SessionBusy counts mutations answered 429 because their session's
+	// write queue was full (queue-full backpressure).
 	SessionBusy uint64 `json:"sessionBusy"`
 	// Draining reports whether the server is refusing new work for
 	// shutdown.
@@ -610,6 +831,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Panics:      s.panics.Load(),
 			SessionBusy: s.sessionBusy.Load(),
 			Draining:    s.draining.Load(),
+		},
+		WritePath: writePathStats{
+			Commit:        core.GlobalCommitStats(),
+			WAL:           wal.GlobalStats(),
+			Restores:      s.restores.Load(),
+			RestoreMillis: s.restoreNanos.Load() / uint64(time.Millisecond),
 		},
 	}
 	for name, pipe := range s.pipes {
