@@ -19,7 +19,7 @@ test:
 # server). Run this after touching concurrency or cancellation in any of
 # them.
 race:
-	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/... ./internal/leakcheck/... ./internal/wal/...
+	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/... ./internal/leakcheck/... ./internal/wal/... ./internal/figures/...
 
 # Micro-benchmarks (one per paper table/figure plus pipeline stages);
 # BENCH narrows the pattern, e.g. `make bench BENCH=BenchmarkChase`.

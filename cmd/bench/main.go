@@ -75,6 +75,9 @@ type writeSnapshot struct {
 	Go        string               `json:"go"`
 	Workers   int                  `json:"workers"`
 	Workloads []figures.WritePoint `json:"workloads"`
+	// CrossSessions holds the before/after rows of cross-session fsync
+	// batching: independent per-session flushing vs the shared SyncBatcher.
+	CrossSessions []figures.CrossSyncPoint `json:"crossSessions"`
 }
 
 func main() {
@@ -195,15 +198,16 @@ func main() {
 			return out, nil
 		},
 		"write": func() (string, error) {
-			out, points, err := figures.WriteThroughput()
+			out, points, cross, err := figures.WriteThroughput()
 			if err != nil {
 				return "", err
 			}
 			snap := writeSnapshot{
-				Generated: time.Now().UTC().Format(time.RFC3339),
-				Go:        runtime.Version(),
-				Workers:   *workers,
-				Workloads: points,
+				Generated:     time.Now().UTC().Format(time.RFC3339),
+				Go:            runtime.Version(),
+				Workers:       *workers,
+				Workloads:     points,
+				CrossSessions: cross,
 			}
 			data, err := json.MarshalIndent(snap, "", "  ")
 			if err != nil {

@@ -8,46 +8,100 @@ package chase
 // vectorized pass over the sorted columnar indexes (database.Columnar): the
 // tuple set lives column-wise (one dense []term.ValueID per bound slot, one
 // []database.FactID per bound body atom), every join depth extends all
-// tuples at once against a pre-chosen probe of the predicate's columnar
-// runs, pushed-down steps run as whole-column filters with vectorized fast
-// paths, and the columns convert to []binding only at the emission boundary
-// — the same frame→Substitution boundary the frame executor uses.
+// tuples at once against the predicate's columnar runs, pushed-down steps
+// run as whole-column filters with vectorized fast paths, and the columns
+// either convert to []binding at the emission boundary (aggregation,
+// constraints) or feed the vectorized emission path directly
+// (engine.emitCols).
+//
+// Join strategies. Per depth, newBatchExec picks the cheapest probe
+// (constant run, bound-slot run, or extent scan); a bound-slot probe over a
+// large enough tuple set (mergeThreshold) upgrades at run time to a unary
+// leapfrog triejoin: the tuple set is sorted by the join-key slot once (the
+// plan's join-key ordering pass, orderedPlan.keyPos, chains consecutive
+// depths on a shared slot so only the first depth of a chain pays the
+// sort), and a galloping RunIter intersects the distinct ascending key
+// values against the sorted runs in lockstep — one Seek per distinct value
+// instead of one hash/binary-search probe per tuple, with the per-value
+// candidate list filtered once and crossed with the whole tuple group.
+// Pivots whose semi-naive delta is tiny (frameFallbackMin) delegate to the
+// frame executor, which wins on point lookups.
+//
+// Fused condition kernels. Conditions whose operands are constants and
+// slots, at least one written by the depth's atom, are evaluated during the
+// extension itself, over candidate values still in the dense columns —
+// before any output row materializes. Equality/inequality fuse completely
+// (id comparison is term equality for interned values, and cannot error);
+// numeric ordering fuses as a branch-light prefilter over
+// Interner.Numeric that passes any non-numeric pair through to the
+// retained column filter, so it cannot error either and the batch pass
+// never surfaces an error on a tuple the frame executor would have
+// dropped.
 //
 // Determinism contract. The batch output is byte-identical to the frame
 // executor's (and hence to the legacy engine's) at any worker count:
 //
-//   - At each depth the frame executor enumerates, per partial binding, the
-//     facts matching the atom pattern in ascending fact-id order — whichever
-//     hash bucket CandidatesSlots picks, the filtered candidate sequence is
-//     the same, because every bucket keeps ids ascending. The batch
-//     executor walks input tuples in order and, per tuple, visits columnar
-//     candidates in dense order, which is fact-id order (database.Columnar
-//     keeps its dense numbering id-sorted). Output tuple order therefore
-//     equals the frame executor's depth-first leaf order at every depth.
+//   - The frame executor's leaf order is the lexicographic order of the
+//     per-depth fact-id choices (per depth it enumerates candidates in
+//     ascending fact-id order, and the walk is depth-first). Every leaf's
+//     fact-id tuple is unique (the choice sequence is the leaf), so that
+//     order is recoverable from the leaf columns alone. Probe- and
+//     scan-strategy extensions preserve it directly (tuples in order,
+//     candidates per tuple in dense order, which is fact-id order); a merge
+//     extension perturbs it (tuples regroup by join-key value) and marks
+//     the tuple set, and restoreCanonical re-sorts the leaves by their
+//     fact-id columns in depth order before they become visible — an
+//     unambiguous sort, since there are no ties.
 //   - Pushed-down steps are per-tuple filters and deterministic functions of
-//     bound operands; running them column-wise over the same tuple sequence
-//     keeps the surviving set and order identical. The vectorized fast
+//     bound operands; running them column-wise keeps the surviving set
+//     identical, and filters never reorder survivors. The vectorized fast
 //     paths are semantics-preserving: id equality coincides with
 //     term.Term.Equal for interned values (numerically equal int/float
 //     constants share an id), and term.Interner.Numeric returns exactly the
 //     AsFloat view that Term.Compare uses for numeric ordering; every other
 //     case falls back to the shared condHolds/arithCombine helpers.
-//   - Parallel mode chunks the depth-0 tuple set contiguously and
-//     concatenates per-chunk outputs in chunk order, the same argument as
-//     parallel.go.
+//   - Strategy choices (probe position, merge upgrade, frame fallback)
+//     depend only on store state and tuple counts, and every strategy
+//     yields the same canonical output, so worker count and chunking cannot
+//     change the bytes. Parallel mode chunks the depth-0 tuple set
+//     contiguously; depth-0 tuples are in ascending fact-id order (depth 0
+//     has no bound slots, so no merge perturbs the seed), hence per-chunk
+//     canonical outputs concatenate in chunk order into the globally
+//     canonical sequence — the same argument as parallel.go.
 //
 // The one intended divergence, shared with the frame executor's pushdown
 // (see plan.go): on ill-typed programs that error at run time, the batch
-// pass evaluates depth-by-depth where the frame executor recurses
-// tuple-by-tuple, so a different (equally deterministic) homomorphism may
-// surface the error. The differential suites skip such programs.
+// pass evaluates depth-by-depth — and fused kernels drop tuples before
+// unfused steps run — where the frame executor recurses tuple-by-tuple, so
+// the batch pass may surface a different deterministic error, or none at
+// all, on a program whose frame evaluation errors. It never errors on a
+// program whose frame evaluation succeeds: full fusion is restricted to
+// non-erroring equality kernels, and ordering kernels only drop pairs the
+// retained (identically-ordered) column filters would drop anyway. The
+// differential suites skip error programs.
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/ast"
 	"repro/internal/database"
 	"repro/internal/term"
+)
+
+const (
+	// mergeThreshold is the tuple count at which a bound-slot probe upgrades
+	// to the sorted-merge (leapfrog) extension. Below it, per-tuple galloping
+	// probes win — no sort, and the run cursor still advances monotonically
+	// when the input happens to be sorted.
+	mergeThreshold = 32
+	// frameFallbackMin is the semi-naive delta size below which a pivot is
+	// delegated to the tuple-at-a-time frame executor (point-lookup joins on
+	// one or two new facts don't amortize columnar pass setup).
+	frameFallbackMin = 16
+	// permRadixMin is the permutation size at which sortPermByKey switches
+	// from comparison sort to two-pass LSD radix.
+	permRadixMin = 2048
 )
 
 // batchCols is the column-wise tuple set flowing through one batch pass:
@@ -58,6 +112,23 @@ type batchCols struct {
 	slots [][]term.ValueID
 	vals  [][]term.Term
 	facts [][]database.FactID
+	// perturbed marks that tuple order no longer equals the frame executor's
+	// depth-first order (a merge extension regrouped tuples by join key);
+	// restoreCanonical re-sorts at the leaf. sortedBy is the slot the tuples
+	// are currently sorted by (ascending ValueID), or -1 — it lets a chained
+	// merge extension on the same slot skip its sort.
+	perturbed bool
+	sortedBy  int
+}
+
+func newBatchCols(n int, p *plan) *batchCols {
+	return &batchCols{
+		n:        n,
+		slots:    make([][]term.ValueID, p.nslots),
+		vals:     make([][]term.Term, p.nvals),
+		facts:    make([][]database.FactID, len(p.rule.Body)),
+		sortedBy: -1,
+	}
 }
 
 // Admission modes (semi-naive pivot filter translated to dense space) and
@@ -70,22 +141,103 @@ const (
 
 const (
 	scanExtent = iota // no usable constant/bound position: scan the extent
-	probeConst        // binary-search a constant position once per pass
-	probeBound        // binary-search a bound-slot position once per tuple
+	probeConst        // seek a constant position once per pass
+	probeBound        // seek a bound-slot position per tuple, or merge
 )
 
-// batchAdmit is the precompiled candidate admission of one join depth:
-// the columnar index, the pattern ops with cached dense columns, the
-// pivot-filter mode, and the chosen probe strategy. It is immutable after
-// newBatchExec, so parallel chunks share it.
+// fusedOperand is one operand of a fused condition kernel, resolved against
+// the extension: a constant (pre-resolved id and numeric value), a
+// candidate-side dense column (the depth's atom writes the slot), or an
+// input-side slot column.
+type fusedOperand struct {
+	isConst bool
+	candCol []term.ValueID // candidate-side dense column; nil otherwise
+	slot    int            // input-side slot index (when !isConst && candCol == nil)
+	t       term.Term
+	id      term.ValueID // interned id of the constant; NoValue if never interned
+	f       float64
+	fOK     bool
+}
+
+func (o *fusedOperand) idAt(st *batchCols, i int, k int32) term.ValueID {
+	if o.isConst {
+		return o.id
+	}
+	if o.candCol != nil {
+		return o.candCol[k]
+	}
+	return st.slots[o.slot][i]
+}
+
+func (o *fusedOperand) numAt(in *term.Interner, st *batchCols, i int, k int32) (float64, bool) {
+	if o.isConst {
+		return o.f, o.fOK
+	}
+	if o.candCol != nil {
+		return in.Numeric(o.candCol[k])
+	}
+	return in.Numeric(st.slots[o.slot][i])
+}
+
+// fusedCond is a condition lowered to a branch-light kernel over dense
+// columns. Equality kernels replace their step; ordering kernels are
+// prefilters (the step is retained) that pass non-numeric pairs through, so
+// neither can error — see the package comment for why that matters.
+type fusedCond struct {
+	op   ast.CompareOp
+	l, r fusedOperand
+}
+
+// hold evaluates the kernel for input tuple i against candidate k. candOnly
+// kernels are called with a nil tuple set (they read no input column).
+func (fc *fusedCond) hold(in *term.Interner, st *batchCols, i int, k int32) bool {
+	switch fc.op {
+	case ast.OpEq:
+		return fc.l.idAt(st, i, k) == fc.r.idAt(st, i, k)
+	case ast.OpNe:
+		return fc.l.idAt(st, i, k) != fc.r.idAt(st, i, k)
+	}
+	lf, lok := fc.l.numAt(in, st, i, k)
+	rf, rok := fc.r.numAt(in, st, i, k)
+	if !lok || !rok {
+		return true // defer to the retained column filter
+	}
+	switch fc.op {
+	case ast.OpLt:
+		return lf < rf
+	case ast.OpLe:
+		return lf <= rf
+	case ast.OpGt:
+		return lf > rf
+	case ast.OpGe:
+		return lf >= rf
+	}
+	return true
+}
+
+type posVal struct {
+	pos int
+	val term.ValueID
+}
+
+type posPos struct {
+	pos, ref int
+}
+
+type posSlot struct {
+	pos, slot int
+}
+
+// batchAdmit is the precompiled candidate admission of one join depth: the
+// columnar index, the pattern ops with cached dense columns, the pivot-
+// filter mode, the chosen probe strategy, and the fused condition kernels.
+// It is immutable after newBatchExec, so parallel chunks share it.
 type batchAdmit struct {
 	atomIdx int
 	c       *database.Columnar
 	ops     []database.SlotOp
-	// cols caches c.Col(pos) per pattern position; samePos maps a SlotSame
-	// position to the earlier SlotWrite position of the same slot.
-	cols    [][]term.ValueID
-	samePos []int
+	// cols caches c.Col(pos) per pattern position.
+	cols [][]term.ValueID
 	// writePoss/writeSlots are the SlotWrite positions and their slots.
 	writePoss  []int
 	writeSlots []int
@@ -95,9 +247,55 @@ type batchAdmit struct {
 	probePos   int
 	probeVal   term.ValueID
 	probeSlot  int
-	// skipPos is the probe position (already guaranteed by the run search),
-	// excluded from the per-candidate check; -1 when scanning.
-	skipPos int
+	// Candidate-static checks (tuple-independent: constants, repeated
+	// variables) and tuple-dependent checks (bound slots); the probed
+	// position is excluded from its list, the run search guarantees it.
+	constChecks []posVal
+	sameChecks  []posPos
+	boundChecks []posSlot
+	// candFused reads only constants and candidate columns (applied once per
+	// candidate list); pairFused also reads input slots (applied per pair).
+	candFused []fusedCond
+	pairFused []fusedCond
+}
+
+// admitCand checks the tuple-independent part of admission for dense index k.
+func (ad *batchAdmit) admitCand(k int32) bool {
+	switch ad.mode {
+	case admitOld:
+		if k >= ad.bound {
+			return false
+		}
+	case admitNew:
+		if k < ad.bound {
+			return false
+		}
+	}
+	if ad.c.RowLen(k) != len(ad.ops) {
+		return false
+	}
+	for _, cc := range ad.constChecks {
+		if ad.cols[cc.pos][k] != cc.val {
+			return false
+		}
+	}
+	for _, sc := range ad.sameChecks {
+		if ad.cols[sc.pos][k] != ad.cols[sc.ref][k] {
+			return false
+		}
+	}
+	return true
+}
+
+// admitTuple checks the tuple-dependent part: bound slots of tuple i against
+// candidate k.
+func (ad *batchAdmit) admitTuple(st *batchCols, i int, k int32) bool {
+	for _, bc := range ad.boundChecks {
+		if ad.cols[bc.pos][k] != st.slots[bc.slot][i] {
+			return false
+		}
+	}
+	return true
 }
 
 // batchExec runs one ordered plan batch-at-a-time. It is immutable after
@@ -107,7 +305,11 @@ type batchExec struct {
 	e      *engine
 	p      *plan
 	op     *orderedPlan
+	in     *term.Interner
 	admits []batchAdmit
+	// steps[d] is op.steps[d] minus the conditions replaced by fused
+	// equality kernels (retained ordering prefilters keep their step).
+	steps [][]planStep
 }
 
 // ensurePlanColumnar refreshes the columnar index of every body predicate of
@@ -151,9 +353,17 @@ func probePositions(ops []database.SlotOp) []int {
 // indexes. pivot < 0 selects the unfiltered full join; otherwise the
 // standard pivot filter (atoms before the pivot match only pre-boundary
 // facts, the pivot only post-boundary ones) is translated to dense-index
-// comparisons.
+// comparisons. It must run before any Freeze (constant operands of fused
+// kernels are resolved against the interner here, once per pass).
 func (e *engine) newBatchExec(p *plan, op *orderedPlan, pivot int, boundary database.FactID) *batchExec {
-	bx := &batchExec{e: e, p: p, op: op, admits: make([]batchAdmit, len(op.atoms))}
+	bx := &batchExec{
+		e:      e,
+		p:      p,
+		op:     op,
+		in:     e.store.Interner(),
+		admits: make([]batchAdmit, len(op.atoms)),
+		steps:  make([][]planStep, len(op.atoms)),
+	}
 	for d := range op.atoms {
 		pa := &op.atoms[d]
 		atomIdx := op.order[d]
@@ -163,18 +373,8 @@ func (e *engine) newBatchExec(p *plan, op *orderedPlan, pivot int, boundary data
 		ad.c = c
 		ad.ops = pa.Ops
 		ad.cols = make([][]term.ValueID, len(pa.Ops))
-		ad.samePos = make([]int, len(pa.Ops))
 		for pos, sop := range pa.Ops {
 			ad.cols[pos] = c.Col(pos)
-			ad.samePos[pos] = -1
-			if sop.Kind == database.SlotSame {
-				for pos2 := 0; pos2 < pos; pos2++ {
-					if pa.Ops[pos2].Kind == database.SlotWrite && pa.Ops[pos2].Slot == sop.Slot {
-						ad.samePos[pos] = pos2
-						break
-					}
-				}
-			}
 			if sop.Kind == database.SlotWrite {
 				ad.writePoss = append(ad.writePoss, pos)
 				ad.writeSlots = append(ad.writeSlots, sop.Slot)
@@ -191,10 +391,9 @@ func (e *engine) newBatchExec(p *plan, op *orderedPlan, pivot int, boundary data
 		// Probe selection: the cheapest of scanning the extent, the exact
 		// run of a constant position, and the estimated run of a bound
 		// position. Any choice yields the same candidates in the same
-		// order; this only sets the work per tuple.
+		// canonical output; this only sets the work per tuple.
 		ad.strategy = scanExtent
 		ad.probePos = -1
-		ad.skipPos = -1
 		bestCost := c.Extent()
 		for pos, sop := range pa.Ops {
 			switch sop.Kind {
@@ -214,128 +413,276 @@ func (e *engine) newBatchExec(p *plan, op *orderedPlan, pivot int, boundary data
 				}
 			}
 		}
-		if ad.strategy != scanExtent {
-			ad.skipPos = ad.probePos
+		// Join-key preference: when the bound probe would not continue the
+		// plan's shared variable order (orderedPlan.keyPos) but the chain
+		// position is competitive, take the chain position — a merge
+		// extension on the chained slot skips its sort entirely.
+		if ad.strategy == probeBound && op.keyPos != nil && op.keyPos[d] >= 0 && op.keyPos[d] != ad.probePos {
+			if kp := op.keyPos[d]; pa.Ops[kp].Kind == database.SlotBound {
+				if n := c.AvgRun(kp); n <= 4*bestCost {
+					ad.probePos = kp
+					ad.probeSlot = pa.Ops[kp].Slot
+				}
+			}
 		}
+		// Split the per-candidate checks: the probed position is guaranteed
+		// by the run search and excluded from its own class.
+		for pos, sop := range pa.Ops {
+			switch sop.Kind {
+			case database.SlotConst:
+				if ad.strategy == probeConst && pos == ad.probePos {
+					continue
+				}
+				ad.constChecks = append(ad.constChecks, posVal{pos: pos, val: sop.Val})
+			case database.SlotBound:
+				if ad.strategy == probeBound && pos == ad.probePos {
+					continue
+				}
+				ad.boundChecks = append(ad.boundChecks, posSlot{pos: pos, slot: sop.Slot})
+			case database.SlotSame:
+				for pos2 := 0; pos2 < pos; pos2++ {
+					if pa.Ops[pos2].Kind == database.SlotWrite && pa.Ops[pos2].Slot == sop.Slot {
+						ad.sameChecks = append(ad.sameChecks, posPos{pos: pos, ref: pos2})
+						break
+					}
+				}
+			}
+		}
+		bx.steps[d] = bx.fuseSteps(ad, op.steps[d])
 	}
 	return bx
 }
 
-// admit checks one candidate (dense index k of the depth's predicate)
-// against tuple i: pivot mode, arity, and every pattern position except the
-// probed one — all reads of dense columns. The superseded check is hoisted
-// to the caller (it needs the fact id anyway).
-func (ad *batchAdmit) admit(st *batchCols, i int, k int32) bool {
-	switch ad.mode {
-	case admitOld:
-		if k >= ad.bound {
-			return false
+// fuseSteps lowers the fusable conditions of one depth into kernels on the
+// admission and returns the remaining step list. A condition fuses when all
+// its non-constant operands are atom-bound slots and at least one is
+// written by this depth's atom (otherwise the step would gain nothing);
+// equality kernels replace their step, ordering kernels keep it as the
+// deciding filter (the kernel is a pure never-erroring prefilter).
+func (bx *batchExec) fuseSteps(ad *batchAdmit, steps []planStep) []planStep {
+	candPosOf := func(slot int) int {
+		for w, s := range ad.writeSlots {
+			if s == slot {
+				return ad.writePoss[w]
+			}
 		}
-	case admitNew:
-		if k < ad.bound {
-			return false
+		return -1
+	}
+	fuseOperand := func(o planOperand) (fo fusedOperand, ok, cand bool) {
+		if o.isConst {
+			fo.isConst = true
+			fo.t = o.t
+			fo.id = term.NoValue
+			if id, found := bx.in.Lookup(o.t); found {
+				// Resolved once per pass: the join phase never interns, so
+				// the id view is stable until the next newBatchExec.
+				fo.id = id
+			}
+			fo.f, fo.fOK = o.t.AsFloat()
+			return fo, true, false
 		}
+		if o.kind != refSlot {
+			return fo, false, false // computed values keep the column filter
+		}
+		if cp := candPosOf(o.idx); cp >= 0 {
+			fo.candCol = ad.cols[cp]
+			return fo, true, true
+		}
+		fo.slot = o.idx
+		return fo, true, false
 	}
-	if ad.c.RowLen(k) != len(ad.ops) {
-		return false
-	}
-	for pos := range ad.ops {
-		if pos == ad.skipPos {
+	var kept []planStep
+	copied := false
+	for si := range steps {
+		s := &steps[si]
+		dropStep := false
+		if c := s.cond; c != nil && !(c.l.isConst && c.r.isConst) {
+			l, lok, lcand := fuseOperand(c.l)
+			r, rok, rcand := fuseOperand(c.r)
+			if lok && rok && (lcand || rcand) {
+				fc := fusedCond{op: c.op, l: l, r: r}
+				if l.slotRead() || r.slotRead() {
+					ad.pairFused = append(ad.pairFused, fc)
+				} else {
+					ad.candFused = append(ad.candFused, fc)
+				}
+				// Equality kernels decide exactly and cannot error: drop the
+				// step. Ordering kernels are prefilters; the step stays as
+				// the deciding (and error-reporting) filter.
+				dropStep = c.op == ast.OpEq || c.op == ast.OpNe
+			}
+		}
+		if dropStep {
+			if !copied {
+				// Copy-on-write so op.steps stays untouched (the frame
+				// executor shares it).
+				kept = append(kept, steps[:si]...)
+				copied = true
+			}
 			continue
 		}
-		switch sop := &ad.ops[pos]; sop.Kind {
-		case database.SlotConst:
-			if ad.cols[pos][k] != sop.Val {
-				return false
+		if copied {
+			kept = append(kept, *s)
+		}
+	}
+	if !copied {
+		return steps
+	}
+	return kept
+}
+
+// slotRead reports whether the operand reads an input-side slot column (per
+// pair), as opposed to constants and candidate columns (per candidate).
+func (o *fusedOperand) slotRead() bool {
+	return !o.isConst && o.candCol == nil
+}
+
+// filterCand builds the admitted candidate list for one probe value: the
+// candidate-static checks, the superseded filter, and the candidate-only
+// fused kernels — everything tuple-independent, applied once per distinct
+// value instead of once per pair. cand is a reusable scratch buffer.
+func (bx *batchExec) filterCand(ad *batchAdmit, cand, base, tail []int32) []int32 {
+	superseded := bx.e.superseded
+	checkSuper := len(superseded) > 0
+	for _, run := range [2][]int32{base, tail} {
+		for _, k := range run {
+			if !ad.admitCand(k) {
+				continue
 			}
-		case database.SlotBound:
-			if ad.cols[pos][k] != st.slots[sop.Slot][i] {
-				return false
+			if checkSuper && superseded[ad.c.ID(k)] {
+				continue
 			}
-		case database.SlotSame:
-			if ad.cols[pos][k] != ad.cols[ad.samePos[pos]][k] {
-				return false
+			ok := true
+			for ci := range ad.candFused {
+				if !ad.candFused[ci].hold(bx.in, nil, 0, k) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				cand = append(cand, k)
 			}
 		}
 	}
-	return true
+	return cand
+}
+
+// crossTuple pairs tuple i with every candidate it admits, appending to the
+// (src, ks) pair buffers. The bulk path covers the common merge case where
+// every per-pair check was hoisted into the candidate list.
+func (bx *batchExec) crossTuple(ad *batchAdmit, st *batchCols, i int, cand []int32, src, ks []int32) ([]int32, []int32) {
+	if len(ad.boundChecks) == 0 && len(ad.pairFused) == 0 {
+		for range cand {
+			src = append(src, int32(i))
+		}
+		return src, append(ks, cand...)
+	}
+	for _, k := range cand {
+		if !ad.admitTuple(st, i, k) {
+			continue
+		}
+		ok := true
+		for ci := range ad.pairFused {
+			if !ad.pairFused[ci].hold(bx.in, st, i, k) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		src = append(src, int32(i))
+		ks = append(ks, k)
+	}
+	return src, ks
 }
 
 // seed runs the depth-0 extension from a single virtual empty tuple,
-// producing the batch counterpart of planSeeds. Steps scheduled at depth 0
-// are deliberately not applied here — parallel mode chunks the seed set
-// first and lets each chunk filter its own tuples (see planSeeds).
-func (bx *batchExec) seed() *batchCols {
-	return bx.extend(0, &batchCols{
-		n:     1,
-		slots: make([][]term.ValueID, bx.p.nslots),
-		vals:  make([][]term.Term, bx.p.nvals),
-		facts: make([][]database.FactID, len(bx.p.rule.Body)),
-	})
+// producing the batch counterpart of planSeeds. Unfused steps scheduled at
+// depth 0 are deliberately not applied here — parallel mode chunks the seed
+// set first and lets each chunk filter its own tuples (see planSeeds);
+// fused kernels run in the extension, which filters the same final set.
+func (bx *batchExec) seed(js *database.ColumnarStats) *batchCols {
+	return bx.extend(0, newBatchCols(1, bx.p), js)
 }
 
 // extend joins every input tuple with every admissible match of the atom at
-// order position d. Tuples are visited in order and candidates per tuple in
-// dense (fact-id) order, so the output order equals the frame executor's
-// depth-first leaf order. Surviving input columns are gathered through a
-// src indirection — the columnar counterpart of copying the frame per leaf.
-func (bx *batchExec) extend(d int, st *batchCols) *batchCols {
+// order position d, in two phases: collect (src, k) pairs (4-byte appends),
+// then gather every output column in one exact-size allocation per column.
+// Probe and scan strategies visit tuples in order and candidates per tuple
+// in dense (fact-id) order, preserving canonical order; the merge strategy
+// regroups tuples by join-key value and marks the output perturbed (the
+// leaf re-sort restores canonical order — see the package comment).
+func (bx *batchExec) extend(d int, st *batchCols, js *database.ColumnarStats) *batchCols {
 	ad := &bx.admits[d]
-	superseded := bx.e.superseded
-	checkSuper := len(superseded) > 0
-	var src []int32
-	var newFacts []database.FactID
-	newCols := make([][]term.ValueID, len(ad.writePoss))
-
-	push := func(i int, k int32) {
-		id := ad.c.ID(k)
-		if checkSuper && superseded[id] {
-			return
-		}
-		src = append(src, int32(i))
-		newFacts = append(newFacts, id)
-		for w, pos := range ad.writePoss {
-			newCols[w] = append(newCols[w], ad.cols[pos][k])
-		}
-	}
+	var src, ks, cand []int32
+	perturbed := st.perturbed
+	sortedBy := st.sortedBy
 
 	switch ad.strategy {
 	case probeConst:
+		js.ProbePasses++
 		base, tail := ad.c.Runs(ad.probePos, ad.probeVal)
-		for i := 0; i < st.n; i++ {
-			for _, k := range base {
-				if ad.admit(st, i, k) {
-					push(i, k)
-				}
-			}
-			for _, k := range tail {
-				if ad.admit(st, i, k) {
-					push(i, k)
-				}
+		if cand = bx.filterCand(ad, cand, base, tail); len(cand) > 0 {
+			for i := 0; i < st.n; i++ {
+				src, ks = bx.crossTuple(ad, st, i, cand, src, ks)
 			}
 		}
 	case probeBound:
 		col := st.slots[ad.probeSlot]
-		var base, tail []int32
-		probed := false
-		var lastVal term.ValueID
-		for i := 0; i < st.n; i++ {
-			if v := col[i]; !probed || v != lastVal {
-				base, tail = ad.c.Runs(ad.probePos, v)
-				lastVal, probed = v, true
+		it := ad.c.Iter(ad.probePos)
+		if st.n >= mergeThreshold {
+			// Leapfrog: sort the tuples by the join key (skipped when a
+			// previous merge on the same slot left them sorted), then
+			// intersect the distinct ascending keys against the sorted runs
+			// with one galloping Seek each, filter the candidate list once,
+			// and cross it with the whole tuple group.
+			js.TriejoinPasses++
+			var order []int32
+			if sortedBy != ad.probeSlot {
+				order = sortPermByKey(col)
 			}
-			for _, k := range base {
-				if ad.admit(st, i, k) {
-					push(i, k)
+			at := func(t int) int {
+				if order == nil {
+					return t
 				}
+				return int(order[t])
 			}
-			for _, k := range tail {
-				if ad.admit(st, i, k) {
-					push(i, k)
+			for i := 0; i < st.n; {
+				ti := at(i)
+				v := col[ti]
+				j := i + 1
+				for j < st.n && col[at(j)] == v {
+					j++
 				}
+				base, tail := it.Seek(v)
+				if len(base)+len(tail) > 0 {
+					if cand = bx.filterCand(ad, cand[:0], base, tail); len(cand) > 0 {
+						for t := i; t < j; t++ {
+							src, ks = bx.crossTuple(ad, st, at(t), cand, src, ks)
+						}
+					}
+				}
+				i = j
+			}
+			perturbed, sortedBy = true, ad.probeSlot
+		} else {
+			js.ProbePasses++
+			probed := false
+			var lastVal term.ValueID
+			for i := 0; i < st.n; i++ {
+				if v := col[i]; !probed || v != lastVal {
+					base, tail := it.Seek(v)
+					cand = bx.filterCand(ad, cand[:0], base, tail)
+					lastVal, probed = v, true
+				}
+				src, ks = bx.crossTuple(ad, st, i, cand, src, ks)
 			}
 		}
+		js.Seeks += it.Seeks
+		js.GallopSteps += it.GallopSteps
 	default:
+		js.ScanPasses++
 		lo, hi := int32(0), int32(ad.c.Extent())
 		switch ad.mode {
 		case admitOld:
@@ -343,39 +690,76 @@ func (bx *batchExec) extend(d int, st *batchCols) *batchCols {
 		case admitNew:
 			lo = ad.bound
 		}
-		for i := 0; i < st.n; i++ {
-			for k := lo; k < hi; k++ {
-				if ad.admit(st, i, k) {
-					push(i, k)
+		superseded := bx.e.superseded
+		checkSuper := len(superseded) > 0
+		for k := lo; k < hi; k++ {
+			if !ad.admitCand(k) {
+				continue
+			}
+			if checkSuper && superseded[ad.c.ID(k)] {
+				continue
+			}
+			ok := true
+			for ci := range ad.candFused {
+				if !ad.candFused[ci].hold(bx.in, nil, 0, k) {
+					ok = false
+					break
 				}
+			}
+			if ok {
+				cand = append(cand, k)
+			}
+		}
+		if len(cand) > 0 {
+			for i := 0; i < st.n; i++ {
+				src, ks = bx.crossTuple(ad, st, i, cand, src, ks)
 			}
 		}
 	}
 
+	out := bx.gather(ad, st, src, ks)
+	out.perturbed = perturbed && out.n > 0
+	out.sortedBy = sortedBy
+	return out
+}
+
+// gather materializes the output columns of one extension from the pair
+// buffers: surviving input columns through the src indirection, the write
+// slots and the new premise column from the candidate cursors — the
+// columnar counterpart of copying the frame per leaf, but one exact-size
+// allocation per column instead of per row.
+func (bx *batchExec) gather(ad *batchAdmit, st *batchCols, src, ks []int32) *batchCols {
+	n := len(src)
 	out := &batchCols{
-		n:     len(src),
-		slots: make([][]term.ValueID, len(st.slots)),
-		vals:  make([][]term.Term, len(st.vals)),
-		facts: make([][]database.FactID, len(st.facts)),
+		n:        n,
+		slots:    make([][]term.ValueID, len(st.slots)),
+		vals:     make([][]term.Term, len(st.vals)),
+		facts:    make([][]database.FactID, len(st.facts)),
+		sortedBy: -1,
 	}
 	for s, col := range st.slots {
 		if col == nil {
 			continue
 		}
-		g := make([]term.ValueID, len(src))
+		g := make([]term.ValueID, n)
 		for j, i := range src {
 			g[j] = col[i]
 		}
 		out.slots[s] = g
 	}
 	for w, slot := range ad.writeSlots {
-		out.slots[slot] = newCols[w]
+		colP := ad.cols[ad.writePoss[w]]
+		g := make([]term.ValueID, n)
+		for j, k := range ks {
+			g[j] = colP[k]
+		}
+		out.slots[slot] = g
 	}
 	for v, col := range st.vals {
 		if col == nil {
 			continue
 		}
-		g := make([]term.Term, len(src))
+		g := make([]term.Term, n)
 		for j, i := range src {
 			g[j] = col[i]
 		}
@@ -385,21 +769,137 @@ func (bx *batchExec) extend(d int, st *batchCols) *batchCols {
 		if col == nil {
 			continue
 		}
-		g := make([]database.FactID, len(src))
+		g := make([]database.FactID, n)
 		for j, i := range src {
 			g[j] = col[i]
 		}
 		out.facts[a] = g
 	}
+	newFacts := make([]database.FactID, n)
+	for j, k := range ks {
+		newFacts[j] = ad.c.ID(k)
+	}
 	out.facts[ad.atomIdx] = newFacts
 	return out
 }
 
-// runSteps applies the steps scheduled at depth d column-wise, in the same
-// relative order as the frame executor's runSteps; filters compact the
-// tuple set in place of dropping one frame at a time.
+// sortPermByKey returns the permutation that sorts the key column ascending,
+// stably (ties keep input order). Small inputs use a comparison sort; large
+// ones a two-pass LSD radix over the 32-bit id.
+func sortPermByKey(keys []term.ValueID) []int32 {
+	n := len(keys)
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	if n < permRadixMin {
+		sort.Slice(perm, func(a, b int) bool {
+			ka, kb := keys[perm[a]], keys[perm[b]]
+			if ka != kb {
+				return ka < kb
+			}
+			return perm[a] < perm[b]
+		})
+		return perm
+	}
+	tmp := make([]int32, n)
+	var count [1 << 16]int32
+	for shift := 0; shift < 32; shift += 16 {
+		for i := range count {
+			count[i] = 0
+		}
+		for _, p := range perm {
+			count[uint32(keys[p])>>shift&0xffff]++
+		}
+		sum := int32(0)
+		for i, c := range count {
+			count[i] = sum
+			sum += c
+		}
+		for _, p := range perm {
+			d := uint32(keys[p]) >> shift & 0xffff
+			tmp[count[d]] = p
+			count[d]++
+		}
+		perm, tmp = tmp, perm
+	}
+	return perm
+}
+
+// restoreCanonical re-sorts a perturbed leaf tuple set into the frame
+// executor's depth-first order: lexicographic over the per-depth fact-id
+// columns. Leaf fact-id tuples are unique (the choice sequence is the
+// leaf), so the sort has no ties and the order is fully determined.
+func restoreCanonical(st *batchCols, op *orderedPlan) *batchCols {
+	if !st.perturbed {
+		return st
+	}
+	if st.n <= 1 {
+		st.perturbed = false
+		return st
+	}
+	depthFacts := make([][]database.FactID, len(op.order))
+	for d, atomIdx := range op.order {
+		depthFacts[d] = st.facts[atomIdx]
+	}
+	perm := make([]int32, st.n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		pa, pb := perm[a], perm[b]
+		for _, col := range depthFacts {
+			if col[pa] != col[pb] {
+				return col[pa] < col[pb]
+			}
+		}
+		return false
+	})
+	out := &batchCols{
+		n:        st.n,
+		slots:    make([][]term.ValueID, len(st.slots)),
+		vals:     make([][]term.Term, len(st.vals)),
+		facts:    make([][]database.FactID, len(st.facts)),
+		sortedBy: -1,
+	}
+	for s, col := range st.slots {
+		if col == nil {
+			continue
+		}
+		g := make([]term.ValueID, st.n)
+		for j, i := range perm {
+			g[j] = col[i]
+		}
+		out.slots[s] = g
+	}
+	for v, col := range st.vals {
+		if col == nil {
+			continue
+		}
+		g := make([]term.Term, st.n)
+		for j, i := range perm {
+			g[j] = col[i]
+		}
+		out.vals[v] = g
+	}
+	for a, col := range st.facts {
+		if col == nil {
+			continue
+		}
+		g := make([]database.FactID, st.n)
+		for j, i := range perm {
+			g[j] = col[i]
+		}
+		out.facts[a] = g
+	}
+	return out
+}
+
+// runSteps applies the unfused steps scheduled at depth d column-wise, in
+// the same relative order as the frame executor's runSteps; filters compact
+// the tuple set in place of dropping one frame at a time.
 func (bx *batchExec) runSteps(d int, st *batchCols) (*batchCols, error) {
-	steps := bx.op.steps[d]
+	steps := bx.steps[d]
 	for i := range steps {
 		var err error
 		switch s := &steps[i]; {
@@ -428,7 +928,7 @@ func (bx *batchExec) resolveAt(o planOperand, st *batchCols, i int) term.Term {
 	if o.kind == refVal {
 		return st.vals[o.idx][i]
 	}
-	return bx.e.store.Interner().Value(st.slots[o.idx][i])
+	return bx.in.Value(st.slots[o.idx][i])
 }
 
 // evalExprAt evaluates a compiled expression for tuple i with the shared
@@ -469,7 +969,7 @@ func (bx *batchExec) assignCol(a *planAssign, st *batchCols) error {
 // condHolds for everything else, so filter decisions and error messages
 // match the frame executor exactly.
 func (bx *batchExec) filterCond(c *planCond, st *batchCols) (*batchCols, error) {
-	in := bx.e.store.Interner()
+	in := bx.in
 	keep := make([]bool, st.n)
 	kept := 0
 
@@ -481,9 +981,10 @@ func (bx *batchExec) filterCond(c *planCond, st *batchCols) (*batchCols, error) 
 		}
 		if !ok {
 			return &batchCols{
-				slots: make([][]term.ValueID, len(st.slots)),
-				vals:  make([][]term.Term, len(st.vals)),
-				facts: make([][]database.FactID, len(st.facts)),
+				slots:    make([][]term.ValueID, len(st.slots)),
+				vals:     make([][]term.Term, len(st.vals)),
+				facts:    make([][]database.FactID, len(st.facts)),
+				sortedBy: -1,
 			}, nil
 		}
 		return st, nil
@@ -588,7 +1089,7 @@ func (bx *batchExec) filterCond(c *planCond, st *batchCols) (*batchCols, error) 
 // (negation probes are point lookups; the columnar index buys nothing).
 func (bx *batchExec) filterNeg(ng *planNeg, st *batchCols) *batchCols {
 	store := bx.e.store
-	in := store.Interner()
+	in := bx.in
 	frame := make([]term.ValueID, bx.p.nslots)
 	var scratch []database.SlotOp
 	keep := make([]bool, st.n)
@@ -640,17 +1141,20 @@ func (bx *batchExec) filterNeg(ng *planNeg, st *batchCols) *batchCols {
 	return compactCols(st, keep, kept)
 }
 
-// compactCols gathers the kept tuples, preserving order. It returns the
-// input unchanged when nothing was dropped.
+// compactCols gathers the kept tuples, preserving order (and hence the
+// sort/perturbation flags). It returns the input unchanged when nothing was
+// dropped.
 func compactCols(st *batchCols, keep []bool, kept int) *batchCols {
 	if kept == st.n {
 		return st
 	}
 	out := &batchCols{
-		n:     kept,
-		slots: make([][]term.ValueID, len(st.slots)),
-		vals:  make([][]term.Term, len(st.vals)),
-		facts: make([][]database.FactID, len(st.facts)),
+		n:         kept,
+		slots:     make([][]term.ValueID, len(st.slots)),
+		vals:      make([][]term.Term, len(st.vals)),
+		facts:     make([][]database.FactID, len(st.facts)),
+		perturbed: st.perturbed && kept > 0,
+		sortedBy:  st.sortedBy,
 	}
 	for s, col := range st.slots {
 		if col == nil {
@@ -691,16 +1195,15 @@ func compactCols(st *batchCols, keep []bool, kept int) *batchCols {
 	return out
 }
 
-// appendBindings converts the leaf columns to bindings. Frames and value
-// tuples are carved out of two arena allocations (they are transient: read
-// once at the emission boundary); the premise fact tuples are allocated per
-// binding because Derivation.Premises and Contribution.Premises retain them
-// for the lifetime of the result.
-func (bx *batchExec) appendBindings(st *batchCols, out []binding) []binding {
+// appendBindingsCols converts canonical leaf columns to bindings. Frames and
+// value tuples are carved out of two arena allocations (they are transient:
+// read once at the emission boundary); the premise fact tuples are allocated
+// per binding because Derivation.Premises and Contribution.Premises retain
+// them for the lifetime of the result.
+func appendBindingsCols(p *plan, st *batchCols, out []binding) []binding {
 	if st.n == 0 {
 		return out
 	}
-	p := bx.p
 	nb := len(st.facts)
 	frames := make([]term.ValueID, st.n*p.nslots)
 	var vals []term.Term
@@ -729,11 +1232,14 @@ func (bx *batchExec) appendBindings(st *batchCols, out []binding) []binding {
 	return out
 }
 
-// finishFrom drives an already-seeded tuple set through the remaining
-// depths: steps at the current depth, then the next extension, with a
-// cancellation checkpoint per depth.
-func (bx *batchExec) finishFrom(st *batchCols, out []binding) ([]binding, error) {
+// finish drives a seeded tuple set through the remaining depths — unfused
+// steps at the current depth, then the next extension, with a cancellation
+// checkpoint per depth — and returns the leaf columns in canonical order.
+func (bx *batchExec) finish(st *batchCols, js *database.ColumnarStats) (*batchCols, error) {
 	for d := 0; ; d++ {
+		if st.n == 0 {
+			return st, nil
+		}
 		if err := bx.e.checkCtx(); err != nil {
 			return nil, err
 		}
@@ -743,54 +1249,168 @@ func (bx *batchExec) finishFrom(st *batchCols, out []binding) ([]binding, error)
 			return nil, err
 		}
 		if st.n == 0 {
-			return out, nil
+			return st, nil
 		}
 		if d+1 == len(bx.op.atoms) {
-			return bx.appendBindings(st, out), nil
+			return restoreCanonical(st, bx.op), nil
 		}
-		st = bx.extend(d+1, st)
-		if st.n == 0 {
-			return out, nil
+		st = bx.extend(d+1, st, js)
+	}
+}
+
+// batchUnit is one pivot's (or pivot chunk's) contribution to a batch join,
+// in canonical order: leaf columns from a batch pass, or materialized
+// bindings from a frame-fallback pivot (or a wantBindings caller).
+type batchUnit struct {
+	cols  *batchCols
+	binds []binding
+}
+
+// pivotNewCount is the semi-naive delta size of one pivot: the number of
+// live facts of the pivot atom's predicate at or beyond the boundary. It
+// depends only on store state, so sequential and parallel mode make the
+// same fallback choice.
+func (e *engine) pivotNewCount(op *orderedPlan, boundary database.FactID) int {
+	c := e.store.EnsureColumnarRuns(op.atoms[0].Predicate, nil)
+	return c.Extent() - int(c.DenseBoundary(boundary))
+}
+
+// joinBatchUnits evaluates a full (semi=false) or semi-naive batch join and
+// returns its units in canonical concatenation order. wantBindings converts
+// every unit to bindings (aggregation and constraint callers); the plain-
+// rule emission path takes the columns raw.
+func (e *engine) joinBatchUnits(p *plan, semi bool, boundary database.FactID, wantBindings bool) ([]batchUnit, error) {
+	e.ensurePlanColumnar(p)
+	if e.workers > 1 {
+		return e.joinBatchUnitsParallel(p, semi, boundary, wantBindings)
+	}
+	var units []batchUnit
+	var js database.ColumnarStats
+	defer func() { e.store.AddJoinStats(js) }()
+	npiv := 1
+	if semi {
+		npiv = len(p.orders)
+	}
+	for pivot := 0; pivot < npiv; pivot++ {
+		if err := e.checkCtx(); err != nil {
+			return nil, err
 		}
-	}
-}
-
-// run seeds and finishes one sequential batch pass, appending to out.
-func (bx *batchExec) run(out []binding) ([]binding, error) {
-	if err := bx.e.checkCtx(); err != nil {
-		return nil, err
-	}
-	st := bx.seed()
-	if st.n == 0 {
-		return out, nil
-	}
-	return bx.finishFrom(st, out)
-}
-
-// joinBatchBody is the batch-engine full body join (sequential).
-func (e *engine) joinBatchBody(p *plan) ([]binding, error) {
-	e.ensurePlanColumnar(p)
-	bx := e.newBatchExec(p, p.orders[0], -1, 0)
-	out, err := bx.run(nil)
-	if err != nil || len(out) == 0 {
-		return nil, err
-	}
-	return out, nil
-}
-
-// joinBatchSemiNaive is the batch-engine semi-naive join (sequential): one
-// batch pass per pivot decomposition, outputs concatenated in pivot order
-// exactly like the frame and legacy engines.
-func (e *engine) joinBatchSemiNaive(p *plan, boundary database.FactID) ([]binding, error) {
-	e.ensurePlanColumnar(p)
-	var all []binding
-	for pivot := range p.orders {
-		bx := e.newBatchExec(p, p.orders[pivot], pivot, boundary)
-		var err error
-		all, err = bx.run(all)
+		op := p.orders[pivot]
+		pv := -1
+		if semi {
+			pv = pivot
+			switch nc := e.pivotNewCount(op, boundary); {
+			case nc == 0:
+				continue // pivot demands a new fact; there is none
+			case nc < frameFallbackMin:
+				js.FrameFallbacks++
+				x := e.newExecutor(p, op, pivotFilter(pivot, boundary))
+				if err := x.extend(0); err != nil {
+					return nil, err
+				}
+				if len(x.out) > 0 {
+					units = append(units, batchUnit{binds: x.out})
+				}
+				continue
+			}
+		}
+		bx := e.newBatchExec(p, op, pv, boundary)
+		st, err := bx.finish(bx.seed(&js), &js)
 		if err != nil {
 			return nil, err
 		}
+		if st.n == 0 {
+			continue
+		}
+		if wantBindings {
+			units = append(units, batchUnit{binds: appendBindingsCols(p, st, nil)})
+		} else {
+			units = append(units, batchUnit{cols: st})
+		}
+	}
+	return units, nil
+}
+
+// joinBatchUnitsParallel is joinBatchUnits with the post-seed depths of
+// every non-fallback pivot fanned out over the worker pool. Fallback pivots
+// run sequentially before the freeze (the frame executor is cheap on tiny
+// deltas and must not race the freeze discipline); merging chunk units in
+// (pivot, chunk) order reproduces the sequential concatenation exactly.
+func (e *engine) joinBatchUnitsParallel(p *plan, semi bool, boundary database.FactID, wantBindings bool) ([]batchUnit, error) {
+	type entry struct {
+		binds  []binding
+		lo, hi int // chunk-task range; lo == hi marks a fallback entry
+	}
+	var entries []entry
+	var tasks []*batchTask
+	var js database.ColumnarStats
+	npiv := 1
+	if semi {
+		npiv = len(p.orders)
+	}
+	for pivot := 0; pivot < npiv; pivot++ {
+		if err := e.checkCtx(); err != nil {
+			e.store.AddJoinStats(js)
+			return nil, err
+		}
+		op := p.orders[pivot]
+		pv := -1
+		if semi {
+			pv = pivot
+			switch nc := e.pivotNewCount(op, boundary); {
+			case nc == 0:
+				continue
+			case nc < frameFallbackMin:
+				js.FrameFallbacks++
+				x := e.newExecutor(p, op, pivotFilter(pivot, boundary))
+				if err := x.extend(0); err != nil {
+					e.store.AddJoinStats(js)
+					return nil, err
+				}
+				if len(x.out) > 0 {
+					entries = append(entries, entry{binds: x.out})
+				}
+				continue
+			}
+		}
+		bx := e.newBatchExec(p, op, pv, boundary)
+		lo := len(tasks)
+		tasks = appendBatchChunked(tasks, bx, bx.seed(&js), e.workers)
+		if len(tasks) > lo {
+			entries = append(entries, entry{lo: lo, hi: len(tasks)})
+		}
+	}
+	e.store.AddJoinStats(js)
+	if err := e.runBatchTasks(tasks, wantBindings); err != nil {
+		return nil, err
+	}
+	var units []batchUnit
+	for _, en := range entries {
+		if en.lo == en.hi {
+			units = append(units, batchUnit{binds: en.binds})
+			continue
+		}
+		for _, t := range tasks[en.lo:en.hi] {
+			switch {
+			case wantBindings && len(t.binds) > 0:
+				units = append(units, batchUnit{binds: t.binds})
+			case !wantBindings && t.cols != nil && t.cols.n > 0:
+				units = append(units, batchUnit{cols: t.cols})
+			}
+		}
+	}
+	return units, nil
+}
+
+// joinBatchBindings flattens a unit join into the classic []binding shape.
+func (e *engine) joinBatchBindings(p *plan, semi bool, boundary database.FactID) ([]binding, error) {
+	units, err := e.joinBatchUnits(p, semi, boundary, true)
+	if err != nil {
+		return nil, err
+	}
+	var all []binding
+	for _, u := range units {
+		all = append(all, u.binds...)
 	}
 	if len(all) == 0 {
 		return nil, nil
@@ -798,22 +1418,41 @@ func (e *engine) joinBatchSemiNaive(p *plan, boundary database.FactID) ([]bindin
 	return all, nil
 }
 
+// joinBatchBody is the batch-engine full body join (sequential and parallel
+// dispatch internal).
+func (e *engine) joinBatchBody(p *plan) ([]binding, error) {
+	return e.joinBatchBindings(p, false, 0)
+}
+
+// joinBatchSemiNaive is the batch-engine semi-naive join: one batch pass per
+// pivot decomposition, outputs concatenated in pivot order exactly like the
+// frame and legacy engines.
+func (e *engine) joinBatchSemiNaive(p *plan, boundary database.FactID) ([]binding, error) {
+	return e.joinBatchBindings(p, true, boundary)
+}
+
 // batchTask is one contiguous chunk of a pivot's seed tuples, finished
-// independently on the worker pool and merged in task order.
+// independently on the worker pool and merged in task order. js accumulates
+// the chunk's join-path counters locally during the frozen phase; they are
+// flushed to the store after Thaw.
 type batchTask struct {
-	bx  *batchExec
-	st  *batchCols
-	out []binding
+	bx    *batchExec
+	st    *batchCols
+	cols  *batchCols
+	binds []binding
+	js    database.ColumnarStats
 }
 
 // sliceCols returns the contiguous sub-range [lo, hi) of a tuple set; the
 // sub-columns alias the input, which chunks only read.
 func sliceCols(st *batchCols, lo, hi int) *batchCols {
 	out := &batchCols{
-		n:     hi - lo,
-		slots: make([][]term.ValueID, len(st.slots)),
-		vals:  make([][]term.Term, len(st.vals)),
-		facts: make([][]database.FactID, len(st.facts)),
+		n:         hi - lo,
+		slots:     make([][]term.ValueID, len(st.slots)),
+		vals:      make([][]term.Term, len(st.vals)),
+		facts:     make([][]database.FactID, len(st.facts)),
+		perturbed: st.perturbed,
+		sortedBy:  st.sortedBy,
 	}
 	for s, col := range st.slots {
 		if col != nil {
@@ -853,56 +1492,31 @@ func appendBatchChunked(tasks []*batchTask, bx *batchExec, st *batchCols, worker
 }
 
 // runBatchTasks finishes every chunk on the worker pool under the same
-// Freeze/Thaw discipline as runPlanTasks, then merges the outputs in task
-// order. Chunks only read shared state (the store, the columnar indexes —
-// refreshed before the freeze — the superseded set, and the shared
-// batchExec); every column a chunk produces is freshly allocated.
-func (e *engine) runBatchTasks(tasks []*batchTask) ([]binding, error) {
+// Freeze/Thaw discipline as runPlanTasks. Chunks only read shared state
+// (the store, the columnar indexes — refreshed before the freeze — the
+// superseded set, and the shared batchExec); every column a chunk produces
+// is freshly allocated, and per-chunk counters are flushed after Thaw.
+func (e *engine) runBatchTasks(tasks []*batchTask, wantBindings bool) error {
 	if len(tasks) == 0 {
-		return nil, nil
+		return nil
 	}
 	e.store.Freeze()
 	err := runParallel(e.workers, len(tasks), func(i int) error {
 		t := tasks[i]
-		out, err := t.bx.finishFrom(t.st, nil)
+		st, err := t.bx.finish(t.st, &t.js)
 		if err != nil {
 			return err
 		}
-		t.out = out
+		if wantBindings {
+			t.binds = appendBindingsCols(t.bx.p, st, nil)
+		} else {
+			t.cols = st
+		}
 		return nil
 	})
 	e.store.Thaw()
-	if err != nil {
-		return nil, err
-	}
-	var all []binding
 	for _, t := range tasks {
-		all = append(all, t.out...)
+		e.store.AddJoinStats(t.js)
 	}
-	if len(all) == 0 {
-		return nil, nil
-	}
-	return all, nil
-}
-
-// joinBatchBodyParallel is joinBatchBody with the post-seed depths fanned
-// out over the worker pool.
-func (e *engine) joinBatchBodyParallel(p *plan) ([]binding, error) {
-	e.ensurePlanColumnar(p)
-	bx := e.newBatchExec(p, p.orders[0], -1, 0)
-	tasks := appendBatchChunked(nil, bx, bx.seed(), e.workers)
-	return e.runBatchTasks(tasks)
-}
-
-// joinBatchSemiNaiveParallel evaluates all pivot decompositions as one task
-// pool; merging by (pivot, chunk) index reproduces the sequential
-// pivot-by-pivot concatenation exactly.
-func (e *engine) joinBatchSemiNaiveParallel(p *plan, boundary database.FactID) ([]binding, error) {
-	e.ensurePlanColumnar(p)
-	var tasks []*batchTask
-	for pivot := range p.orders {
-		bx := e.newBatchExec(p, p.orders[pivot], pivot, boundary)
-		tasks = appendBatchChunked(tasks, bx, bx.seed(), e.workers)
-	}
-	return e.runBatchTasks(tasks)
+	return err
 }

@@ -116,3 +116,52 @@ func BenchmarkJoinControlChain(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkTwoHopEmission measures the vectorized emission path of the
+// batch executor on a dense two-hop join. Cold derives every output fact
+// (key build + keyed insert + derivation per row); warm re-runs with the
+// previous outputs pre-loaded as extensional facts, so every emitted row is
+// a duplicate and the path must cost one allocation-free LookupKey per row
+// — allocations stay O(columns), not O(rows). ReportAllocs makes the
+// contrast visible in the -benchmem columns.
+func BenchmarkTwoHopEmission(b *testing.B) {
+	prog, err := parser.Parse(`
+@output("Risky").
+@label("t1") Risky(X, Z) :- Own(X, Y, S1), Own(Y, Z, S2), S1 > 0.5, S2 > 0.5.
+`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	facts := denseOwnership(8, 40, 8, 1)
+	res, err := Run(prog, Options{Batch: true, ExtraFacts: facts})
+	if err != nil {
+		b.Fatal(err)
+	}
+	derived := 0
+	warmFacts := append([]ast.Atom{}, facts...)
+	for _, f := range res.Store.Facts() {
+		if !f.Extensional {
+			warmFacts = append(warmFacts, f.Atom)
+			derived++
+		}
+	}
+	if derived == 0 {
+		b.Fatal("two-hop derived nothing")
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(prog, Options{Batch: true, ExtraFacts: facts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Run(prog, Options{Batch: true, ExtraFacts: warmFacts}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -138,6 +138,12 @@ type engine struct {
 	// keyBuf is the reusable scratch buffer for aggregation group and
 	// contributor-identity keys (single-threaded accumulation phase only).
 	keyBuf []byte
+	// keyByID caches the canonical key bytes of interned values and emitBuf
+	// is the reusable atom-key buffer — both serve the batch executor's
+	// vectorized emission path (emitCols), which deduplicates derived rows
+	// against the store without materializing atoms or substitutions.
+	keyByID [][]byte
+	emitBuf []byte
 	// ctx is the run's cancellation context; nil means none (see context.go
 	// for the checkpoint placement and the state left after a cancel).
 	ctx context.Context
@@ -242,9 +248,6 @@ func (e *engine) joinBody(r *ast.Rule) ([]binding, error) {
 			return nil, err
 		}
 		if e.batch {
-			if e.workers > 1 {
-				return e.joinBatchBodyParallel(p)
-			}
 			return e.joinBatchBody(p)
 		}
 		if e.workers > 1 {
@@ -274,9 +277,6 @@ func (e *engine) joinBodySemiNaive(r *ast.Rule, boundary database.FactID) ([]bin
 			return nil, err
 		}
 		if e.batch {
-			if e.workers > 1 {
-				return e.joinBatchSemiNaiveParallel(p, boundary)
-			}
 			return e.joinBatchSemiNaive(p, boundary)
 		}
 		if e.workers > 1 {
@@ -484,6 +484,15 @@ func mentions(c ast.Condition, v string) bool {
 // After its first evaluation, semi-naive mode only considers homomorphisms
 // involving at least one fact derived since the rule's previous evaluation.
 func (e *engine) applyPlainRule(r *ast.Rule) (bool, error) {
+	if e.batch && !e.legacy {
+		p, err := e.planFor(r)
+		if err != nil {
+			return false, err
+		}
+		if p.head != nil {
+			return e.applyPlainRuleCols(r, p)
+		}
+	}
 	prev, seen := e.lastSeen[r]
 	e.lastSeen[r] = e.store.Len()
 	var bindings []binding
@@ -533,6 +542,169 @@ func (e *engine) applyPlainRule(r *ast.Rule) (bool, error) {
 		}
 		changed = changed || added
 	}
+	return changed, nil
+}
+
+// applyPlainRuleCols is applyPlainRule on the batch engine for rules with a
+// compiled head layout (non-existential, non-aggregating): join units stay
+// columnar and feed the vectorized emission path, so no Substitution, atom,
+// or per-row key string is built for rows that turn out to be duplicates.
+// Semi-naive bookkeeping, error rollback, emission order, and every
+// observable store/provenance effect mirror applyPlainRule exactly.
+func (e *engine) applyPlainRuleCols(r *ast.Rule, p *plan) (bool, error) {
+	prev, seen := e.lastSeen[r]
+	e.lastSeen[r] = e.store.Len()
+	var units []batchUnit
+	var err error
+	switch {
+	case e.naive || !seen || prev == 0:
+		units, err = e.joinBatchUnits(p, false, 0, false)
+	case e.store.Len() == prev:
+		return false, nil // no new facts since the previous evaluation
+	default:
+		units, err = e.joinBatchUnits(p, true, database.FactID(prev), false)
+	}
+	if err != nil {
+		// Roll the semi-naive boundary back so the interrupted evaluation
+		// (e.g. a cancellation at a chunk boundary) is not recorded as done;
+		// the join emitted nothing, so this restores the pre-call state.
+		if seen {
+			e.lastSeen[r] = prev
+		} else {
+			delete(e.lastSeen, r)
+		}
+		return false, err
+	}
+	changed := false
+	for _, u := range units {
+		if u.cols != nil {
+			c, err := e.emitCols(r, p, u.cols)
+			if err != nil {
+				return false, err
+			}
+			changed = changed || c
+			continue
+		}
+		// Frame-fallback units emit per binding, the classic path. The head
+		// has no existential variables (p.head != nil), so the restricted-
+		// chase pre-emption never applies.
+		for _, b := range u.binds {
+			bsub := e.bindingSub(r, b)
+			head, sub, err := e.instantiateHead(r, bsub)
+			if err != nil {
+				return false, err
+			}
+			added, err := e.emit(r, head, b.facts, nil, sub)
+			if err != nil {
+				return false, err
+			}
+			changed = changed || added
+		}
+	}
+	return changed, nil
+}
+
+// idKey returns the canonical key bytes of an interned value, cached on the
+// engine (emission is single-threaded).
+func (e *engine) idKey(id term.ValueID) []byte {
+	if int(id) >= len(e.keyByID) {
+		size := e.store.Interner().Len()
+		if size <= int(id) {
+			size = int(id) + 1
+		}
+		grown := make([][]byte, size)
+		copy(grown, e.keyByID)
+		e.keyByID = grown
+	}
+	if e.keyByID[id] == nil {
+		e.keyByID[id] = []byte(e.store.Interner().Value(id).Key())
+	}
+	return e.keyByID[id]
+}
+
+// emitCols is the vectorized emission path: it walks canonical leaf columns
+// row by row, builds each head atom's canonical key into a reusable buffer
+// from cached per-value key bytes, and skips duplicates with a single
+// allocation-free map read (Store.LookupKey) — emit's Add would return
+// added=false and record nothing, so skipping is byte-identical. Only rows
+// that actually insert materialize the atom, row, substitution, premises,
+// and derivation, via the store's pre-keyed fast path (Store.AddKeyed).
+func (e *engine) emitCols(r *ast.Rule, p *plan, st *batchCols) (bool, error) {
+	hp := p.head
+	in := e.store.Interner()
+	nb := len(p.rule.Body)
+	changed := false
+	buf := e.emitBuf
+	for i := 0; i < st.n; i++ {
+		// The limit check precedes the duplicate check, exactly like emit.
+		if e.store.Len() >= e.maxFacts {
+			e.emitBuf = buf
+			return false, fmt.Errorf("fact limit %d exceeded", e.maxFacts)
+		}
+		buf = append(buf[:0], hp.open...)
+		for j := range hp.part {
+			part := &hp.part[j]
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			switch {
+			case part.isConst:
+				buf = append(buf, part.key...)
+			case part.kind == refSlot:
+				buf = append(buf, e.idKey(st.slots[part.idx][i])...)
+			default:
+				buf = append(buf, st.vals[part.idx][i].Key()...)
+			}
+		}
+		buf = append(buf, ')')
+		if _, ok := e.store.LookupKey(buf); ok {
+			continue // already derived; no new fact, step, or proof (see emit)
+		}
+		terms := make([]term.Term, len(hp.part))
+		row := make([]term.ValueID, len(hp.part))
+		for j := range hp.part {
+			part := &hp.part[j]
+			switch {
+			case part.isConst:
+				terms[j], row[j] = part.t, part.id
+			case part.kind == refSlot:
+				id := st.slots[part.idx][i]
+				terms[j], row[j] = in.Value(id), id
+			default:
+				t := st.vals[part.idx][i]
+				terms[j], row[j] = t, in.Intern(t)
+			}
+		}
+		key := make([]byte, len(buf))
+		copy(key, buf)
+		f, err := e.store.AddKeyed(ast.Atom{Predicate: hp.pred, Terms: terms}, key, row, false)
+		if err != nil {
+			e.emitBuf = buf
+			return false, err
+		}
+		sub := make(term.Substitution, p.nslots+p.nvals)
+		for s, name := range p.slotNames {
+			sub[name] = in.Value(st.slots[s][i])
+		}
+		for v, name := range p.valNames {
+			sub[name] = st.vals[v][i]
+		}
+		premises := make([]database.FactID, nb)
+		for a := 0; a < nb; a++ {
+			premises[a] = st.facts[a][i]
+		}
+		d := &Derivation{
+			Step:     len(e.steps),
+			Rule:     r,
+			Fact:     f.ID,
+			Premises: premises,
+			Sub:      sub,
+		}
+		e.steps = append(e.steps, d)
+		e.derivs[f.ID] = append(e.derivs[f.ID], d)
+		changed = true
+	}
+	e.emitBuf = buf
 	return changed, nil
 }
 

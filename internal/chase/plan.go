@@ -88,6 +88,49 @@ type plan struct {
 	// variables resolved to slots (nil for non-aggregation rules).
 	overRef   slotRef
 	groupRefs []slotRef
+	// head is the vectorized-emission layout of the head atom (nil when the
+	// rule is existential or aggregating — those emit per binding).
+	head *headPlan
+}
+
+// headPlan precompiles the head atom for the batch executor's vectorized
+// emission path (engine.emitCols): the canonical-key prefix and, per head
+// position, either a pre-interned constant (with its canonical key bytes)
+// or the slot/value column to read. Pre-interning head constants at compile
+// time is unobservable — results compare by atom, never by value id.
+type headPlan struct {
+	pred string
+	open []byte // "Pred(" — the canonical-key prefix
+	part []headPart
+}
+
+type headPart struct {
+	isConst bool
+	kind    refKind // refSlot or refVal for variable positions
+	idx     int
+	t       term.Term    // constant term
+	id      term.ValueID // interned constant id
+	key     []byte       // constant canonical key bytes
+}
+
+// compileHead builds the emission layout; existential rules (fresh nulls per
+// emission) and aggregation rules (target bound at group level) keep the
+// per-binding path.
+func (p *plan) compileHead(r *ast.Rule, in *term.Interner) {
+	if p.existential || r.Aggregation != nil {
+		return
+	}
+	hp := &headPlan{pred: r.Head.Predicate}
+	hp.open = append([]byte(r.Head.Predicate), '(')
+	for _, t := range r.Head.Terms {
+		if !t.IsVariable() {
+			hp.part = append(hp.part, headPart{isConst: true, t: t, id: in.Intern(t), key: []byte(t.Key())})
+			continue
+		}
+		ref := p.resolveVar(t.Name())
+		hp.part = append(hp.part, headPart{kind: ref.kind, idx: ref.idx})
+	}
+	p.head = hp
 }
 
 // orderedPlan is a plan specialized to one evaluation order of the body
@@ -100,6 +143,47 @@ type orderedPlan struct {
 	// relative order: assignments (rule order), then conditions, then
 	// negated atoms.
 	steps [][]planStep
+	// keyPos[d] is the preferred join-key position of the atom at order
+	// position d — a SlotBound position, chosen by the join-key ordering
+	// pass so consecutive depths share one variable order where the body
+	// permits (see planJoinKeys); -1 when the atom has no bound position.
+	// The batch executor's merge (leapfrog) extension sorts its tuple set by
+	// the join key once and keeps it sorted across depths that chain on the
+	// same slot, so only the first depth of a chain pays a sort.
+	keyPos []int
+}
+
+// planJoinKeys is the join-key ordering pass: it walks the evaluation order
+// and picks, per depth, the bound position whose slot continues the previous
+// depth's key (the shared variable order of a leapfrog triejoin), falling
+// back to the first bound position when the atom does not bind the chain
+// slot. The choice is a pure performance hint — any probe position yields
+// the same candidates, and the batch executor restores canonical order at
+// the emission boundary — so the runtime may override it for a position with
+// much better selectivity.
+func planJoinKeys(atoms []database.SlotPattern) []int {
+	keyPos := make([]int, len(atoms))
+	chain := -1
+	for d := range atoms {
+		best := -1
+		for pos, sop := range atoms[d].Ops {
+			if sop.Kind != database.SlotBound {
+				continue
+			}
+			if best == -1 {
+				best = pos
+			}
+			if sop.Slot == chain {
+				best = pos
+				break
+			}
+		}
+		keyPos[d] = best
+		if best >= 0 {
+			chain = atoms[d].Ops[best].Slot
+		}
+	}
+	return keyPos
 }
 
 // planStep is one pushed-down body obligation; exactly one field is set.
@@ -197,6 +281,7 @@ func compilePlan(r *ast.Rule, in *term.Interner) (*plan, error) {
 			p.groupRefs = append(p.groupRefs, p.resolveVar(v))
 		}
 	}
+	p.compileHead(r, in)
 	p.orders = make([]*orderedPlan, len(r.Body))
 	for pivot := range r.Body {
 		op, err := p.compileOrder(r, in, pivotOrder(r, pivot))
@@ -255,6 +340,7 @@ func (p *plan) compileOrder(r *ast.Rule, in *term.Interner, order []int) (*order
 		}
 		op.atoms[d] = database.SlotPattern{Predicate: a.Predicate, Ops: ops}
 	}
+	op.keyPos = planJoinKeys(op.atoms)
 
 	// Schedule assignments at the earliest depth where their operands are
 	// bound. valDepth[v] is the depth at which value slot v becomes bound.

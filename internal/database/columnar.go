@@ -63,36 +63,74 @@ import (
 	"repro/internal/term"
 )
 
-// ColumnarStats counts index-maintenance work: full rebuilds (first build or
+// ColumnarStats counts index-maintenance work — full rebuilds (first build or
 // post-retraction), tail→base merges, refreshes that only re-sorted the
-// tail, and the total rows appended into tails.
+// tail, and the total rows appended into tails — plus the join-path
+// selection counters the batch executor reports back: how many extension
+// passes ran as a sorted merge (leapfrog triejoin), as per-tuple run probes,
+// as dense-extent scans, or fell back to the tuple-at-a-time frame executor,
+// and the iterator work (seeks, galloping steps) the merge passes did.
 type ColumnarStats struct {
 	Rebuilds      uint64 `json:"rebuilds"`
 	Merges        uint64 `json:"merges"`
 	TailRefreshes uint64 `json:"tailRefreshes"`
 	AppendedRows  uint64 `json:"appendedRows"`
+	// Join-path selection (reported by internal/chase/batch.go).
+	TriejoinPasses uint64 `json:"triejoinPasses"`
+	ProbePasses    uint64 `json:"probePasses"`
+	ScanPasses     uint64 `json:"scanPasses"`
+	FrameFallbacks uint64 `json:"frameFallbacks"`
+	Seeks          uint64 `json:"seeks"`
+	GallopSteps    uint64 `json:"gallopSteps"`
 }
 
 // globalColumnar aggregates maintenance counters across every store in the
 // process for the serving tier's /stats endpoint (sessions own independent
 // stores; the per-store counters die with them).
 var globalColumnar struct {
-	rebuilds, merges, tailRefreshes, appended atomic.Uint64
+	rebuilds, merges, tailRefreshes, appended       atomic.Uint64
+	triejoin, probe, scan, fallback, seeks, gallops atomic.Uint64
 }
 
 // GlobalColumnarStats snapshots the process-wide columnar maintenance
 // counters.
 func GlobalColumnarStats() ColumnarStats {
 	return ColumnarStats{
-		Rebuilds:      globalColumnar.rebuilds.Load(),
-		Merges:        globalColumnar.merges.Load(),
-		TailRefreshes: globalColumnar.tailRefreshes.Load(),
-		AppendedRows:  globalColumnar.appended.Load(),
+		Rebuilds:       globalColumnar.rebuilds.Load(),
+		Merges:         globalColumnar.merges.Load(),
+		TailRefreshes:  globalColumnar.tailRefreshes.Load(),
+		AppendedRows:   globalColumnar.appended.Load(),
+		TriejoinPasses: globalColumnar.triejoin.Load(),
+		ProbePasses:    globalColumnar.probe.Load(),
+		ScanPasses:     globalColumnar.scan.Load(),
+		FrameFallbacks: globalColumnar.fallback.Load(),
+		Seeks:          globalColumnar.seeks.Load(),
+		GallopSteps:    globalColumnar.gallops.Load(),
 	}
 }
 
 // ColumnarStats snapshots this store's columnar maintenance counters.
 func (s *Store) ColumnarStats() ColumnarStats { return s.colStats }
+
+// AddJoinStats folds a batch of join-path selection counters into the
+// store's (and the process-wide) columnar stats. The batch executor
+// accumulates counters locally during its read-only (possibly frozen and
+// concurrent) join phase and flushes them here once per join, from the
+// single-threaded side of the phase boundary.
+func (s *Store) AddJoinStats(d ColumnarStats) {
+	s.colStats.TriejoinPasses += d.TriejoinPasses
+	s.colStats.ProbePasses += d.ProbePasses
+	s.colStats.ScanPasses += d.ScanPasses
+	s.colStats.FrameFallbacks += d.FrameFallbacks
+	s.colStats.Seeks += d.Seeks
+	s.colStats.GallopSteps += d.GallopSteps
+	globalColumnar.triejoin.Add(d.TriejoinPasses)
+	globalColumnar.probe.Add(d.ProbePasses)
+	globalColumnar.scan.Add(d.ScanPasses)
+	globalColumnar.fallback.Add(d.FrameFallbacks)
+	globalColumnar.seeks.Add(d.Seeks)
+	globalColumnar.gallops.Add(d.GallopSteps)
+}
 
 // colRun is one sorted run of a positional permutation: dense indexes sorted
 // by (value at the position, dense index), with the values alongside so the
@@ -189,6 +227,117 @@ func (c *Columnar) checkBuilt(pos int) {
 	if !c.built[pos] {
 		panic("database: columnar run for " + c.pred + " position not ensured")
 	}
+}
+
+// RunIter is a seekable cursor over one position's sorted runs (base and LSM
+// tail together). Seek positions it at a value by galloping — exponential
+// probing from the current cursor, then a binary search inside the located
+// window — so a caller walking an ascending key sequence (the leapfrog
+// triejoin in internal/chase/batch.go) pays O(log gap) per key instead of
+// O(log n), and the total over a full merge pass is linear in the run
+// length. Seeking backwards restarts with a full binary search from the run
+// start, so the iterator is also correct (just not amortized) for unsorted
+// key sequences.
+//
+// The iterator only reads the index, so any number of iterators may run
+// concurrently over a frozen store. Seeks and GallopSteps account the work
+// for the join-path counters.
+type RunIter struct {
+	base, tail *colRun
+	bi, ti     int // cursor: first entry not yet known to be < the last sought value
+	// Seeks counts Seek calls; GallopSteps counts exponential-probe and
+	// binary-search comparisons, the "galloping steps" of the stats.
+	Seeks       uint64
+	GallopSteps uint64
+}
+
+// Iter returns a seekable iterator over the sorted runs of pos. Like Runs,
+// the position must have been ensured; iterating an unbuilt position panics.
+func (c *Columnar) Iter(pos int) RunIter {
+	var it RunIter
+	if pos < len(c.base) {
+		c.checkBuilt(pos)
+		it.base = &c.base[pos]
+		it.tail = &c.tail[pos]
+	} else {
+		it.base = &colRun{}
+		it.tail = &colRun{}
+	}
+	return it
+}
+
+// Seek positions the iterator at value v and returns its candidate dense
+// indexes as two ascending runs (base then tail, empty when v is absent),
+// exactly like Runs. After Seek the cursors rest at the start of v's window,
+// so a following Seek to a larger value gallops forward from there.
+func (it *RunIter) Seek(v term.ValueID) (base, tail []int32) {
+	it.Seeks++
+	blo, bhi := it.gallop(it.base, it.bi, v)
+	it.bi = blo
+	tlo, thi := it.gallop(it.tail, it.ti, v)
+	it.ti = tlo
+	return it.base.ks[blo:bhi], it.tail.ks[tlo:thi]
+}
+
+// gallop locates [lo, hi) of value v in one run, starting from cursor cur.
+// A backward seek (v below the value at cur) restarts from the run start.
+func (it *RunIter) gallop(r *colRun, cur int, v term.ValueID) (lo, hi int) {
+	n := len(r.vals)
+	if cur > n {
+		cur = n
+	}
+	if cur > 0 && r.vals[cur-1] >= v {
+		// Backward (or repeated) seek: entries before cur may still hold v,
+		// so the incremental window is wrong. Restart from 0.
+		cur = 0
+	}
+	// Exponential probe for the first entry >= v, starting at cur.
+	step := 1
+	probe := cur
+	for probe < n && r.vals[probe] < v {
+		it.GallopSteps++
+		cur = probe + 1
+		probe = cur + step
+		step *= 2
+	}
+	if probe > n {
+		probe = n
+	}
+	// Binary search for lo within (cur-1, probe].
+	for cur < probe {
+		it.GallopSteps++
+		mid := int(uint(cur+probe) >> 1)
+		if r.vals[mid] < v {
+			cur = mid + 1
+		} else {
+			probe = mid
+		}
+	}
+	lo = cur
+	// Gallop again for the end of v's window (values repeat, so hi needs its
+	// own search rather than a linear scan).
+	step = 1
+	end := lo
+	probe = lo
+	for probe < n && r.vals[probe] <= v {
+		it.GallopSteps++
+		end = probe + 1
+		probe = end + step
+		step *= 2
+	}
+	if probe > n {
+		probe = n
+	}
+	for end < probe {
+		it.GallopSteps++
+		mid := int(uint(end+probe) >> 1)
+		if r.vals[mid] <= v {
+			end = mid + 1
+		} else {
+			probe = mid
+		}
+	}
+	return lo, end
 }
 
 // RunLen returns the number of candidates for value v at position pos

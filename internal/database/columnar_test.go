@@ -351,3 +351,136 @@ func TestColumnarRadixSort(t *testing.T) {
 		t.Fatalf("Hub probe: %d candidates, want 3000", len(got))
 	}
 }
+
+// seekOf is runsOf through a fresh iterator: one Seek on a just-created
+// cursor must answer exactly like a direct Runs probe.
+func seekOf(c *Columnar, pos int, v term.ValueID) []int32 {
+	it := c.Iter(pos)
+	b, tl := it.Seek(v)
+	out := append([]int32{}, b...)
+	return append(out, tl...)
+}
+
+// TestRunIterMatchesRuns: for every interned value — present or absent —
+// Seek answers identically to Runs, whether the values are visited in
+// ascending order on one iterator (the galloping fast path), in descending
+// order (backward restarts), or each on a fresh iterator.
+func TestRunIterMatchesRuns(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 40; i++ {
+		s.MustAdd(own(fmt.Sprintf("C%d", i%7), fmt.Sprintf("C%d", (i*3)%11), float64(i%5)/4), true)
+	}
+	c := s.EnsureColumnar("Own")
+	nvals := term.ValueID(s.Interner().Len())
+	for pos := 0; pos < 3; pos++ {
+		asc := c.Iter(pos)
+		desc := c.Iter(pos)
+		for v := term.ValueID(0); v < nvals; v++ {
+			want := runsOf(c, pos, v)
+			if got := seekOf(c, pos, v); !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) || fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("pos %d fresh Seek(%d) = %v, want %v", pos, v, got, want)
+			}
+			b, tl := asc.Seek(v)
+			if got := append(append([]int32{}, b...), tl...); fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("pos %d ascending Seek(%d) = %v, want %v", pos, v, got, want)
+			}
+			d := nvals - 1 - v
+			b, tl = desc.Seek(d)
+			if got, dw := append(append([]int32{}, b...), tl...), runsOf(c, pos, d); fmt.Sprint(got) != fmt.Sprint(dw) {
+				t.Fatalf("pos %d descending Seek(%d) = %v, want %v", pos, d, got, dw)
+			}
+		}
+		if asc.Seeks != uint64(nvals) {
+			t.Fatalf("pos %d: Seeks = %d, want %d", pos, asc.Seeks, nvals)
+		}
+		if asc.GallopSteps == 0 || desc.GallopSteps == 0 {
+			t.Fatalf("pos %d: galloping did no work (asc %d, desc %d)", pos, asc.GallopSteps, desc.GallopSteps)
+		}
+	}
+	// Seeking past every interned value and at a huge id is empty, not a
+	// crash; an out-of-range position yields an always-empty iterator.
+	it := c.Iter(0)
+	if b, tl := it.Seek(nvals + 100); len(b)+len(tl) != 0 {
+		t.Fatalf("absent value: %v %v", b, tl)
+	}
+	far := c.Iter(9)
+	if b, tl := far.Seek(0); len(b)+len(tl) != 0 {
+		t.Fatalf("out-of-range position: %v %v", b, tl)
+	}
+}
+
+// TestRunIterEmptyAndTailOnly: iterators stay correct on an empty
+// predicate, and on an index whose base runs are empty because every fact
+// arrived after the build (tail-only).
+func TestRunIterEmptyAndTailOnly(t *testing.T) {
+	s := NewStore()
+	s.MustAdd(own("A", "B", 0.5), true)
+	c := s.EnsureColumnar("Own")
+	idA, _ := s.Interner().Lookup(term.Str("A"))
+
+	// Tail-only: grow the predicate after the build and re-ensure; the new
+	// facts live in the LSM tail and Seek must surface them.
+	for i := 0; i < 5; i++ {
+		s.MustAdd(own("A", fmt.Sprintf("T%d", i), 0.9), true)
+	}
+	c = s.EnsureColumnar("Own")
+	it := c.Iter(0)
+	b, tl := it.Seek(idA)
+	if len(b)+len(tl) != 6 {
+		t.Fatalf("tail-only growth: base %v tail %v, want 6 total", b, tl)
+	}
+	if len(tl) == 0 {
+		t.Fatal("expected candidates in the tail run")
+	}
+	if got := runsOf(c, 0, idA); fmt.Sprint(append(append([]int32{}, b...), tl...)) != fmt.Sprint(got) {
+		t.Fatalf("Seek disagrees with Runs: %v %v vs %v", b, tl, got)
+	}
+
+	// Empty predicate: EnsureColumnar of a predicate with no facts.
+	e := s.EnsureColumnar("Nothing")
+	eit := e.Iter(0)
+	if b, tl := eit.Seek(idA); len(b)+len(tl) != 0 {
+		t.Fatalf("empty predicate: %v %v", b, tl)
+	}
+}
+
+// TestRunIterPostRetractRebuild: a retraction invalidates the index; the
+// rebuilt index's iterators see exactly the surviving facts.
+func TestRunIterPostRetractRebuild(t *testing.T) {
+	s := NewStore()
+	f1, _, _ := s.Add(own("A", "B", 0.5), true)
+	s.MustAdd(own("A", "C", 0.7), true)
+	s.MustAdd(own("B", "C", 0.9), true)
+	s.EnsureColumnar("Own")
+	if err := s.Retract(f1.ID); err != nil {
+		t.Fatal(err)
+	}
+	c := s.EnsureColumnar("Own")
+	idA, _ := s.Interner().Lookup(term.Str("A"))
+	it := c.Iter(0)
+	b, tl := it.Seek(idA)
+	if got := append(append([]int32{}, b...), tl...); len(got) != 1 || c.ID(got[0]) != 1 {
+		t.Fatalf("post-retract Seek(A): base %v tail %v", b, tl)
+	}
+	checkColumnarCoherent(t, s, "Own")
+}
+
+// TestRunIterUnbuiltPanics: the frozen-phase guard — an iterator over a
+// position whose runs were never ensured panics exactly like Runs, so a
+// join can never silently read an unsorted column.
+func TestRunIterUnbuiltPanics(t *testing.T) {
+	s := NewStore()
+	s.MustAdd(own("A", "B", 0.5), true)
+	c := s.EnsureColumnarRuns("Own", []int{0})
+	s.Freeze()
+	defer s.Thaw()
+	if it := c.Iter(0); it.base == nil {
+		t.Fatal("built position must iterate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("iterating an unbuilt position did not panic")
+		}
+	}()
+	c.Iter(1)
+}

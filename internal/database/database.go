@@ -168,6 +168,39 @@ func (s *Store) Add(a ast.Atom, extensional bool) (*Fact, bool, error) {
 	return f, true, nil
 }
 
+// LookupKey returns the fact id stored under a canonical atom key
+// (ast.Atom.Key bytes), without materializing the key string — the compiler
+// elides the []byte→string conversion in the map read, so the vectorized
+// emission path of the batch executor (internal/chase) deduplicates derived
+// rows against the store with zero allocations per row.
+func (s *Store) LookupKey(key []byte) (FactID, bool) {
+	id, ok := s.byKey[string(key)]
+	return id, ok
+}
+
+// AddKeyed is the vectorized-emission fast path of Add: the caller has
+// already built the atom's canonical key (byte-equal to a.Key()) and its
+// interned row (row[pos] == Interner().Intern(a.Terms[pos])), so Add's
+// re-derivation of both is skipped. The caller must also have checked
+// LookupKey for absence — AddKeyed inserts unconditionally — and must hand
+// over a and row for the store to retain. Every observable effect (fact id
+// assignment, epoch, indexes) is identical to Add returning added=true.
+func (s *Store) AddKeyed(a ast.Atom, key []byte, row []term.ValueID, extensional bool) (*Fact, error) {
+	if s.frozen {
+		return nil, fmt.Errorf("database: AddKeyed(%v) during frozen snapshot phase", a)
+	}
+	f := &Fact{ID: FactID(len(s.facts)), Atom: a, Extensional: extensional}
+	s.epoch++
+	s.facts = append(s.facts, f)
+	s.byKey[string(key)] = f.ID
+	s.byPred[a.Predicate] = append(s.byPred[a.Predicate], f.ID)
+	for pos, v := range row {
+		s.index[indexKey{a.Predicate, pos, v}] = append(s.index[indexKey{a.Predicate, pos, v}], f.ID)
+	}
+	s.rows = append(s.rows, row)
+	return f, nil
+}
+
 // MustAdd is Add for callers with statically ground atoms; it panics on a
 // non-ground atom.
 func (s *Store) MustAdd(a ast.Atom, extensional bool) (*Fact, bool) {

@@ -48,30 +48,65 @@ type WritePoint struct {
 	MaxBatch  int     `json:"maxBatch"`
 }
 
+// CrossSyncPoint is the cross-session fsync-batching measurement: S
+// concurrent sessions, each with its own WAL and group committer, flushing
+// independently (every commit window pays its own fsync from its own
+// goroutine) versus through one process-wide SyncBatcher (commit windows
+// that close together are flushed by a single leader per round). The
+// GroupWindows/BatchedSyncs/SyncsSaved columns are the wal.GlobalStats
+// deltas of the batched run — the same counters /stats reports on a live
+// server.
+type CrossSyncPoint struct {
+	Workload string `json:"workload"`
+	App      string `json:"app"`
+	// Sessions is the number of concurrent sessions (one WAL each);
+	// WritersPerSession concurrent writers feed each session's committer.
+	Sessions          int `json:"sessions"`
+	WritersPerSession int `json:"writersPerSession"`
+	// Updates is the total write count across all sessions, applied
+	// identically in both modes.
+	Updates int `json:"updates"`
+	// IndependentSeconds is wall time with per-session fsyncs (before);
+	// BatchedSeconds with the shared SyncBatcher (after).
+	IndependentSeconds float64 `json:"independentSeconds"`
+	IndependentPerSec  float64 `json:"independentPerSec"`
+	BatchedSeconds     float64 `json:"batchedSeconds"`
+	BatchedPerSec      float64 `json:"batchedPerSec"`
+	// Speedup is IndependentSeconds / BatchedSeconds.
+	Speedup float64 `json:"speedup"`
+	// GroupWindows, BatchedSyncs and SyncsSaved are the batcher's counter
+	// deltas over the batched run.
+	GroupWindows uint64 `json:"groupWindows"`
+	BatchedSyncs uint64 `json:"batchedSyncs"`
+	SyncsSaved   uint64 `json:"syncsSaved"`
+}
+
 // WriteThroughput measures sustained concurrent-writer throughput on a
 // control-chain session, with full durability in both modes: every commit
 // is WAL-logged and fsynced before it is applied. The serialized baseline
 // pays one append, one fsync and one incremental repair per write; the
 // group committer pays them once per coalesced batch, so the fixed cost of
 // a semi-naive repair pass and a disk flush is amortized across every
-// writer that arrived while the previous batch was applying.
-func WriteThroughput() (string, []WritePoint, error) {
+// writer that arrived while the previous batch was applying. The
+// cross-session rows then hold the per-session group committer fixed and
+// toggle the process-wide fsync batcher.
+func WriteThroughput() (string, []WritePoint, []CrossSyncPoint, error) {
 	return writeThroughput(30, 50, []int{4, 16})
 }
 
-func writeThroughput(chainSteps, updatesPerWriter int, writerCounts []int) (string, []WritePoint, error) {
+func writeThroughput(chainSteps, updatesPerWriter int, writerCounts []int) (string, []WritePoint, []CrossSyncPoint, error) {
 	sc := synth.ControlChain(chainSteps, 7)
 	app, err := apps.ByName(sc.App)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	pipe, err := app.Pipeline(applyWorkers(core.Config{}))
 	if err != nil {
-		return "", nil, fmt.Errorf("write: %w", err)
+		return "", nil, nil, fmt.Errorf("write: %w", err)
 	}
 	dir, err := os.MkdirTemp("", "bench-write-wal-")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	defer os.RemoveAll(dir)
 
@@ -84,11 +119,11 @@ func writeThroughput(chainSteps, updatesPerWriter int, writerCounts []int) (stri
 
 		serial, err := runSerializedWriters(pipe, sc, dir, writers, updatesPerWriter)
 		if err != nil {
-			return "", nil, fmt.Errorf("write: serialized x%d: %w", writers, err)
+			return "", nil, nil, fmt.Errorf("write: serialized x%d: %w", writers, err)
 		}
 		group, commits, maxBatch, err := runGroupWriters(pipe, sc, dir, writers, updatesPerWriter)
 		if err != nil {
-			return "", nil, fmt.Errorf("write: group x%d: %w", writers, err)
+			return "", nil, nil, fmt.Errorf("write: group x%d: %w", writers, err)
 		}
 
 		pt := WritePoint{
@@ -110,7 +145,128 @@ func writeThroughput(chainSteps, updatesPerWriter int, writerCounts []int) (stri
 			pt.Workload, pt.Writers, pt.Updates, pt.SerializedPerSec, pt.GroupPerSec,
 			pt.Speedup, pt.MeanBatch, pt.MaxBatch)
 	}
-	return sb.String(), points, nil
+
+	// Cross-session rows: the per-session group committer stays on in both
+	// modes; only the process-wide fsync batcher toggles.
+	var cross []CrossSyncPoint
+	fmt.Fprintf(&sb, "\n%-18s %9s %8s %8s %12s %12s %8s %8s %7s\n",
+		"workload", "sessions", "writers", "updates", "indep up/s", "batch up/s", "speedup", "windows", "saved")
+	for _, sessions := range []int{4, 8} {
+		writersPer := 4
+		updates := sessions * writersPer * updatesPerWriter
+
+		indep, err := runCrossSessions(pipe, sc, dir, "indep", sessions, writersPer, updatesPerWriter, nil)
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("write: cross-session independent x%d: %w", sessions, err)
+		}
+		before := wal.GlobalStats()
+		batched, err := runCrossSessions(pipe, sc, dir, "batched", sessions, writersPer, updatesPerWriter, wal.NewSyncBatcher())
+		if err != nil {
+			return "", nil, nil, fmt.Errorf("write: cross-session batched x%d: %w", sessions, err)
+		}
+		after := wal.GlobalStats()
+
+		cp := CrossSyncPoint{
+			Workload:           fmt.Sprintf("control-chain-%d", chainSteps),
+			App:                sc.App,
+			Sessions:           sessions,
+			WritersPerSession:  writersPer,
+			Updates:            updates,
+			IndependentSeconds: indep.Seconds(),
+			IndependentPerSec:  float64(updates) / indep.Seconds(),
+			BatchedSeconds:     batched.Seconds(),
+			BatchedPerSec:      float64(updates) / batched.Seconds(),
+			Speedup:            indep.Seconds() / batched.Seconds(),
+			GroupWindows:       after.GroupWindows - before.GroupWindows,
+			BatchedSyncs:       after.BatchedSyncs - before.BatchedSyncs,
+			SyncsSaved:         after.SyncsSaved - before.SyncsSaved,
+		}
+		cross = append(cross, cp)
+		fmt.Fprintf(&sb, "%-18s %9d %8d %8d %12.0f %12.0f %7.1fx %8d %7d\n",
+			cp.Workload, cp.Sessions, cp.WritersPerSession, cp.Updates,
+			cp.IndependentPerSec, cp.BatchedPerSec, cp.Speedup, cp.GroupWindows, cp.SyncsSaved)
+	}
+	return sb.String(), points, cross, nil
+}
+
+// runCrossSessions stands up `sessions` concurrent live sessions — each
+// with its own maintainer, WAL and group committer — and drives
+// writersPer concurrent writers into each. When batcher is nil every
+// committer fsyncs its own log directly (the before mode); otherwise every
+// commit's fsync funnels through the shared batcher (the after mode),
+// which is exactly how the server wires sessions under `-fsync group`.
+func runCrossSessions(pipe *core.Pipeline, sc synth.Scenario, dir, tag string, sessions, writersPer, perWriter int, batcher *wal.SyncBatcher) (time.Duration, error) {
+	type sessionRig struct {
+		log *wal.Log
+		cmt *core.Committer
+	}
+	rigs := make([]sessionRig, sessions)
+	for si := range rigs {
+		m, err := pipe.Maintain(sc.Facts...)
+		if err != nil {
+			return 0, err
+		}
+		log, err := wal.Create(filepath.Join(dir, fmt.Sprintf("cross-%s-%d-%d.wal", tag, sessions, si)),
+			wal.Header{App: sc.App, Base: sc.Facts}, wal.SyncGroup)
+		if err != nil {
+			return 0, err
+		}
+		sync := log.Sync
+		if batcher != nil {
+			l := log
+			sync = func() error { return batcher.Sync(l) }
+		}
+		rigs[si] = sessionRig{
+			log: log,
+			cmt: core.NewCommitter(core.CommitterConfig{
+				Queue:      2 * writersPer,
+				Maintainer: m,
+				OnLog: func(seq uint64, add, retract []ast.Atom) error {
+					if err := log.Append(wal.Delta{Seq: seq, Add: add, Retract: retract}); err != nil {
+						return err
+					}
+					return sync()
+				},
+			}),
+		}
+	}
+	defer func() {
+		for _, r := range rigs {
+			r.cmt.Close()
+			_ = r.log.Close()
+		}
+	}()
+
+	var (
+		wg   sync.WaitGroup
+		errc = make(chan error, sessions*writersPer)
+	)
+	ctx := context.Background()
+	start := time.Now()
+	for si := range rigs {
+		for w := 0; w < writersPer; w++ {
+			wg.Add(1)
+			go func(cmt *core.Committer, w int) {
+				defer wg.Done()
+				fact := writerFact(w)
+				for j := 0; j < perWriter; j++ {
+					add, retract := toggleDelta(fact, j)
+					if _, err := cmt.Submit(ctx, add, retract, false); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}(rigs[si].cmt, w)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
 }
 
 // writerFact is writer w's private toggled base fact: disjoint across

@@ -9,12 +9,29 @@ import (
 // modes must complete the full update schedule, the group mode must account
 // every write to exactly one commit, and the table must render every point.
 func TestWriteThroughputTiny(t *testing.T) {
-	table, points, err := writeThroughput(6, 6, []int{2, 4})
+	table, points, cross, err := writeThroughput(6, 6, []int{2, 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(points) != 2 {
 		t.Fatalf("points = %d, want 2", len(points))
+	}
+	if len(cross) != 2 {
+		t.Fatalf("cross-session points = %d, want 2", len(cross))
+	}
+	for _, cp := range cross {
+		if cp.Updates != cp.Sessions*cp.WritersPerSession*6 {
+			t.Fatalf("cross x%d: updates = %d", cp.Sessions, cp.Updates)
+		}
+		if cp.IndependentSeconds <= 0 || cp.BatchedSeconds <= 0 {
+			t.Fatalf("cross x%d: non-positive timing: %+v", cp.Sessions, cp)
+		}
+		if cp.BatchedSyncs == 0 || cp.GroupWindows == 0 {
+			t.Fatalf("cross x%d: batcher never engaged: %+v", cp.Sessions, cp)
+		}
+		if cp.GroupWindows > cp.BatchedSyncs {
+			t.Fatalf("cross x%d: more windows than requests: %+v", cp.Sessions, cp)
+		}
 	}
 	for _, pt := range points {
 		if pt.Updates != pt.Writers*6 {

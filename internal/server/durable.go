@@ -63,7 +63,7 @@ func scanWALDir(dir string) int {
 // first write), log-before-apply, abort records, and publication of each
 // applied batch to the session's read state.
 func (s *Server) newSession(id, app string, extra []ast.Atom, res *chase.Result) *session {
-	sess := &session{app: app, extra: extra, result: res}
+	sess := &session{app: app, extra: extra, result: res, syncWAL: s.logSync}
 	sess.cmt = core.NewCommitter(core.CommitterConfig{
 		Queue:        s.writeQueue,
 		Window:       s.commitWindow,
@@ -106,9 +106,22 @@ func (s *Server) standup(sess *session, id string) func(context.Context) (*incre
 	}
 }
 
+// logSync flushes one session log after a commit. Under the group policy
+// the fsync goes through the server's cross-session SyncBatcher, so commit
+// windows that close together across concurrent sessions share flush rounds
+// instead of each paying a serialized fsync; otherwise (or when batching is
+// off) it is a direct Log.Sync.
+func (s *Server) logSync(l *wal.Log) error {
+	if s.syncBatcher != nil {
+		return s.syncBatcher.Sync(l)
+	}
+	return l.Sync()
+}
+
 // onLog appends the merged batch delta and makes it durable per policy —
-// one record and (under the group policy) one fsync per commit, regardless
-// of how many writes coalesced into it.
+// one record and (under the group policy) at most one fsync per commit,
+// shared across sessions by the server's SyncBatcher, regardless of how
+// many writes coalesced into it.
 func (sess *session) onLog(seq uint64, add, retract []ast.Atom) error {
 	l := sess.getWAL()
 	if l == nil {
@@ -117,7 +130,7 @@ func (sess *session) onLog(seq uint64, add, retract []ast.Atom) error {
 	if err := l.Append(wal.Delta{Seq: seq, Add: add, Retract: retract}); err != nil {
 		return err
 	}
-	return l.Sync()
+	return sess.syncWAL(l)
 }
 
 // onAbort marks a logged-but-failed batch so replay skips it. Best effort:
@@ -129,7 +142,7 @@ func (sess *session) onAbort(seq uint64) {
 		return
 	}
 	_ = l.AppendAbort(seq)
-	_ = l.Sync()
+	_ = sess.syncWAL(l)
 }
 
 // onApply publishes an applied batch: the repaired fixpoint and its commit
@@ -227,7 +240,7 @@ func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 		_ = log.Close()
 		return nil, fmt.Errorf("restoring session %s: %w", id, err)
 	}
-	sess := &session{app: rec.Header.App, extra: rec.Header.Base, result: res, epoch: rec.LastSeq()}
+	sess := &session{app: rec.Header.App, extra: rec.Header.Base, result: res, epoch: rec.LastSeq(), syncWAL: s.logSync}
 	sess.setWAL(log)
 	sess.cmt = core.NewCommitter(core.CommitterConfig{
 		Queue:        s.writeQueue,

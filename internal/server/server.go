@@ -111,6 +111,10 @@ type Server struct {
 	walSync      wal.SyncPolicy
 	commitWindow time.Duration
 	writeQueue   int
+	// syncBatcher coalesces WAL fsyncs across sessions under the group
+	// policy (nil otherwise): concurrent sessions' commit windows share
+	// flush rounds instead of each paying a serialized fsync.
+	syncBatcher *wal.SyncBatcher
 	// restoreMu serializes WAL session restores; restores and restoreNanos
 	// account them for /stats.
 	restoreMu    sync.Mutex
@@ -174,6 +178,10 @@ type session struct {
 	// configured.
 	walMu  sync.Mutex
 	walLog *wal.Log
+	// syncWAL flushes the session's log after a commit: the server's
+	// cross-session SyncBatcher under the group policy, a direct Log.Sync
+	// otherwise. Immutable after construction.
+	syncWAL func(*wal.Log) error
 
 	// renderMu excludes response rendering from batch application: results
 	// share the maintainer's grow-only store, so the committer write-holds
@@ -331,6 +339,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 		commitWindow: opts.CommitWindow,
 		writeQueue:   opts.WriteQueue,
 		logf:         logger.Printf,
+	}
+	if opts.WALDir != "" && opts.WALSync == wal.SyncGroup {
+		s.syncBatcher = wal.NewSyncBatcher()
 	}
 	for _, a := range apps.All() {
 		p, err := a.Pipeline(core.Config{

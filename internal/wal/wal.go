@@ -149,22 +149,37 @@ type Stats struct {
 	Bytes uint64 `json:"bytes"`
 	// Replays counts Replay calls that decoded a valid header.
 	Replays uint64 `json:"replays"`
+	// GroupWindows counts cross-session flush rounds led by one
+	// SyncBatcher caller on behalf of every log pending at that moment.
+	GroupWindows uint64 `json:"groupWindows"`
+	// BatchedSyncs counts sync requests routed through a SyncBatcher.
+	BatchedSyncs uint64 `json:"batchedSyncs"`
+	// SyncsSaved counts batched requests that piggybacked on another
+	// request's fsync of the same log instead of issuing their own —
+	// the fsyncs the cross-session batching eliminated.
+	SyncsSaved uint64 `json:"syncsSaved"`
 }
 
 var global struct {
-	appends atomic.Uint64
-	syncs   atomic.Uint64
-	bytes   atomic.Uint64
-	replays atomic.Uint64
+	appends      atomic.Uint64
+	syncs        atomic.Uint64
+	bytes        atomic.Uint64
+	replays      atomic.Uint64
+	groupWindows atomic.Uint64
+	batchedSyncs atomic.Uint64
+	syncsSaved   atomic.Uint64
 }
 
 // GlobalStats snapshots the process-wide WAL counters.
 func GlobalStats() Stats {
 	return Stats{
-		Appends: global.appends.Load(),
-		Syncs:   global.syncs.Load(),
-		Bytes:   global.bytes.Load(),
-		Replays: global.replays.Load(),
+		Appends:      global.appends.Load(),
+		Syncs:        global.syncs.Load(),
+		Bytes:        global.bytes.Load(),
+		Replays:      global.replays.Load(),
+		GroupWindows: global.groupWindows.Load(),
+		BatchedSyncs: global.batchedSyncs.Load(),
+		SyncsSaved:   global.syncsSaved.Load(),
 	}
 }
 
@@ -295,6 +310,76 @@ func (l *Log) Sync() error {
 	l.dirty = false
 	global.syncs.Add(1)
 	return nil
+}
+
+// SyncBatcher coalesces fsyncs across sessions. The per-session group
+// committer already amortizes one fsync over every write coalesced into a
+// commit window, but concurrent sessions each still pay their own: N busy
+// sessions cost N fsyncs per window even though the device serializes them
+// anyway. A SyncBatcher funnels those through a lazy leader — the first
+// caller to arrive while no flush is running flushes every pending log (one
+// fsync per distinct log, shared by all of that log's waiters) and keeps
+// flushing while new requests pile up behind it; everyone else parks until
+// the round covering their log completes. Callers for the same log that
+// land in one window share a single fsync, which is the cross-session
+// saving the SyncsSaved counter reports.
+//
+// Durability is unchanged: Sync returns only after an fsync that began
+// after the caller's records were appended has completed, exactly the
+// guarantee of calling Log.Sync directly.
+type SyncBatcher struct {
+	mu      sync.Mutex
+	leading bool
+	pending map[*Log]*syncWait
+}
+
+// syncWait is one pending log's flush rendezvous: every caller for that log
+// in the current window blocks on done and shares err.
+type syncWait struct {
+	done chan struct{}
+	err  error
+}
+
+// NewSyncBatcher returns an empty batcher; the serving layer creates one per
+// process when the group sync policy is active.
+func NewSyncBatcher() *SyncBatcher {
+	return &SyncBatcher{pending: map[*Log]*syncWait{}}
+}
+
+// Sync makes every record appended to l before the call durable, combining
+// the fsync with other sessions' concurrent requests when possible.
+func (b *SyncBatcher) Sync(l *Log) error {
+	global.batchedSyncs.Add(1)
+	b.mu.Lock()
+	w, joined := b.pending[l]
+	if !joined {
+		w = &syncWait{done: make(chan struct{})}
+		b.pending[l] = w
+	} else {
+		global.syncsSaved.Add(1)
+	}
+	if b.leading {
+		// A leader is flushing; it re-checks pending before stepping down,
+		// so this entry is guaranteed a round. Park until it completes.
+		b.mu.Unlock()
+		<-w.done
+		return w.err
+	}
+	b.leading = true
+	for len(b.pending) > 0 {
+		batch := b.pending
+		b.pending = map[*Log]*syncWait{}
+		b.mu.Unlock()
+		global.groupWindows.Add(1)
+		for log, bw := range batch {
+			bw.err = log.Sync()
+			close(bw.done)
+		}
+		b.mu.Lock()
+	}
+	b.leading = false
+	b.mu.Unlock()
+	return w.err
 }
 
 // Close syncs (policy permitting) and closes the file. Appends after Close

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/ast"
@@ -435,4 +436,142 @@ func FuzzWALReplay(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestSyncBatcherSharesFsync drives many concurrent Sync requests against
+// one log through a batcher: every caller must return durably (no error),
+// and at least some requests must have piggybacked on another's fsync
+// (SyncsSaved advances) while flush rounds stay bounded by requests.
+func TestSyncBatcherSharesFsync(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Create(filepath.Join(dir, "s1.wal"), testHeader(t), SyncGroup)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer l.Close()
+
+	before := GlobalStats()
+	b := NewSyncBatcher()
+	const callers = 32
+	errs := make(chan error, callers)
+	var wg sync.WaitGroup
+	// Appends are single-writer per log (the committer serializes them);
+	// only the Sync requests race, which is the path under test.
+	var appendMu sync.Mutex
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			appendMu.Lock()
+			err := l.Append(Delta{Seq: uint64(i + 1), Add: atoms(t, fmt.Sprintf(`own("w%d","t",1)`, i))})
+			appendMu.Unlock()
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- b.Sync(l)
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("batched sync: %v", err)
+		}
+	}
+	after := GlobalStats()
+	if got := after.BatchedSyncs - before.BatchedSyncs; got != callers {
+		t.Fatalf("BatchedSyncs advanced by %d, want %d", got, callers)
+	}
+	if after.GroupWindows == before.GroupWindows {
+		t.Fatal("no flush round was led")
+	}
+	windows := after.GroupWindows - before.GroupWindows
+	saved := after.SyncsSaved - before.SyncsSaved
+	if windows+saved > callers {
+		t.Fatalf("accounting overruns requests: windows=%d saved=%d callers=%d", windows, saved, callers)
+	}
+}
+
+// TestSyncBatcherManyLogs checks a flush round covers several distinct
+// logs: all waiters complete, every log's records are durable and
+// replayable afterward.
+func TestSyncBatcherManyLogs(t *testing.T) {
+	dir := t.TempDir()
+	const logs = 8
+	b := NewSyncBatcher()
+	var wg sync.WaitGroup
+	paths := make([]string, logs)
+	errs := make(chan error, logs)
+	for i := 0; i < logs; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("s%d.wal", i+1))
+		l, err := Create(paths[i], testHeader(t), SyncGroup)
+		if err != nil {
+			t.Fatalf("Create %d: %v", i, err)
+		}
+		wg.Add(1)
+		go func(l *Log) {
+			defer wg.Done()
+			defer l.Close()
+			for _, d := range testDeltas(t) {
+				if err := l.Append(d); err != nil {
+					errs <- err
+					return
+				}
+				if err := b.Sync(l); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}(l)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatalf("session: %v", err)
+		}
+	}
+	want := testDeltas(t)
+	for _, p := range paths {
+		r, err := Replay(p)
+		if err != nil {
+			t.Fatalf("Replay %s: %v", p, err)
+		}
+		if len(r.Deltas) != len(want) {
+			t.Fatalf("%s: %d deltas, want %d", p, len(r.Deltas), len(want))
+		}
+	}
+}
+
+// TestSyncBatcherClosedLog: a closed log's waiters get ErrClosed while
+// other logs in the same round still flush cleanly.
+func TestSyncBatcherClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	closed, err := Create(filepath.Join(dir, "dead.wal"), testHeader(t), SyncGroup)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := closed.Append(testDeltas(t)[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := closed.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	live, err := Create(filepath.Join(dir, "live.wal"), testHeader(t), SyncGroup)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	defer live.Close()
+	if err := live.Append(testDeltas(t)[0]); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	b := NewSyncBatcher()
+	if err := b.Sync(closed); err != ErrClosed {
+		t.Fatalf("closed log sync = %v, want ErrClosed", err)
+	}
+	if err := b.Sync(live); err != nil {
+		t.Fatalf("live log sync: %v", err)
+	}
 }
