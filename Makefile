@@ -16,10 +16,11 @@ test:
 # (shared LRUs, singleflight, proof-closure memo, session mutations, the
 # admission/deadline middleware, and the mid-chase cancellation paths —
 # cancel_test.go in chase/incremental/core and the hardening tests in
-# server). Run this after touching concurrency or cancellation in any of
+# server), plus the serving tier's snapshot envelope and consistent-hash
+# router. Run this after touching concurrency or cancellation in any of
 # them.
 race:
-	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/... ./internal/leakcheck/... ./internal/wal/... ./internal/figures/...
+	$(GO) test -race ./internal/chase/... ./internal/database/... ./internal/incremental/... ./internal/core/... ./internal/server/... ./internal/lru/... ./internal/leakcheck/... ./internal/wal/... ./internal/figures/... ./internal/snapshot/... ./internal/router/...
 
 # Micro-benchmarks (one per paper table/figure plus pipeline stages);
 # BENCH narrows the pattern, e.g. `make bench BENCH=BenchmarkChase`.

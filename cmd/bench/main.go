@@ -11,6 +11,7 @@
 //	bench -fig incremental # single-fact update vs full re-chase; writes BENCH_incremental.json
 //	bench -fig columnar   # join engines on a million-fact EKG; writes BENCH_columnar.json
 //	bench -fig write      # serialized vs group-commit write throughput; writes BENCH_write.json
+//	bench -fig load       # 100k-session serving-tier load harness; writes BENCH_load.json
 package main
 
 import (
@@ -80,9 +81,18 @@ type writeSnapshot struct {
 	CrossSessions []figures.CrossSyncPoint `json:"crossSessions"`
 }
 
+// loadSnapshot is the machine-readable serving-tier load record written to
+// BENCH_load.json by `bench -fig load`.
+type loadSnapshot struct {
+	Generated string              `json:"generated"`
+	Go        string              `json:"go"`
+	Workers   int                 `json:"workers"`
+	Workloads []figures.LoadPoint `json:"workloads"`
+}
+
 func main() {
 	var (
-		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental, columnar, write) or 'all'")
+		fig          = flag.String("fig", "all", "figure id (fig3, fig10, fig6, fig7, fig8, ex48, fig13, fig14, fig15, fig16, fig17, fig18, serving, incremental, columnar, write, load) or 'all'")
 		seed         = flag.Int64("seed", 42, "experiment seed")
 		proofs       = flag.Int("proofs", 10, "proofs per length (fig17: paper uses 10; fig18: 15)")
 		participants = flag.Int("participants", 24, "comprehension-study participants (fig14)")
@@ -90,6 +100,9 @@ func main() {
 		workers      = flag.Int("workers", 0, "chase worker-pool size: 0 = sequential, -1 = all cores; figures are identical at any setting")
 		legacy       = flag.Bool("legacy", false, "use the legacy map-based join engine (timing baseline; figures are identical)")
 		batch        = flag.Bool("batch", false, "use the batch-at-a-time columnar join executor (figures are identical)")
+		sessions     = flag.Int("sessions", 0, "load: concurrent-session population (0 = the official 100k)")
+		ops          = flag.Int("ops", 0, "load: steady-state operations (0 = 100k)")
+		concurrency  = flag.Int("concurrency", 0, "load: client goroutines (0 = 64)")
 		jsonLabel    = flag.String("json", "", "also write per-figure wall times to BENCH_<label>.json")
 		timeout      = flag.Duration("timeout", 0, "abort the run after this long (0 = no deadline); Ctrl-C always interrupts cleanly")
 	)
@@ -217,6 +230,27 @@ func main() {
 				return "", fmt.Errorf("write BENCH_write.json: %w", err)
 			}
 			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_write.json")
+			return out, nil
+		},
+		"load": func() (string, error) {
+			out, points, err := figures.LoadCapacity(*sessions, *ops, *concurrency)
+			if err != nil {
+				return "", err
+			}
+			snap := loadSnapshot{
+				Generated: time.Now().UTC().Format(time.RFC3339),
+				Go:        runtime.Version(),
+				Workers:   *workers,
+				Workloads: points,
+			}
+			data, err := json.MarshalIndent(snap, "", "  ")
+			if err != nil {
+				return "", fmt.Errorf("marshal load snapshot: %w", err)
+			}
+			if err := os.WriteFile("BENCH_load.json", append(data, '\n'), 0o644); err != nil {
+				return "", fmt.Errorf("write BENCH_load.json: %w", err)
+			}
+			fmt.Fprintln(os.Stderr, "bench: wrote BENCH_load.json")
 			return out, nil
 		},
 	}

@@ -1,0 +1,88 @@
+// Command router fronts a fleet of serve workers with a consistent-hash
+// sharding proxy: each session id maps to one worker, so a session's live
+// engine state has a single home, and worker failures or drains reroute
+// only the sessions that worker owned — their new owners restore them from
+// the shared WAL directory (snapshot plus tail replay).
+//
+// Usage:
+//
+//	router -addr :8080 -workers http://127.0.0.1:8081,http://127.0.0.1:8082
+//	router -addr :8080 -workers ... -vnodes 256 -retries 2
+//
+// The workers must share one -wal-dir (the handoff medium) and speak the
+// ordinary serve HTTP protocol. The router polls each worker's /stats for
+// liveness and drain state, ejects unresponsive workers from the ring, and
+// aggregates /stats across the fleet.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.String("workers", "", "comma-separated worker base URLs (required)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per worker on the hash ring (0 = 128)")
+	healthInterval := flag.Duration("health-interval", time.Second, "worker /stats poll interval")
+	healthFailures := flag.Int("health-failures", 3, "consecutive failures before a worker is ejected from the ring")
+	retries := flag.Int("retries", 3, "distinct workers to offer one request to before answering 502")
+	backoff := flag.Duration("retry-backoff", 25*time.Millisecond, "pause before the second attempt; doubles per further attempt")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
+	flag.Parse()
+
+	if *workers == "" {
+		fmt.Fprintln(os.Stderr, "router: -workers is required")
+		os.Exit(1)
+	}
+	rt, err := router.New(router.Options{
+		Workers:        strings.Split(*workers, ","),
+		VNodes:         *vnodes,
+		HealthInterval: *healthInterval,
+		HealthFailures: *healthFailures,
+		Retries:        *retries,
+		RetryBackoff:   *backoff,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "router:", err)
+		os.Exit(1)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	srv := server.NewHTTPServer(*addr, rt.Handler(), server.HTTPTimeouts{})
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("router listening on %s, %d workers\n", *addr, len(strings.Split(*workers, ",")))
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "router:", err)
+			os.Exit(1)
+		}
+	case <-sigCtx.Done():
+		stop()
+		fmt.Fprintf(os.Stderr, "router: shutting down (drain budget %s)\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			_ = srv.Close()
+			os.Exit(1)
+		}
+	}
+}

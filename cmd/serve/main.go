@@ -52,6 +52,8 @@ func main() {
 	fsync := flag.String("fsync", "group", "WAL fsync policy: group (once per commit batch), per-commit, or off")
 	commitWindow := flag.Duration("commit-window", 0, "how long a session's commit leader collects concurrent writes per batch (0 = commit whatever has queued)")
 	writeQueue := flag.Int("write-queue", 0, "per-session pending-write queue bound; beyond it writes answer 429 (0 = default 64)")
+	compactThreshold := flag.Int("compact-threshold", 0, "checkpoint a session to its snapshot and truncate its WAL after this many committed deltas (0 = no count-based compaction)")
+	compactBytes := flag.Int64("compact-bytes", 0, "checkpoint and truncate when a session's WAL exceeds this size in bytes (0 = no size-based compaction)")
 	flag.Parse()
 
 	sync, err := wal.ParseSyncPolicy(*fsync)
@@ -72,6 +74,8 @@ func main() {
 		WALSync:         sync,
 		CommitWindow:    *commitWindow,
 		WriteQueue:      *writeQueue,
+		CompactCommits:  *compactThreshold,
+		CompactBytes:    *compactBytes,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)
@@ -110,6 +114,12 @@ func main() {
 			cancelBase()
 			_ = srv.Close()
 			os.Exit(1)
+		}
+		// Snapshot-then-handoff: checkpoint every live session so the next
+		// worker over this WAL directory restores from snapshots, not
+		// replays.
+		if n := s.SnapshotAll(); n > 0 {
+			fmt.Fprintf(os.Stderr, "serve: checkpointed %d sessions for handoff\n", n)
 		}
 		fmt.Fprintln(os.Stderr, "serve: drained cleanly")
 	}

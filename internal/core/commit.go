@@ -112,6 +112,11 @@ type Committer struct {
 	queue     chan *writeReq
 	stop      chan struct{}
 	startOnce sync.Once
+	// leaderDone closes when the leader goroutine exits; started reports
+	// whether one was ever launched. Together they let CloseWait observe
+	// quiescence.
+	leaderDone chan struct{}
+	started    atomic.Bool
 
 	mu        sync.Mutex
 	mnt       *incremental.Maintainer
@@ -147,14 +152,15 @@ func NewCommitter(cfg CommitterConfig) *Committer {
 		cfg.Queue = 64
 	}
 	return &Committer{
-		cfg:       cfg,
-		queue:     make(chan *writeReq, cfg.Queue),
-		stop:      make(chan struct{}),
-		mnt:       cfg.Maintainer,
-		nextSeq:   cfg.StartSeq + 1,
-		issued:    cfg.StartSeq,
-		applied:   cfg.StartSeq,
-		appliedCh: make(chan struct{}),
+		cfg:        cfg,
+		queue:      make(chan *writeReq, cfg.Queue),
+		stop:       make(chan struct{}),
+		leaderDone: make(chan struct{}),
+		mnt:        cfg.Maintainer,
+		nextSeq:    cfg.StartSeq + 1,
+		issued:     cfg.StartSeq,
+		applied:    cfg.StartSeq,
+		appliedCh:  make(chan struct{}),
 	}
 }
 
@@ -190,7 +196,10 @@ func (c *Committer) Submit(ctx context.Context, add, retract []ast.Atom, async b
 		commitGlobal.async.Add(1)
 	}
 	maxU64(&commitGlobal.queueHighWater, uint64(len(c.queue)))
-	c.startOnce.Do(func() { go c.run() })
+	c.startOnce.Do(func() {
+		c.started.Store(true)
+		go c.run()
+	})
 	if async {
 		select {
 		case lo := <-req.logged:
@@ -258,6 +267,20 @@ func (c *Committer) Close() {
 	c.mu.Unlock()
 }
 
+// CloseWait closes the committer and blocks until the leader goroutine has
+// exited — no batch is being logged or applied afterwards, and Applied()
+// is the exact commit sequence number of the maintainer's state. This is
+// the quiescence point the serving layer snapshots at (eviction, drain):
+// serializing the maintainer concurrently with an in-flight apply could
+// pair state that already includes commit N with an epoch header saying
+// N-1, and the restore would replay N on top of itself.
+func (c *Committer) CloseWait() {
+	c.Close()
+	if c.started.Load() {
+		<-c.leaderDone
+	}
+}
+
 // Pending returns the current write-queue depth: writes accepted by Submit
 // that the leader has not yet picked up.
 func (c *Committer) Pending() int { return len(c.queue) }
@@ -272,6 +295,7 @@ func (c *Committer) Maintainer() *incremental.Maintainer {
 
 // run is the leader loop: pick up the oldest write, coalesce, commit.
 func (c *Committer) run() {
+	defer close(c.leaderDone)
 	for {
 		select {
 		case <-c.stop:

@@ -201,6 +201,40 @@ func (s *Store) AddKeyed(a ast.Atom, key []byte, row []term.ValueID, extensional
 	return f, nil
 }
 
+// RestoreFact is the snapshot-restore append path: it interns the atom
+// unconditionally under the next id, without Add's duplicate check. Snapshot
+// payloads replay facts in id order *before* replaying tombstones, so a
+// re-added atom (same key as an earlier, later-tombstoned fact) must append
+// rather than dedupe; the byKey entry is simply overwritten, and the later
+// Retract of the earlier id leaves it pointing at the survivor (Retract only
+// deletes the mapping when it still points at the retracted id). Outside
+// restore, use Add.
+func (s *Store) RestoreFact(a ast.Atom, extensional bool) (*Fact, error) {
+	if s.frozen {
+		return nil, fmt.Errorf("database: RestoreFact(%v) during frozen snapshot phase", a)
+	}
+	if !a.IsGround() {
+		return nil, fmt.Errorf("database: cannot intern non-ground atom %v", a)
+	}
+	f := &Fact{ID: FactID(len(s.facts)), Atom: a, Extensional: extensional}
+	s.epoch++
+	s.facts = append(s.facts, f)
+	s.byKey[a.Key()] = f.ID
+	s.byPred[a.Predicate] = append(s.byPred[a.Predicate], f.ID)
+	row := make([]term.ValueID, len(a.Terms))
+	for pos, t := range a.Terms {
+		row[pos] = s.in.Intern(t)
+		s.index[indexKey{a.Predicate, pos, row[pos]}] = append(s.index[indexKey{a.Predicate, pos, row[pos]}], f.ID)
+	}
+	s.rows = append(s.rows, row)
+	return f, nil
+}
+
+// SetEpoch overwrites the mutation counter; the snapshot-restore path calls
+// it last so a restored store reports the epoch its original had, not the
+// number of replay operations it took to rebuild.
+func (s *Store) SetEpoch(epoch uint64) { s.epoch = epoch }
+
 // MustAdd is Add for callers with statically ground atoms; it panics on a
 // non-ground atom.
 func (s *Store) MustAdd(a ast.Atom, extensional bool) (*Fact, bool) {

@@ -1,0 +1,126 @@
+package figures
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"strings"
+
+	"repro/internal/loadgen"
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+// LoadPoint is one topology's load-harness measurement: a session
+// population far beyond resident capacity, a mixed read/explain/write
+// steady state, and the durability churn (restores, snapshot restores,
+// compactions) the population induced.
+type LoadPoint struct {
+	// Topology names the target: "worker" (one durable server) or
+	// "router-N" (N workers sharing a WAL directory behind the
+	// consistent-hash router).
+	Topology string `json:"topology"`
+	// Workers is the serving-process count behind the target.
+	Workers int `json:"workers"`
+	loadgen.Report
+}
+
+// loadResident bounds resident sessions per worker: a small fraction of
+// the session population (capped at 4096), so steady-state traffic
+// constantly evicts and restores — the serving tier's churn regime.
+func loadResident(sessions int) int {
+	r := sessions / 8
+	if r > 4096 {
+		r = 4096
+	}
+	if r < 16 {
+		r = 16
+	}
+	return r
+}
+
+// LoadCapacity runs the load harness against a single durable worker and
+// against a two-worker routed tier, with the given concurrent-session
+// population and steady-state operation count (0, 0 selects the official
+// 100k sessions / 100k ops).
+func LoadCapacity(sessions, ops, concurrency int) (string, []LoadPoint, error) {
+	if sessions <= 0 {
+		sessions = 100_000
+	}
+	if ops <= 0 {
+		ops = 100_000
+	}
+	if concurrency <= 0 {
+		concurrency = 64
+	}
+	topologies := []struct {
+		name    string
+		workers int
+	}{
+		{"worker", 1},
+		{"router-2", 2},
+	}
+	var points []LoadPoint
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %9s %9s %10s %9s %9s %9s %9s %9s %9s %10s %8s\n",
+		"topology", "sessions", "ops", "thr op/s", "open p99", "read p50", "read p99", "expl p99", "write p99", "restores", "snapRest", "compact")
+	for i, topo := range topologies {
+		rep, err := runLoadTopology(topo.workers, i, sessions, ops, concurrency)
+		if err != nil {
+			return "", nil, fmt.Errorf("load: %s: %w", topo.name, err)
+		}
+		pt := LoadPoint{Topology: topo.name, Workers: topo.workers, Report: *rep}
+		points = append(points, pt)
+		fmt.Fprintf(&sb, "%-10s %9d %9d %10.0f %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms %9d %10d %8d\n",
+			pt.Topology, pt.Sessions, ops, pt.Throughput,
+			pt.Open.Latency.P99, pt.Read.Latency.P50, pt.Read.Latency.P99,
+			pt.Explain.Latency.P99, pt.Write.Latency.P99,
+			pt.Counters.Restores, pt.Counters.SnapshotRestores, pt.Counters.Compactions)
+	}
+	return sb.String(), points, nil
+}
+
+// runLoadTopology stands up n durable workers over one shared WAL
+// directory (routed through the consistent-hash proxy when n > 1) and
+// drives the harness at them.
+func runLoadTopology(n, idx, sessions, ops, concurrency int) (*loadgen.Report, error) {
+	dir, err := os.MkdirTemp("", "loadfig-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	var urls []string
+	for i := 0; i < n; i++ {
+		s, err := server.NewWithOptions(server.Options{
+			WALDir:         dir,
+			CompactCommits: 8,
+			MaxSessions:    loadResident(sessions),
+			MaxInflight:    concurrency,
+			ChaseWorkers:   chaseWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		urls = append(urls, ts.URL)
+	}
+	base := urls[0]
+	if n > 1 {
+		rt, err := router.New(router.Options{Workers: urls})
+		if err != nil {
+			return nil, err
+		}
+		rts := httptest.NewServer(rt.Handler())
+		defer rts.Close()
+		base = rts.URL
+	}
+	return loadgen.Run(loadgen.Config{
+		BaseURL:     base,
+		Sessions:    sessions,
+		Ops:         ops,
+		Concurrency: concurrency,
+		IDPrefix:    fmt.Sprintf("ld%d", idx),
+	})
+}

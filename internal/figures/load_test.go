@@ -1,0 +1,50 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadCapacitySmall runs the load figure at CI scale: a few hundred
+// sessions against both topologies, asserting the harness completes, the
+// population exceeds residency enough to force restores, and every class
+// recorded latencies.
+func TestLoadCapacitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load harness spins up servers")
+	}
+	const sessions, ops, concurrency = 600, 1500, 16
+	out, points, err := LoadCapacity(sessions, ops, concurrency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d topology points, want 2", len(points))
+	}
+	for _, pt := range points {
+		if pt.Sessions != sessions {
+			t.Errorf("%s: sessions = %d, want %d", pt.Topology, pt.Sessions, sessions)
+		}
+		if pt.Open.Ops != sessions-pt.Open.Errors {
+			t.Errorf("%s: open ops %d + errors %d != %d", pt.Topology, pt.Open.Ops, pt.Open.Errors, sessions)
+		}
+		total := pt.Read.Ops + pt.Explain.Ops + pt.Write.Ops + pt.Read.Errors + pt.Explain.Errors + pt.Write.Errors
+		if total != ops {
+			t.Errorf("%s: steady-state ops %d, want %d", pt.Topology, total, ops)
+		}
+		if pt.Read.Latency.P99 < pt.Read.Latency.P50 {
+			t.Errorf("%s: read p99 %.3f < p50 %.3f", pt.Topology, pt.Read.Latency.P99, pt.Read.Latency.P50)
+		}
+		if pt.Throughput <= 0 {
+			t.Errorf("%s: non-positive throughput", pt.Topology)
+		}
+		if pt.Counters.Restores == 0 {
+			t.Errorf("%s: population 8x residency induced no restores", pt.Topology)
+		}
+	}
+	for _, topo := range []string{"worker", "router-2"} {
+		if !strings.Contains(out, topo) {
+			t.Errorf("rendered table missing topology %s:\n%s", topo, out)
+		}
+	}
+}

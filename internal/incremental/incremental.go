@@ -104,6 +104,29 @@ func NewContext(ctx context.Context, p *ast.Program, opts chase.Options) (*Maint
 	return &Maintainer{live: l}, nil
 }
 
+// FromLive wraps an existing live fixpoint — typically one rebuilt by
+// chase.RestoreLive from a serialized snapshot — in a fresh maintainer. The
+// caller hands over ownership: the Live must not be mutated outside the
+// returned maintainer. Counters start at zero (they are process statistics,
+// not session state).
+func FromLive(l *chase.Live) *Maintainer {
+	return &Maintainer{live: l}
+}
+
+// EncodeState serializes the maintained fixpoint's complete engine state
+// (chase.Live.EncodeState) under the update lock, so the payload is a
+// consistent cut: every acknowledged update is in, no in-flight one is. A
+// poisoned maintainer refuses — its state is partially repaired and must
+// not be checkpointed.
+func (m *Maintainer) EncodeState() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.broken != nil {
+		return nil, m.poisonErr()
+	}
+	return m.live.EncodeState()
+}
+
 // Result snapshots the current fixpoint. The snapshot stays consistent (and
 // explainable) across later updates; take a fresh one to observe them.
 func (m *Maintainer) Result() (*chase.Result, error) {

@@ -1,0 +1,366 @@
+// Package loadgen is the serving-tier load harness: it opens a large
+// population of concurrent sessions against a worker or routed tier (any
+// base URL speaking the serve protocol) and drives a mixed
+// read/explain/write workload over them, measuring per-class latency
+// percentiles and the durability work (restores, snapshot restores,
+// compactions) the churn induced.
+//
+// The session population deliberately exceeds the server's resident LRU
+// capacity: most sessions are cold at any instant, so steady-state traffic
+// continuously evicts and restores them — the regime the snapshot and
+// compaction machinery exists for. "Concurrent sessions" means every one
+// of them is addressable at any moment, not that every engine is resident.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// BaseURL is the target: a single worker or a router.
+	BaseURL string
+	// Sessions is the concurrent-session population to open.
+	Sessions int
+	// Ops is the steady-state operation count after the open phase.
+	Ops int
+	// Concurrency is the client goroutine count (0 = 64).
+	Concurrency int
+	// ReadPct/ExplainPct/WritePct is the steady-state mix in percent
+	// (zero-valued config = 70/20/10). Must sum to 100.
+	ReadPct, ExplainPct, WritePct int
+	// Seed drives session selection (0 = 1).
+	Seed int64
+	// IDPrefix namespaces the assigned session ids (0 = "ld"); reruns
+	// against one durable directory need distinct prefixes, since session
+	// ids are never reused.
+	IDPrefix string
+	// App and OpenFacts shape each session: the application and its
+	// opening extensional facts (defaults: company-control owning chain).
+	App       string
+	OpenFacts string
+	// ExplainQuery is the /explain target fact (default Control("X","Y"),
+	// derivable from the default OpenFacts).
+	ExplainQuery string
+	// Client overrides the HTTP client (default: pooled transport sized to
+	// Concurrency).
+	Client *http.Client
+}
+
+// Percentiles are latency quantiles in milliseconds.
+type Percentiles struct {
+	P50 float64 `json:"p50Ms"`
+	P90 float64 `json:"p90Ms"`
+	P99 float64 `json:"p99Ms"`
+	Max float64 `json:"maxMs"`
+}
+
+// ClassReport is one operation class's outcome.
+type ClassReport struct {
+	Ops     int         `json:"ops"`
+	Errors  int         `json:"errors"`
+	Latency Percentiles `json:"latency"`
+}
+
+// Counters is the durability-work delta the run induced on the target
+// (summed across workers when the target is a router).
+type Counters struct {
+	Restores         uint64 `json:"restores"`
+	SnapshotRestores uint64 `json:"snapshotRestores"`
+	SnapshotWrites   uint64 `json:"snapshotWrites"`
+	Compactions      uint64 `json:"compactions"`
+	TailReplays      uint64 `json:"tailReplays"`
+}
+
+// Report is a completed run.
+type Report struct {
+	Sessions    int `json:"sessions"`
+	Concurrency int `json:"concurrency"`
+
+	Open    ClassReport `json:"open"`
+	Read    ClassReport `json:"read"`
+	Explain ClassReport `json:"explain"`
+	Write   ClassReport `json:"write"`
+
+	// OpenWallSeconds and WallSeconds time the two phases; Throughput is
+	// steady-state operations per second.
+	OpenWallSeconds float64 `json:"openWallSeconds"`
+	WallSeconds     float64 `json:"wallSeconds"`
+	Throughput      float64 `json:"throughputOpsPerSec"`
+
+	Counters Counters `json:"counters"`
+}
+
+func (c *Config) defaults() error {
+	if c.BaseURL == "" {
+		return fmt.Errorf("loadgen: BaseURL required")
+	}
+	if c.Sessions <= 0 || c.Ops < 0 {
+		return fmt.Errorf("loadgen: Sessions must be positive")
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 64
+	}
+	if c.ReadPct == 0 && c.ExplainPct == 0 && c.WritePct == 0 {
+		c.ReadPct, c.ExplainPct, c.WritePct = 70, 20, 10
+	}
+	if c.ReadPct+c.ExplainPct+c.WritePct != 100 {
+		return fmt.Errorf("loadgen: mix %d/%d/%d does not sum to 100", c.ReadPct, c.ExplainPct, c.WritePct)
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.IDPrefix == "" {
+		c.IDPrefix = "ld"
+	}
+	if c.App == "" {
+		c.App = "company-control"
+		if c.OpenFacts == "" {
+			c.OpenFacts = `Own("X","Y",0.6).`
+		}
+		if c.ExplainQuery == "" {
+			c.ExplainQuery = `Control("X","Y")`
+		}
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{
+			Timeout: 2 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: c.Concurrency,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		}
+	}
+	return nil
+}
+
+// lats is one class's latency sink: per-worker shards, merged at the end,
+// so recording is contention-free.
+type lats struct {
+	shards [][]float64 // milliseconds
+	errs   atomic.Uint64
+}
+
+func newLats(workers int) *lats {
+	return &lats{shards: make([][]float64, workers)}
+}
+
+func (l *lats) record(worker int, d time.Duration) {
+	l.shards[worker] = append(l.shards[worker], float64(d)/float64(time.Millisecond))
+}
+
+func (l *lats) report() ClassReport {
+	var all []float64
+	for _, s := range l.shards {
+		all = append(all, s...)
+	}
+	sort.Float64s(all)
+	cr := ClassReport{Ops: len(all), Errors: int(l.errs.Load())}
+	if len(all) == 0 {
+		return cr
+	}
+	q := func(p float64) float64 { return all[int(p*float64(len(all)-1))] }
+	cr.Latency = Percentiles{P50: q(0.50), P90: q(0.90), P99: q(0.99), Max: all[len(all)-1]}
+	return cr
+}
+
+// Run executes the workload: open Sessions sessions, then Ops mixed
+// operations against the population, uniformly random session choice.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	before, err := fetchCounters(cfg.Client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial stats: %w", err)
+	}
+
+	ids := make([]string, cfg.Sessions)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%s-%d", cfg.IDPrefix, i)
+	}
+	openReq := func(id string) string {
+		b, _ := json.Marshal(map[string]string{"app": cfg.App, "facts": cfg.OpenFacts, "assignId": id})
+		return string(b)
+	}
+	explainPath := "/explain?query=" + url.QueryEscape(cfg.ExplainQuery) + "&session="
+
+	openL := newLats(cfg.Concurrency)
+	var next atomic.Int64
+	openStart := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				body := openReq(ids[i])
+				start := time.Now()
+				if code, err := post(cfg.Client, cfg.BaseURL+"/reason", body); err != nil || code != http.StatusOK {
+					openL.errs.Add(1)
+					continue
+				}
+				openL.record(w, time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	openWall := time.Since(openStart)
+	openReport := openL.report()
+	if openReport.Errors > cfg.Sessions/10 {
+		return nil, fmt.Errorf("loadgen: %d/%d session opens failed", openReport.Errors, cfg.Sessions)
+	}
+
+	readL, explainL, writeL := newLats(cfg.Concurrency), newLats(cfg.Concurrency), newLats(cfg.Concurrency)
+	var opNext, writeSeq atomic.Int64
+	steadyStart := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			for {
+				if int(opNext.Add(1)) > cfg.Ops {
+					return
+				}
+				id := ids[rng.Intn(len(ids))]
+				roll := rng.Intn(100)
+				start := time.Now()
+				switch {
+				case roll < cfg.ReadPct:
+					code, err := post(cfg.Client, cfg.BaseURL+"/reason", fmt.Sprintf(`{"session":%q}`, id))
+					if err != nil || code != http.StatusOK {
+						readL.errs.Add(1)
+					} else {
+						readL.record(w, time.Since(start))
+					}
+				case roll < cfg.ReadPct+cfg.ExplainPct:
+					code, err := get(cfg.Client, cfg.BaseURL+explainPath+url.QueryEscape(id))
+					if err != nil || code != http.StatusOK {
+						explainL.errs.Add(1)
+					} else {
+						explainL.record(w, time.Since(start))
+					}
+				default:
+					n := writeSeq.Add(1)
+					body := fmt.Sprintf(`{"session":%q,"add":"Own(\"Y\",\"n%d\",0.8)."}`, id, n)
+					code, err := post(cfg.Client, cfg.BaseURL+"/facts", body)
+					if err != nil || code != http.StatusOK {
+						writeL.errs.Add(1)
+					} else {
+						writeL.record(w, time.Since(start))
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(steadyStart)
+
+	after, err := fetchCounters(cfg.Client, cfg.BaseURL)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final stats: %w", err)
+	}
+	rep := &Report{
+		Sessions:        cfg.Sessions,
+		Concurrency:     cfg.Concurrency,
+		Open:            openReport,
+		Read:            readL.report(),
+		Explain:         explainL.report(),
+		Write:           writeL.report(),
+		OpenWallSeconds: openWall.Seconds(),
+		WallSeconds:     wall.Seconds(),
+		Counters: Counters{
+			Restores:         after.Restores - before.Restores,
+			SnapshotRestores: after.SnapshotRestores - before.SnapshotRestores,
+			SnapshotWrites:   after.SnapshotWrites - before.SnapshotWrites,
+			Compactions:      after.Compactions - before.Compactions,
+			TailReplays:      after.TailReplays - before.TailReplays,
+		},
+	}
+	if wall > 0 {
+		rep.Throughput = float64(cfg.Ops) / wall.Seconds()
+	}
+	steadyErrs := rep.Read.Errors + rep.Explain.Errors + rep.Write.Errors
+	if cfg.Ops > 0 && steadyErrs > cfg.Ops/10 {
+		return nil, fmt.Errorf("loadgen: %d/%d steady-state operations failed", steadyErrs, cfg.Ops)
+	}
+	return rep, nil
+}
+
+func post(c *http.Client, url, body string) (int, error) {
+	resp, err := c.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+func get(c *http.Client, url string) (int, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// fetchCounters reads the write-path counters from the target's /stats.
+// A worker exposes writePath directly; a router nests each worker's raw
+// stats document under workers, in which case the counters are summed.
+func fetchCounters(c *http.Client, base string) (Counters, error) {
+	resp, err := c.Get(base + "/stats")
+	if err != nil {
+		return Counters{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return Counters{}, err
+	}
+	var doc struct {
+		WritePath *Counters                  `json:"writePath"`
+		Workers   map[string]json.RawMessage `json:"workers"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return Counters{}, err
+	}
+	if doc.WritePath != nil {
+		return *doc.WritePath, nil
+	}
+	var sum Counters
+	for _, wraw := range doc.Workers {
+		var wdoc struct {
+			WritePath *Counters `json:"writePath"`
+		}
+		// A worker the router cannot reach shows up as {"error": ...}; its
+		// counters are unknowable, so it contributes zero rather than
+		// aborting the run. Same for workers running without a WAL.
+		if err := json.Unmarshal(wraw, &wdoc); err != nil || wdoc.WritePath == nil {
+			continue
+		}
+		sum.Restores += wdoc.WritePath.Restores
+		sum.SnapshotRestores += wdoc.WritePath.SnapshotRestores
+		sum.SnapshotWrites += wdoc.WritePath.SnapshotWrites
+		sum.Compactions += wdoc.WritePath.Compactions
+		sum.TailReplays += wdoc.WritePath.TailReplays
+	}
+	return sum, nil
+}

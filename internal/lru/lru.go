@@ -126,6 +126,19 @@ func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
 	c.onEvict = fn
 }
 
+// Keys returns the cached keys, most recently used first. The slice is a
+// snapshot: entries may come and go while the caller iterates (the serving
+// layer's drain uses it and tolerates both).
+func (c *Cache[K, V]) Keys() []K {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]K, 0, c.order.Len())
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry[K, V]).key)
+	}
+	return out
+}
+
 // Remove drops the entry stored under k, reporting whether it was present.
 // A removal is deliberate and does not count as an eviction.
 func (c *Cache[K, V]) Remove(k K) bool {

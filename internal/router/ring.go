@@ -1,0 +1,167 @@
+// Package router is the sharding tier of the explanation service: a thin
+// reverse proxy that consistent-hashes session ids across a set of workers
+// speaking the ordinary server HTTP protocol. Session affinity is what
+// makes the tier correct — a session's state (live maintainer, WAL,
+// snapshot) lives on one worker at a time — and consistent hashing is what
+// makes membership changes cheap: when a worker joins or leaves, only the
+// keyspace fraction it owned moves, and the sessions that move restore on
+// their new worker from the shared durable directory (snapshot plus WAL
+// tail).
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Ring is a consistent-hash ring with virtual nodes. Each member is hashed
+// to VNodes points on a 64-bit circle; a key is owned by the member whose
+// point follows the key's hash clockwise. More virtual nodes smooth the
+// load split (with 128, member shares are typically within a few percent
+// of even) at the cost of a larger sorted point list.
+//
+// All methods are safe for concurrent use; Lookup is a read-lock plus one
+// binary search.
+type Ring struct {
+	vnodes int
+
+	mu      sync.RWMutex
+	points  []point
+	members map[string]bool
+}
+
+type point struct {
+	hash   uint64
+	member string
+}
+
+// DefaultVNodes is the virtual-node count used when NewRing is given 0.
+const DefaultVNodes = 128
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (0 selects DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: map[string]bool{}}
+}
+
+// hashKey maps a string to a ring position: FNV-1a for the byte mixing,
+// then a splitmix64 finalizer — raw FNV of short, similar strings (worker
+// URLs differing in one digit, "#0".."#127" suffixes) leaves enough
+// correlation in the high bits to skew vnode placement badly; the
+// finalizer's avalanche restores an even spread.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add inserts a member (idempotent).
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[member] {
+		return
+	}
+	r.members[member] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, point{hash: hashKey(member + "#" + strconv.Itoa(i)), member: member})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a member and its points (idempotent).
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[member] {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Members returns the current members in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Lookup returns the member owning key, or false on an empty ring.
+func (r *Ring) Lookup(key string) (string, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return "", false
+	}
+	return r.points[r.successor(hashKey(key))].member, true
+}
+
+// LookupN returns up to n distinct members in ring order starting at the
+// key's owner — the owner first, then the members a failover should try
+// next. Deterministic for a given ring state.
+func (r *Ring) LookupN(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i := r.successor(hashKey(key)); len(out) < n; i = (i + 1) % len(r.points) {
+		m := r.points[i].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// successor returns the index of the first point at or after h, wrapping.
+// Callers hold at least the read lock and guarantee points is non-empty.
+func (r *Ring) successor(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// String renders the ring for logs.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring(%d members, %d vnodes each)", r.Len(), r.vnodes)
+}

@@ -1,0 +1,170 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("session-%d", i)
+	}
+	return keys
+}
+
+func ringOf(members ...string) *Ring {
+	r := NewRing(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+func TestLookupEmptyRing(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.Lookup("anything"); ok {
+		t.Error("empty ring claims an owner")
+	}
+	if got := r.LookupN("anything", 3); got != nil {
+		t.Errorf("empty ring LookupN = %v", got)
+	}
+}
+
+// TestLookupStability: ownership is a pure function of (membership, key) —
+// repeated lookups and an independently built ring with the same members
+// agree on every key.
+func TestLookupStability(t *testing.T) {
+	a := ringOf("w1", "w2", "w3")
+	b := ringOf("w3", "w1", "w2") // different insertion order
+	for _, key := range testKeys(1000) {
+		o1, ok := a.Lookup(key)
+		if !ok {
+			t.Fatal("no owner")
+		}
+		if o2, _ := a.Lookup(key); o2 != o1 {
+			t.Fatalf("key %q: unstable owner %s then %s", key, o1, o2)
+		}
+		if o3, _ := b.Lookup(key); o3 != o1 {
+			t.Fatalf("key %q: insertion order changed owner %s vs %s", key, o1, o3)
+		}
+	}
+}
+
+// TestBoundedRemapOnRemove: removing one of five workers moves exactly the
+// keys it owned — every other key keeps its owner — and the moved fraction
+// is in the neighbourhood of 1/5.
+func TestBoundedRemapOnRemove(t *testing.T) {
+	r := ringOf("w1", "w2", "w3", "w4", "w5")
+	keys := testKeys(10000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+	r.Remove("w3")
+	moved := 0
+	for _, k := range keys {
+		after, ok := r.Lookup(k)
+		if !ok {
+			t.Fatal("no owner after removal")
+		}
+		if before[k] == "w3" {
+			moved++
+			if after == "w3" {
+				t.Fatalf("key %q still owned by removed worker", k)
+			}
+		} else if after != before[k] {
+			t.Fatalf("key %q moved from %s to %s though its owner stayed", k, before[k], after)
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.05 || frac > 0.40 {
+		t.Errorf("remap fraction on remove = %.3f, want ~0.20", frac)
+	}
+}
+
+// TestBoundedRemapOnAdd: a sixth worker steals only the keys it now owns;
+// no key moves between pre-existing workers.
+func TestBoundedRemapOnAdd(t *testing.T) {
+	r := ringOf("w1", "w2", "w3", "w4", "w5")
+	keys := testKeys(10000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k], _ = r.Lookup(k)
+	}
+	r.Add("w6")
+	moved := 0
+	for _, k := range keys {
+		after, _ := r.Lookup(k)
+		if after != before[k] {
+			moved++
+			if after != "w6" {
+				t.Fatalf("key %q moved %s -> %s, not to the new worker", k, before[k], after)
+			}
+		}
+	}
+	frac := float64(moved) / float64(len(keys))
+	if frac < 0.04 || frac > 0.35 {
+		t.Errorf("remap fraction on add = %.3f, want ~1/6", frac)
+	}
+}
+
+// TestBalance: 128 virtual nodes keep worker shares within sane bounds.
+func TestBalance(t *testing.T) {
+	r := ringOf("w1", "w2", "w3", "w4", "w5")
+	counts := map[string]int{}
+	keys := testKeys(10000)
+	for _, k := range keys {
+		o, _ := r.Lookup(k)
+		counts[o]++
+	}
+	for w, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.08 || frac > 0.35 {
+			t.Errorf("worker %s owns %.3f of the keyspace, want roughly 0.20", w, frac)
+		}
+	}
+	if len(counts) != 5 {
+		t.Errorf("only %d of 5 workers own keys", len(counts))
+	}
+}
+
+// TestLookupN: failover order is distinct, starts with the owner, and
+// clamps at the member count.
+func TestLookupN(t *testing.T) {
+	r := ringOf("w1", "w2", "w3")
+	for _, key := range testKeys(100) {
+		owner, _ := r.Lookup(key)
+		order := r.LookupN(key, 10)
+		if len(order) != 3 {
+			t.Fatalf("LookupN returned %d members, want 3", len(order))
+		}
+		if order[0] != owner {
+			t.Fatalf("LookupN[0] = %s, Lookup = %s", order[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, m := range order {
+			if seen[m] {
+				t.Fatalf("duplicate member %s in failover order", m)
+			}
+			seen[m] = true
+		}
+	}
+}
+
+func TestAddRemoveIdempotent(t *testing.T) {
+	r := ringOf("w1", "w2")
+	r.Add("w1")
+	r.Add("w1")
+	if got := len(r.points); got != 2*r.vnodes {
+		t.Errorf("double Add left %d points, want %d", got, 2*r.vnodes)
+	}
+	r.Remove("w1")
+	r.Remove("w1")
+	if got := r.Len(); got != 1 {
+		t.Errorf("Len after removes = %d, want 1", got)
+	}
+	if o, _ := r.Lookup("k"); o != "w2" {
+		t.Errorf("lone member lookup = %s", o)
+	}
+}

@@ -1,0 +1,590 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Workers are the base URLs of the serving workers (e.g.
+	// "http://127.0.0.1:8081"). At least one is required.
+	Workers []string
+	// VNodes is the virtual-node count per worker (0 = DefaultVNodes).
+	VNodes int
+	// HealthInterval is how often each worker's /stats is polled (0 = 1s).
+	HealthInterval time.Duration
+	// HealthFailures is how many consecutive failures (health probes or
+	// proxied requests) eject a worker from the ring (0 = 3). A single
+	// probe success re-admits it.
+	HealthFailures int
+	// Retries bounds how many distinct workers one request may be offered
+	// to before answering 502 (0 = 3, clamped to the worker count).
+	Retries int
+	// RetryBackoff is the pause before the second attempt; it doubles per
+	// further attempt (0 = 25ms).
+	RetryBackoff time.Duration
+	// Client issues the proxied requests. The default has a short dial
+	// timeout and no overall deadline, so a dead worker fails fast while a
+	// long-running reasoning request is never cut off mid-chase.
+	Client *http.Client
+	// Logf sinks diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// Router is the sharding reverse proxy: it owns a consistent-hash Ring of
+// workers, extracts the session key from each request, and forwards the
+// request to the key's owner. Transport-level failures walk the key's
+// failover order (the next distinct workers clockwise on the ring) with
+// exponential backoff, and repeated failures eject the worker from the
+// ring until a health probe sees it answer again — at which point the
+// sessions it owned have been restored by their new owners from the shared
+// durable directory.
+//
+// New sessions are named by the router (an assignId injected into the
+// /reason body) rather than by the worker: the id must be fixed before the
+// ring lookup that picks the worker, and worker-generated s<N> ids would
+// collide across workers sharing a WAL directory.
+type Router struct {
+	ring     *Ring
+	client   *http.Client
+	logf     func(string, ...any)
+	retries  int
+	backoff  time.Duration
+	interval time.Duration
+	maxFail  int
+
+	idPrefix string
+	idNext   atomic.Uint64
+
+	mu      sync.Mutex
+	workers map[string]*workerState
+
+	requests  atomic.Uint64
+	retried   atomic.Uint64
+	failovers atomic.Uint64
+	noRoute   atomic.Uint64
+	badGates  atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// workerState is the router's health view of one worker. Guarded by
+// Router.mu.
+type workerState struct {
+	url      string
+	healthy  bool
+	draining bool
+	failures int // consecutive
+	proxied  uint64
+	lastErr  string
+}
+
+// New validates the worker list and returns a router with every worker
+// initially in the ring; call Start to begin health probing.
+func New(opts Options) (*Router, error) {
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("router: no workers")
+	}
+	if opts.VNodes <= 0 {
+		opts.VNodes = DefaultVNodes
+	}
+	if opts.HealthInterval <= 0 {
+		opts.HealthInterval = time.Second
+	}
+	if opts.HealthFailures <= 0 {
+		opts.HealthFailures = 3
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 3
+	}
+	if opts.Retries > len(opts.Workers) {
+		opts.Retries = len(opts.Workers)
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 25 * time.Millisecond
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 256,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if opts.Logf == nil {
+		opts.Logf = log.Printf
+	}
+	var seed [4]byte
+	if _, err := rand.Read(seed[:]); err != nil {
+		return nil, fmt.Errorf("router: id seed: %w", err)
+	}
+	rt := &Router{
+		ring:     NewRing(opts.VNodes),
+		client:   opts.Client,
+		logf:     opts.Logf,
+		retries:  opts.Retries,
+		backoff:  opts.RetryBackoff,
+		interval: opts.HealthInterval,
+		maxFail:  opts.HealthFailures,
+		idPrefix: "g" + hex.EncodeToString(seed[:]) + "-",
+		workers:  map[string]*workerState{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, w := range opts.Workers {
+		u, err := url.Parse(w)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: worker %q is not an absolute URL", w)
+		}
+		base := strings.TrimRight(u.String(), "/")
+		if _, dup := rt.workers[base]; dup {
+			return nil, fmt.Errorf("router: duplicate worker %s", base)
+		}
+		rt.workers[base] = &workerState{url: base, healthy: true}
+		rt.ring.Add(base)
+	}
+	return rt, nil
+}
+
+// Start launches the health-probe loop; Close stops it.
+func (rt *Router) Start() {
+	go rt.healthLoop()
+}
+
+// Close stops the health loop and waits for it to exit. Safe only after
+// Start; a router that was never started needs no Close.
+func (rt *Router) Close() {
+	close(rt.stop)
+	<-rt.done
+}
+
+// NewSessionID returns a fresh router-assigned session id: unique per
+// router instance (random prefix plus counter) and within the server's
+// assignId grammar.
+func (rt *Router) NewSessionID() string {
+	return rt.idPrefix + strconv.FormatUint(rt.idNext.Add(1), 36)
+}
+
+// Handler returns the proxy routes.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /reason", rt.handleReason)
+	mux.HandleFunc("POST /facts", rt.handleFacts)
+	mux.HandleFunc("GET /explain", rt.handleQueryKeyed("session"))
+	mux.HandleFunc("GET /apps", rt.handleAnyWorker)
+	mux.HandleFunc("GET /paths", rt.handleAnyWorker)
+	mux.HandleFunc("GET /stats", rt.handleStats)
+	return mux
+}
+
+// maxBody bounds proxied request bodies; matches the order of magnitude a
+// worker accepts for fact programs.
+const maxBody = 8 << 20
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBody+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %v", err))
+		return nil, false
+	}
+	if len(body) > maxBody {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body over %d bytes", maxBody))
+		return nil, false
+	}
+	return body, true
+}
+
+// handleReason routes the tri-modal /reason endpoint. A session read names
+// its key; a new-session request is keyed by its assignId, which the
+// router mints and injects when the client did not supply one — the id
+// must exist before the ring lookup that picks the worker.
+func (rt *Router) handleReason(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Session  string `json:"session"`
+		AssignID string `json:"assignId"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	key := req.Session
+	if key == "" {
+		key = req.AssignID
+	}
+	if key == "" {
+		key = rt.NewSessionID()
+		injected, err := injectField(body, "assignId", key)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		body = injected
+	}
+	rt.forward(w, r, key, body)
+}
+
+func (rt *Router) handleFacts(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Session string `json:"session"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %v", err))
+		return
+	}
+	if req.Session == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("missing session"))
+		return
+	}
+	rt.forward(w, r, req.Session, body)
+}
+
+// handleQueryKeyed routes GET endpoints whose session key is a query
+// parameter.
+func (rt *Router) handleQueryKeyed(param string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get(param)
+		if key == "" {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("missing %s parameter", param))
+			return
+		}
+		rt.forward(w, r, key, nil)
+	}
+}
+
+// handleAnyWorker serves session-less metadata endpoints from whichever
+// healthy worker the ring assigns a rotating key — cheap spreading without
+// tracking per-worker load.
+func (rt *Router) handleAnyWorker(w http.ResponseWriter, r *http.Request) {
+	rt.forward(w, r, "meta#"+strconv.FormatUint(rt.idNext.Add(1), 10), nil)
+}
+
+// injectField inserts a string field into a serialized JSON object without
+// re-marshaling it (client-chosen formatting and number precision survive
+// byte-for-byte).
+func injectField(body []byte, field, value string) ([]byte, error) {
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return nil, fmt.Errorf("request body is not a JSON object")
+	}
+	head := len(body) - len(trimmed) + 1 // keep everything through '{'
+	rest := bytes.TrimLeft(trimmed[1:], " \t\r\n")
+	sep := ","
+	if len(rest) > 0 && rest[0] == '}' {
+		sep = ""
+	}
+	quoted, err := json.Marshal(value)
+	if err != nil {
+		return nil, err
+	}
+	var out bytes.Buffer
+	out.Grow(len(body) + len(field) + len(quoted) + 4)
+	out.Write(body[:head])
+	fmt.Fprintf(&out, "%q:%s%s", field, quoted, sep)
+	out.Write(body[head:])
+	return out.Bytes(), nil
+}
+
+// forward proxies the request to the key's owner, walking the ring's
+// failover order on transport errors. An HTTP response of any status is
+// the worker's answer and is relayed as-is — only failing to get a
+// response at all moves to the next worker.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+	rt.requests.Add(1)
+	candidates := rt.ring.LookupN(key, rt.retries)
+	if len(candidates) == 0 {
+		rt.noRoute.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("no healthy workers"))
+		return
+	}
+	var lastErr error
+	for attempt, worker := range candidates {
+		if attempt > 0 {
+			rt.retried.Add(1)
+			select {
+			case <-time.After(rt.backoff << (attempt - 1)):
+			case <-r.Context().Done():
+				writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+				return
+			}
+		}
+		resp, err := rt.do(worker, r, body)
+		if err != nil {
+			lastErr = err
+			rt.noteFailure(worker, err)
+			continue
+		}
+		rt.noteSuccess(worker)
+		if attempt > 0 {
+			rt.failovers.Add(1)
+		}
+		defer resp.Body.Close()
+		copyResponse(w, resp)
+		return
+	}
+	rt.badGates.Add(1)
+	writeError(w, http.StatusBadGateway, fmt.Errorf("all %d candidate workers failed; last: %v", len(candidates), lastErr))
+}
+
+// do issues one proxied request. Any HTTP response is success at this
+// layer; the error return means the worker could not be reached.
+func (rt *Router) do(worker string, r *http.Request, body []byte) (*http.Response, error) {
+	target := worker + r.URL.Path
+	if q := r.URL.RawQuery; q != "" {
+		target += "?" + q
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, target, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.client.Do(req)
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// noteFailure records a consecutive failure against a worker; at the
+// threshold the worker leaves the ring, and the sessions it owned hash to
+// their successors, which restore them from the shared durable directory.
+func (rt *Router) noteFailure(worker string, err error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ws := rt.workers[worker]
+	if ws == nil {
+		return
+	}
+	ws.failures++
+	ws.lastErr = err.Error()
+	if ws.healthy && ws.failures >= rt.maxFail {
+		ws.healthy = false
+		rt.ring.Remove(worker)
+		rt.logf("router: worker %s ejected after %d consecutive failures: %v", worker, ws.failures, err)
+	}
+}
+
+func (rt *Router) noteSuccess(worker string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ws := rt.workers[worker]
+	if ws == nil {
+		return
+	}
+	ws.failures = 0
+	ws.proxied++
+	if !ws.healthy {
+		ws.healthy = true
+		rt.ring.Add(worker)
+		rt.logf("router: worker %s re-admitted", worker)
+	}
+}
+
+// healthLoop probes every worker's /stats on the configured interval. A
+// draining worker (graceful shutdown in progress) is treated as down so
+// new traffic skips it while it checkpoints its sessions for handoff.
+func (rt *Router) healthLoop() {
+	defer close(rt.done)
+	t := time.NewTicker(rt.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		for _, worker := range rt.workerURLs() {
+			draining, err := rt.probe(worker)
+			switch {
+			case err != nil:
+				rt.noteFailure(worker, err)
+			case draining:
+				rt.setDraining(worker, true)
+			default:
+				rt.setDraining(worker, false)
+				rt.noteSuccess(worker)
+			}
+		}
+	}
+}
+
+func (rt *Router) workerURLs() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.workers))
+	for u := range rt.workers {
+		out = append(out, u)
+	}
+	return out
+}
+
+// probeTimeout bounds one health probe: the poll interval, capped so a
+// hung worker cannot stall the loop for long.
+func (rt *Router) probeTimeout() time.Duration {
+	if rt.interval > 2*time.Second {
+		return 2 * time.Second
+	}
+	return rt.interval
+}
+
+// probe fetches one worker's /stats and reports its draining flag.
+func (rt *Router) probe(worker string) (draining bool, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.probeTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, worker+"/stats", nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("health probe: status %d", resp.StatusCode)
+	}
+	var st struct {
+		Requests struct {
+			Draining bool `json:"draining"`
+		} `json:"requests"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(&st); err != nil {
+		return false, fmt.Errorf("health probe: %v", err)
+	}
+	return st.Requests.Draining, nil
+}
+
+// setDraining marks a worker draining (out of the ring, but not counted as
+// a failure: it is alive and finishing its handoff) or clears the mark.
+func (rt *Router) setDraining(worker string, draining bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ws := rt.workers[worker]
+	if ws == nil || ws.draining == draining {
+		return
+	}
+	ws.draining = draining
+	if draining {
+		if ws.healthy {
+			rt.ring.Remove(worker)
+		}
+		rt.logf("router: worker %s draining; routing around it", worker)
+	} else if ws.healthy {
+		rt.ring.Add(worker)
+	}
+}
+
+// WorkerStatus is the router's health view of one worker, as reported
+// under /stats.
+type WorkerStatus struct {
+	Healthy  bool   `json:"healthy"`
+	Draining bool   `json:"draining,omitempty"`
+	Failures int    `json:"failures,omitempty"`
+	Proxied  uint64 `json:"proxied"`
+	LastErr  string `json:"lastErr,omitempty"`
+}
+
+// Stats is the router's own /stats section.
+type Stats struct {
+	Workers map[string]WorkerStatus `json:"workers"`
+	// Requests counts proxied requests; Retried counts extra attempts
+	// beyond the first; Failovers counts requests ultimately answered by a
+	// worker other than the key's owner.
+	Requests  uint64 `json:"requests"`
+	Retried   uint64 `json:"retried"`
+	Failovers uint64 `json:"failovers"`
+	// NoRoute counts 503s for an empty ring; BadGateway counts 502s after
+	// every candidate failed.
+	NoRoute    uint64 `json:"noRoute"`
+	BadGateway uint64 `json:"badGateway"`
+}
+
+// Snapshot returns the router's current stats.
+func (rt *Router) Snapshot() Stats {
+	st := Stats{
+		Workers:    map[string]WorkerStatus{},
+		Requests:   rt.requests.Load(),
+		Retried:    rt.retried.Load(),
+		Failovers:  rt.failovers.Load(),
+		NoRoute:    rt.noRoute.Load(),
+		BadGateway: rt.badGates.Load(),
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for u, ws := range rt.workers {
+		st.Workers[u] = WorkerStatus{
+			Healthy:  ws.healthy,
+			Draining: ws.draining,
+			Failures: ws.failures,
+			Proxied:  ws.proxied,
+			LastErr:  ws.lastErr,
+		}
+	}
+	return st
+}
+
+// handleStats aggregates: the router's own counters plus each worker's raw
+// /stats document (or the error reaching it).
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	type aggregated struct {
+		Router  Stats                      `json:"router"`
+		Workers map[string]json.RawMessage `json:"workers"`
+	}
+	out := aggregated{Router: rt.Snapshot(), Workers: map[string]json.RawMessage{}}
+	for _, worker := range rt.workerURLs() {
+		resp, err := rt.do(worker, r, nil)
+		if err != nil {
+			out.Workers[worker], _ = json.Marshal(map[string]string{"error": err.Error()})
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+		if err != nil || !json.Valid(raw) {
+			out.Workers[worker], _ = json.Marshal(map[string]string{"error": "invalid stats payload"})
+			continue
+		}
+		out.Workers[worker] = raw
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

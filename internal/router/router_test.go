@@ -1,0 +1,397 @@
+package router
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeWorker is a scripted serve worker: it records which session ids it
+// was asked about and answers the minimal protocol the router relies on.
+type fakeWorker struct {
+	ts *httptest.Server
+
+	mu       sync.Mutex
+	sessions map[string]int
+	draining bool
+}
+
+func newFakeWorker(t *testing.T) *fakeWorker {
+	t.Helper()
+	fw := &fakeWorker{sessions: map[string]int{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /reason", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Session  string `json:"session"`
+			AssignID string `json:"assignId"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		id := req.Session
+		if id == "" {
+			id = req.AssignID
+		}
+		if id == "" {
+			http.Error(w, `{"error":"fake worker requires a routed id"}`, http.StatusBadRequest)
+			return
+		}
+		fw.note(id)
+		_ = json.NewEncoder(w).Encode(map[string]any{"session": id, "answers": []string{}})
+	})
+	mux.HandleFunc("POST /facts", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Session string `json:"session"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		fw.note(req.Session)
+		_ = json.NewEncoder(w).Encode(map[string]any{"session": req.Session, "epoch": 1})
+	})
+	mux.HandleFunc("GET /explain", func(w http.ResponseWriter, r *http.Request) {
+		fw.note(r.URL.Query().Get("session"))
+		_ = json.NewEncoder(w).Encode(map[string]any{"fact": "F", "text": "t"})
+	})
+	mux.HandleFunc("GET /apps", func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode([]map[string]string{{"name": "fake"}})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		fw.mu.Lock()
+		draining := fw.draining
+		fw.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"requests": map[string]any{"draining": draining}})
+	})
+	fw.ts = httptest.NewServer(mux)
+	t.Cleanup(fw.ts.Close)
+	return fw
+}
+
+func (fw *fakeWorker) note(id string) {
+	fw.mu.Lock()
+	fw.sessions[id]++
+	fw.mu.Unlock()
+}
+
+func (fw *fakeWorker) seen(id string) int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.sessions[id]
+}
+
+func (fw *fakeWorker) total() int {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	n := 0
+	for _, c := range fw.sessions {
+		n += c
+	}
+	return n
+}
+
+func newTestRouter(t *testing.T, opts Options, workers ...*fakeWorker) (*Router, *httptest.Server) {
+	t.Helper()
+	for _, fw := range workers {
+		opts.Workers = append(opts.Workers, fw.ts.URL)
+	}
+	if opts.Logf == nil {
+		opts.Logf = t.Logf
+	}
+	rt, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+func postJSON(t *testing.T, url, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp
+}
+
+// TestSessionAffinity: every request naming a session lands on the same
+// worker, across endpoints, and the load spreads over multiple workers.
+func TestSessionAffinity(t *testing.T) {
+	w1, w2, w3 := newFakeWorker(t), newFakeWorker(t), newFakeWorker(t)
+	_, ts := newTestRouter(t, Options{}, w1, w2, w3)
+	workers := []*fakeWorker{w1, w2, w3}
+
+	owners := map[string]*fakeWorker{}
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("sess-%d", i)
+		for round := 0; round < 3; round++ {
+			var rr struct {
+				Session string `json:"session"`
+			}
+			resp := postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, id), &rr)
+			if resp.StatusCode != http.StatusOK || rr.Session != id {
+				t.Fatalf("session read %s: status %d, session %q", id, resp.StatusCode, rr.Session)
+			}
+		}
+		postJSON(t, ts.URL+"/facts", fmt.Sprintf(`{"session":%q,"add":"F."}`, id), nil)
+		resp, err := http.Get(ts.URL + "/explain?session=" + id + "&query=F")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("explain %s: %v status %v", id, err, resp.Status)
+		}
+		resp.Body.Close()
+
+		var owner *fakeWorker
+		for _, fw := range workers {
+			if fw.seen(id) > 0 {
+				if owner != nil {
+					t.Fatalf("session %s served by two workers", id)
+				}
+				owner = fw
+			}
+		}
+		if owner == nil {
+			t.Fatalf("session %s served by no worker", id)
+		}
+		if owner.seen(id) != 5 { // 3 reads + facts + explain
+			t.Fatalf("session %s: owner saw %d requests, want 5", id, owner.seen(id))
+		}
+		owners[id] = owner
+	}
+	spread := map[*fakeWorker]bool{}
+	for _, fw := range owners {
+		spread[fw] = true
+	}
+	if len(spread) < 2 {
+		t.Errorf("50 sessions all landed on one worker")
+	}
+}
+
+// TestAssignIDInjection: a new-session /reason without an id gets a
+// router-minted assignId, and follow-ups naming the returned session hash
+// to the same worker that created it.
+func TestAssignIDInjection(t *testing.T) {
+	w1, w2, w3 := newFakeWorker(t), newFakeWorker(t), newFakeWorker(t)
+	_, ts := newTestRouter(t, Options{}, w1, w2, w3)
+	workers := []*fakeWorker{w1, w2, w3}
+
+	for i := 0; i < 20; i++ {
+		var rr struct {
+			Session string `json:"session"`
+		}
+		resp := postJSON(t, ts.URL+"/reason", `{"app":"fake","scenario":true}`, &rr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("create: status %d", resp.StatusCode)
+		}
+		if !strings.HasPrefix(rr.Session, "g") {
+			t.Fatalf("router-assigned id %q lacks the g prefix", rr.Session)
+		}
+		var creator *fakeWorker
+		for _, fw := range workers {
+			if fw.seen(rr.Session) > 0 {
+				creator = fw
+			}
+		}
+		if creator == nil {
+			t.Fatal("no worker saw the created session")
+		}
+		postJSON(t, ts.URL+"/facts", fmt.Sprintf(`{"session":%q,"add":"F."}`, rr.Session), nil)
+		if creator.seen(rr.Session) != 2 {
+			t.Errorf("follow-up write for %s went to a different worker", rr.Session)
+		}
+	}
+}
+
+// TestClientAssignIDRespected: a client-supplied assignId is the routing
+// key and passes through unchanged.
+func TestClientAssignIDRespected(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	_, ts := newTestRouter(t, Options{}, w1, w2)
+	var rr struct {
+		Session string `json:"session"`
+	}
+	postJSON(t, ts.URL+"/reason", `{"app":"fake","assignId":"client-chosen-7"}`, &rr)
+	if rr.Session != "client-chosen-7" {
+		t.Fatalf("session = %q, want the client-chosen id", rr.Session)
+	}
+}
+
+// TestFailover: killing a worker reroutes its sessions to ring successors
+// — every request still answers 200, failovers are counted, and the dead
+// worker is ejected.
+func TestFailover(t *testing.T) {
+	w1, w2, w3 := newFakeWorker(t), newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{HealthFailures: 1, RetryBackoff: time.Millisecond}, w1, w2, w3)
+
+	ids := make([]string, 30)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("sess-%d", i)
+		postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, ids[i]), nil)
+	}
+	before := w2.total()
+	if before == 0 {
+		t.Skip("hash spread gave w2 no sessions; nothing to fail over")
+	}
+	w2.ts.Close()
+
+	for _, id := range ids {
+		var rr struct {
+			Session string `json:"session"`
+		}
+		resp := postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, id), &rr)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("session %s after worker death: status %d", id, resp.StatusCode)
+		}
+	}
+	st := rt.Snapshot()
+	if st.Failovers == 0 {
+		t.Error("no failovers recorded after killing a worker holding sessions")
+	}
+	if ws := st.Workers[w2.ts.URL]; ws.Healthy {
+		t.Error("dead worker still marked healthy")
+	}
+	if st.BadGateway != 0 {
+		t.Errorf("requests answered 502 despite two healthy workers: %d", st.BadGateway)
+	}
+}
+
+// TestDrainingWorkerRoutedAround: a worker reporting draining=true leaves
+// the ring on the next health probe without being counted as failed, and
+// rejoins when the drain flag clears.
+func TestDrainingWorkerRoutedAround(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{HealthInterval: 5 * time.Millisecond}, w1, w2)
+	rt.Start()
+	defer rt.Close()
+
+	w2.mu.Lock()
+	w2.draining = true
+	w2.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if rt.Snapshot().Workers[w2.ts.URL].Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("health loop never observed the drain flag")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	w2Before := w2.total()
+	for i := 0; i < 20; i++ {
+		postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":"drain-%d"}`, i), nil)
+	}
+	if got := w2.total(); got != w2Before {
+		t.Errorf("draining worker served %d new requests", got-w2Before)
+	}
+	if ws := rt.Snapshot().Workers[w2.ts.URL]; !ws.Healthy {
+		t.Error("draining worker miscounted as unhealthy")
+	}
+
+	w2.mu.Lock()
+	w2.draining = false
+	w2.mu.Unlock()
+	deadline = time.Now().Add(2 * time.Second)
+	for {
+		if !rt.Snapshot().Workers[w2.ts.URL].Draining {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never rejoined after drain cleared")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestStatsAggregation: /stats nests the router's own counters and each
+// worker's raw stats document.
+func TestStatsAggregation(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	_, ts := newTestRouter(t, Options{}, w1, w2)
+	postJSON(t, ts.URL+"/reason", `{"session":"x"}`, nil)
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var agg struct {
+		Router  Stats                      `json:"router"`
+		Workers map[string]json.RawMessage `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	if agg.Router.Requests == 0 {
+		t.Error("router counters missing from aggregate")
+	}
+	if len(agg.Workers) != 2 {
+		t.Errorf("aggregate covers %d workers, want 2", len(agg.Workers))
+	}
+	for url, raw := range agg.Workers {
+		var st struct {
+			Requests struct {
+				Draining *bool `json:"draining"`
+			} `json:"requests"`
+		}
+		if err := json.Unmarshal(raw, &st); err != nil || st.Requests.Draining == nil {
+			t.Errorf("worker %s stats not passed through raw: %s", url, raw)
+		}
+	}
+}
+
+// TestNoHealthyWorkers: an empty ring answers 503 with Retry-After, not a
+// hang or a panic.
+func TestNoHealthyWorkers(t *testing.T) {
+	w1 := newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{HealthFailures: 1, RetryBackoff: time.Millisecond}, w1)
+	w1.ts.Close()
+	postJSON(t, ts.URL+"/reason", `{"session":"x"}`, nil) // ejects w1
+	resp := postJSON(t, ts.URL+"/reason", `{"session":"x"}`, nil)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	if rt.Snapshot().NoRoute == 0 {
+		t.Error("noRoute counter not bumped")
+	}
+}
+
+func TestInjectField(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{`{}`, `{"assignId":"g1"}`},
+		{`{"app":"x"}`, `{"assignId":"g1","app":"x"}`},
+		{"  \n\t{ \"app\" : 1.50 }", "  \n\t{\"assignId\":\"g1\", \"app\" : 1.50 }"},
+	}
+	for _, c := range cases {
+		got, err := injectField([]byte(c.in), "assignId", "g1")
+		if err != nil {
+			t.Errorf("injectField(%q): %v", c.in, err)
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(got, &m); err != nil {
+			t.Errorf("injectField(%q) produced invalid JSON %q: %v", c.in, got, err)
+		}
+		if m["assignId"] != "g1" {
+			t.Errorf("injectField(%q) = %q, field missing", c.in, got)
+		}
+		if string(got) != c.want {
+			t.Errorf("injectField(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{``, `[1,2]`, `"str"`, `  42`} {
+		if _, err := injectField([]byte(bad), "assignId", "g1"); err == nil {
+			t.Errorf("injectField(%q) accepted a non-object", bad)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/incremental"
+	"repro/internal/snapshot"
 	"repro/internal/wal"
 )
 
@@ -59,50 +60,47 @@ func scanWALDir(dir string) int {
 }
 
 // newSession builds a live session around a group committer wired to this
-// server: lazy maintainer stand-up (which also creates the session's WAL on
-// first write), log-before-apply, abort records, and publication of each
-// applied batch to the session's read state.
-func (s *Server) newSession(id, app string, extra []ast.Atom, res *chase.Result) *session {
-	sess := &session{app: app, extra: extra, result: res, syncWAL: s.logSync}
+// server: lazy maintainer stand-up, log-before-apply, abort records, and
+// publication of each applied batch to the session's read state. With a
+// WAL directory configured the session's log is created eagerly — header
+// first, durable before the session id is handed out — so read-only
+// sessions survive eviction and restarts too (restore re-chases their
+// logged base), not just mutated ones.
+func (s *Server) newSession(id, app string, extra []ast.Atom, res *chase.Result) (*session, error) {
+	sess := &session{id: id, app: app, extra: extra, result: res, syncWAL: s.logSync}
+	if s.walDir != "" {
+		l, err := wal.Create(s.walPath(id), wal.Header{
+			App:     app,
+			Program: s.fingerprints[app],
+			Base:    extra,
+		}, s.walSync)
+		if err != nil {
+			// Durability was promised (a WAL dir is configured) but is
+			// unavailable: fail the session rather than silently running
+			// volatile.
+			return nil, fmt.Errorf("session WAL: %w", err)
+		}
+		sess.setWAL(l)
+	}
 	sess.cmt = core.NewCommitter(core.CommitterConfig{
 		Queue:        s.writeQueue,
 		Window:       s.commitWindow,
 		ApplyTimeout: s.timeout,
 		ApplyLock:    &sess.renderMu,
-		Standup:      s.standup(sess, id),
+		Standup:      s.standup(sess),
 		OnLog:        sess.onLog,
 		OnAbort:      sess.onAbort,
 		OnApply:      s.onApply(sess),
 	})
-	return sess
+	return sess, nil
 }
 
 // standup returns the committer's lazy maintainer factory for a fresh
-// session: one full chase over the session's opening facts, then — when a
-// WAL directory is configured — the session's log, created durable with the
-// program fingerprint and those base facts before any commit is
-// acknowledged against it.
-func (s *Server) standup(sess *session, id string) func(context.Context) (*incremental.Maintainer, error) {
+// session: one full chase over the session's opening facts on the first
+// write.
+func (s *Server) standup(sess *session) func(context.Context) (*incremental.Maintainer, error) {
 	return func(ctx context.Context) (*incremental.Maintainer, error) {
-		m, err := s.pipe(sess.app).MaintainContext(ctx, sess.extra...)
-		if err != nil {
-			return nil, err
-		}
-		if s.walDir != "" {
-			l, err := wal.Create(s.walPath(id), wal.Header{
-				App:     sess.app,
-				Program: s.fingerprints[sess.app],
-				Base:    sess.extra,
-			}, s.walSync)
-			if err != nil {
-				// Durability was promised (a WAL dir is configured) but is
-				// unavailable: fail the write rather than silently running
-				// volatile.
-				return nil, fmt.Errorf("session WAL: %w", err)
-			}
-			sess.setWAL(l)
-		}
-		return m, nil
+		return s.pipe(sess.app).MaintainContext(ctx, sess.extra...)
 	}
 }
 
@@ -148,7 +146,9 @@ func (sess *session) onAbort(seq uint64) {
 // onApply publishes an applied batch: the repaired fixpoint and its commit
 // epoch become the session's read state, cached explanations rendered
 // against the previous epoch are removed, and the server-wide incremental
-// counters advance once per batch.
+// counters advance once per batch. It runs on the session's commit leader,
+// which is also where compaction triggers: the leader is quiescent between
+// batches, so the checkpoint it writes is exactly the state at seq.
 func (s *Server) onApply(sess *session) func(uint64, *chase.Result, incremental.UpdateStats) int {
 	return func(seq uint64, res *chase.Result, stats incremental.UpdateStats) int {
 		if s.testHookApply != nil {
@@ -171,28 +171,27 @@ func (s *Server) onApply(sess *session) func(uint64, *chase.Result, incremental.
 		s.overDeleted.Add(uint64(stats.OverDeleted))
 		s.rederived.Add(uint64(stats.Rederived))
 		s.invalidations.Add(uint64(invalidated))
+		if s.walDir != "" {
+			sess.deltasSinceSnap++
+			if s.shouldCompact(sess) {
+				if err := s.compact(sess, seq); err != nil {
+					s.logf("server: compacting session %s: %v", sess.id, err)
+				}
+			}
+		}
 		return invalidated
 	}
 }
 
-// close releases the session's write-path resources on eviction: the
-// committer stops accepting writes and the WAL handle is closed (the file
-// stays on disk — it is what restore replays).
-func (sess *session) close() {
-	if sess.cmt != nil {
-		sess.cmt.Close()
-	}
-	if l := sess.getWAL(); l != nil {
-		_ = l.Close()
-	}
-}
-
-// restore rebuilds an evicted (or crash-lost) session from its WAL: replay
-// the header and committed deltas against the compiled program, verify the
-// program fingerprint, and re-arm the session with a committer continuing
-// at the next sequence number, appending to the same log. Returns (nil,
-// nil) when the session has no log to restore from — the caller answers
-// 404 exactly as before.
+// restore rebuilds an evicted (or crash-lost) session from its durable
+// state. It prefers the session's snapshot: deserialize the engine
+// (byte-identical to the checkpointed state) and replay only the short WAL
+// tail past the snapshot epoch. Without a usable snapshot it falls back to
+// a full WAL replay — header base plus every committed delta — unless the
+// log was compacted (StartSeq > 0), in which case the prefix is gone and
+// the restore fails loudly instead of rebuilding partial state. Returns
+// (nil, nil) when the session has no durable state at all — the caller
+// answers 404 exactly as before.
 func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 	if s.walDir == "" {
 		return nil, nil
@@ -204,12 +203,35 @@ func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 	if sess := s.session(id); sess != nil {
 		return sess, nil // raced with another restorer: done
 	}
+	snapHdr, payload, snapErr := snapshot.Read(s.snapPath(id))
+	if snapErr == nil {
+		start := time.Now()
+		sess, err := s.restoreFromSnapshot(ctx, id, snapHdr, payload)
+		if err != nil {
+			return nil, fmt.Errorf("restoring session %s: %w", id, err)
+		}
+		s.sessions.Put(id, sess)
+		s.restores.Add(1)
+		s.snapshotRestores.Add(1)
+		s.restoreNanos.Add(uint64(time.Since(start)))
+		return sess, nil
+	}
+	if !os.IsNotExist(snapErr) {
+		s.logf("server: session %s: snapshot unusable (%v); falling back to full WAL replay", id, snapErr)
+	}
 	rec, err := wal.Replay(s.walPath(id))
 	if os.IsNotExist(err) {
+		if !os.IsNotExist(snapErr) {
+			return nil, fmt.Errorf("restoring session %s: snapshot unusable (%v) and no WAL", id, snapErr)
+		}
 		return nil, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("restoring session %s: %w", id, err)
+	}
+	if rec.Header.StartSeq > 0 {
+		return nil, fmt.Errorf("restoring session %s: WAL is a tail starting at epoch %d and the snapshot it depends on is unusable (%v)",
+			id, rec.Header.StartSeq, snapErr)
 	}
 	pipe := s.pipe(rec.Header.App)
 	if pipe == nil {
@@ -240,7 +262,7 @@ func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 		_ = log.Close()
 		return nil, fmt.Errorf("restoring session %s: %w", id, err)
 	}
-	sess := &session{app: rec.Header.App, extra: rec.Header.Base, result: res, epoch: rec.LastSeq(), syncWAL: s.logSync}
+	sess := &session{id: id, app: rec.Header.App, extra: rec.Header.Base, result: res, epoch: rec.LastSeq(), syncWAL: s.logSync}
 	sess.setWAL(log)
 	sess.cmt = core.NewCommitter(core.CommitterConfig{
 		Queue:        s.writeQueue,

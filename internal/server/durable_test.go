@@ -91,16 +91,26 @@ func TestSessionRestoreAfterEviction(t *testing.T) {
 	}
 }
 
-// TestReadOnlySessionNotRestored pins the WAL-creation boundary: a session
-// that never committed a write has no log, so after eviction it answers 404
-// exactly as in the volatile configuration.
-func TestReadOnlySessionNotRestored(t *testing.T) {
+// TestReadOnlySessionRestored pins the eager-WAL boundary: a session's log
+// (header with the opening base facts) is created when the session opens,
+// not on its first write, so even a session that never committed anything
+// survives eviction — its restore re-chases the logged base. (Before the
+// serving tier this answered 404; routed deployments made every session's
+// durability non-negotiable.)
+func TestReadOnlySessionRestored(t *testing.T) {
 	ts, _ := newTestServerFull(t, Options{WALDir: t.TempDir(), MaxSessions: 1})
 	var rr reasonResponse
 	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6)."}`, &rr)
 	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, nil) // evicts
-	if _, code := getBody(t, ts.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusNotFound {
-		t.Errorf("read-only evicted session: status = %d, want 404", code)
+	if _, code := getBody(t, ts.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusOK {
+		t.Errorf("read-only evicted session: status = %d, want 200 via restore", code)
+	}
+	// Without a WAL directory the pre-durability behavior stands: 404.
+	tsVol, _ := newTestServerFull(t, Options{MaxSessions: 1})
+	postJSON(t, tsVol.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6)."}`, &rr)
+	postJSON(t, tsVol.URL+"/reason", `{"app":"stress-simple","scenario":true}`, nil) // evicts
+	if _, code := getBody(t, tsVol.URL+"/explain?session="+rr.Session+`&query=Control(%22X%22,%22Y%22)`); code != http.StatusNotFound {
+		t.Errorf("volatile evicted session: status = %d, want 404", code)
 	}
 }
 

@@ -98,9 +98,15 @@ type Server struct {
 	// (session, query). Responses are immutable once cached.
 	explanations *lru.Cache[string, *explainResponse]
 
-	// mu guards nextID.
+	// mu guards nextID and assigned.
 	mu     sync.Mutex
 	nextID int
+	// assigned records every client-assigned session id ever accepted by
+	// this process, so an id cannot be claimed twice even after its session
+	// was evicted (session ids are never reused: the rendered-explanation
+	// cache keys on them). Across restarts the durable files under walDir
+	// extend the check.
+	assigned map[string]bool
 
 	// fingerprints maps application name to its compiled-program
 	// fingerprint, stamped into WAL headers and checked on restore.
@@ -120,6 +126,16 @@ type Server struct {
 	restoreMu    sync.Mutex
 	restores     atomic.Uint64
 	restoreNanos atomic.Uint64
+	// chaseOpts are the per-request chase options, kept so snapshot restore
+	// can rebuild a live engine with the executor the server runs.
+	chaseOpts chase.Options
+	// Compaction thresholds (see Options) and snapshot/checkpoint counters.
+	compactCommits   int
+	compactBytes     int64
+	compactions      atomic.Uint64
+	snapshotWrites   atomic.Uint64
+	snapshotRestores atomic.Uint64
+	tailReplays      atomic.Uint64
 
 	// Cumulative incremental-maintenance counters across every session
 	// mutation, reported on /stats.
@@ -164,11 +180,18 @@ type Server struct {
 // (fixpoint, epoch) pair; rendering additionally read-holds renderMu so it
 // never overlaps the mutation of the store it is reading.
 type session struct {
+	// id is the session's name in the session table and on disk (WAL and
+	// snapshot files). Immutable after construction.
+	id  string
 	app string
 	// extra is the extensional fact list the session was opened with; the
 	// first commit seeds the maintainer (and the WAL header) from it.
 	// Immutable after construction.
 	extra []ast.Atom
+	// deltasSinceSnap counts WAL deltas appended since the last durable
+	// snapshot — the commit-count compaction trigger. Only the session's
+	// commit leader (the OnApply hook) touches it.
+	deltasSinceSnap int
 	// cmt is the session's group committer (see core.Committer); its leader
 	// goroutine starts on the first write.
 	cmt *core.Committer
@@ -291,6 +314,15 @@ type Options struct {
 	// WriteQueue bounds each session's pending-write queue; writes beyond
 	// it answer 429. 0 selects the committer default (64).
 	WriteQueue int
+	// CompactCommits checkpoints a session's engine state to its snapshot
+	// file and truncates its WAL to a tail after this many committed deltas
+	// since the last checkpoint. 0 disables count-based compaction. Ignored
+	// without WALDir.
+	CompactCommits int
+	// CompactBytes triggers the same checkpoint when the session's WAL file
+	// exceeds this size. 0 disables size-based compaction. Ignored without
+	// WALDir.
+	CompactBytes int64
 	// Log receives panic reports and lifecycle messages; nil selects the
 	// process-default logger.
 	Log *log.Logger
@@ -328,17 +360,21 @@ func NewWithOptions(opts Options) (*Server, error) {
 		logger = log.Default()
 	}
 	s := &Server{
-		pipes:        map[string]*core.Pipeline{},
-		fingerprints: map[string]string{},
-		sessions:     lru.New[string, *session](opts.MaxSessions),
-		explanations: lru.New[string, *explainResponse](opts.MaxExplanations),
-		inflight:     make(chan struct{}, opts.MaxInflight),
-		timeout:      opts.RequestTimeout,
-		walDir:       opts.WALDir,
-		walSync:      opts.WALSync,
-		commitWindow: opts.CommitWindow,
-		writeQueue:   opts.WriteQueue,
-		logf:         logger.Printf,
+		pipes:          map[string]*core.Pipeline{},
+		fingerprints:   map[string]string{},
+		assigned:       map[string]bool{},
+		sessions:       lru.New[string, *session](opts.MaxSessions),
+		explanations:   lru.New[string, *explainResponse](opts.MaxExplanations),
+		inflight:       make(chan struct{}, opts.MaxInflight),
+		timeout:        opts.RequestTimeout,
+		walDir:         opts.WALDir,
+		walSync:        opts.WALSync,
+		commitWindow:   opts.CommitWindow,
+		writeQueue:     opts.WriteQueue,
+		chaseOpts:      chase.Options{Workers: opts.ChaseWorkers, Batch: opts.ChaseBatch, MaxFacts: opts.MaxFacts},
+		compactCommits: opts.CompactCommits,
+		compactBytes:   opts.CompactBytes,
+		logf:           logger.Printf,
 	}
 	if opts.WALDir != "" && opts.WALSync == wal.SyncGroup {
 		s.syncBatcher = wal.NewSyncBatcher()
@@ -363,9 +399,11 @@ func NewWithOptions(opts Options) (*Server, error) {
 		// WAL files, and a collision would truncate a restorable session.
 		s.nextID = scanWALDir(s.walDir)
 	}
-	// Eviction releases the session's write-path resources (commit queue,
-	// WAL handle); the log file stays on disk for restore.
-	s.sessions.OnEvict(func(id string, sess *session) { sess.close() })
+	// Eviction quiesces the session and checkpoints its fixpoint to the
+	// snapshot file before releasing the write-path resources (commit
+	// queue, WAL handle), so evicting a mutated session never discards work
+	// a restore would have to replay; the files stay on disk for restore.
+	s.sessions.OnEvict(func(id string, sess *session) { s.retire(sess) })
 	return s, nil
 }
 
@@ -416,6 +454,13 @@ type reasonRequest struct {
 	// until the session has applied at least this commit epoch; an epoch
 	// that was never issued answers 409.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// AssignID names the new session instead of letting the server pick an
+	// id. The routing tier uses it so a session's id — which the router
+	// consistent-hashes to pick a worker — is fixed before the first
+	// request is dispatched. Ids are [A-Za-z0-9_-], at most 64 bytes, must
+	// not collide with the server-generated s<N> namespace, and are never
+	// reused: a taken id answers 409.
+	AssignID string `json:"assignId,omitempty"`
 }
 
 // reasonResponse reports the derived knowledge and the session id for
@@ -469,17 +514,36 @@ func (s *Server) handleReason(w http.ResponseWriter, r *http.Request) {
 		}
 		extra = append(extra, factProg.Facts...)
 	}
+	var id string
+	if req.AssignID != "" {
+		if err := validateAssignedID(req.AssignID); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if !s.claimID(req.AssignID) {
+			writeError(w, http.StatusConflict, fmt.Errorf("session id %q is taken", req.AssignID))
+			return
+		}
+		id = req.AssignID
+	}
 	res, err := pipe.ReasonContext(r.Context(), extra...)
 	if err != nil {
 		s.writeEngineError(w, err)
 		return
 	}
 
-	s.mu.Lock()
-	s.nextID++
-	id := "s" + strconv.Itoa(s.nextID)
-	s.mu.Unlock()
-	s.sessions.Put(id, s.newSession(id, req.App, extra, res))
+	if id == "" {
+		s.mu.Lock()
+		s.nextID++
+		id = "s" + strconv.Itoa(s.nextID)
+		s.mu.Unlock()
+	}
+	sess, err := s.newSession(id, req.App, extra, res)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.sessions.Put(id, sess)
 
 	resp := reasonResponse{Session: id, Rounds: res.Rounds, Facts: res.Store.Len()}
 	for _, fid := range res.Answers() {
@@ -511,6 +575,60 @@ func (s *Server) handleSessionRead(w http.ResponseWriter, r *http.Request, req r
 	}
 	sess.renderMu.RUnlock()
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateAssignedID checks the client-assigned session id grammar:
+// [A-Za-z0-9_-], at most 64 bytes, outside the server-generated s<N>
+// namespace.
+func validateAssignedID(id string) error {
+	if len(id) == 0 || len(id) > 64 {
+		return fmt.Errorf("assignId must be 1-64 characters")
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-'
+		if !ok {
+			return fmt.Errorf("assignId: invalid character %q", c)
+		}
+	}
+	if isGeneratedID(id) {
+		return fmt.Errorf("assignId %q collides with the server-generated s<N> namespace", id)
+	}
+	return nil
+}
+
+// isGeneratedID reports whether id has the server-generated s<N> form.
+func isGeneratedID(id string) bool {
+	if len(id) < 2 || id[0] != 's' {
+		return false
+	}
+	for i := 1; i < len(id); i++ {
+		if id[i] < '0' || id[i] > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+// claimID reserves a client-assigned session id, refusing ids that are
+// live, were ever assigned in this process, or left durable state on disk
+// in a previous one.
+func (s *Server) claimID(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.assigned[id] || s.session(id) != nil {
+		return false
+	}
+	if s.walDir != "" {
+		if _, err := os.Stat(s.walPath(id)); err == nil {
+			return false
+		}
+		if _, err := os.Stat(s.snapPath(id)); err == nil {
+			return false
+		}
+	}
+	s.assigned[id] = true
+	return true
 }
 
 // liveSession resolves a session id, transparently restoring evicted
@@ -779,6 +897,15 @@ type writePathStats struct {
 	// replaying them.
 	Restores      uint64 `json:"restores"`
 	RestoreMillis uint64 `json:"restoreMillis"`
+	// Compactions counts WAL checkpoint-and-truncate cycles; SnapshotWrites
+	// counts engine snapshots written (compaction, eviction, drain).
+	Compactions    uint64 `json:"compactions"`
+	SnapshotWrites uint64 `json:"snapshotWrites"`
+	// SnapshotRestores counts restores served from a snapshot instead of a
+	// full WAL replay; TailReplays is the total log deltas replayed on top
+	// of restored snapshots (the short tails).
+	SnapshotRestores uint64 `json:"snapshotRestores"`
+	TailReplays      uint64 `json:"tailReplays"`
 }
 
 // incrementalStats is the /stats incremental-maintenance section.
@@ -844,10 +971,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Draining:    s.draining.Load(),
 		},
 		WritePath: writePathStats{
-			Commit:        core.GlobalCommitStats(),
-			WAL:           wal.GlobalStats(),
-			Restores:      s.restores.Load(),
-			RestoreMillis: s.restoreNanos.Load() / uint64(time.Millisecond),
+			Commit:           core.GlobalCommitStats(),
+			WAL:              wal.GlobalStats(),
+			Restores:         s.restores.Load(),
+			RestoreMillis:    s.restoreNanos.Load() / uint64(time.Millisecond),
+			Compactions:      s.compactions.Load(),
+			SnapshotWrites:   s.snapshotWrites.Load(),
+			SnapshotRestores: s.snapshotRestores.Load(),
+			TailReplays:      s.tailReplays.Load(),
 		},
 	}
 	for name, pipe := range s.pipes {

@@ -1,0 +1,159 @@
+// Package snapshot is the on-disk envelope for serialized engine state
+// (chase.Live.EncodeState): a magic-tagged, checksummed container carrying
+// the application name, the program fingerprint the state was taken
+// against, and the commit epoch (last applied WAL sequence number) the
+// state reflects.
+//
+// The format is deliberately dumb — one CRC over the whole body, an atomic
+// temp-file-plus-rename write — because snapshots are rewritten whole and
+// read whole. Torn or bit-flipped files fail the checksum and are rejected
+// with ErrCorrupt; callers fall back to a full WAL replay, so a bad
+// snapshot can cost time but never correctness.
+//
+// Snapshots double as WAL checkpoints: a session checkpointed at epoch E
+// restores by loading the snapshot and replaying only the log records with
+// sequence numbers above E (the "short tail"), and the WAL can be truncated
+// once the snapshot is durable.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// magic tags snapshot files; version bumps change the last byte.
+var magic = []byte("EKGSNAP1")
+
+// ErrCorrupt marks snapshot files that fail structural validation — wrong
+// magic, bad checksum, truncated or trailing bytes. Match with errors.Is;
+// the caller's recovery is a full WAL replay.
+var ErrCorrupt = errors.New("snapshot: corrupt file")
+
+// Header identifies what a snapshot holds.
+type Header struct {
+	// App is the application registry name the session runs.
+	App string
+	// Program is the compiled program fingerprint
+	// (server.programFingerprint form); restore refuses state taken against
+	// different rules.
+	Program string
+	// Epoch is the last WAL sequence number applied to the snapshotted
+	// state; restore replays only log records with higher sequence numbers.
+	Epoch uint64
+}
+
+// Write atomically persists a snapshot: the body is assembled and
+// checksummed in memory, written to a temp file in the target directory,
+// fsynced, renamed over the target path, and the directory fsynced — so a
+// crash leaves either the old snapshot or the new one, never a torn mix.
+func Write(path string, h Header, payload []byte) error {
+	body := make([]byte, 0, len(h.App)+len(h.Program)+len(payload)+32)
+	body = appendString(body, h.App)
+	body = appendString(body, h.Program)
+	body = binary.AppendUvarint(body, h.Epoch)
+	body = appendString(body, string(payload))
+
+	buf := make([]byte, 0, len(magic)+4+len(body))
+	buf = append(buf, magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(body))
+	buf = append(buf, body...)
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// Read loads and verifies a snapshot. Structural damage of any kind —
+// wrong magic, checksum mismatch, truncation, trailing garbage — returns an
+// error matching ErrCorrupt. A missing file returns the os.IsNotExist
+// error unwrapped, so callers distinguish "no snapshot" from "bad
+// snapshot".
+func Read(path string) (Header, []byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != string(magic) {
+		return Header{}, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(magic):])
+	body := data[len(magic)+4:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Header{}, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	var h Header
+	off := 0
+	if h.App, off, err = readString(body, off); err != nil {
+		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if h.Program, off, err = readString(body, off); err != nil {
+		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	epoch, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return Header{}, nil, fmt.Errorf("%w: %s: malformed epoch", ErrCorrupt, path)
+	}
+	h.Epoch = epoch
+	off += n
+	payload, off, err := readString(body, off)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if off != len(body) {
+		return Header{}, nil, fmt.Errorf("%w: %s: %d trailing bytes", ErrCorrupt, path, len(body)-off)
+	}
+	return h, []byte(payload), nil
+}
+
+// ReadHeader is Read without retaining the payload — the cheap form of the
+// staleness check (eviction's epoch guard compares the on-disk epoch before
+// overwriting). It verifies the checksum like Read: a header is only
+// trusted when the whole file is intact.
+func ReadHeader(path string) (Header, error) {
+	h, _, err := Read(path)
+	return h, err
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(body []byte, off int) (string, int, error) {
+	n, used := binary.Uvarint(body[off:])
+	if used <= 0 {
+		return "", 0, fmt.Errorf("malformed length at offset %d", off)
+	}
+	off += used
+	if uint64(len(body)-off) < n {
+		return "", 0, fmt.Errorf("truncated field at offset %d", off)
+	}
+	return string(body[off : off+int(n)]), off + int(n), nil
+}

@@ -1,0 +1,143 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestSnapshot(t *testing.T) (string, Header, []byte) {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.snap")
+	h := Header{App: "finkg", Program: "sha256:deadbeef", Epoch: 42}
+	payload := []byte("engine state bytes \x00\x01\x02 with binary content")
+	if err := Write(path, h, payload); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return path, h, payload
+}
+
+func TestRoundTrip(t *testing.T) {
+	path, h, payload := writeTestSnapshot(t)
+	got, gotPayload, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != h {
+		t.Errorf("header mismatch: got %+v want %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload mismatch: got %q want %q", gotPayload, payload)
+	}
+	gh, err := ReadHeader(path)
+	if err != nil || gh != h {
+		t.Errorf("ReadHeader: got %+v, %v", gh, err)
+	}
+}
+
+func TestOverwriteReplacesAtomically(t *testing.T) {
+	path, _, _ := writeTestSnapshot(t)
+	h2 := Header{App: "finkg", Program: "sha256:cafef00d", Epoch: 99}
+	if err := Write(path, h2, []byte("newer state")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	got, payload, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read after overwrite: %v", err)
+	}
+	if got != h2 || string(payload) != "newer state" {
+		t.Errorf("got %+v %q", got, payload)
+	}
+	// The temp file must not linger after a successful rename.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Errorf("leftover files after overwrite: %v", names)
+	}
+}
+
+func TestMissingFileIsNotCorrupt(t *testing.T) {
+	_, _, err := Read(filepath.Join(t.TempDir(), "absent.snap"))
+	if !os.IsNotExist(err) {
+		t.Errorf("want os.IsNotExist error, got %v", err)
+	}
+	if errors.Is(err, ErrCorrupt) {
+		t.Error("missing file must not be reported as corruption")
+	}
+}
+
+// TestBitFlipMatrix flips every bit of a valid snapshot file, one at a
+// time, and asserts that either the read fails with ErrCorrupt or —
+// never — succeeds with altered content. The CRC covers the whole body,
+// and the magic and checksum fields guard themselves, so every single-bit
+// flip must be detected.
+func TestBitFlipMatrix(t *testing.T) {
+	path, _, _ := writeTestSnapshot(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(filepath.Dir(path), "mut.snap")
+	for off := 0; off < len(orig); off++ {
+		for bit := 0; bit < 8; bit++ {
+			data := append([]byte(nil), orig...)
+			data[off] ^= 1 << bit
+			if err := os.WriteFile(mut, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := Read(mut); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("bit flip at byte %d bit %d not rejected: err=%v", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestTruncationMatrix rejects every strict prefix of a valid file, and a
+// file with trailing garbage.
+func TestTruncationMatrix(t *testing.T) {
+	path, _, _ := writeTestSnapshot(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := filepath.Join(filepath.Dir(path), "mut.snap")
+	for cut := 0; cut < len(orig); cut++ {
+		if err := os.WriteFile(mut, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Read(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d/%d bytes not rejected: err=%v", cut, len(orig), err)
+		}
+	}
+	if err := os.WriteFile(mut, append(append([]byte(nil), orig...), 0xff), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(mut); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing garbage not rejected: err=%v", err)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.snap")
+	h := Header{App: "finkg", Program: "sha256:00", Epoch: 0}
+	if err := Write(path, h, nil); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, payload, err := Read(path)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got != h || len(payload) != 0 {
+		t.Errorf("got %+v payload=%q", got, payload)
+	}
+}

@@ -129,6 +129,12 @@ type Header struct {
 	Program string
 	// Base is the session's initial extensional fact list.
 	Base []ast.Atom
+	// StartSeq is the commit sequence number the log starts after: 0 for a
+	// log that records the session from its beginning, E for a log recreated
+	// by compaction against a snapshot at epoch E. A log with StartSeq > 0
+	// is a tail — replaying it from Base alone would silently skip the
+	// compacted prefix, so restore refuses unless the snapshot is readable.
+	StartSeq uint64
 }
 
 // Delta is one committed write batch: the merged add/retract lists applied
@@ -221,6 +227,7 @@ func Create(path string, h Header, policy SyncPolicy) (*Log, error) {
 	p.bytes([]byte(h.App))
 	p.bytes([]byte(h.Program))
 	p.atoms(l.dict, h.Base)
+	p.uvarint(h.StartSeq)
 	if err := l.append(p); err != nil {
 		f.Close()
 		return nil, err
@@ -456,10 +463,11 @@ type Recovered struct {
 	dict   []string // dictionary state at the end of the prefix
 }
 
-// LastSeq returns the highest commit sequence number in the log (0 when no
-// delta was ever logged). Aborted sequence numbers count: they were issued.
+// LastSeq returns the highest commit sequence number the log accounts for
+// (the header's StartSeq when no delta was ever logged). Aborted sequence
+// numbers count: they were issued.
 func (r *Recovered) LastSeq() uint64 {
-	var max uint64
+	max := r.Header.StartSeq
 	for _, d := range r.Deltas {
 		if d.Seq > max {
 			max = d.Seq
@@ -596,10 +604,18 @@ func (d *decoder) record(p []byte, r *Recovered, sawHeader bool) error {
 		if err != nil {
 			return err
 		}
+		// StartSeq was added for compaction; logs written before it simply
+		// end here and read as StartSeq 0 (a from-the-beginning log).
+		var startSeq uint64
+		if len(p) != 0 {
+			if startSeq, p, err = readUvarint(p); err != nil {
+				return err
+			}
+		}
 		if len(p) != 0 {
 			return errors.New("trailing bytes in header record")
 		}
-		r.Header = Header{App: string(app), Program: string(prog), Base: base}
+		r.Header = Header{App: string(app), Program: string(prog), Base: base, StartSeq: startSeq}
 	case recDelta:
 		if !sawHeader {
 			return errors.New("delta before header")
