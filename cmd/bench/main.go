@@ -82,7 +82,10 @@ type writeSnapshot struct {
 }
 
 // loadSnapshot is the machine-readable serving-tier load record written to
-// BENCH_load.json by `bench -fig load`.
+// BENCH_load.json by `bench -fig load`. Each workload carries the per-class
+// latency percentiles and durability counters plus the restore-latency
+// summary and, for the routed topology, the routing-layer delta
+// (retries/failovers and session-location-cache activity).
 type loadSnapshot struct {
 	Generated string              `json:"generated"`
 	Go        string              `json:"go"`

@@ -39,6 +39,8 @@ func main() {
 	healthFailures := flag.Int("health-failures", 3, "consecutive failures before a worker is ejected from the ring")
 	retries := flag.Int("retries", 3, "distinct workers to offer one request to before answering 502")
 	backoff := flag.Duration("retry-backoff", 25*time.Millisecond, "pause before the second attempt; doubles per further attempt")
+	locationCache := flag.Int("location-cache", 0, "session-location cache capacity: keyed requests route straight to the worker that last answered for the session (0 = default 65536, negative = disabled)")
+	rebalance := flag.Bool("rebalance", true, "proactively migrate sessions to their new ring owner when a worker joins or recovers, instead of restoring on first touch")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for draining in-flight requests")
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 		HealthFailures: *healthFailures,
 		Retries:        *retries,
 		RetryBackoff:   *backoff,
+		LocationCache:  *locationCache,
+		Rebalance:      *rebalance,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "router:", err)

@@ -54,6 +54,7 @@ func main() {
 	writeQueue := flag.Int("write-queue", 0, "per-session pending-write queue bound; beyond it writes answer 429 (0 = default 64)")
 	compactThreshold := flag.Int("compact-threshold", 0, "checkpoint a session to its snapshot and truncate its WAL after this many committed deltas (0 = no count-based compaction)")
 	compactBytes := flag.Int64("compact-bytes", 0, "checkpoint and truncate when a session's WAL exceeds this size in bytes (0 = no size-based compaction)")
+	retireQueue := flag.Int("retire-queue", 0, "max concurrent background session retirements on LRU eviction; beyond it evictions checkpoint inline (0 = default 1, negative = always inline)")
 	flag.Parse()
 
 	sync, err := wal.ParseSyncPolicy(*fsync)
@@ -76,6 +77,7 @@ func main() {
 		WriteQueue:      *writeQueue,
 		CompactCommits:  *compactThreshold,
 		CompactBytes:    *compactBytes,
+		RetireQueue:     *retireQueue,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "serve:", err)

@@ -62,8 +62,8 @@ func LoadCapacity(sessions, ops, concurrency int) (string, []LoadPoint, error) {
 	}
 	var points []LoadPoint
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-10s %9s %9s %10s %9s %9s %9s %9s %9s %9s %10s %8s\n",
-		"topology", "sessions", "ops", "thr op/s", "open p99", "read p50", "read p99", "expl p99", "write p99", "restores", "snapRest", "compact")
+	fmt.Fprintf(&sb, "%-10s %9s %9s %10s %9s %9s %9s %9s %9s %9s %10s %8s %9s %8s %8s\n",
+		"topology", "sessions", "ops", "thr op/s", "open p99", "read p50", "read p99", "expl p99", "write p99", "restores", "snapRest", "compact", "rstr p99", "retried", "locHits")
 	for i, topo := range topologies {
 		rep, err := runLoadTopology(topo.workers, i, sessions, ops, concurrency)
 		if err != nil {
@@ -71,11 +71,19 @@ func LoadCapacity(sessions, ops, concurrency int) (string, []LoadPoint, error) {
 		}
 		pt := LoadPoint{Topology: topo.name, Workers: topo.workers, Report: *rep}
 		points = append(points, pt)
-		fmt.Fprintf(&sb, "%-10s %9d %9d %10.0f %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms %9d %10d %8d\n",
+		// The routing columns only exist behind a router; a bare worker has
+		// no second hop to count.
+		retried, locHits := "-", "-"
+		if pt.Router != nil {
+			retried = fmt.Sprintf("%d", pt.Router.Retried)
+			locHits = fmt.Sprintf("%d", pt.Router.LocationHits)
+		}
+		fmt.Fprintf(&sb, "%-10s %9d %9d %10.0f %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms %9d %10d %8d %8.2fms %8s %8s\n",
 			pt.Topology, pt.Sessions, ops, pt.Throughput,
 			pt.Open.Latency.P99, pt.Read.Latency.P50, pt.Read.Latency.P99,
 			pt.Explain.Latency.P99, pt.Write.Latency.P99,
-			pt.Counters.Restores, pt.Counters.SnapshotRestores, pt.Counters.Compactions)
+			pt.Counters.Restores, pt.Counters.SnapshotRestores, pt.Counters.Compactions,
+			pt.RestoreLatency.P99, retried, locHits)
 	}
 	return sb.String(), points, nil
 }

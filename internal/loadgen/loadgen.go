@@ -82,6 +82,33 @@ type Counters struct {
 	TailReplays      uint64 `json:"tailReplays"`
 }
 
+// RestoreLatency is the target's per-restore wall-time summary at the end
+// of the run (cumulative since worker start). For a routed target the
+// counts are summed across workers and each quantile is the worst
+// worker's — the conservative view of restore-convoy behavior.
+type RestoreLatency struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50Ms"`
+	P90   float64 `json:"p90Ms"`
+	P99   float64 `json:"p99Ms"`
+	Max   float64 `json:"maxMs"`
+}
+
+// RouterCounters is the routing-layer delta the run induced, present only
+// when the target is a router. Retried and Failovers are the double-hop
+// work the session-location cache exists to avoid; the cache counters and
+// rebalance counters expose how the new machinery behaved under load.
+type RouterCounters struct {
+	Requests              uint64 `json:"requests"`
+	Retried               uint64 `json:"retried"`
+	Failovers             uint64 `json:"failovers"`
+	LocationHits          uint64 `json:"locationHits"`
+	LocationMisses        uint64 `json:"locationMisses"`
+	LocationInvalidations uint64 `json:"locationInvalidations"`
+	Rebalances            uint64 `json:"rebalances"`
+	MigratedSessions      uint64 `json:"migratedSessions"`
+}
+
 // Report is a completed run.
 type Report struct {
 	Sessions    int `json:"sessions"`
@@ -99,6 +126,11 @@ type Report struct {
 	Throughput      float64 `json:"throughputOpsPerSec"`
 
 	Counters Counters `json:"counters"`
+	// RestoreLatency is the end-of-run restore-latency summary (see the
+	// type's doc for routed-target semantics).
+	RestoreLatency RestoreLatency `json:"restoreLatency"`
+	// Router is the routing-layer delta; nil when the target is a worker.
+	Router *RouterCounters `json:"router,omitempty"`
 }
 
 func (c *Config) defaults() error {
@@ -285,12 +317,27 @@ func Run(cfg Config) (*Report, error) {
 		OpenWallSeconds: openWall.Seconds(),
 		WallSeconds:     wall.Seconds(),
 		Counters: Counters{
-			Restores:         after.Restores - before.Restores,
-			SnapshotRestores: after.SnapshotRestores - before.SnapshotRestores,
-			SnapshotWrites:   after.SnapshotWrites - before.SnapshotWrites,
-			Compactions:      after.Compactions - before.Compactions,
-			TailReplays:      after.TailReplays - before.TailReplays,
+			Restores:         after.Counters.Restores - before.Counters.Restores,
+			SnapshotRestores: after.Counters.SnapshotRestores - before.Counters.SnapshotRestores,
+			SnapshotWrites:   after.Counters.SnapshotWrites - before.Counters.SnapshotWrites,
+			Compactions:      after.Counters.Compactions - before.Counters.Compactions,
+			TailReplays:      after.Counters.TailReplays - before.Counters.TailReplays,
 		},
+		RestoreLatency: after.Restore,
+	}
+	if after.Router != nil {
+		rc := *after.Router
+		if before.Router != nil {
+			rc.Requests -= before.Router.Requests
+			rc.Retried -= before.Router.Retried
+			rc.Failovers -= before.Router.Failovers
+			rc.LocationHits -= before.Router.LocationHits
+			rc.LocationMisses -= before.Router.LocationMisses
+			rc.LocationInvalidations -= before.Router.LocationInvalidations
+			rc.Rebalances -= before.Router.Rebalances
+			rc.MigratedSessions -= before.Router.MigratedSessions
+		}
+		rep.Router = &rc
 	}
 	if wall > 0 {
 		rep.Throughput = float64(cfg.Ops) / wall.Seconds()
@@ -322,33 +369,72 @@ func get(c *http.Client, url string) (int, error) {
 	return resp.StatusCode, nil
 }
 
+// targetStats is one /stats read: the write-path counters, the restore
+// latency summary, and (for routed targets) the router's own counters.
+type targetStats struct {
+	Counters Counters
+	Restore  RestoreLatency
+	Router   *RouterCounters
+}
+
+// writePathDoc is the slice of a worker's writePath section loadgen reads.
+type writePathDoc struct {
+	Counters
+	RestoreLatency RestoreLatency `json:"restoreLatency"`
+}
+
 // fetchCounters reads the write-path counters from the target's /stats.
 // A worker exposes writePath directly; a router nests each worker's raw
-// stats document under workers, in which case the counters are summed.
-func fetchCounters(c *http.Client, base string) (Counters, error) {
+// stats document under workers (counters summed, restore quantiles taken
+// from the worst worker) plus its own counters under router.
+func fetchCounters(c *http.Client, base string) (targetStats, error) {
 	resp, err := c.Get(base + "/stats")
 	if err != nil {
-		return Counters{}, err
+		return targetStats{}, err
 	}
 	defer resp.Body.Close()
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
 	if err != nil {
-		return Counters{}, err
+		return targetStats{}, err
 	}
 	var doc struct {
-		WritePath *Counters                  `json:"writePath"`
-		Workers   map[string]json.RawMessage `json:"workers"`
+		WritePath *writePathDoc `json:"writePath"`
+		Router    *struct {
+			Requests      uint64 `json:"requests"`
+			Retried       uint64 `json:"retried"`
+			Failovers     uint64 `json:"failovers"`
+			LocationCache struct {
+				Hits          uint64 `json:"hits"`
+				Misses        uint64 `json:"misses"`
+				Invalidations uint64 `json:"invalidations"`
+			} `json:"locationCache"`
+			Rebalances       uint64 `json:"rebalances"`
+			MigratedSessions uint64 `json:"migratedSessions"`
+		} `json:"router"`
+		Workers map[string]json.RawMessage `json:"workers"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		return Counters{}, err
+		return targetStats{}, err
 	}
 	if doc.WritePath != nil {
-		return *doc.WritePath, nil
+		return targetStats{Counters: doc.WritePath.Counters, Restore: doc.WritePath.RestoreLatency}, nil
 	}
-	var sum Counters
+	var st targetStats
+	if doc.Router != nil {
+		st.Router = &RouterCounters{
+			Requests:              doc.Router.Requests,
+			Retried:               doc.Router.Retried,
+			Failovers:             doc.Router.Failovers,
+			LocationHits:          doc.Router.LocationCache.Hits,
+			LocationMisses:        doc.Router.LocationCache.Misses,
+			LocationInvalidations: doc.Router.LocationCache.Invalidations,
+			Rebalances:            doc.Router.Rebalances,
+			MigratedSessions:      doc.Router.MigratedSessions,
+		}
+	}
 	for _, wraw := range doc.Workers {
 		var wdoc struct {
-			WritePath *Counters `json:"writePath"`
+			WritePath *writePathDoc `json:"writePath"`
 		}
 		// A worker the router cannot reach shows up as {"error": ...}; its
 		// counters are unknowable, so it contributes zero rather than
@@ -356,11 +442,16 @@ func fetchCounters(c *http.Client, base string) (Counters, error) {
 		if err := json.Unmarshal(wraw, &wdoc); err != nil || wdoc.WritePath == nil {
 			continue
 		}
-		sum.Restores += wdoc.WritePath.Restores
-		sum.SnapshotRestores += wdoc.WritePath.SnapshotRestores
-		sum.SnapshotWrites += wdoc.WritePath.SnapshotWrites
-		sum.Compactions += wdoc.WritePath.Compactions
-		sum.TailReplays += wdoc.WritePath.TailReplays
+		st.Counters.Restores += wdoc.WritePath.Restores
+		st.Counters.SnapshotRestores += wdoc.WritePath.SnapshotRestores
+		st.Counters.SnapshotWrites += wdoc.WritePath.SnapshotWrites
+		st.Counters.Compactions += wdoc.WritePath.Compactions
+		st.Counters.TailReplays += wdoc.WritePath.TailReplays
+		st.Restore.Count += wdoc.WritePath.RestoreLatency.Count
+		st.Restore.P50 = max(st.Restore.P50, wdoc.WritePath.RestoreLatency.P50)
+		st.Restore.P90 = max(st.Restore.P90, wdoc.WritePath.RestoreLatency.P90)
+		st.Restore.P99 = max(st.Restore.P99, wdoc.WritePath.RestoreLatency.P99)
+		st.Restore.Max = max(st.Restore.Max, wdoc.WritePath.RestoreLatency.Max)
 	}
-	return sum, nil
+	return st, nil
 }

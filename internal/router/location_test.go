@@ -1,0 +1,268 @@
+package router
+
+// Tests for the session-location cache, the capped failover backoff, the
+// client-cancellation health fix, and the proactive rebalancer — the
+// router half of the restore-storm work.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// workerFor returns which fake worker has served the given session id.
+func workerFor(t *testing.T, id string, workers ...*fakeWorker) *fakeWorker {
+	t.Helper()
+	var owner *fakeWorker
+	for _, fw := range workers {
+		if fw.seen(id) > 0 {
+			if owner != nil {
+				t.Fatalf("session %s served by two workers", id)
+			}
+			owner = fw
+		}
+	}
+	if owner == nil {
+		t.Fatalf("session %s served by no worker", id)
+	}
+	return owner
+}
+
+// TestLocationCacheHit: the first keyed request misses and learns the
+// answering worker; repeats hit and keep landing there.
+func TestLocationCacheHit(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{}, w1, w2)
+
+	postJSON(t, ts.URL+"/reason", `{"session":"loc-1"}`, nil)
+	st := rt.Snapshot()
+	if st.LocationCache.Misses == 0 || st.LocationCache.Len != 1 {
+		t.Fatalf("after first request: %+v, want a miss and one entry", st.LocationCache)
+	}
+	owner := workerFor(t, "loc-1", w1, w2)
+	for i := 0; i < 3; i++ {
+		postJSON(t, ts.URL+"/reason", `{"session":"loc-1"}`, nil)
+	}
+	st = rt.Snapshot()
+	if st.LocationCache.Hits < 3 {
+		t.Errorf("hits = %d, want >= 3", st.LocationCache.Hits)
+	}
+	if owner.seen("loc-1") != 4 {
+		t.Errorf("owner saw %d requests, want all 4", owner.seen("loc-1"))
+	}
+}
+
+// TestLocationCacheStaleFailover: a cached entry pointing at a dead worker
+// is invalidated on the transport failure, the request fails over, and the
+// cache relearns the surviving worker.
+func TestLocationCacheStaleFailover(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{HealthFailures: 1, RetryBackoff: time.Millisecond}, w1, w2)
+
+	postJSON(t, ts.URL+"/reason", `{"session":"loc-1"}`, nil)
+	owner := workerFor(t, "loc-1", w1, w2)
+	survivor := w1
+	if owner == w1 {
+		survivor = w2
+	}
+	owner.ts.Close()
+
+	resp := postJSON(t, ts.URL+"/reason", `{"session":"loc-1"}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after owner death: status %d", resp.StatusCode)
+	}
+	st := rt.Snapshot()
+	if st.LocationCache.Invalidations == 0 {
+		t.Error("stale cache entry survived a transport failure")
+	}
+	if survivor.seen("loc-1") != 1 {
+		t.Fatalf("survivor saw %d requests, want 1", survivor.seen("loc-1"))
+	}
+	// The cache now points at the survivor: the next request is a hit.
+	before := st.LocationCache.Hits
+	postJSON(t, ts.URL+"/reason", `{"session":"loc-1"}`, nil)
+	st = rt.Snapshot()
+	if st.LocationCache.Hits != before+1 {
+		t.Errorf("hits = %d, want %d (relearned entry)", st.LocationCache.Hits, before+1)
+	}
+	if survivor.seen("loc-1") != 2 {
+		t.Errorf("survivor saw %d requests, want 2", survivor.seen("loc-1"))
+	}
+}
+
+// TestLocationCacheDrainInvalidation: draining a worker sweeps every cache
+// entry pointing at it, so drained workers stop receiving cached traffic
+// immediately.
+func TestLocationCacheDrainInvalidation(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{}, w1, w2)
+
+	// Populate the cache until both workers own at least one entry.
+	var onW2 string
+	for i := 0; i < 50 && onW2 == ""; i++ {
+		id := fmt.Sprintf("drain-%d", i)
+		postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, id), nil)
+		if w2.seen(id) > 0 {
+			onW2 = id
+		}
+	}
+	if onW2 == "" {
+		t.Skip("hash spread gave w2 no sessions")
+	}
+	rt.setDraining(w2.ts.URL, true)
+	if st := rt.Snapshot(); st.LocationCache.Invalidations == 0 {
+		t.Error("drain did not invalidate the drained worker's cache entries")
+	}
+	before := w2.seen(onW2)
+	postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, onW2), nil)
+	if got := w2.seen(onW2); got != before {
+		t.Errorf("draining worker served %d cached requests", got-before)
+	}
+}
+
+// TestLocationCacheDisabled: LocationCache < 0 turns the cache off without
+// breaking routing.
+func TestLocationCacheDisabled(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{LocationCache: -1}, w1, w2)
+	for i := 0; i < 5; i++ {
+		if resp := postJSON(t, ts.URL+"/reason", `{"session":"x"}`, nil); resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	st := rt.Snapshot()
+	if st.LocationCache.Hits != 0 || st.LocationCache.Len != 0 || st.LocationCache.Cap != 0 {
+		t.Errorf("disabled cache recorded activity: %+v", st.LocationCache)
+	}
+}
+
+// TestAttemptBackoffCapped: the failover pause doubles per attempt but can
+// never exceed maxRetryBackoff — the old shift (backoff << attempt-1)
+// overflowed into negative or multi-hour pauses for high attempt counts.
+func TestAttemptBackoffCapped(t *testing.T) {
+	w1 := newFakeWorker(t)
+	rt, _ := newTestRouter(t, Options{RetryBackoff: 25 * time.Millisecond}, w1)
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 200; attempt++ {
+		d := rt.attemptBackoff(attempt)
+		if d <= 0 {
+			t.Fatalf("attemptBackoff(%d) = %v, overflowed", attempt, d)
+		}
+		if d < prev {
+			t.Fatalf("attemptBackoff(%d) = %v < previous %v, not monotone", attempt, d, prev)
+		}
+		if d > maxRetryBackoff {
+			t.Fatalf("attemptBackoff(%d) = %v exceeds cap %v", attempt, d, maxRetryBackoff)
+		}
+		prev = d
+	}
+	if got := rt.attemptBackoff(1); got != 25*time.Millisecond {
+		t.Errorf("attemptBackoff(1) = %v, want the configured base", got)
+	}
+	if got := rt.attemptBackoff(64); got != maxRetryBackoff {
+		t.Errorf("attemptBackoff(64) = %v, want the cap %v", got, maxRetryBackoff)
+	}
+	// A configured base above the cap is clamped too.
+	rtBig, _ := newTestRouter(t, Options{RetryBackoff: 10 * time.Second}, w1)
+	if got := rtBig.attemptBackoff(1); got != maxRetryBackoff {
+		t.Errorf("oversized base: attemptBackoff(1) = %v, want %v", got, maxRetryBackoff)
+	}
+}
+
+// TestClientCancelNotWorkerFailure: a request abandoned by the client must
+// not count toward the answering worker's failure threshold — under the
+// old accounting a burst of impatient clients could eject a healthy
+// worker.
+func TestClientCancelNotWorkerFailure(t *testing.T) {
+	w1 := newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{HealthFailures: 1}, w1)
+
+	w1.mu.Lock()
+	w1.delay = 300 * time.Millisecond
+	w1.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/reason",
+		strings.NewReader(`{"session":"x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("request unexpectedly completed before the client deadline")
+	}
+	// Let the router handler observe the canceled proxy attempt.
+	time.Sleep(400 * time.Millisecond)
+
+	st := rt.Snapshot()
+	ws := st.Workers[w1.ts.URL]
+	if !ws.Healthy || ws.Failures != 0 {
+		t.Errorf("worker penalized for a client cancellation: %+v", ws)
+	}
+	w1.mu.Lock()
+	w1.delay = 0
+	w1.mu.Unlock()
+	if resp := postJSON(t, ts.URL+"/reason", `{"session":"x"}`, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("worker unusable after client cancellation: status %d", resp.StatusCode)
+	}
+}
+
+// TestProactiveRebalance: sessions resident on the wrong worker migrate to
+// their ring owner through /release + /prewarm when a rebalance round is
+// kicked, and the location cache learns their new home.
+func TestProactiveRebalance(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, _ := newTestRouter(t, Options{Rebalance: true, HealthInterval: time.Hour}, w1, w2)
+	rt.Start()
+	defer rt.Close()
+
+	// Park 20 sessions on w1, regardless of who the ring says owns them.
+	misplaced := 0
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("m-%d", i)
+		w1.mu.Lock()
+		w1.resident[id] = true
+		w1.mu.Unlock()
+		if owner, ok := rt.ring.Lookup(id); ok && owner == w2.ts.URL {
+			misplaced++
+		}
+	}
+	if misplaced == 0 {
+		t.Skip("hash spread gave w2 no sessions")
+	}
+	rt.maybeRebalance()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Snapshot().MigratedSessions < uint64(misplaced) {
+		if time.Now().After(deadline) {
+			t.Fatalf("migrated %d of %d misplaced sessions", rt.Snapshot().MigratedSessions, misplaced)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := rt.Snapshot()
+	if st.Rebalances == 0 {
+		t.Error("no rebalance round recorded")
+	}
+	// Every session now lives with its ring owner, and nowhere else.
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("m-%d", i)
+		owner, _ := rt.ring.Lookup(id)
+		w1.mu.Lock()
+		on1 := w1.resident[id]
+		w1.mu.Unlock()
+		w2.mu.Lock()
+		on2 := w2.resident[id]
+		w2.mu.Unlock()
+		if on1 != (owner == w1.ts.URL) || on2 != (owner == w2.ts.URL) {
+			t.Errorf("session %s: owner %s, resident w1=%v w2=%v", id, owner, on1, on2)
+		}
+	}
+	// Migrated sessions were planted in the location cache.
+	if rt.locations == nil || rt.locations.Len() < misplaced {
+		t.Errorf("location cache holds %d entries, want >= %d migrated", rt.locations.Len(), misplaced)
+	}
+}

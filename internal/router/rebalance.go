@@ -1,0 +1,205 @@
+package router
+
+// Proactive rebalancing on membership change. When a worker joins or
+// recovers, the ring hands it key ranges whose sessions are resident on
+// other workers; without migration every one of those sessions pays a
+// restore (snapshot read + tail replay) on its next touch — a restore
+// stampede concentrated right after the membership change. The rebalancer
+// moves them ahead of traffic instead: it lists every routable worker's
+// resident sessions, finds the ones whose ring owner is now a different
+// worker, and migrates each batch with the workers' own handoff machinery
+// — POST /release on the current host (committer quiesced, snapshot
+// durable, WAL handle closed), then POST /prewarm on the new owner
+// (snapshot+tail restore through the per-session singleflight, so live
+// traffic racing the prewarm joins it instead of duplicating it).
+//
+// Release-then-prewarm ordering is what keeps the move safe: the old
+// host's WAL handle is closed before the new owner opens it, so two
+// processes never append to one session's log. Batches are chunked so no
+// single control-plane request grows unbounded, and every step is
+// best-effort — a failed chunk leaves its sessions where restore-on-touch
+// still finds them, durable and correct, just cold.
+//
+// A single goroutine (started by Router.Start) runs migrations; kicks from
+// concurrent re-admissions coalesce through a 1-buffered channel.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+const (
+	// rebalanceChunk bounds the sessions per /release + /prewarm pair, so
+	// each control-plane request stays well inside the workers' transport
+	// write timeout.
+	rebalanceChunk = 64
+	// rebalanceTimeout bounds one control-plane call.
+	rebalanceTimeout = 30 * time.Second
+)
+
+// maybeRebalance requests a migration round; kicks while one is running
+// coalesce into a single follow-up round.
+func (rt *Router) maybeRebalance() {
+	if !rt.rebalanceOn {
+		return
+	}
+	select {
+	case rt.rebalanceKick <- struct{}{}:
+	default:
+	}
+}
+
+// rebalanceLoop serializes migration rounds.
+func (rt *Router) rebalanceLoop() {
+	defer close(rt.rebalanceDone)
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-rt.rebalanceKick:
+		}
+		moved, err := rt.runRebalance()
+		if err != nil {
+			rt.logf("router: rebalance: %v", err)
+		}
+		if moved > 0 {
+			rt.logf("router: rebalance migrated %d sessions to their new owners", moved)
+		}
+	}
+}
+
+// runRebalance migrates every resident session whose ring owner is a
+// different routable worker. Returns how many sessions moved and the first
+// error encountered (the round continues past per-worker errors).
+func (rt *Router) runRebalance() (int, error) {
+	hosts := rt.routableWorkers()
+	if len(hosts) < 2 {
+		return 0, nil
+	}
+	rt.rebalances.Add(1)
+	moved := 0
+	var firstErr error
+	note := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, host := range hosts {
+		ids, err := rt.listSessions(host)
+		if err != nil {
+			note(fmt.Errorf("listing sessions on %s: %w", host, err))
+			continue
+		}
+		// Group this host's misplaced sessions by their new owner.
+		byOwner := map[string][]string{}
+		for _, id := range ids {
+			owner, ok := rt.ring.Lookup(id)
+			if ok && owner != host && rt.routable(owner) {
+				byOwner[owner] = append(byOwner[owner], id)
+			}
+		}
+		for owner, misplaced := range byOwner {
+			for start := 0; start < len(misplaced); start += rebalanceChunk {
+				end := min(start+rebalanceChunk, len(misplaced))
+				n, err := rt.migrate(host, owner, misplaced[start:end])
+				moved += n
+				if err != nil {
+					note(err)
+					break
+				}
+			}
+		}
+	}
+	rt.migrated.Add(uint64(moved))
+	return moved, firstErr
+}
+
+// migrate moves one chunk: release on the current host, prewarm on the new
+// owner, location cache updated so the next touch goes straight there.
+// Returns how many sessions the host actually held and handed off.
+func (rt *Router) migrate(host, owner string, ids []string) (int, error) {
+	var rel struct {
+		Released int `json:"released"`
+	}
+	if err := rt.control(http.MethodPost, host, "/release", ids, &rel); err != nil {
+		return 0, fmt.Errorf("release on %s: %w", host, err)
+	}
+	var pre struct {
+		Restored int `json:"restored"`
+		Failed   int `json:"failed"`
+	}
+	if err := rt.control(http.MethodPost, owner, "/prewarm", ids, &pre); err != nil {
+		// The sessions are durable on disk (release succeeded); they will
+		// restore on first touch at the owner. Report released as moved.
+		return rel.Released, fmt.Errorf("prewarm on %s: %w", owner, err)
+	}
+	if rt.locations != nil {
+		for _, id := range ids {
+			rt.locations.Put(id, owner)
+		}
+	}
+	return rel.Released, nil
+}
+
+// listSessions fetches one worker's resident session ids.
+func (rt *Router) listSessions(worker string) ([]string, error) {
+	var out struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := rt.control(http.MethodGet, worker, "/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Sessions, nil
+}
+
+// routableWorkers lists the in-service workers in deterministic order.
+func (rt *Router) routableWorkers() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []string
+	for u, ws := range rt.workers {
+		if ws.healthy && !ws.draining {
+			out = append(out, u)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// control issues one rebalance control-plane call (body {"sessions": ids}
+// for POSTs) with a bounded deadline and decodes the JSON answer into out.
+func (rt *Router) control(method, worker, path string, ids []string, out any) error {
+	ctx, cancel := context.WithTimeout(context.Background(), rebalanceTimeout)
+	defer cancel()
+	var rd io.Reader
+	if ids != nil {
+		body, err := json.Marshal(map[string][]string{"sessions": ids})
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, worker+path, rd)
+	if err != nil {
+		return err
+	}
+	if rd != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s%s: status %d: %s", worker, path, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out)
+}

@@ -16,6 +16,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/lru"
 )
 
 // Options configures a Router.
@@ -35,8 +37,19 @@ type Options struct {
 	// to before answering 502 (0 = 3, clamped to the worker count).
 	Retries int
 	// RetryBackoff is the pause before the second attempt; it doubles per
-	// further attempt (0 = 25ms).
+	// further attempt, capped at maxRetryBackoff (0 = 25ms).
 	RetryBackoff time.Duration
+	// LocationCache bounds the session-location cache: the router remembers
+	// which worker actually answered for each session key and routes there
+	// first, skipping the failover walk to a restored session's new home.
+	// Entries are invalidated on transport failure, worker ejection and
+	// drain. 0 selects DefaultLocationCache; negative disables the cache.
+	LocationCache int
+	// Rebalance enables proactive session migration on membership change:
+	// when a worker joins or recovers, sessions whose ring owner changed
+	// are checkpointed and released on their current host and prewarmed on
+	// the new owner, instead of a restore stampede on first touch.
+	Rebalance bool
 	// Client issues the proxied requests. The default has a short dial
 	// timeout and no overall deadline, so a dead worker fails fast while a
 	// long-running reasoning request is never cut off mid-chase.
@@ -73,6 +86,22 @@ type Router struct {
 	mu      sync.Mutex
 	workers map[string]*workerState
 
+	// locations is the bounded session-location cache (nil when disabled):
+	// session key → the worker that last answered for it. A hit routes
+	// there first; entries die on transport failure, ejection and drain.
+	locations        *lru.Cache[string, string]
+	locHits          atomic.Uint64
+	locMisses        atomic.Uint64
+	locInvalidations atomic.Uint64
+
+	// Rebalancing on membership change (see rebalance.go): kicks coalesce
+	// through a 1-buffered channel into a single migration goroutine.
+	rebalanceOn   bool
+	rebalanceKick chan struct{}
+	rebalanceDone chan struct{}
+	rebalances    atomic.Uint64
+	migrated      atomic.Uint64
+
 	requests  atomic.Uint64
 	retried   atomic.Uint64
 	failovers atomic.Uint64
@@ -82,6 +111,10 @@ type Router struct {
 	stop chan struct{}
 	done chan struct{}
 }
+
+// DefaultLocationCache bounds the session-location cache: two short
+// strings per entry, so the default is generous.
+const DefaultLocationCache = 65536
 
 // workerState is the router's health view of one worker. Guarded by
 // Router.mu.
@@ -118,6 +151,9 @@ func New(opts Options) (*Router, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = 25 * time.Millisecond
 	}
+	if opts.LocationCache == 0 {
+		opts.LocationCache = DefaultLocationCache
+	}
 	if opts.Client == nil {
 		opts.Client = &http.Client{Transport: &http.Transport{
 			MaxIdleConnsPerHost: 256,
@@ -132,17 +168,23 @@ func New(opts Options) (*Router, error) {
 		return nil, fmt.Errorf("router: id seed: %w", err)
 	}
 	rt := &Router{
-		ring:     NewRing(opts.VNodes),
-		client:   opts.Client,
-		logf:     opts.Logf,
-		retries:  opts.Retries,
-		backoff:  opts.RetryBackoff,
-		interval: opts.HealthInterval,
-		maxFail:  opts.HealthFailures,
-		idPrefix: "g" + hex.EncodeToString(seed[:]) + "-",
-		workers:  map[string]*workerState{},
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		ring:          NewRing(opts.VNodes),
+		client:        opts.Client,
+		logf:          opts.Logf,
+		retries:       opts.Retries,
+		backoff:       opts.RetryBackoff,
+		interval:      opts.HealthInterval,
+		maxFail:       opts.HealthFailures,
+		idPrefix:      "g" + hex.EncodeToString(seed[:]) + "-",
+		workers:       map[string]*workerState{},
+		rebalanceOn:   opts.Rebalance,
+		rebalanceKick: make(chan struct{}, 1),
+		rebalanceDone: make(chan struct{}),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	if opts.LocationCache > 0 {
+		rt.locations = lru.New[string, string](opts.LocationCache)
 	}
 	for _, w := range opts.Workers {
 		u, err := url.Parse(w)
@@ -159,16 +201,18 @@ func New(opts Options) (*Router, error) {
 	return rt, nil
 }
 
-// Start launches the health-probe loop; Close stops it.
+// Start launches the health-probe and rebalance loops; Close stops them.
 func (rt *Router) Start() {
 	go rt.healthLoop()
+	go rt.rebalanceLoop()
 }
 
-// Close stops the health loop and waits for it to exit. Safe only after
-// Start; a router that was never started needs no Close.
+// Close stops the health and rebalance loops and waits for them to exit.
+// Safe only after Start; a router that was never started needs no Close.
 func (rt *Router) Close() {
 	close(rt.stop)
 	<-rt.done
+	<-rt.rebalanceDone
 }
 
 // NewSessionID returns a fresh router-assigned session id: unique per
@@ -237,7 +281,7 @@ func (rt *Router) handleReason(w http.ResponseWriter, r *http.Request) {
 		}
 		body = injected
 	}
-	rt.forward(w, r, key, body)
+	rt.forward(w, r, key, body, true)
 }
 
 func (rt *Router) handleFacts(w http.ResponseWriter, r *http.Request) {
@@ -256,7 +300,7 @@ func (rt *Router) handleFacts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("missing session"))
 		return
 	}
-	rt.forward(w, r, req.Session, body)
+	rt.forward(w, r, req.Session, body, true)
 }
 
 // handleQueryKeyed routes GET endpoints whose session key is a query
@@ -268,7 +312,7 @@ func (rt *Router) handleQueryKeyed(param string) http.HandlerFunc {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("missing %s parameter", param))
 			return
 		}
-		rt.forward(w, r, key, nil)
+		rt.forward(w, r, key, nil, true)
 	}
 }
 
@@ -276,7 +320,7 @@ func (rt *Router) handleQueryKeyed(param string) http.HandlerFunc {
 // healthy worker the ring assigns a rotating key — cheap spreading without
 // tracking per-worker load.
 func (rt *Router) handleAnyWorker(w http.ResponseWriter, r *http.Request) {
-	rt.forward(w, r, "meta#"+strconv.FormatUint(rt.idNext.Add(1), 10), nil)
+	rt.forward(w, r, "meta#"+strconv.FormatUint(rt.idNext.Add(1), 10), nil, false)
 }
 
 // injectField inserts a string field into a serialized JSON object without
@@ -308,10 +352,40 @@ func injectField(body []byte, field, value string) ([]byte, error) {
 // forward proxies the request to the key's owner, walking the ring's
 // failover order on transport errors. An HTTP response of any status is
 // the worker's answer and is relayed as-is — only failing to get a
-// response at all moves to the next worker.
-func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte) {
+// response at all moves to the next worker. With learn set the session-
+// location cache participates: a usable cached location is tried before
+// the ring order (the session is already resident there), and the worker
+// that answers becomes the key's new cached location. Session-less keys
+// (the rotating metadata spreader) must pass learn=false so they never
+// pollute the cache.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, body []byte, learn bool) {
 	rt.requests.Add(1)
 	candidates := rt.ring.LookupN(key, rt.retries)
+	cached := ""
+	if learn && rt.locations != nil {
+		if loc, ok := rt.locations.Get(key); ok && rt.routable(loc) {
+			rt.locHits.Add(1)
+			cached = loc
+			if len(candidates) == 0 || candidates[0] != loc {
+				merged := make([]string, 0, len(candidates)+1)
+				merged = append(merged, loc)
+				for _, c := range candidates {
+					if c != loc {
+						merged = append(merged, c)
+					}
+				}
+				candidates = merged
+			}
+		} else {
+			if ok {
+				// The cached worker left service (ejected or draining):
+				// drop the stale entry and fall back to the ring order.
+				rt.locations.Remove(key)
+				rt.locInvalidations.Add(1)
+			}
+			rt.locMisses.Add(1)
+		}
+	}
 	if len(candidates) == 0 {
 		rt.noRoute.Add(1)
 		w.Header().Set("Retry-After", "1")
@@ -323,7 +397,7 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, bo
 		if attempt > 0 {
 			rt.retried.Add(1)
 			select {
-			case <-time.After(rt.backoff << (attempt - 1)):
+			case <-time.After(rt.attemptBackoff(attempt)):
 			case <-r.Context().Done():
 				writeError(w, http.StatusServiceUnavailable, r.Context().Err())
 				return
@@ -331,13 +405,28 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, bo
 		}
 		resp, err := rt.do(worker, r, body)
 		if err != nil {
+			if r.Context().Err() != nil {
+				// The client hung up or its deadline passed mid-proxy: the
+				// failure is this request's, not the worker's — counting it
+				// toward ejection would let one slow client take a healthy
+				// worker out of the ring.
+				writeError(w, http.StatusServiceUnavailable, r.Context().Err())
+				return
+			}
 			lastErr = err
 			rt.noteFailure(worker, err)
+			if worker == cached && rt.locations != nil {
+				rt.locations.Remove(key)
+				rt.locInvalidations.Add(1)
+			}
 			continue
 		}
 		rt.noteSuccess(worker)
 		if attempt > 0 {
 			rt.failovers.Add(1)
+		}
+		if learn && rt.locations != nil {
+			rt.locations.Put(key, worker)
 		}
 		defer resp.Body.Close()
 		copyResponse(w, resp)
@@ -345,6 +434,52 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, key string, bo
 	}
 	rt.badGates.Add(1)
 	writeError(w, http.StatusBadGateway, fmt.Errorf("all %d candidate workers failed; last: %v", len(candidates), lastErr))
+}
+
+// maxRetryBackoff caps the exponential failover backoff: rt.backoff <<
+// (attempt-1) is unbounded — with enough candidate workers the shift
+// overflows into a negative or multi-hour pause.
+const maxRetryBackoff = 2 * time.Second
+
+// attemptBackoff is the capped exponential pause before the given attempt
+// (attempt >= 1): backoff doubles per further attempt up to
+// maxRetryBackoff, with no overflowing shift.
+func (rt *Router) attemptBackoff(attempt int) time.Duration {
+	d := rt.backoff
+	for i := 1; i < attempt; i++ {
+		if d >= maxRetryBackoff {
+			return maxRetryBackoff
+		}
+		d <<= 1
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d
+}
+
+// routable reports whether a worker is in service: known, healthy and not
+// draining.
+func (rt *Router) routable(worker string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	ws := rt.workers[worker]
+	return ws != nil && ws.healthy && !ws.draining
+}
+
+// invalidateWorker drops every location-cache entry pointing at a worker
+// that left service (ejection or drain), so no request pays a doomed first
+// hop at it.
+func (rt *Router) invalidateWorker(worker string) {
+	if rt.locations == nil {
+		return
+	}
+	for _, key := range rt.locations.Keys() {
+		if loc, ok := rt.locations.Get(key); ok && loc == worker {
+			rt.locations.Remove(key)
+			rt.locInvalidations.Add(1)
+		}
+	}
 }
 
 // do issues one proxied request. Any HTTP response is success at this
@@ -384,33 +519,51 @@ func copyResponse(w http.ResponseWriter, resp *http.Response) {
 // their successors, which restore them from the shared durable directory.
 func (rt *Router) noteFailure(worker string, err error) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	ws := rt.workers[worker]
 	if ws == nil {
+		rt.mu.Unlock()
 		return
 	}
 	ws.failures++
 	ws.lastErr = err.Error()
+	ejected := false
+	failures := ws.failures
 	if ws.healthy && ws.failures >= rt.maxFail {
 		ws.healthy = false
 		rt.ring.Remove(worker)
-		rt.logf("router: worker %s ejected after %d consecutive failures: %v", worker, ws.failures, err)
+		ejected = true
+	}
+	rt.mu.Unlock()
+	if ejected {
+		rt.logf("router: worker %s ejected after %d consecutive failures: %v", worker, failures, err)
+		rt.invalidateWorker(worker)
 	}
 }
 
 func (rt *Router) noteSuccess(worker string) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	ws := rt.workers[worker]
 	if ws == nil {
+		rt.mu.Unlock()
 		return
 	}
 	ws.failures = 0
 	ws.proxied++
+	readmitted := false
 	if !ws.healthy {
 		ws.healthy = true
-		rt.ring.Add(worker)
+		if !ws.draining {
+			rt.ring.Add(worker)
+			readmitted = true
+		}
+	}
+	rt.mu.Unlock()
+	if readmitted {
 		rt.logf("router: worker %s re-admitted", worker)
+		// The rejoined worker now owns ring ranges whose sessions live on
+		// other workers (or on disk): migrate them proactively instead of
+		// eating a restore stampede on first touch.
+		rt.maybeRebalance()
 	}
 }
 
@@ -492,19 +645,27 @@ func (rt *Router) probe(worker string) (draining bool, err error) {
 // a failure: it is alive and finishing its handoff) or clears the mark.
 func (rt *Router) setDraining(worker string, draining bool) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
 	ws := rt.workers[worker]
 	if ws == nil || ws.draining == draining {
+		rt.mu.Unlock()
 		return
 	}
 	ws.draining = draining
+	healthy := ws.healthy
 	if draining {
-		if ws.healthy {
+		if healthy {
 			rt.ring.Remove(worker)
 		}
-		rt.logf("router: worker %s draining; routing around it", worker)
-	} else if ws.healthy {
+	} else if healthy {
 		rt.ring.Add(worker)
+	}
+	rt.mu.Unlock()
+	if draining {
+		rt.logf("router: worker %s draining; routing around it", worker)
+		rt.invalidateWorker(worker)
+	} else if healthy {
+		rt.logf("router: worker %s finished draining; back in the ring", worker)
+		rt.maybeRebalance()
 	}
 }
 
@@ -531,6 +692,27 @@ type Stats struct {
 	// every candidate failed.
 	NoRoute    uint64 `json:"noRoute"`
 	BadGateway uint64 `json:"badGateway"`
+	// LocationCache accounts the session-location cache: a hit routes the
+	// request straight to the worker that last answered for the session.
+	LocationCache LocationStats `json:"locationCache"`
+	// Rebalances counts proactive migration rounds triggered by membership
+	// changes; MigratedSessions is the total sessions released on their old
+	// host and handed to their new ring owner across those rounds.
+	Rebalances       uint64 `json:"rebalances"`
+	MigratedSessions uint64 `json:"migratedSessions"`
+}
+
+// LocationStats is the session-location cache section of Stats.
+type LocationStats struct {
+	// Hits routed directly to the cached worker; Misses fell back to the
+	// ring order; Invalidations dropped entries on transport failure,
+	// worker ejection or drain.
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	// Len and Cap report cache occupancy (both 0 when disabled).
+	Len int `json:"len"`
+	Cap int `json:"cap"`
 }
 
 // Snapshot returns the router's current stats.
@@ -542,6 +724,17 @@ func (rt *Router) Snapshot() Stats {
 		Failovers:  rt.failovers.Load(),
 		NoRoute:    rt.noRoute.Load(),
 		BadGateway: rt.badGates.Load(),
+		LocationCache: LocationStats{
+			Hits:          rt.locHits.Load(),
+			Misses:        rt.locMisses.Load(),
+			Invalidations: rt.locInvalidations.Load(),
+		},
+		Rebalances:       rt.rebalances.Load(),
+		MigratedSessions: rt.migrated.Load(),
+	}
+	if rt.locations != nil {
+		st.LocationCache.Len = rt.locations.Len()
+		st.LocationCache.Cap = rt.locations.Cap()
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()

@@ -18,14 +18,22 @@ type fakeWorker struct {
 
 	mu       sync.Mutex
 	sessions map[string]int
+	resident map[string]bool
 	draining bool
+	delay    time.Duration
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
 	t.Helper()
-	fw := &fakeWorker{sessions: map[string]int{}}
+	fw := &fakeWorker{sessions: map[string]int{}, resident: map[string]bool{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /reason", func(w http.ResponseWriter, r *http.Request) {
+		fw.mu.Lock()
+		delay := fw.delay
+		fw.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
 		var req struct {
 			Session  string `json:"session"`
 			AssignID string `json:"assignId"`
@@ -62,6 +70,44 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 		draining := fw.draining
 		fw.mu.Unlock()
 		_ = json.NewEncoder(w).Encode(map[string]any{"requests": map[string]any{"draining": draining}})
+	})
+	// The rebalance control plane, over the fake's resident set.
+	mux.HandleFunc("GET /sessions", func(w http.ResponseWriter, r *http.Request) {
+		fw.mu.Lock()
+		ids := []string{}
+		for id := range fw.resident {
+			ids = append(ids, id)
+		}
+		fw.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"sessions": ids})
+	})
+	mux.HandleFunc("POST /release", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Sessions []string `json:"sessions"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		fw.mu.Lock()
+		released := 0
+		for _, id := range req.Sessions {
+			if fw.resident[id] {
+				delete(fw.resident, id)
+				released++
+			}
+		}
+		fw.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"released": released})
+	})
+	mux.HandleFunc("POST /prewarm", func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Sessions []string `json:"sessions"`
+		}
+		_ = json.NewDecoder(r.Body).Decode(&req)
+		fw.mu.Lock()
+		for _, id := range req.Sessions {
+			fw.resident[id] = true
+		}
+		fw.mu.Unlock()
+		_ = json.NewEncoder(w).Encode(map[string]any{"restored": len(req.Sessions), "failed": 0})
 	})
 	fw.ts = httptest.NewServer(mux)
 	t.Cleanup(fw.ts.Close)

@@ -95,6 +95,111 @@ func (s *Server) retire(sess *session) {
 	}
 }
 
+// retirement is one session's queued background retirement. It is
+// registered in Server.retiring until the session's files are final: a
+// restore of the same session waits on done before touching disk, and the
+// drain barrier waits on every entry.
+type retirement struct {
+	done chan struct{}
+}
+
+// retireAsync hands an evicted session to a background retirer, bounded by
+// the retireSlots semaphore, so the request whose insert tipped the session
+// store over capacity does not pay the committer quiesce + snapshot encode
+// + fsync of an unrelated session. With no free slot (or the queue disabled
+// or the server closing) it retires inline: backpressure on eviction, never
+// an unbounded goroutine pile-up. Retirers are transient goroutines — no
+// persistent worker — so an idle server holds no extra goroutines.
+func (s *Server) retireAsync(sess *session) {
+	s.retireMu.Lock()
+	if s.retireClosed || s.retireSlots == nil {
+		s.retireMu.Unlock()
+		s.inlineRetires.Add(1)
+		s.retire(sess)
+		return
+	}
+	select {
+	case s.retireSlots <- struct{}{}:
+	default:
+		s.retireMu.Unlock()
+		s.inlineRetires.Add(1)
+		s.retire(sess)
+		return
+	}
+	r := &retirement{done: make(chan struct{})}
+	s.retiring[sess.id] = r
+	s.retireMu.Unlock()
+	go func() {
+		defer func() {
+			s.retireMu.Lock()
+			delete(s.retiring, sess.id)
+			s.retireMu.Unlock()
+			close(r.done)
+			<-s.retireSlots
+		}()
+		if s.testHookRetire != nil {
+			s.testHookRetire(sess.id)
+		}
+		s.retire(sess)
+		s.asyncRetires.Add(1)
+	}()
+}
+
+// waitRetirement blocks until a pending background retirement of id (if
+// any) has finished: the retirer is writing the snapshot and closing the
+// WAL handle that a restore of the same session is about to read.
+func (s *Server) waitRetirement(ctx context.Context, id string) error {
+	s.retireMu.Lock()
+	r := s.retiring[id]
+	s.retireMu.Unlock()
+	if r == nil {
+		return nil
+	}
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		return chase.ContextErr(ctx)
+	}
+}
+
+// drainRetirements waits for every queued or running background retirement
+// to finish — the barrier SnapshotAll and Close take before walking the
+// session files themselves.
+func (s *Server) drainRetirements() {
+	for {
+		s.retireMu.Lock()
+		var r *retirement
+		for _, pending := range s.retiring {
+			r = pending
+			break
+		}
+		s.retireMu.Unlock()
+		if r == nil {
+			return
+		}
+		<-r.done
+	}
+}
+
+// pendingRetirements reports the retirement-queue depth for /stats.
+func (s *Server) pendingRetirements() int {
+	s.retireMu.Lock()
+	defer s.retireMu.Unlock()
+	return len(s.retiring)
+}
+
+// Close quiesces the server for shutdown: the retirement queue is drained
+// and refused from then on (later evictions retire inline), and with a WAL
+// directory every live session is checkpointed and released. Safe to call
+// more than once.
+func (s *Server) Close() {
+	s.retireMu.Lock()
+	s.retireClosed = true
+	s.retireMu.Unlock()
+	s.SnapshotAll()
+}
+
 // snapshotQuiesced checkpoints a session whose committer has fully stopped
 // (CloseWait returned): Applied() is exact and nothing mutates the
 // maintainer. The epoch guard skips the write when the on-disk snapshot is
@@ -130,10 +235,13 @@ func (s *Server) snapshotQuiesced(sess *session) bool {
 // SnapshotAll checkpoints every live session and releases it — the
 // snapshot-then-handoff half of a graceful drain. After it returns, every
 // session's state is on disk and another worker sharing the directory can
-// restore it from the snapshot plus an empty tail. Returns the number of
-// snapshots written (sessions already current on disk are counted as
-// handed off but not rewritten).
+// restore it from the snapshot plus an empty tail. Queued background
+// retirements are waited out first, so the handoff covers sessions evicted
+// moments before the drain too. Returns the number of snapshots written
+// (sessions already current on disk are counted as handed off but not
+// rewritten).
 func (s *Server) SnapshotAll() (written int) {
+	s.drainRetirements()
 	if s.walDir == "" {
 		return 0
 	}

@@ -183,37 +183,95 @@ func (s *Server) onApply(sess *session) func(uint64, *chase.Result, incremental.
 	}
 }
 
+// restoreFlight is one in-progress restore in the per-session singleflight
+// table: the leader publishes sess/err and closes done; followers wait on
+// done instead of replaying the same session twice.
+type restoreFlight struct {
+	done chan struct{}
+	sess *session
+	err  error
+}
+
 // restore rebuilds an evicted (or crash-lost) session from its durable
-// state. It prefers the session's snapshot: deserialize the engine
-// (byte-identical to the checkpointed state) and replay only the short WAL
-// tail past the snapshot epoch. Without a usable snapshot it falls back to
-// a full WAL replay — header base plus every committed delta — unless the
-// log was compacted (StartSeq > 0), in which case the prefix is gone and
-// the restore fails loudly instead of rebuilding partial state. Returns
+// state. Restores of distinct sessions run in parallel — the snapshot+tail
+// rebuild is session-local — while concurrent requests naming one session
+// share a single restore through the per-session singleflight table (only
+// the table itself and the session-store insert are coordinated). Returns
 // (nil, nil) when the session has no durable state at all — the caller
 // answers 404 exactly as before.
 func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 	if s.walDir == "" {
 		return nil, nil
 	}
-	// One restore at a time: concurrent requests against the same evicted
-	// session would otherwise replay it twice and race the session table.
-	s.restoreMu.Lock()
-	defer s.restoreMu.Unlock()
-	if sess := s.session(id); sess != nil {
-		return sess, nil // raced with another restorer: done
+	for {
+		s.restoreMu.Lock()
+		if sess := s.session(id); sess != nil {
+			s.restoreMu.Unlock()
+			return sess, nil // raced with another restorer: done
+		}
+		if f, ok := s.restoring[id]; ok {
+			s.restoreMu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, chase.ContextErr(ctx)
+			}
+			if f.err != nil && chase.IsCancellation(f.err) && ctx.Err() == nil {
+				// The leader died of its own request's cancellation, not of
+				// bad durable state; this request is still live, so take
+				// over the restore.
+				continue
+			}
+			return f.sess, f.err
+		}
+		f := &restoreFlight{done: make(chan struct{})}
+		s.restoring[id] = f
+		s.restoreMu.Unlock()
+
+		f.sess, f.err = s.restoreSession(ctx, id)
+		if f.err == nil && f.sess != nil {
+			// Publish to the session table before retiring the flight, so a
+			// request arriving in between finds either the flight or the
+			// live session — never a gap that would start a second restore.
+			s.sessions.Put(id, f.sess)
+		}
+		s.restoreMu.Lock()
+		delete(s.restoring, id)
+		s.restoreMu.Unlock()
+		close(f.done)
+		return f.sess, f.err
 	}
+}
+
+// restoreSession is one session's actual rebuild; it runs outside every
+// server-wide lock (the singleflight table guarantees it runs at most once
+// per session at a time). It prefers the session's snapshot: deserialize
+// the engine (byte-identical to the checkpointed state) and replay only
+// the short WAL tail past the snapshot epoch. Without a usable snapshot it
+// falls back to a full WAL replay — header base plus every committed delta
+// — unless the log was compacted (StartSeq > 0), in which case the prefix
+// is gone and the restore fails loudly instead of rebuilding partial
+// state. A pending background retirement of the same session is waited out
+// first: the retirer is still producing the very files this restore reads.
+func (s *Server) restoreSession(ctx context.Context, id string) (*session, error) {
+	if err := s.waitRetirement(ctx, id); err != nil {
+		return nil, err
+	}
+	if s.testHookRestore != nil {
+		s.testHookRestore(id)
+	}
+	start := time.Now()
 	snapHdr, payload, snapErr := snapshot.Read(s.snapPath(id))
 	if snapErr == nil {
-		start := time.Now()
 		sess, err := s.restoreFromSnapshot(ctx, id, snapHdr, payload)
 		if err != nil {
 			return nil, fmt.Errorf("restoring session %s: %w", id, err)
 		}
-		s.sessions.Put(id, sess)
 		s.restores.Add(1)
 		s.snapshotRestores.Add(1)
-		s.restoreNanos.Add(uint64(time.Since(start)))
+		d := time.Since(start)
+		s.restoreNanos.Add(uint64(d))
+		s.restoreHist.observe(d)
 		return sess, nil
 	}
 	if !os.IsNotExist(snapErr) {
@@ -240,7 +298,6 @@ func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 	if got, want := rec.Header.Program, s.fingerprints[rec.Header.App]; got != want {
 		return nil, fmt.Errorf("restoring session %s: program fingerprint changed (log %s, compiled %s)", id, got, want)
 	}
-	start := time.Now()
 	deltas := rec.Live()
 	m, bad, err := s.replay(ctx, pipe, rec.Header.Base, deltas)
 	if err != nil {
@@ -275,9 +332,10 @@ func (s *Server) restore(ctx context.Context, id string) (*session, error) {
 		OnAbort:      sess.onAbort,
 		OnApply:      s.onApply(sess),
 	})
-	s.sessions.Put(id, sess)
 	s.restores.Add(1)
-	s.restoreNanos.Add(uint64(time.Since(start)))
+	d := time.Since(start)
+	s.restoreNanos.Add(uint64(d))
+	s.restoreHist.observe(d)
 	return sess, nil
 }
 

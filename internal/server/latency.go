@@ -1,0 +1,78 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBoundsMs are the bucket upper bounds (milliseconds) of the fixed
+// log-scale latency histogram; observations past the last bound land in an
+// overflow bucket whose quantile reports the exact observed maximum.
+var latencyBoundsMs = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// latencyHist is a fixed-bucket latency histogram cheap enough to sit on
+// the restore path: one atomic add per observation, no locks, no
+// allocation. Quantiles read from it are bucket upper bounds — the true
+// quantile is at most the reported value.
+type latencyHist struct {
+	buckets  [len(latencyBoundsMs) + 1]atomic.Uint64
+	maxNanos atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(latencyBoundsMs) && ms > latencyBoundsMs[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	for {
+		cur := h.maxNanos.Load()
+		if int64(d) <= cur || h.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// latencySummary is the JSON form of a latencyHist on /stats.
+type latencySummary struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P90Ms float64 `json:"p90Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+}
+
+func (h *latencyHist) summary() latencySummary {
+	var counts [len(latencyBoundsMs) + 1]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	out := latencySummary{Count: total, MaxMs: float64(h.maxNanos.Load()) / float64(time.Millisecond)}
+	if total == 0 {
+		return out
+	}
+	quantile := func(q float64) float64 {
+		rank := uint64(q * float64(total))
+		if rank < 1 {
+			rank = 1
+		}
+		var cum uint64
+		for i, c := range counts {
+			cum += c
+			if cum >= rank {
+				if i < len(latencyBoundsMs) {
+					return latencyBoundsMs[i]
+				}
+				break
+			}
+		}
+		return out.MaxMs
+	}
+	out.P50Ms = quantile(0.50)
+	out.P90Ms = quantile(0.90)
+	out.P99Ms = quantile(0.99)
+	return out
+}

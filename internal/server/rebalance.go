@@ -1,0 +1,160 @@
+package server
+
+// The rebalance control plane: three small endpoints the router drives
+// when ring membership changes, so sessions move to their new hash owner
+// proactively instead of stampeding through restore-on-first-touch.
+//
+//	GET  /sessions   the resident session ids of this worker
+//	POST /release    {"sessions": [...]} — checkpoint and release each named
+//	                 session; when it answers, the state is durable and the
+//	                 WAL handle closed, so another worker can restore it
+//	                 without racing this process
+//	POST /prewarm    {"sessions": [...]} — restore each named session ahead
+//	                 of first touch (through the same per-session
+//	                 singleflight as on-demand restore, so live traffic
+//	                 racing the prewarm simply joins it)
+//
+// The protocol is release-then-prewarm per batch: the old owner's handles
+// are closed before the new owner opens them, which keeps two processes
+// from appending to one session's WAL.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// rebalanceWorkers bounds how many sessions one /release or /prewarm
+// request checkpoints or restores concurrently.
+const rebalanceWorkers = 4
+
+// sessionListResponse is the GET /sessions body.
+type sessionListResponse struct {
+	Sessions []string `json:"sessions"`
+}
+
+// sessionSetRequest is the POST /release and /prewarm payload.
+type sessionSetRequest struct {
+	Sessions []string `json:"sessions"`
+}
+
+// releaseResponse reports the handoff: Released sessions are durable on
+// disk with their write-path resources closed.
+type releaseResponse struct {
+	Released int `json:"released"`
+}
+
+// prewarmResponse reports the warm-up: Restored sessions are resident,
+// Failed ones had unusable (or no) durable state and will answer through
+// the normal restore/404 path on first touch.
+type prewarmResponse struct {
+	Restored int `json:"restored"`
+	Failed   int `json:"failed"`
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	resp := sessionListResponse{Sessions: s.sessions.Keys()}
+	if resp.Sessions == nil {
+		resp.Sessions = []string{}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRelease checkpoints and releases the named sessions synchronously:
+// resident ones are removed from the session table and retired (committer
+// quiesced, snapshot durable, WAL handle closed); ones already in a
+// background retirement are waited out. Either way, when the response
+// arrives every named session this worker held is safe for another
+// process to restore.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req sessionSetRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if s.walDir == "" {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("no WAL directory: sessions are volatile and cannot be handed off"))
+		return
+	}
+	var (
+		released atomic.Int64
+		wg       sync.WaitGroup
+		slots    = make(chan struct{}, rebalanceWorkers)
+	)
+	for _, id := range req.Sessions {
+		sess, ok := s.sessions.Get(id)
+		if !ok || !s.sessions.Remove(id) {
+			// Not resident (or lost a removal race): if a background
+			// retirement is in flight its files are not final yet — wait it
+			// out so the release promise holds for this id too.
+			_ = s.waitRetirement(r.Context(), id)
+			continue
+		}
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(sess *session) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			s.retire(sess)
+			released.Add(1)
+		}(sess)
+	}
+	wg.Wait()
+	s.releases.Add(uint64(released.Load()))
+	writeJSON(w, http.StatusOK, releaseResponse{Released: int(released.Load())})
+}
+
+// handlePrewarm restores the named sessions ahead of first touch. Each
+// restore goes through the per-session singleflight, so a live request
+// racing the prewarm shares the work instead of duplicating it; sessions
+// already resident count as restored. Failures are per-session and
+// non-fatal — a session that cannot prewarm simply restores (or 404s) on
+// first touch as before.
+func (s *Server) handlePrewarm(w http.ResponseWriter, r *http.Request) {
+	var req sessionSetRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if s.walDir == "" {
+		writeError(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("no WAL directory: nothing to prewarm from"))
+		return
+	}
+	var (
+		restored, failed atomic.Int64
+		wg               sync.WaitGroup
+		slots            = make(chan struct{}, rebalanceWorkers)
+	)
+	for _, id := range req.Sessions {
+		wg.Add(1)
+		slots <- struct{}{}
+		go func(id string) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			ctx := r.Context()
+			if s.timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.timeout)
+				defer cancel()
+			}
+			sess, err := s.restore(ctx, id)
+			switch {
+			case err != nil:
+				s.logf("server: prewarm %s: %v", id, err)
+				failed.Add(1)
+			case sess == nil:
+				failed.Add(1)
+			default:
+				restored.Add(1)
+			}
+		}(id)
+	}
+	wg.Wait()
+	s.prewarms.Add(uint64(restored.Load()))
+	writeJSON(w, http.StatusOK, prewarmResponse{
+		Restored: int(restored.Load()),
+		Failed:   int(failed.Load()),
+	})
+}

@@ -1,0 +1,133 @@
+package server
+
+// Tests for the rebalance control plane: /sessions lists residents,
+// /release checkpoints and quiesces sessions for handoff, /prewarm
+// restores them ahead of first touch — the worker half of the router's
+// proactive migration protocol.
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestRebalanceControlPlane(t *testing.T) {
+	dir := t.TempDir()
+	ts, s := newTestServerFull(t, Options{WALDir: dir})
+	ids, before := seedSessions(t, ts.URL, 2)
+
+	// GET /sessions lists both residents.
+	var list sessionListResponse
+	getJSON(t, ts.URL+"/sessions", &list)
+	sort.Strings(list.Sessions)
+	want := append([]string(nil), ids...)
+	sort.Strings(want)
+	if len(list.Sessions) != 2 || list.Sessions[0] != want[0] || list.Sessions[1] != want[1] {
+		t.Fatalf("/sessions = %v, want %v", list.Sessions, want)
+	}
+
+	// POST /release checkpoints both and drops them from the table; their
+	// snapshots are on disk when the response arrives.
+	var rel releaseResponse
+	if resp := postJSON(t, ts.URL+"/release",
+		`{"sessions":["`+ids[0]+`","`+ids[1]+`"]}`, &rel); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/release status = %d", resp.StatusCode)
+	}
+	if rel.Released != 2 {
+		t.Errorf("released = %d, want 2", rel.Released)
+	}
+	for _, id := range ids {
+		if s.session(id) != nil {
+			t.Errorf("session %s still resident after release", id)
+		}
+		if _, err := os.Stat(s.snapPath(id)); err != nil {
+			t.Errorf("session %s has no snapshot after release: %v", id, err)
+		}
+	}
+	// Releasing ids that are gone (or never existed) is idempotent.
+	if resp := postJSON(t, ts.URL+"/release",
+		`{"sessions":["`+ids[0]+`","no-such"]}`, &rel); resp.StatusCode != http.StatusOK || rel.Released != 0 {
+		t.Errorf("idempotent release: status %d released %d, want 200/0", resp.StatusCode, rel.Released)
+	}
+
+	// POST /prewarm restores both; an id with no durable state counts as
+	// failed without failing the batch.
+	var pre prewarmResponse
+	if resp := postJSON(t, ts.URL+"/prewarm",
+		`{"sessions":["`+ids[0]+`","`+ids[1]+`","no-such"]}`, &pre); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/prewarm status = %d", resp.StatusCode)
+	}
+	if pre.Restored != 2 || pre.Failed != 1 {
+		t.Errorf("prewarm = %+v, want restored 2 failed 1", pre)
+	}
+	for i, id := range ids {
+		if s.session(id) == nil {
+			t.Errorf("session %s not resident after prewarm", id)
+			continue
+		}
+		var rr reasonResponse
+		postJSON(t, ts.URL+"/reason", `{"session":"`+id+`"}`, &rr)
+		if rr.Epoch != before[i].Epoch || rr.Facts != before[i].Facts {
+			t.Errorf("session %s after release+prewarm: %+v, want %+v", id, rr, before[i])
+		}
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.WritePath.Released != 2 || st.WritePath.Prewarmed != 2 {
+		t.Errorf("stats released/prewarmed = %d/%d, want 2/2", st.WritePath.Released, st.WritePath.Prewarmed)
+	}
+}
+
+// TestRebalanceRequiresDurability: without a WAL directory there is nothing
+// to hand off or prewarm from — both mutating endpoints answer 422.
+func TestRebalanceRequiresDurability(t *testing.T) {
+	ts, _ := newTestServerFull(t, Options{})
+	for _, path := range []string{"/release", "/prewarm"} {
+		if resp := postJSON(t, ts.URL+path, `{"sessions":["x"]}`, nil); resp.StatusCode != http.StatusUnprocessableEntity {
+			t.Errorf("%s on a volatile server: status %d, want 422", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestReleaseWaitsOutBackgroundRetirement: a /release naming a session
+// already in a background retirement must not answer until that retirement
+// finishes — the release promise ("durable, handle closed") has to hold.
+func TestReleaseWaitsOutBackgroundRetirement(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewWithOptions(Options{WALDir: dir, MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiring := make(chan string, 1)
+	finish := make(chan struct{})
+	s.testHookRetire = func(id string) {
+		retiring <- id
+		<-finish
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids, _ := seedSessions(t, ts.URL, 1)
+	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, nil) // evicts
+	<-retiring
+
+	done := make(chan struct{})
+	go func() {
+		postJSON(t, ts.URL+"/release", `{"sessions":["`+ids[0]+`"]}`, nil)
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("/release answered while the named session's retirement was still writing")
+	case <-time.After(100 * time.Millisecond):
+	}
+	close(finish)
+	<-done
+	if _, err := os.Stat(s.snapPath(ids[0])); err != nil {
+		t.Errorf("released session has no snapshot: %v", err)
+	}
+}

@@ -121,11 +121,32 @@ type Server struct {
 	// policy (nil otherwise): concurrent sessions' commit windows share
 	// flush rounds instead of each paying a serialized fsync.
 	syncBatcher *wal.SyncBatcher
-	// restoreMu serializes WAL session restores; restores and restoreNanos
-	// account them for /stats.
+	// restoreMu guards restoring, the per-session singleflight table of WAL
+	// session restores. The snapshot+tail rebuild is session-local, so
+	// restores of distinct sessions run in parallel; concurrent requests
+	// naming one session share a single restore. restores, restoreNanos and
+	// restoreHist account them for /stats.
 	restoreMu    sync.Mutex
+	restoring    map[string]*restoreFlight
 	restores     atomic.Uint64
 	restoreNanos atomic.Uint64
+	restoreHist  latencyHist
+	// Retirement queue: eviction hands the quiesce-checkpoint-close work of
+	// the evicted session to a bounded set of background retirers, so the
+	// unrelated request that tipped the session store over capacity does not
+	// pay the snapshot encode + fsync tail. retireMu guards retiring (the
+	// pending-retirement table restore and drain wait on) and retireClosed;
+	// retireSlots is the concurrency bound (nil = retire synchronously).
+	retireMu      sync.Mutex
+	retiring      map[string]*retirement
+	retireClosed  bool
+	retireSlots   chan struct{}
+	asyncRetires  atomic.Uint64
+	inlineRetires atomic.Uint64
+	// Rebalance control-plane counters: sessions handed off through
+	// POST /release and warmed through POST /prewarm.
+	releases atomic.Uint64
+	prewarms atomic.Uint64
 	// chaseOpts are the per-request chase options, kept so snapshot restore
 	// can rebuild a live engine with the executor the server runs.
 	chaseOpts chase.Options
@@ -168,6 +189,15 @@ type Server struct {
 	// publication — tests use it to pin the commit leader so writes pile
 	// up in the queue deterministically.
 	testHookApply func()
+	// testHookRestore, when set, runs inside every session restore after the
+	// singleflight slot is claimed — tests use it to hold N distinct
+	// restores in flight at once, proving they no longer serialize.
+	testHookRestore func(id string)
+	// testHookRetire, when set, runs inside every background retirement
+	// before the session is quiesced — tests use it to pin retirements so
+	// the drain barrier and the restore-waits-for-retirement path are
+	// exercised deterministically.
+	testHookRetire func(id string)
 }
 
 // session is one live reasoning instance. Mutations flow through cmt, the
@@ -251,6 +281,14 @@ const (
 	// DefaultMaxInflight bounds concurrent reasoning requests; the 65th
 	// answers 503 immediately instead of queueing.
 	DefaultMaxInflight = 64
+	// DefaultRetireQueue bounds concurrent background session retirements
+	// (the eviction-path checkpoint work); evictions past the bound retire
+	// inline as backpressure. One slot is deliberate: it takes the
+	// snapshot encode + fsync off the evicting request's latency path,
+	// but under churn a wider queue lets concurrent retirement fsyncs
+	// compete with the commit path's group fsyncs and regresses the
+	// write tail (~2x write p99 at depth 4 in the 100k-session harness).
+	DefaultRetireQueue = 1
 )
 
 // DefaultRequestTimeout is the per-request reasoning deadline: a chase (or
@@ -323,6 +361,14 @@ type Options struct {
 	// exceeds this size. 0 disables size-based compaction. Ignored without
 	// WALDir.
 	CompactBytes int64
+	// RetireQueue bounds concurrent background session retirements (the
+	// eviction-path committer quiesce + snapshot encode + fsync): an
+	// eviction queues its retirement and returns immediately; past the
+	// bound it falls back to retiring inline, so a retirement backlog
+	// becomes eviction backpressure instead of a goroutine pile-up. 0
+	// selects DefaultRetireQueue; negative values retire synchronously
+	// inside the eviction hook (the pre-queue behavior).
+	RetireQueue int
 	// Log receives panic reports and lifecycle messages; nil selects the
 	// process-default logger.
 	Log *log.Logger
@@ -355,6 +401,12 @@ func NewWithOptions(opts Options) (*Server, error) {
 	case opts.RequestTimeout < 0:
 		opts.RequestTimeout = 0
 	}
+	switch {
+	case opts.RetireQueue == 0:
+		opts.RetireQueue = DefaultRetireQueue
+	case opts.RetireQueue < 0:
+		opts.RetireQueue = 0
+	}
 	logger := opts.Log
 	if logger == nil {
 		logger = log.Default()
@@ -365,6 +417,8 @@ func NewWithOptions(opts Options) (*Server, error) {
 		assigned:       map[string]bool{},
 		sessions:       lru.New[string, *session](opts.MaxSessions),
 		explanations:   lru.New[string, *explainResponse](opts.MaxExplanations),
+		restoring:      map[string]*restoreFlight{},
+		retiring:       map[string]*retirement{},
 		inflight:       make(chan struct{}, opts.MaxInflight),
 		timeout:        opts.RequestTimeout,
 		walDir:         opts.WALDir,
@@ -378,6 +432,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 	}
 	if opts.WALDir != "" && opts.WALSync == wal.SyncGroup {
 		s.syncBatcher = wal.NewSyncBatcher()
+	}
+	if opts.RetireQueue > 0 {
+		s.retireSlots = make(chan struct{}, opts.RetireQueue)
 	}
 	for _, a := range apps.All() {
 		p, err := a.Pipeline(core.Config{
@@ -403,7 +460,9 @@ func NewWithOptions(opts Options) (*Server, error) {
 	// snapshot file before releasing the write-path resources (commit
 	// queue, WAL handle), so evicting a mutated session never discards work
 	// a restore would have to replay; the files stay on disk for restore.
-	s.sessions.OnEvict(func(id string, sess *session) { s.retire(sess) })
+	// The work itself runs on the bounded retirement queue — the request
+	// that caused the eviction does not wait for the checkpoint.
+	s.sessions.OnEvict(func(id string, sess *session) { s.retireAsync(sess) })
 	return s, nil
 }
 
@@ -419,6 +478,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /explain", s.guard(s.handleExplain))
 	mux.HandleFunc("GET /paths", s.handlePaths)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	// Rebalance control plane (see rebalance.go): cheap listing plus the
+	// release/prewarm handoff pair the router drives on membership change.
+	// They bypass the admission guard — prewarm bounds its own restore
+	// concurrency — but sit behind the drain gate like everything else.
+	mux.HandleFunc("GET /sessions", s.handleSessions)
+	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("POST /prewarm", s.handlePrewarm)
 	return s.protect(mux)
 }
 
@@ -897,6 +963,16 @@ type writePathStats struct {
 	// replaying them.
 	Restores      uint64 `json:"restores"`
 	RestoreMillis uint64 `json:"restoreMillis"`
+	// RestoreLatency summarizes per-restore wall time (log-bucket
+	// histogram: quantiles are bucket upper bounds, the max is exact).
+	RestoreLatency latencySummary `json:"restoreLatency"`
+	// Retirements accounts the eviction retirement queue.
+	Retirements retireStats `json:"retirements"`
+	// Released counts sessions checkpointed and handed off through
+	// POST /release; Prewarmed counts sessions restored ahead of first
+	// touch through POST /prewarm (the rebalance control plane).
+	Released  uint64 `json:"released"`
+	Prewarmed uint64 `json:"prewarmed"`
 	// Compactions counts WAL checkpoint-and-truncate cycles; SnapshotWrites
 	// counts engine snapshots written (compaction, eviction, drain).
 	Compactions    uint64 `json:"compactions"`
@@ -906,6 +982,17 @@ type writePathStats struct {
 	// of restored snapshots (the short tails).
 	SnapshotRestores uint64 `json:"snapshotRestores"`
 	TailReplays      uint64 `json:"tailReplays"`
+}
+
+// retireStats is the /stats retirement-queue section.
+type retireStats struct {
+	// Async counts retirements completed by background retirers; Inline
+	// counts evictions that retired synchronously (queue saturated, queue
+	// disabled, or server closing).
+	Async  uint64 `json:"async"`
+	Inline uint64 `json:"inline"`
+	// Pending is the number of retirements queued or running right now.
+	Pending int `json:"pending"`
 }
 
 // incrementalStats is the /stats incremental-maintenance section.
@@ -971,10 +1058,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Draining:    s.draining.Load(),
 		},
 		WritePath: writePathStats{
-			Commit:           core.GlobalCommitStats(),
-			WAL:              wal.GlobalStats(),
-			Restores:         s.restores.Load(),
-			RestoreMillis:    s.restoreNanos.Load() / uint64(time.Millisecond),
+			Commit:         core.GlobalCommitStats(),
+			WAL:            wal.GlobalStats(),
+			Restores:       s.restores.Load(),
+			RestoreMillis:  s.restoreNanos.Load() / uint64(time.Millisecond),
+			RestoreLatency: s.restoreHist.summary(),
+			Retirements: retireStats{
+				Async:   s.asyncRetires.Load(),
+				Inline:  s.inlineRetires.Load(),
+				Pending: s.pendingRetirements(),
+			},
+			Released:         s.releases.Load(),
+			Prewarmed:        s.prewarms.Load(),
 			Compactions:      s.compactions.Load(),
 			SnapshotWrites:   s.snapshotWrites.Load(),
 			SnapshotRestores: s.snapshotRestores.Load(),

@@ -96,32 +96,10 @@ func Write(path string, h Header, payload []byte) error {
 // error unwrapped, so callers distinguish "no snapshot" from "bad
 // snapshot".
 func Read(path string) (Header, []byte, error) {
-	data, err := os.ReadFile(path)
+	h, body, off, err := readVerified(path)
 	if err != nil {
 		return Header{}, nil, err
 	}
-	if len(data) < len(magic)+4 || string(data[:len(magic)]) != string(magic) {
-		return Header{}, nil, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
-	}
-	sum := binary.LittleEndian.Uint32(data[len(magic):])
-	body := data[len(magic)+4:]
-	if crc32.ChecksumIEEE(body) != sum {
-		return Header{}, nil, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
-	}
-	var h Header
-	off := 0
-	if h.App, off, err = readString(body, off); err != nil {
-		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
-	}
-	if h.Program, off, err = readString(body, off); err != nil {
-		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
-	}
-	epoch, n := binary.Uvarint(body[off:])
-	if n <= 0 {
-		return Header{}, nil, fmt.Errorf("%w: %s: malformed epoch", ErrCorrupt, path)
-	}
-	h.Epoch = epoch
-	off += n
 	payload, off, err := readString(body, off)
 	if err != nil {
 		return Header{}, nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
@@ -133,12 +111,57 @@ func Read(path string) (Header, []byte, error) {
 }
 
 // ReadHeader is Read without retaining the payload — the cheap form of the
-// staleness check (eviction's epoch guard compares the on-disk epoch before
-// overwriting). It verifies the checksum like Read: a header is only
-// trusted when the whole file is intact.
+// staleness check (eviction's epoch guard compares the on-disk epoch
+// before overwriting). It verifies the checksum like Read — a header is
+// only trusted when the whole file is intact — but validates the payload
+// in place instead of copying it, so the guard on a large snapshot costs
+// one file read, not three payload-sized allocations.
 func ReadHeader(path string) (Header, error) {
-	h, _, err := Read(path)
-	return h, err
+	h, body, off, err := readVerified(path)
+	if err != nil {
+		return Header{}, err
+	}
+	n, used := binary.Uvarint(body[off:])
+	if used <= 0 {
+		return Header{}, fmt.Errorf("%w: %s: malformed length at offset %d", ErrCorrupt, path, off)
+	}
+	off += used
+	if uint64(len(body)-off) != n {
+		return Header{}, fmt.Errorf("%w: %s: payload length mismatch", ErrCorrupt, path)
+	}
+	return h, nil
+}
+
+// readVerified loads a snapshot file, checks magic and checksum, and
+// parses the header fields, returning the body and the payload offset.
+func readVerified(path string) (Header, []byte, int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, 0, err
+	}
+	if len(data) < len(magic)+4 || string(data[:len(magic)]) != string(magic) {
+		return Header{}, nil, 0, fmt.Errorf("%w: %s: bad magic", ErrCorrupt, path)
+	}
+	sum := binary.LittleEndian.Uint32(data[len(magic):])
+	body := data[len(magic)+4:]
+	if crc32.ChecksumIEEE(body) != sum {
+		return Header{}, nil, 0, fmt.Errorf("%w: %s: checksum mismatch", ErrCorrupt, path)
+	}
+	var h Header
+	off := 0
+	if h.App, off, err = readString(body, off); err != nil {
+		return Header{}, nil, 0, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	if h.Program, off, err = readString(body, off); err != nil {
+		return Header{}, nil, 0, fmt.Errorf("%w: %s: %v", ErrCorrupt, path, err)
+	}
+	epoch, n := binary.Uvarint(body[off:])
+	if n <= 0 {
+		return Header{}, nil, 0, fmt.Errorf("%w: %s: malformed epoch", ErrCorrupt, path)
+	}
+	h.Epoch = epoch
+	off += n
+	return h, body, off, nil
 }
 
 func appendString(buf []byte, s string) []byte {
