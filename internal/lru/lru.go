@@ -31,6 +31,11 @@ type Cache[K comparable, V any] struct {
 
 	// onEvict, when set, observes capacity evictions (not Removes).
 	onEvict func(K, V)
+	// onEvictLocked, when set, runs under the cache lock in the same
+	// critical section that removes an evicted entry — before the removal
+	// is visible to any other cache caller. It must not call back into
+	// the cache.
+	onEvictLocked func(K, V)
 }
 
 // entry is one cache slot, stored in the recency list.
@@ -99,6 +104,9 @@ func (c *Cache[K, V]) Put(k K, v V) {
 		e := oldest.Value.(*entry[K, V])
 		delete(c.items, e.key)
 		c.evictions++
+		if c.onEvictLocked != nil {
+			c.onEvictLocked(e.key, e.val)
+		}
 		if c.onEvict != nil {
 			evicted = append(evicted, e)
 		}
@@ -126,6 +134,45 @@ func (c *Cache[K, V]) OnEvict(fn func(K, V)) {
 	c.onEvict = fn
 }
 
+// OnEvictLocked registers a hook that runs under the cache lock, in the
+// same critical section that removes an evicted entry. The serving layer
+// uses it to register the eviction in a side table atomically with the
+// removal, so a concurrent lookup that misses the entry is guaranteed to
+// find the registration — there is no window in which the entry is gone
+// from both. The hook must be fast and must not call back into the
+// cache. Set it before the cache is shared.
+func (c *Cache[K, V]) OnEvictLocked(fn func(K, V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onEvictLocked = fn
+}
+
+// Evict removes k through the eviction path: the locked hook runs in the
+// same critical section as the removal and the eviction hook runs after
+// the lock is released, exactly as for a capacity eviction. It reports
+// whether k was present. The removal is deliberate, so it does not count
+// toward the eviction stat.
+func (c *Cache[K, V]) Evict(k K) bool {
+	c.mu.Lock()
+	el, ok := c.items[k]
+	if !ok {
+		c.mu.Unlock()
+		return false
+	}
+	c.order.Remove(el)
+	e := el.Value.(*entry[K, V])
+	delete(c.items, e.key)
+	if c.onEvictLocked != nil {
+		c.onEvictLocked(e.key, e.val)
+	}
+	fn := c.onEvict
+	c.mu.Unlock()
+	if fn != nil {
+		fn(e.key, e.val)
+	}
+	return true
+}
+
 // Keys returns the cached keys, most recently used first. The slice is a
 // snapshot: entries may come and go while the caller iterates (the serving
 // layer's drain uses it and tolerates both).
@@ -151,6 +198,30 @@ func (c *Cache[K, V]) Remove(k K) bool {
 	c.order.Remove(el)
 	delete(c.items, k)
 	return true
+}
+
+// RemoveFunc removes every entry matching pred under one lock
+// acquisition, without touching hit/miss accounting or recency order,
+// and returns how many were removed. Removals are deliberate: neither
+// eviction hook runs and the eviction stat does not move. The router
+// uses it to sweep the location cache when a worker leaves service —
+// a Keys-then-Get walk would bump recency and stats per entry and
+// contend with request-path lookups exactly when the tier is degraded.
+func (c *Cache[K, V]) RemoveFunc(pred func(K, V) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*entry[K, V])
+		if pred(e.key, e.val) {
+			c.order.Remove(el)
+			delete(c.items, e.key)
+			n++
+		}
+		el = next
+	}
+	return n
 }
 
 // Len returns the number of cached entries.

@@ -266,3 +266,76 @@ func TestProactiveRebalance(t *testing.T) {
 		t.Errorf("location cache holds %d entries, want >= %d migrated", rt.locations.Len(), misplaced)
 	}
 }
+
+// TestRebalanceRepointsCacheWhenPrewarmFails: once a chunk's release has
+// succeeded, the old host's handles are closed, so the location cache must
+// point at the new owner even if the prewarm step fails — a stale entry
+// would route the next touch back to the old host and resurrect the
+// session there, undoing the migration.
+func TestRebalanceRepointsCacheWhenPrewarmFails(t *testing.T) {
+	w1, w2 := newFakeWorker(t), newFakeWorker(t)
+	rt, ts := newTestRouter(t, Options{Rebalance: true, HealthInterval: time.Hour}, w1, w2)
+	rt.Start()
+	defer rt.Close()
+
+	// Find a session the ring assigns to w2, touch it so the cache learns
+	// w1 (resident there), then park it on w1.
+	var id string
+	for i := 0; i < 200 && id == ""; i++ {
+		candidate := fmt.Sprintf("pf-%d", i)
+		if owner, ok := rt.ring.Lookup(candidate); ok && owner == w2.ts.URL {
+			id = candidate
+		}
+	}
+	if id == "" {
+		t.Skip("hash spread gave w2 no keys")
+	}
+	w1.mu.Lock()
+	w1.resident[id] = true
+	w1.mu.Unlock()
+	rt.locations.Put(id, w1.ts.URL)
+
+	w2.mu.Lock()
+	w2.failPrewarm = true
+	w2.mu.Unlock()
+	rt.maybeRebalance()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w1.mu.Lock()
+		released := !w1.resident[id]
+		w1.mu.Unlock()
+		if released {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("rebalance never released the misplaced session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The release succeeded and the prewarm failed; the cache must not
+	// still point at the old host.
+	waitFor := time.Now().Add(5 * time.Second)
+	for {
+		loc, ok := rt.locations.Get(id)
+		if ok && loc == w2.ts.URL {
+			break
+		}
+		if !ok {
+			t.Fatalf("location cache entry for %s dropped, want repointed to the owner", id)
+		}
+		if time.Now().After(waitFor) {
+			t.Fatalf("location cache still points %s at %s, want %s", id, loc, w2.ts.URL)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The next touch routes to the ring owner, not the released host.
+	before := w1.seen(id)
+	postJSON(t, ts.URL+"/reason", fmt.Sprintf(`{"session":%q}`, id), nil)
+	if got := w1.seen(id); got != before {
+		t.Errorf("released host served %d touches after migration", got-before)
+	}
+	if w2.seen(id) == 0 {
+		t.Error("ring owner never saw the post-migration touch")
+	}
+}

@@ -130,6 +130,15 @@ func (rt *Router) migrate(host, owner string, ids []string) (int, error) {
 	if err := rt.control(http.MethodPost, host, "/release", ids, &rel); err != nil {
 		return 0, fmt.Errorf("release on %s: %w", host, err)
 	}
+	// The old host's handles are closed; from here the new owner must
+	// serve first touches, so repoint the cache before the prewarm — a
+	// stale entry would route the next touch back to the old host and
+	// resurrect the session there, undoing the migration.
+	if rt.locations != nil {
+		for _, id := range ids {
+			rt.locations.Put(id, owner)
+		}
+	}
 	var pre struct {
 		Restored int `json:"restored"`
 		Failed   int `json:"failed"`
@@ -138,11 +147,6 @@ func (rt *Router) migrate(host, owner string, ids []string) (int, error) {
 		// The sessions are durable on disk (release succeeded); they will
 		// restore on first touch at the owner. Report released as moved.
 		return rel.Released, fmt.Errorf("prewarm on %s: %w", owner, err)
-	}
-	if rt.locations != nil {
-		for _, id := range ids {
-			rt.locations.Put(id, owner)
-		}
 	}
 	return rel.Released, nil
 }

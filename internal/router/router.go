@@ -469,17 +469,15 @@ func (rt *Router) routable(worker string) bool {
 
 // invalidateWorker drops every location-cache entry pointing at a worker
 // that left service (ejection or drain), so no request pays a doomed first
-// hop at it.
+// hop at it. The sweep runs under one cache lock without touching recency
+// or hit/miss accounting — it fires exactly when the tier is degraded, so
+// it must not contend with request-path lookups entry by entry.
 func (rt *Router) invalidateWorker(worker string) {
 	if rt.locations == nil {
 		return
 	}
-	for _, key := range rt.locations.Keys() {
-		if loc, ok := rt.locations.Get(key); ok && loc == worker {
-			rt.locations.Remove(key)
-			rt.locInvalidations.Add(1)
-		}
-	}
+	n := rt.locations.RemoveFunc(func(_, loc string) bool { return loc == worker })
+	rt.locInvalidations.Add(uint64(n))
 }
 
 // do issues one proxied request. Any HTTP response is success at this

@@ -16,11 +16,12 @@ import (
 type fakeWorker struct {
 	ts *httptest.Server
 
-	mu       sync.Mutex
-	sessions map[string]int
-	resident map[string]bool
-	draining bool
-	delay    time.Duration
+	mu          sync.Mutex
+	sessions    map[string]int
+	resident    map[string]bool
+	draining    bool
+	delay       time.Duration
+	failPrewarm bool
 }
 
 func newFakeWorker(t *testing.T) *fakeWorker {
@@ -103,6 +104,11 @@ func newFakeWorker(t *testing.T) *fakeWorker {
 		}
 		_ = json.NewDecoder(r.Body).Decode(&req)
 		fw.mu.Lock()
+		if fw.failPrewarm {
+			fw.mu.Unlock()
+			http.Error(w, `{"error":"scripted prewarm failure"}`, http.StatusInternalServerError)
+			return
+		}
 		for _, id := range req.Sessions {
 			fw.resident[id] = true
 		}

@@ -95,27 +95,56 @@ func (s *Server) retire(sess *session) {
 	}
 }
 
-// retirement is one session's queued background retirement. It is
-// registered in Server.retiring until the session's files are final: a
-// restore of the same session waits on done before touching disk, and the
-// drain barrier waits on every entry.
+// retirement is one session's in-flight retirement. It is registered in
+// Server.retiring until the session's files are final: a restore of the
+// same session waits on done before touching disk, and the drain barrier
+// waits on every entry.
 type retirement struct {
 	done chan struct{}
 }
 
-// retireAsync hands an evicted session to a background retirer, bounded by
-// the retireSlots semaphore, so the request whose insert tipped the session
-// store over capacity does not pay the committer quiesce + snapshot encode
-// + fsync of an unrelated session. With no free slot (or the queue disabled
-// or the server closing) it retires inline: backpressure on eviction, never
-// an unbounded goroutine pile-up. Retirers are transient goroutines — no
-// persistent worker — so an idle server holds no extra goroutines.
-func (s *Server) retireAsync(sess *session) {
+// registerRetirement records a pending retirement for id. It runs as the
+// session store's locked eviction hook — in the same critical section
+// that removes the session from the table — so at every instant a
+// session is either resident or has a retirement entry: a restore (or a
+// /release) that misses the table is guaranteed to find the entry and
+// wait for the files to be final instead of racing the in-flight retire.
+func (s *Server) registerRetirement(id string) {
+	s.retireMu.Lock()
+	s.retiring[id] = &retirement{done: make(chan struct{})}
+	s.retireMu.Unlock()
+}
+
+// finishRetirement completes a registered retirement: the entry leaves
+// the table and every waiter is released. The session's files are final
+// by the time this is called.
+func (s *Server) finishRetirement(id string) {
+	s.retireMu.Lock()
+	r := s.retiring[id]
+	delete(s.retiring, id)
+	s.retireMu.Unlock()
+	if r != nil {
+		close(r.done)
+	}
+}
+
+// retireEvicted retires a session that just left the session table (its
+// retirement was registered by the locked eviction hook): handed to a
+// background retirer bounded by the retireSlots semaphore, so the request
+// whose insert tipped the session store over capacity does not pay the
+// committer quiesce + snapshot encode + fsync of an unrelated session.
+// With no free slot (or the queue disabled or the server closing) it
+// retires inline: backpressure on eviction, never an unbounded goroutine
+// pile-up. Retirers are transient goroutines — no persistent worker — so
+// an idle server holds no extra goroutines. Either way the registered
+// retirement is completed when the files are final.
+func (s *Server) retireEvicted(id string, sess *session) {
 	s.retireMu.Lock()
 	if s.retireClosed || s.retireSlots == nil {
 		s.retireMu.Unlock()
 		s.inlineRetires.Add(1)
 		s.retire(sess)
+		s.finishRetirement(id)
 		return
 	}
 	select {
@@ -124,21 +153,17 @@ func (s *Server) retireAsync(sess *session) {
 		s.retireMu.Unlock()
 		s.inlineRetires.Add(1)
 		s.retire(sess)
+		s.finishRetirement(id)
 		return
 	}
-	r := &retirement{done: make(chan struct{})}
-	s.retiring[sess.id] = r
 	s.retireMu.Unlock()
 	go func() {
 		defer func() {
-			s.retireMu.Lock()
-			delete(s.retiring, sess.id)
-			s.retireMu.Unlock()
-			close(r.done)
+			s.finishRetirement(id)
 			<-s.retireSlots
 		}()
 		if s.testHookRetire != nil {
-			s.testHookRetire(sess.id)
+			s.testHookRetire(id)
 		}
 		s.retire(sess)
 		s.asyncRetires.Add(1)

@@ -92,7 +92,7 @@ func TestCompactionCheckpointsAndTruncates(t *testing.T) {
 // snapshot with zero deltas replayed — no full WAL replay.
 func TestEvictionSnapshotSkipsFullReplay(t *testing.T) {
 	dir := t.TempDir()
-	ts, _ := newTestServerFull(t, Options{WALDir: dir, MaxSessions: 1})
+	ts, s := newTestServerFull(t, Options{WALDir: dir, MaxSessions: 1})
 	var rr reasonResponse
 	postJSON(t, ts.URL+"/reason", `{"app":"company-control","facts":"Own(\"X\",\"Y\",0.6)."}`, &rr)
 	writeFact(t, ts.URL, rr.Session, "Y", "Z", 0.7)
@@ -100,8 +100,12 @@ func TestEvictionSnapshotSkipsFullReplay(t *testing.T) {
 	before := sessionRead(t, ts.URL, rr.Session)
 
 	// Evict: MaxSessions=1, so opening another session pushes ours out and
-	// the eviction hook checkpoints it.
+	// the eviction hook checkpoints it. The checkpoint runs on the
+	// background retirement queue; requests naming the session wait on the
+	// retirement barrier, but this test reads the file directly, so it
+	// drains the queue first.
 	postJSON(t, ts.URL+"/reason", `{"app":"stress-simple","scenario":true}`, nil)
+	s.drainRetirements()
 	h, err := snapshot.ReadHeader(filepath.Join(dir, rr.Session+".snap"))
 	if err != nil {
 		t.Fatalf("eviction wrote no snapshot: %v", err)

@@ -62,12 +62,16 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleRelease checkpoints and releases the named sessions synchronously:
-// resident ones are removed from the session table and retired (committer
-// quiesced, snapshot durable, WAL handle closed); ones already in a
-// background retirement are waited out. Either way, when the response
-// arrives every named session this worker held is safe for another
-// process to restore.
+// handleRelease checkpoints and releases the named sessions: resident
+// ones leave the session table through the eviction path — the
+// retirement is registered atomically with the removal, so a concurrent
+// restore of the same id blocks on it instead of racing the in-flight
+// retire — and ones already in a background retirement are waited out.
+// Either way, when a 200 arrives every named session this worker held is
+// durable with its WAL handle closed, safe for another process to
+// restore. If any wait is cut short (request canceled or timed out) the
+// handler answers 503: a retirement may still be running, so the caller
+// must not let another worker open the session's files yet.
 func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	var req sessionSetRequest
 	if !decodeJSON(w, r, &req) {
@@ -82,27 +86,42 @@ func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		released atomic.Int64
 		wg       sync.WaitGroup
 		slots    = make(chan struct{}, rebalanceWorkers)
+		errMu    sync.Mutex
+		waitErr  error
 	)
 	for _, id := range req.Sessions {
-		sess, ok := s.sessions.Get(id)
-		if !ok || !s.sessions.Remove(id) {
-			// Not resident (or lost a removal race): if a background
-			// retirement is in flight its files are not final yet — wait it
-			// out so the release promise holds for this id too.
-			_ = s.waitRetirement(r.Context(), id)
-			continue
-		}
 		wg.Add(1)
 		slots <- struct{}{}
-		go func(sess *session) {
+		go func(id string) {
 			defer wg.Done()
 			defer func() { <-slots }()
-			s.retire(sess)
-			released.Add(1)
-		}(sess)
+			// Evict runs the retirement hooks exactly like a capacity
+			// eviction: registration under the cache lock, then the
+			// (possibly queued) quiesce-checkpoint-close.
+			evicted := s.sessions.Evict(id)
+			// Whether this request triggered the retirement or one was
+			// already in flight, the release promise only holds once the
+			// files are final.
+			if err := s.waitRetirement(r.Context(), id); err != nil {
+				errMu.Lock()
+				if waitErr == nil {
+					waitErr = fmt.Errorf("session %s: %w", id, err)
+				}
+				errMu.Unlock()
+				return
+			}
+			if evicted {
+				released.Add(1)
+			}
+		}(id)
 	}
 	wg.Wait()
 	s.releases.Add(uint64(released.Load()))
+	if waitErr != nil {
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("release incomplete (retirements may still be running): %w", waitErr))
+		return
+	}
 	writeJSON(w, http.StatusOK, releaseResponse{Released: int(released.Load())})
 }
 

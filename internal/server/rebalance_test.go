@@ -6,10 +6,12 @@ package server
 // proactive migration protocol.
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 )
@@ -129,5 +131,129 @@ func TestReleaseWaitsOutBackgroundRetirement(t *testing.T) {
 	<-done
 	if _, err := os.Stat(s.snapPath(ids[0])); err != nil {
 		t.Errorf("released session has no snapshot: %v", err)
+	}
+}
+
+// TestRestoreWaitsOutReleaseRetirement: a restore racing a /release of the
+// same session must block until the release-driven retirement has closed
+// the WAL handle — under the old code /release retired without registering
+// in the retiring table, so the restore skipped the barrier and could
+// reopen the WAL while the retire was still writing.
+func TestRestoreWaitsOutReleaseRetirement(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewWithOptions(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiring := make(chan string, 1)
+	finish := make(chan struct{})
+	s.testHookRetire = func(id string) {
+		retiring <- id
+		<-finish
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ids, before := seedSessions(t, ts.URL, 1)
+
+	relDone := make(chan releaseResponse, 1)
+	go func() {
+		var rel releaseResponse
+		postJSON(t, ts.URL+"/release", `{"sessions":["`+ids[0]+`"]}`, &rel)
+		relDone <- rel
+	}()
+	select {
+	case id := <-retiring:
+		if id != ids[0] {
+			t.Fatalf("retiring %q, want %q", id, ids[0])
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("/release never started the session's retirement")
+	}
+
+	// While the release-driven retirement is parked on the hook, a read of
+	// the session must wait — not restore over the in-flight retire.
+	readDone := make(chan reasonResponse, 1)
+	go func() {
+		var rr reasonResponse
+		postJSON(t, ts.URL+"/reason", `{"session":"`+ids[0]+`"}`, &rr)
+		readDone <- rr
+	}()
+	select {
+	case <-readDone:
+		t.Fatal("restore completed while the release-driven retirement was still writing")
+	case <-relDone:
+		t.Fatal("/release answered while its retirement was still writing")
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	close(finish)
+	select {
+	case rr := <-readDone:
+		if rr.Epoch != before[0].Epoch {
+			t.Errorf("restored epoch = %d, want %d", rr.Epoch, before[0].Epoch)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read never completed after the retirement finished")
+	}
+	select {
+	case rel := <-relDone:
+		if rel.Released != 1 {
+			t.Errorf("released = %d, want 1", rel.Released)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("/release never answered after the retirement finished")
+	}
+}
+
+// TestReleaseAbortsOnCanceledWait: a /release whose context dies while a
+// named session's retirement is still running must answer non-200 — a 200
+// would promise the files are final and let the router prewarm the session
+// on another worker while this one still holds the WAL handle open.
+func TestReleaseAbortsOnCanceledWait(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewWithOptions(Options{WALDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retiring := make(chan string, 1)
+	finish := make(chan struct{})
+	s.testHookRetire = func(id string) {
+		retiring <- id
+		<-finish
+	}
+	// Unpark the retirement and drain it before the temp dir is cleaned up.
+	defer func() {
+		close(finish)
+		s.drainRetirements()
+	}()
+	handler := s.Handler()
+
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+	ids, _ := seedSessions(t, ts.URL, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest(http.MethodPost, "/release",
+		strings.NewReader(`{"sessions":["`+ids[0]+`"]}`)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	served := make(chan struct{})
+	go func() {
+		handler.ServeHTTP(rec, req)
+		close(served)
+	}()
+	<-retiring // the release-driven retirement is parked
+	cancel()   // the request dies mid-wait
+	select {
+	case <-served:
+	case <-time.After(5 * time.Second):
+		t.Fatal("/release never answered after its context was canceled")
+	}
+	if rec.Code == http.StatusOK {
+		t.Fatalf("/release answered 200 with its retirement still running; body: %s", rec.Body.String())
+	}
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/release status = %d, want 503", rec.Code)
 	}
 }

@@ -461,8 +461,12 @@ func NewWithOptions(opts Options) (*Server, error) {
 	// queue, WAL handle), so evicting a mutated session never discards work
 	// a restore would have to replay; the files stay on disk for restore.
 	// The work itself runs on the bounded retirement queue — the request
-	// that caused the eviction does not wait for the checkpoint.
-	s.sessions.OnEvict(func(id string, sess *session) { s.retireAsync(sess) })
+	// that caused the eviction does not wait for the checkpoint. The
+	// retirement is registered under the cache lock, atomically with the
+	// removal, so a restore that misses the session table always finds the
+	// retirement entry to wait on.
+	s.sessions.OnEvictLocked(func(id string, sess *session) { s.registerRetirement(id) })
+	s.sessions.OnEvict(func(id string, sess *session) { s.retireEvicted(id, sess) })
 	return s, nil
 }
 
